@@ -1,0 +1,39 @@
+//! E5 — §4 scenario 1: execution cost of the base scan vs. the
+//! index-only access path across data scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cb_bench::prepared_indexes;
+
+fn index_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/index_vs_scan");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let p = prepared_indexes(n, n / 100, n / 250);
+        let outcome = p.optimizer().optimize(&p.query).unwrap();
+        let ev = p.evaluator();
+        group.bench_with_input(BenchmarkId::new("base_scan", n), &p.query, |b, q| {
+            b.iter(|| ev.eval_query(black_box(q)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("index_plan", n),
+            &outcome.best.query,
+            |b, q| b.iter(|| ev.eval_query(black_box(q)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn optimization_itself(c: &mut Criterion) {
+    let p = prepared_indexes(1_000, 20, 10);
+    let mut group = c.benchmark_group("e5/optimize");
+    group.sample_size(10);
+    group.bench_function("algorithm1", |b| {
+        b.iter(|| p.optimizer().optimize(black_box(&p.query)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, index_vs_scan, optimization_itself);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E6 — §4 scenario 2: base join vs. the navigation-join plan over the
+//! materialized view and the two secondary indexes, as |V| varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cb_bench::prepared_views;
+
+fn navigation_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/view_navigation");
+    group.sample_size(10);
+    for frac in [0.02f64, 0.5] {
+        let p = prepared_views(1_500, 1_500, frac);
+        let v = p.instance.cardinality("V").unwrap();
+        let outcome = p.optimizer().optimize(&p.query).unwrap();
+        let ev = p.evaluator();
+        group.bench_with_input(
+            BenchmarkId::new("base_join", format!("|V|={v}")),
+            &p.query,
+            |b, q| b.iter(|| ev.eval_query(black_box(q)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chosen_plan", format!("|V|={v}")),
+            &outcome.best.query,
+            |b, q| b.iter(|| ev.eval_query(black_box(q)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, navigation_crossover);
+criterion_main!(benches);

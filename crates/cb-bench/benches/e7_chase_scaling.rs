@@ -1,0 +1,50 @@
+//! E7 — Theorem 1: chase cost and output size as the number of
+//! materialized views grows (full dependencies: polynomial).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cb_chase::{chase, ChaseConfig};
+use pcql::parser::parse_query;
+use pcql::Type;
+
+fn catalog_with_views(k: usize) -> cb_catalog::Catalog {
+    let mut catalog = cb_catalog::Catalog::new();
+    catalog.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int)]);
+    catalog.add_logical_relation("S", [("B", Type::Int), ("C", Type::Int)]);
+    catalog.add_direct_mapping("R");
+    catalog.add_direct_mapping("S");
+    for i in 0..k {
+        catalog
+            .add_materialized_view(
+                &format!("V{i}"),
+                parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+                    .unwrap(),
+            )
+            .unwrap();
+    }
+    catalog
+}
+
+fn chase_scaling(c: &mut Criterion) {
+    let q = parse_query(
+        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("e7/chase_vs_views");
+    for k in [1usize, 2, 4, 8] {
+        let catalog = catalog_with_views(k);
+        let deps = catalog.all_constraints();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &deps, |b, deps| {
+            b.iter(|| {
+                let out = chase(black_box(&q), deps, &ChaseConfig::default());
+                assert_eq!(out.query.from.len(), 2 + k);
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chase_scaling);
+criterion_main!(benches);

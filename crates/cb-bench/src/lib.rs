@@ -1,0 +1,139 @@
+//! # cb-bench — experiment harness and benchmarks
+//!
+//! Shared setup code for the criterion benches and the `experiments`
+//! binary that regenerates every example/figure of the paper (see
+//! DESIGN.md's experiment index E1–E12 and EXPERIMENTS.md for the
+//! paper-vs-measured record).
+
+use std::time::Instant;
+
+use cb_catalog::Catalog;
+use cb_engine::{Evaluator, Instance, Materializer};
+use cb_optimizer::Optimizer;
+use pcql::Query;
+
+/// A ready-to-run scenario: catalog with statistics and a materialized
+/// instance.
+pub struct Prepared {
+    pub catalog: Catalog,
+    pub instance: Instance,
+    pub query: Query,
+}
+
+/// Builds the ProjDept scenario at a given scale.
+pub fn prepared_projdept(n_depts: usize, projs_per_dept: usize, n_customers: usize) -> Prepared {
+    let mut catalog = cb_catalog::scenarios::projdept::catalog();
+    let mut instance = cb_engine::projdept_instance(&cb_engine::ProjDeptParams {
+        n_depts,
+        projs_per_dept,
+        n_customers,
+        seed: 42,
+    });
+    Materializer::new(&catalog).materialize(&mut instance).expect("materialize");
+    *catalog.stats_mut() = cb_engine::collect_stats(&instance);
+    Prepared { catalog, instance, query: cb_catalog::scenarios::projdept::query() }
+}
+
+/// Builds §4 scenario 1 (R(A,B,C) + SA + SB) at a given scale.
+pub fn prepared_indexes(n_rows: usize, distinct_a: usize, distinct_b: usize) -> Prepared {
+    let mut catalog = cb_catalog::scenarios::relational_indexes::catalog();
+    let mut instance = cb_engine::rabc_instance(&cb_engine::RabcParams {
+        n_rows,
+        distinct_a,
+        distinct_b,
+        seed: 7,
+    });
+    Materializer::new(&catalog).materialize(&mut instance).expect("materialize");
+    *catalog.stats_mut() = cb_engine::collect_stats(&instance);
+    Prepared { catalog, instance, query: cb_catalog::scenarios::relational_indexes::query() }
+}
+
+/// Builds §4 scenario 2 (R ⋈ S with V, IR, IS) at a given scale.
+pub fn prepared_views(n_r: usize, n_s: usize, match_fraction: f64) -> Prepared {
+    let mut catalog = cb_catalog::scenarios::relational_views::catalog();
+    let mut instance = cb_engine::join_instance(&cb_engine::JoinParams {
+        n_r,
+        n_s,
+        match_fraction,
+        seed: 11,
+    });
+    Materializer::new(&catalog).materialize(&mut instance).expect("materialize");
+    *catalog.stats_mut() = cb_engine::collect_stats(&instance);
+    Prepared { catalog, instance, query: cb_catalog::scenarios::relational_views::query() }
+}
+
+impl Prepared {
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator::for_catalog(&self.catalog, &self.instance)
+    }
+
+    pub fn optimizer(&self) -> Optimizer<'_> {
+        Optimizer::new(&self.catalog)
+    }
+
+    /// Wall-clock time to evaluate a plan, and its row count.
+    pub fn time_plan(&self, plan: &Query) -> (f64, usize) {
+        let ev = self.evaluator();
+        let t = Instant::now();
+        let rows = ev.eval_query(plan).expect("plan evaluates");
+        (t.elapsed().as_secs_f64() * 1e3, rows.len())
+    }
+}
+
+/// Formats a simple aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    line(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &widths,
+        &mut out,
+    );
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_scenarios_build() {
+        let p = prepared_projdept(5, 3, 3);
+        assert_eq!(p.instance.cardinality("Proj"), Some(15));
+        let p = prepared_indexes(50, 10, 5);
+        assert_eq!(p.instance.cardinality("R"), Some(50));
+        let p = prepared_views(30, 30, 0.5);
+        assert!(p.instance.cardinality("V").unwrap() > 0);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let t = render_table(
+            &["plan", "cost"],
+            &[vec!["P1".into(), "10".into()], vec!["P2".into(), "3".into()]],
+        );
+        assert!(t.contains("plan"));
+        assert!(t.lines().count() == 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Builders for the classical semantic constraints of the logical schema:
+//! keys, foreign keys / referential integrity, and inverse relationships
+//! (the `RIC`, `INV`, `KEY` assertions of paper Fig. 2).
+
+use pcql::path::Path;
+use pcql::query::{Binding, Equality};
+use pcql::Dependency;
+
+/// `KEY`: `forall (p in R) (q in R) where p.F = q.F -> p = q`.
+pub fn key_constraint(name: impl Into<String>, relation: &str, field: &str) -> Dependency {
+    Dependency::new(
+        name,
+        vec![
+            Binding::iter("p", Path::root(relation)),
+            Binding::iter("q", Path::root(relation)),
+        ],
+        vec![Equality(
+            Path::var("p").field(field),
+            Path::var("q").field(field),
+        )],
+        vec![],
+        vec![Equality(Path::var("p"), Path::var("q"))],
+    )
+}
+
+/// `RIC` (row-to-row): `forall (p in R) -> exists (q in S) where p.F = q.G`.
+pub fn foreign_key(
+    name: impl Into<String>,
+    relation: &str,
+    field: &str,
+    target: &str,
+    target_field: &str,
+) -> Dependency {
+    Dependency::new(
+        name,
+        vec![Binding::iter("p", Path::root(relation))],
+        vec![],
+        vec![Binding::iter("q", Path::root(target))],
+        vec![Equality(
+            Path::var("p").field(field),
+            Path::var("q").field(target_field),
+        )],
+    )
+}
+
+/// `RIC` (member-to-row): every member of the set-valued attribute `attr`
+/// of an object in `extent` references a row of `target` through
+/// `target_field`:
+/// `forall (d in E) (s in d.attr) -> exists (p in T) where s = p.G`.
+pub fn member_foreign_key(
+    name: impl Into<String>,
+    extent: &str,
+    attr: &str,
+    target: &str,
+    target_field: &str,
+) -> Dependency {
+    Dependency::new(
+        name,
+        vec![
+            Binding::iter("d", Path::root(extent)),
+            Binding::iter("s", Path::var("d").field(attr)),
+        ],
+        vec![],
+        vec![Binding::iter("p", Path::root(target))],
+        vec![Equality(Path::var("s"), Path::var("p").field(target_field))],
+    )
+}
+
+/// One direction of an inverse relationship between a set-valued attribute
+/// and a back-reference field (paper's `INV1`):
+/// `forall (d in E) (s in d.attr) (p in T) where s = p.KeyF
+///  -> p.BackF = d.NameF`.
+pub fn inverse_forward(
+    name: impl Into<String>,
+    extent: &str,
+    attr: &str,
+    target: &str,
+    target_key: &str,
+    target_back: &str,
+    class_name_field: &str,
+) -> Dependency {
+    Dependency::new(
+        name,
+        vec![
+            Binding::iter("d", Path::root(extent)),
+            Binding::iter("s", Path::var("d").field(attr)),
+            Binding::iter("p", Path::root(target)),
+        ],
+        vec![Equality(Path::var("s"), Path::var("p").field(target_key))],
+        vec![],
+        vec![Equality(
+            Path::var("p").field(target_back),
+            Path::var("d").field(class_name_field),
+        )],
+    )
+}
+
+/// The other direction (paper's `INV2`):
+/// `forall (p in T) (d in E) where p.BackF = d.NameF
+///  -> exists (s in d.attr) where p.KeyF = s`.
+pub fn inverse_backward(
+    name: impl Into<String>,
+    extent: &str,
+    attr: &str,
+    target: &str,
+    target_key: &str,
+    target_back: &str,
+    class_name_field: &str,
+) -> Dependency {
+    Dependency::new(
+        name,
+        vec![
+            Binding::iter("p", Path::root(target)),
+            Binding::iter("d", Path::root(extent)),
+        ],
+        vec![Equality(
+            Path::var("p").field(target_back),
+            Path::var("d").field(class_name_field),
+        )],
+        vec![Binding::iter("s", Path::var("d").field(attr))],
+        vec![Equality(Path::var("p").field(target_key), Path::var("s"))],
+    )
+}
+
+/// `KEY` over an extent attribute (paper's `KEY1` for `depts`/`DName`):
+/// `forall (d in E) (e in E) where d.F = e.F -> d = e`.
+pub fn extent_key(name: impl Into<String>, extent: &str, field: &str) -> Dependency {
+    key_constraint(name, extent, field)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_shape() {
+        let d = key_constraint("KEY2", "Proj", "PName");
+        assert!(d.is_egd());
+        assert_eq!(
+            d.to_string(),
+            "[KEY2] forall (p in Proj) (q in Proj) where p.PName = q.PName -> p = q"
+        );
+    }
+
+    #[test]
+    fn foreign_key_shape() {
+        let d = foreign_key("RIC2", "Proj", "PDept", "depts", "DName");
+        assert!(!d.is_egd());
+        assert_eq!(d.exists.len(), 1);
+        assert!(d.to_string().contains("p.PDept = q.DName"));
+    }
+
+    #[test]
+    fn member_fk_matches_paper_ric1() {
+        let d = member_foreign_key("RIC1", "depts", "DProjs", "Proj", "PName");
+        assert_eq!(
+            d.to_string(),
+            "[RIC1] forall (d in depts) (s in d.DProjs) -> exists (p in Proj) \
+             where s = p.PName"
+        );
+    }
+
+    #[test]
+    fn inverse_pair_matches_paper() {
+        let f = inverse_forward("INV1", "depts", "DProjs", "Proj", "PName", "PDept", "DName");
+        assert!(f.is_egd());
+        assert!(f.to_string().contains("-> p.PDept = d.DName"));
+        let b = inverse_backward("INV2", "depts", "DProjs", "Proj", "PName", "PDept", "DName");
+        assert!(!b.is_egd());
+        assert!(b.to_string().contains("exists (s in d.DProjs)"));
+        assert!(f.check_scopes().is_ok());
+        assert!(b.check_scopes().is_ok());
+    }
+}

@@ -1,0 +1,77 @@
+//! Catalog errors.
+
+use std::fmt;
+
+use pcql::parser::ParseError;
+use pcql::schema::SchemaConflict;
+use pcql::typecheck::TypeError;
+
+/// Errors raised while building or validating a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The named root does not exist in the relevant schema.
+    UnknownRoot(String),
+    /// The named root exists but is not a relation (set of records).
+    NotARelation(String),
+    /// The named class is not declared.
+    UnknownClass(String),
+    /// The relation has no such field.
+    NoSuchField { relation: String, field: String },
+    /// A name is already taken by another root or structure.
+    DuplicateName(String),
+    /// The field/key type is unusable for the requested structure.
+    BadKeyType { field: String, ty: String },
+    /// A view definition failed validation.
+    BadViewDefinition { name: String, reason: String },
+    /// Type checking of a constraint or definition failed.
+    Type(TypeError),
+    /// Parsing of a textual constraint failed.
+    Parse(ParseError),
+    /// Logical and physical schema disagree on a shared root.
+    Conflict(SchemaConflict),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownRoot(r) => write!(f, "unknown schema root `{r}`"),
+            CatalogError::NotARelation(r) => {
+                write!(f, "root `{r}` is not a relation (set of records)")
+            }
+            CatalogError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            CatalogError::NoSuchField { relation, field } => {
+                write!(f, "relation `{relation}` has no field `{field}`")
+            }
+            CatalogError::DuplicateName(n) => write!(f, "name `{n}` is already in use"),
+            CatalogError::BadKeyType { field, ty } => {
+                write!(f, "field `{field}` of type `{ty}` cannot be a dictionary key")
+            }
+            CatalogError::BadViewDefinition { name, reason } => {
+                write!(f, "bad definition for view `{name}`: {reason}")
+            }
+            CatalogError::Type(e) => write!(f, "type error: {e}"),
+            CatalogError::Parse(e) => write!(f, "{e}"),
+            CatalogError::Conflict(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<TypeError> for CatalogError {
+    fn from(e: TypeError) -> Self {
+        CatalogError::Type(e)
+    }
+}
+
+impl From<ParseError> for CatalogError {
+    fn from(e: ParseError) -> Self {
+        CatalogError::Parse(e)
+    }
+}
+
+impl From<SchemaConflict> for CatalogError {
+    fn from(e: SchemaConflict) -> Self {
+        CatalogError::Conflict(e)
+    }
+}

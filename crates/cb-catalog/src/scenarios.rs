@@ -1,0 +1,336 @@
+//! The paper's worked scenarios, ready to use in examples, tests and
+//! benches.
+//!
+//! * [`projdept`] — the running example: Fig. 2 (logical ProjDept schema
+//!   with RIC/INV/KEY constraints), Fig. 3 (physical schema with the class
+//!   dictionary `Dept`, the primary index `I`, the secondary index `SI`
+//!   and the join-index view `JI`), and the query `Q`.
+//! * [`relational_indexes`] — §4's first scenario: `R(A,B,C)` with
+//!   secondary indexes `SA`, `SB` and the index-only access-path query.
+//! * [`relational_views`] — §4's second scenario: `R(A,B)`, `S(B,C)`,
+//!   materialized view `V = π_A(R ⋈ S)` and secondary indexes `I_R`,
+//!   `I_S`.
+
+use pcql::parser::parse_query;
+use pcql::query::Query;
+use pcql::schema::ClassDecl;
+use pcql::types::Type;
+
+use crate::builtin;
+use crate::stats::RootStats;
+use crate::Catalog;
+
+/// The paper's running ProjDept example.
+pub mod projdept {
+    use super::*;
+
+    /// Builds the full catalog of Figs. 2–3: logical schema (class `Dept`
+    /// with extent `depts`, relation `Proj`), semantic constraints
+    /// RIC1/RIC2/INV1/INV2/KEY1/KEY2, and physical schema (`Proj` direct,
+    /// class dictionary `Dept`, primary index `I` on `PName`, secondary
+    /// index `SI` on `CustName`, join-index view `JI`).
+    pub fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        // Logical schema (Fig. 2).
+        c.declare_class(
+            ClassDecl::new(
+                "Dept",
+                [
+                    ("DName", Type::Str),
+                    ("DProjs", Type::set(Type::Str)),
+                    ("MgrName", Type::Str),
+                ],
+            ),
+            "depts",
+        );
+        c.add_logical_relation(
+            "Proj",
+            [
+                ("PName", Type::Str),
+                ("CustName", Type::Str),
+                ("PDept", Type::Str),
+                ("Budg", Type::Int),
+            ],
+        );
+        // Semantic constraints (the assertions below Fig. 2).
+        c.add_semantic_constraint(builtin::member_foreign_key(
+            "RIC1", "depts", "DProjs", "Proj", "PName",
+        ))
+        .unwrap();
+        c.add_semantic_constraint(builtin::foreign_key(
+            "RIC2", "Proj", "PDept", "depts", "DName",
+        ))
+        .unwrap();
+        c.add_semantic_constraint(builtin::inverse_forward(
+            "INV1", "depts", "DProjs", "Proj", "PName", "PDept", "DName",
+        ))
+        .unwrap();
+        c.add_semantic_constraint(builtin::inverse_backward(
+            "INV2", "depts", "DProjs", "Proj", "PName", "PDept", "DName",
+        ))
+        .unwrap();
+        c.add_semantic_constraint(builtin::extent_key("KEY1", "depts", "DName")).unwrap();
+        c.add_semantic_constraint(builtin::key_constraint("KEY2", "Proj", "PName"))
+            .unwrap();
+
+        // Physical schema (Fig. 3).
+        c.add_direct_mapping("Proj");
+        c.add_class_dict("Dept", "depts", "Dept").unwrap();
+        c.add_primary_index("I", "Proj", "PName").unwrap();
+        c.add_secondary_index("SI", "Proj", "CustName").unwrap();
+        c.add_join_index(
+            "JI",
+            parse_query(
+                "select struct(DOID = d, PN = p.PName) \
+                 from depts d, d.DProjs s, Proj p where s = p.PName",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    /// The paper's query `Q`: project names with budgets and department
+    /// names, for projects with customer CitiBank.
+    pub fn query() -> Query {
+        parse_query(
+            r#"select struct(PN = s, PB = p.Budg, DN = d.DName)
+               from depts d, d.DProjs s, Proj p
+               where s = p.PName and p.CustName = "CitiBank""#,
+        )
+        .expect("paper query parses")
+    }
+
+    /// The four plans of paper §1 (P1–P4), as written there. P3 uses the
+    /// non-failing lookup, exactly like the paper.
+    pub fn paper_plans() -> Vec<Query> {
+        vec![
+            parse_query(
+                r#"select struct(PN = s, PB = p.Budg, DN = Dept[d].DName)
+                   from dom(Dept) d, Dept[d].DProjs s, Proj p
+                   where s = p.PName and p.CustName = "CitiBank""#,
+            )
+            .unwrap(),
+            parse_query(
+                r#"select struct(PN = p.PName, PB = p.Budg, DN = p.PDept)
+                   from Proj p where p.CustName = "CitiBank""#,
+            )
+            .unwrap(),
+            parse_query(
+                r#"select struct(PN = p.PName, PB = p.Budg, DN = p.PDept)
+                   from SI{"CitiBank"} p"#,
+            )
+            .unwrap(),
+            parse_query(
+                r#"select struct(PN = j.PN, PB = I[j.PN].Budg, DN = Dept[j.DOID].DName)
+                   from JI j
+                   where I[j.PN].CustName = "CitiBank""#,
+            )
+            .unwrap(),
+        ]
+    }
+
+    /// Reference statistics for a generated instance of the given scale
+    /// (`n_depts` departments, `projs_per_dept` projects per department,
+    /// `n_customers` distinct customers).
+    pub fn stats_for(c: &mut Catalog, n_depts: u64, projs_per_dept: u64, n_customers: u64) {
+        let n_proj = n_depts * projs_per_dept;
+        let mut proj = RootStats::with_cardinality(n_proj);
+        proj.distinct.insert("PName".into(), n_proj);
+        proj.distinct.insert("CustName".into(), n_customers.min(n_proj));
+        proj.distinct.insert("PDept".into(), n_depts);
+        let mut depts = RootStats::with_cardinality(n_depts);
+        depts.avg_fanout.insert("DProjs".into(), projs_per_dept as f64);
+        depts.distinct.insert("DName".into(), n_depts);
+        let mut dept_dict = RootStats::with_cardinality(n_depts);
+        dept_dict.avg_fanout.insert("DProjs".into(), projs_per_dept as f64);
+        let mut si = RootStats::with_cardinality(n_customers.min(n_proj));
+        si.avg_fanout
+            .insert("".into(), n_proj as f64 / n_customers.max(1) as f64);
+        let i = RootStats::with_cardinality(n_proj);
+        let ji = RootStats::with_cardinality(n_proj);
+        let stats = c.stats_mut();
+        stats.set("Proj", proj);
+        stats.set("depts", depts);
+        stats.set("Dept", dept_dict);
+        stats.set("SI", si);
+        stats.set("I", i);
+        stats.set("JI", ji);
+    }
+}
+
+/// §4 scenario 1: index-only access paths.
+pub mod relational_indexes {
+    use super::*;
+
+    /// `R(A,B,C)` with secondary indexes `SA` on `A` and `SB` on `B`; `R`
+    /// itself is also physical (direct mapping).
+    pub fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_logical_relation(
+            "R",
+            [("A", Type::Int), ("B", Type::Int), ("C", Type::Int)],
+        );
+        c.add_direct_mapping("R");
+        c.add_secondary_index("SA", "R", "A").unwrap();
+        c.add_secondary_index("SB", "R", "B").unwrap();
+        c
+    }
+
+    /// The paper's selection query
+    /// `select r.C from R r where r.A = 5 and r.B = 7`.
+    pub fn query() -> Query {
+        parse_query("select struct(C = r.C) from R r where r.A = 5 and r.B = 7").unwrap()
+    }
+
+    /// Sets statistics for `n` rows with the given per-attribute distinct
+    /// counts.
+    pub fn stats_for(c: &mut Catalog, n: u64, distinct_a: u64, distinct_b: u64) {
+        let mut r = RootStats::with_cardinality(n);
+        r.distinct.insert("A".into(), distinct_a);
+        r.distinct.insert("B".into(), distinct_b);
+        let mut sa = RootStats::with_cardinality(distinct_a);
+        sa.avg_fanout.insert("".into(), n as f64 / distinct_a.max(1) as f64);
+        let mut sb = RootStats::with_cardinality(distinct_b);
+        sb.avg_fanout.insert("".into(), n as f64 / distinct_b.max(1) as f64);
+        let stats = c.stats_mut();
+        stats.set("R", r);
+        stats.set("SA", sa);
+        stats.set("SB", sb);
+    }
+}
+
+/// §4 scenario 2: materialized views + indexes and the navigation-join
+/// plan.
+pub mod relational_views {
+    use super::*;
+
+    /// `R(A,B)`, `S(B,C)`; physical: `R`, `S` (direct), view
+    /// `V = select struct(A = r.A) from R r, S s where r.B = s.B`, and
+    /// secondary indexes `IR` on `R.A` and `IS` on `S.B`.
+    pub fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int)]);
+        c.add_logical_relation("S", [("B", Type::Int), ("C", Type::Int)]);
+        c.add_direct_mapping("R");
+        c.add_direct_mapping("S");
+        c.add_materialized_view(
+            "V",
+            parse_query("select struct(A = r.A) from R r, S s where r.B = s.B").unwrap(),
+        )
+        .unwrap();
+        c.add_secondary_index("IR", "R", "A").unwrap();
+        c.add_secondary_index("IS", "S", "B").unwrap();
+        c
+    }
+
+    /// The logical query `Q = R ⋈ S`.
+    pub fn query() -> Query {
+        parse_query(
+            "select struct(A = r.A, B = s.B, C = s.C) from R r, S s where r.B = s.B",
+        )
+        .unwrap()
+    }
+
+    /// Statistics: `|R|`, `|S|`, `|V|` and distinct counts.
+    pub fn stats_for(c: &mut Catalog, n_r: u64, n_s: u64, n_v: u64) {
+        let mut r = RootStats::with_cardinality(n_r);
+        r.distinct.insert("A".into(), n_r);
+        r.distinct.insert("B".into(), n_r.max(1));
+        let mut s = RootStats::with_cardinality(n_s);
+        s.distinct.insert("B".into(), n_s.max(1));
+        let v = RootStats::with_cardinality(n_v);
+        let mut ir = RootStats::with_cardinality(n_r);
+        ir.avg_fanout.insert("".into(), 1.0);
+        let mut is_ = RootStats::with_cardinality(n_s);
+        is_.avg_fanout.insert("".into(), 1.0);
+        let stats = c.stats_mut();
+        stats.set("R", r);
+        stats.set("S", s);
+        stats.set("V", v);
+        stats.set("IR", ir);
+        stats.set("IS", is_);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcql::typecheck::{check_dependency, check_pc_query};
+
+    #[test]
+    fn projdept_catalog_is_well_formed() {
+        let c = projdept::catalog();
+        let schema = c.combined_schema();
+        for d in c.all_constraints() {
+            check_dependency(&schema, &d)
+                .unwrap_or_else(|e| panic!("constraint {} ill-typed: {e}", d.name));
+        }
+        check_pc_query(&schema, &projdept::query()).unwrap();
+        // 6 semantic constraints + key(Proj.PName) from the primary index.
+        assert_eq!(c.semantic_constraints().len(), 7);
+        // Constraint families present.
+        let names: Vec<String> =
+            c.mapping_constraints().iter().map(|d| d.name.clone()).collect();
+        for expected in [
+            "delta(Dept)",
+            "delta(Dept.DProjs)",
+            "deref(Dept.DName)",
+            "PI1(I)",
+            "SI1(SI)",
+            "SI3(SI)",
+            "c_V(JI)",
+            "c'_V(JI)",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn projdept_paper_plans_type_check_as_plans() {
+        let c = projdept::catalog();
+        let schema = c.combined_schema();
+        for (i, p) in projdept::paper_plans().iter().enumerate() {
+            pcql::typecheck::check_query(&schema, p)
+                .unwrap_or_else(|e| panic!("paper plan P{} ill-typed: {e}", i + 1));
+            assert!(c.is_physical_query(p), "P{} must be physical", i + 1);
+        }
+        // P1 is plain PC; P3 and P4 are plan-level (non-failing or
+        // unguarded lookups).
+        let plans = projdept::paper_plans();
+        assert!(check_pc_query(&schema, &plans[0]).is_ok());
+        assert!(check_pc_query(&schema, &plans[1]).is_ok());
+        assert!(check_pc_query(&schema, &plans[2]).is_err());
+        assert!(check_pc_query(&schema, &plans[3]).is_err());
+    }
+
+    #[test]
+    fn relational_scenarios_well_formed() {
+        for (c, q) in [
+            (relational_indexes::catalog(), relational_indexes::query()),
+            (relational_views::catalog(), relational_views::query()),
+        ] {
+            let schema = c.combined_schema();
+            for d in c.all_constraints() {
+                check_dependency(&schema, &d).unwrap();
+            }
+            check_pc_query(&schema, &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_builders_populate() {
+        let mut c = projdept::catalog();
+        projdept::stats_for(&mut c, 100, 10, 20);
+        assert_eq!(c.stats().cardinality("Proj"), 1000.0);
+        assert_eq!(c.stats().get("SI").unwrap().entry_fanout(), Some(50.0));
+
+        let mut c = relational_indexes::catalog();
+        relational_indexes::stats_for(&mut c, 10_000, 100, 50);
+        assert_eq!(c.stats().cardinality("SA"), 100.0);
+
+        let mut c = relational_views::catalog();
+        relational_views::stats_for(&mut c, 1000, 1000, 10);
+        assert_eq!(c.stats().cardinality("V"), 10.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Statistics used by the cost model.
+//!
+//! The paper leaves the cost model open ("we expect that the algorithm …
+//! will be used in conjunction with good cost models"); we keep classic
+//! System-R style statistics per schema root: cardinalities, per-field
+//! distinct counts and average fanouts of set-valued fields/entries.
+
+use std::collections::BTreeMap;
+
+/// Statistics for one schema root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RootStats {
+    /// `|R|` for relations/extents; `|dom(M)|` for dictionaries.
+    pub cardinality: u64,
+    /// Distinct values per (record) field of the element/entry type.
+    pub distinct: BTreeMap<String, u64>,
+    /// Average cardinality of set-valued fields of elements; for
+    /// dictionaries with set-valued entries, the key `""` holds the
+    /// average entry-set size.
+    pub avg_fanout: BTreeMap<String, f64>,
+}
+
+impl RootStats {
+    pub fn with_cardinality(cardinality: u64) -> RootStats {
+        RootStats { cardinality, distinct: BTreeMap::new(), avg_fanout: BTreeMap::new() }
+    }
+
+    pub fn distinct_of(&self, field: &str) -> Option<u64> {
+        self.distinct.get(field).copied()
+    }
+
+    pub fn fanout_of(&self, field: &str) -> Option<f64> {
+        self.avg_fanout.get(field).copied()
+    }
+
+    /// Average entry-set size for a dictionary with set-valued entries.
+    pub fn entry_fanout(&self) -> Option<f64> {
+        self.fanout_of("")
+    }
+}
+
+/// Statistics for a whole catalog, keyed by root name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    pub roots: BTreeMap<String, RootStats>,
+}
+
+impl Stats {
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    pub fn set(&mut self, root: impl Into<String>, stats: RootStats) -> &mut Self {
+        self.roots.insert(root.into(), stats);
+        self
+    }
+
+    pub fn get(&self, root: &str) -> Option<&RootStats> {
+        self.roots.get(root)
+    }
+
+    /// Cardinality of a root, with a pessimistic default for roots without
+    /// statistics (unknown sources are assumed big, so plans that avoid
+    /// them win ties).
+    pub fn cardinality(&self, root: &str) -> f64 {
+        self.get(root).map(|s| s.cardinality as f64).unwrap_or(DEFAULT_CARDINALITY)
+    }
+}
+
+/// Assumed cardinality for roots with no recorded statistics.
+pub const DEFAULT_CARDINALITY: f64 = 1000.0;
+
+/// Assumed fanout for set-valued fields with no recorded statistics.
+pub const DEFAULT_FANOUT: f64 = 10.0;
+
+/// Assumed selectivity of an equality predicate with no statistics.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_pessimistic() {
+        let s = Stats::new();
+        assert_eq!(s.cardinality("unknown"), DEFAULT_CARDINALITY);
+    }
+
+    #[test]
+    fn stored_stats_round_trip() {
+        let mut s = Stats::new();
+        let mut rs = RootStats::with_cardinality(500);
+        rs.distinct.insert("CustName".into(), 50);
+        rs.avg_fanout.insert("DProjs".into(), 4.0);
+        s.set("Proj", rs);
+        assert_eq!(s.cardinality("Proj"), 500.0);
+        assert_eq!(s.get("Proj").unwrap().distinct_of("CustName"), Some(50));
+        assert_eq!(s.get("Proj").unwrap().fanout_of("DProjs"), Some(4.0));
+        assert_eq!(s.get("Proj").unwrap().entry_fanout(), None);
+    }
+}

@@ -1,0 +1,544 @@
+//! Physical access structures and their characterization by constraints
+//! (paper §2).
+//!
+//! Every structure is *fully characterized* by a small set of EPCDs
+//! relating it to the logical schema; the optimizer never special-cases a
+//! structure kind — it only ever sees the constraints:
+//!
+//! * primary index `I` on key `A` of relation `R`: `PI1`, `PI2`;
+//! * secondary index / hash table `SI` on attribute `A` of `R`:
+//!   `SI1`, `SI2`, `SI3` (non-emptiness);
+//! * class-extent dictionary `D` for class `C` with extent `E`:
+//!   `δ`/`δ'` pairs per set-valued attribute, membership coupling of the
+//!   extent, and per-attribute dereference EGDs `o.F = D[o].F`;
+//! * materialized view `V` with PC definition: `c_V`, `c'_V`;
+//! * join indexes and access support relations: materialized views over
+//!   the appropriate path joins (plus the participating indexes and class
+//!   dictionaries, which are separate structures);
+//! * gmaps / source capabilities: dictionary versions of views with
+//!   `G1`, `G2`, `G3`.
+
+use std::collections::BTreeMap;
+
+use pcql::idgen::VarGen;
+use pcql::path::Path;
+use pcql::query::{Binding, Equality, Output, Query};
+use pcql::types::Type;
+use pcql::Dependency;
+
+/// What a materialized view is playing the role of (purely informational;
+/// the constraints are identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// Plain materialized PC view (also: cached query result).
+    View,
+    /// Join index in the sense of Valduriez: a binary relation of keys /
+    /// surrogates, used together with primary indexes on both relations.
+    JoinIndex,
+    /// Access support relation: the OIDs along a class path.
+    AccessSupportRelation,
+}
+
+/// What a gmap-style dictionary is playing the role of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictKind {
+    /// A (generalized) gmap: `dict z in Q1 | Q2(z)`.
+    Gmap,
+    /// A source capability: the binding patterns of a restricted source,
+    /// modeled as a dictionary from input bindings to result sets.
+    SourceCapability,
+}
+
+/// A gmap definition: one scan/filter body shared by the key and value
+/// outputs. This captures (and generalizes) the gmap definition language:
+/// `dict z in (select K(x) from P(x) where B(x)) |
+///            (select V(x) from P(x) where B(x) and K(x) = z)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GmapDef {
+    pub from: Vec<Binding>,
+    pub where_: Vec<Equality>,
+    /// Key output fields; a single field makes the key type the bare field
+    /// type, several make it a flat record.
+    pub key: Vec<(String, Path)>,
+    /// Entry output fields (entries are sets of these).
+    pub value: Vec<(String, Path)>,
+}
+
+/// A physical access structure registered in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessStructure {
+    PrimaryIndex {
+        name: String,
+        relation: String,
+        key_field: String,
+    },
+    SecondaryIndex {
+        name: String,
+        relation: String,
+        key_field: String,
+        /// `false` for hash tables: same constraints, but the structure is
+        /// built on the fly by a hash-join-style plan rather than stored.
+        materialized: bool,
+    },
+    ClassDict {
+        class: String,
+        extent: String,
+        dict: String,
+    },
+    MaterializedView {
+        name: String,
+        def: Query,
+        kind: ViewKind,
+    },
+    GmapDict {
+        name: String,
+        def: GmapDef,
+        kind: DictKind,
+    },
+}
+
+impl AccessStructure {
+    /// The physical root this structure materializes.
+    pub fn root_name(&self) -> &str {
+        match self {
+            AccessStructure::PrimaryIndex { name, .. }
+            | AccessStructure::SecondaryIndex { name, .. }
+            | AccessStructure::MaterializedView { name, .. }
+            | AccessStructure::GmapDict { name, .. } => name,
+            AccessStructure::ClassDict { dict, .. } => dict,
+        }
+    }
+}
+
+/// `PI1`, `PI2` for a primary index `I` on key `A` of relation `R`:
+///
+/// ```text
+/// PI1: forall (p in R) -> exists (i in dom(I)) where i = p.A and I[i] = p
+/// PI2: forall (i in dom(I)) -> exists (p in R) where i = p.A and I[i] = p
+/// ```
+pub fn primary_index_constraints(name: &str, relation: &str, key_field: &str) -> Vec<Dependency> {
+    let i = Path::var("i");
+    let p = Path::var("p");
+    let lookup = Path::root(name).get(i.clone());
+    vec![
+        Dependency::new(
+            format!("PI1({name})"),
+            vec![Binding::iter("p", Path::root(relation))],
+            vec![],
+            vec![Binding::iter("i", Path::root(name).dom())],
+            vec![
+                Equality(i.clone(), p.clone().field(key_field)),
+                Equality(lookup.clone(), p.clone()),
+            ],
+        ),
+        Dependency::new(
+            format!("PI2({name})"),
+            vec![Binding::iter("i", Path::root(name).dom())],
+            vec![],
+            vec![Binding::iter("p", Path::root(relation))],
+            vec![
+                Equality(i, p.clone().field(key_field)),
+                Equality(lookup, p),
+            ],
+        ),
+    ]
+}
+
+/// `SI1`, `SI2`, `SI3` for a secondary index `SI` on attribute `A` of `R`:
+///
+/// ```text
+/// SI1: forall (p in R) -> exists (k in dom(SI)) (t in SI[k])
+///      where k = p.A and p = t
+/// SI2: forall (k in dom(SI)) (t in SI[k]) -> exists (p in R)
+///      where k = p.A and p = t
+/// SI3: forall (k in dom(SI)) -> exists (t in SI[k])
+/// ```
+pub fn secondary_index_constraints(
+    name: &str,
+    relation: &str,
+    key_field: &str,
+) -> Vec<Dependency> {
+    let k = Path::var("k");
+    let t = Path::var("t");
+    let p = Path::var("p");
+    let entry = Path::root(name).get(k.clone());
+    vec![
+        Dependency::new(
+            format!("SI1({name})"),
+            vec![Binding::iter("p", Path::root(relation))],
+            vec![],
+            vec![
+                Binding::iter("k", Path::root(name).dom()),
+                Binding::iter("t", entry.clone()),
+            ],
+            vec![
+                Equality(k.clone(), p.clone().field(key_field)),
+                Equality(p.clone(), t.clone()),
+            ],
+        ),
+        Dependency::new(
+            format!("SI2({name})"),
+            vec![
+                Binding::iter("k", Path::root(name).dom()),
+                Binding::iter("t", entry.clone()),
+            ],
+            vec![],
+            vec![Binding::iter("p", Path::root(relation))],
+            vec![
+                Equality(k, p.clone().field(key_field)),
+                Equality(p, t),
+            ],
+        ),
+        Dependency::new(
+            format!("SI3({name})"),
+            vec![Binding::iter("k", Path::root(name).dom())],
+            vec![],
+            vec![Binding::iter("t", entry)],
+            vec![],
+        ),
+    ]
+}
+
+/// Constraints tying class `C`'s extent `E` (a set of OIDs in the logical
+/// schema) to its implementing dictionary `D` (paper §2 "Indexes and
+/// classes", with `δ_Dept` as the running example):
+///
+/// * `delta(D)` / `delta'(D)` — extent membership coupling;
+/// * `delta(D.F)` / `delta'(D.F)` — per set-valued attribute `F`, the
+///   coupled membership constraints the paper writes for `DProjs`;
+/// * `deref(D.F)` — per collection-free attribute `F`, the dereference
+///   EGD `forall (o in dom(D)) -> o.F = D[o].F`, which lets the backchase
+///   re-express implicit ODMG dereferences as explicit lookups.
+pub fn class_dict_constraints(
+    extent: &str,
+    dict: &str,
+    attrs: &BTreeMap<String, Type>,
+) -> Vec<Dependency> {
+    let mut out = Vec::new();
+    let o = Path::var("o");
+    let o2 = Path::var("o2");
+    // Attribute-coupled deltas come first: when they fire they also
+    // witness the extent-level deltas (appended below), so the chase
+    // doesn't materialize a second, congruent dom/extent binding.
+    for (attr, ty) in attrs {
+        match ty {
+            Type::Set(elem) if elem.is_collection_free() => {
+                let member = |v: &str, base: Path| Binding::iter(v, base.field(attr));
+                out.push(Dependency::new(
+                    format!("delta({dict}.{attr})"),
+                    vec![
+                        Binding::iter("o", Path::root(extent)),
+                        member("s", o.clone()),
+                    ],
+                    vec![],
+                    vec![
+                        Binding::iter("o2", Path::root(dict).dom()),
+                        member("s2", Path::root(dict).get(o2.clone())),
+                    ],
+                    vec![
+                        Equality(o.clone(), o2.clone()),
+                        Equality(Path::var("s"), Path::var("s2")),
+                    ],
+                ));
+                out.push(Dependency::new(
+                    format!("delta'({dict}.{attr})"),
+                    vec![
+                        Binding::iter("o2", Path::root(dict).dom()),
+                        member("s2", Path::root(dict).get(o2.clone())),
+                    ],
+                    vec![],
+                    vec![
+                        Binding::iter("o", Path::root(extent)),
+                        member("s", o.clone()),
+                    ],
+                    vec![
+                        Equality(o.clone(), o2.clone()),
+                        Equality(Path::var("s"), Path::var("s2")),
+                    ],
+                ));
+            }
+            ty if ty.is_collection_free() => {
+                out.push(Dependency::new(
+                    format!("deref({dict}.{attr})"),
+                    vec![Binding::iter("o", Path::root(dict).dom())],
+                    vec![],
+                    vec![],
+                    vec![Equality(
+                        o.clone().field(attr),
+                        Path::root(dict).get(o.clone()).field(attr),
+                    )],
+                ));
+            }
+            // Nested collections of collections can't be related by PC
+            // equalities; such attributes are only reachable through the
+            // deref EGDs of their parents (none here), so we skip them.
+            _ => {}
+        }
+    }
+    out.push(Dependency::new(
+        format!("delta({dict})"),
+        vec![Binding::iter("o", Path::root(extent))],
+        vec![],
+        vec![Binding::iter("o2", Path::root(dict).dom())],
+        vec![Equality(o.clone(), o2.clone())],
+    ));
+    out.push(Dependency::new(
+        format!("delta'({dict})"),
+        vec![Binding::iter("o2", Path::root(dict).dom())],
+        vec![],
+        vec![Binding::iter("o", Path::root(extent))],
+        vec![Equality(o, o2)],
+    ));
+    out
+}
+
+/// `c_V`, `c'_V` for a materialized PC view `V` with definition
+/// `select O(x) from P(x) where B(x)` (paper §2 "Materialized views"):
+///
+/// ```text
+/// c_V : forall (x in P) where B(x) -> exists (v in V) where O(x) = v
+/// c'_V: forall (v in V) -> exists (x in P) where B(x) and O(x) = v
+/// ```
+pub fn view_constraints(name: &str, def: &Query) -> Vec<Dependency> {
+    let mut gen = VarGen::avoiding(def.from.iter().map(|b| b.var.clone()));
+    let v = gen.fresh("v");
+    let vpath = Path::var(&v);
+    let out_eqs: Vec<Equality> = match &def.output {
+        Output::Struct(fields) => fields
+            .iter()
+            .map(|(field, p)| Equality(vpath.clone().field(field), p.clone()))
+            .collect(),
+        Output::Path(p) => vec![Equality(vpath.clone(), p.clone())],
+    };
+    let mut c_v_prime_conclusion = def.where_.clone();
+    c_v_prime_conclusion.extend(out_eqs.iter().cloned());
+    vec![
+        Dependency::new(
+            format!("c_V({name})"),
+            def.from.clone(),
+            def.where_.clone(),
+            vec![Binding::iter(v.clone(), Path::root(name))],
+            out_eqs,
+        ),
+        Dependency::new(
+            format!("c'_V({name})"),
+            vec![Binding::iter(v, Path::root(name))],
+            vec![],
+            def.from.clone(),
+            c_v_prime_conclusion,
+        ),
+    ]
+}
+
+/// The key path equalities for a gmap: componentwise for record keys,
+/// direct for single-field keys.
+fn gmap_side_eqs(var: &Path, fields: &[(String, Path)]) -> Vec<Equality> {
+    if fields.len() == 1 {
+        vec![Equality(var.clone(), fields[0].1.clone())]
+    } else {
+        fields
+            .iter()
+            .map(|(f, p)| Equality(var.clone().field(f), p.clone()))
+            .collect()
+    }
+}
+
+/// `G1`, `G2`, `G3` for a gmap-style dictionary `G`:
+///
+/// ```text
+/// G1: forall (x in P) where B -> exists (k in dom(G)) (t in G[k])
+///     where k = K(x) and t = V(x)
+/// G2: forall (k in dom(G)) (t in G[k]) -> exists (x in P)
+///     where B and k = K(x) and t = V(x)
+/// G3: forall (k in dom(G)) -> exists (t in G[k])
+/// ```
+pub fn gmap_constraints(name: &str, def: &GmapDef) -> Vec<Dependency> {
+    let mut gen = VarGen::avoiding(def.from.iter().map(|b| b.var.clone()));
+    let k = gen.fresh("k");
+    let t = gen.fresh("t");
+    let kp = Path::var(&k);
+    let tp = Path::var(&t);
+    let mut eqs = gmap_side_eqs(&kp, &def.key);
+    eqs.extend(gmap_side_eqs(&tp, &def.value));
+    let dict_bindings = vec![
+        Binding::iter(k.clone(), Path::root(name).dom()),
+        Binding::iter(t.clone(), Path::root(name).get(kp.clone())),
+    ];
+    let mut g2_conclusion = def.where_.clone();
+    g2_conclusion.extend(eqs.clone());
+    vec![
+        Dependency::new(
+            format!("G1({name})"),
+            def.from.clone(),
+            def.where_.clone(),
+            dict_bindings.clone(),
+            eqs,
+        ),
+        Dependency::new(
+            format!("G2({name})"),
+            dict_bindings,
+            vec![],
+            def.from.clone(),
+            g2_conclusion,
+        ),
+        Dependency::new(
+            format!("G3({name})"),
+            vec![Binding::iter(k, Path::root(name).dom())],
+            vec![],
+            vec![Binding::iter(t, Path::root(name).get(kp))],
+            vec![],
+        ),
+    ]
+}
+
+/// The gmap's dictionary type, given the typed key/value output fields.
+pub fn gmap_dict_type(key: &[(String, Type)], value: &[(String, Type)]) -> Type {
+    let side = |fields: &[(String, Type)]| -> Type {
+        if fields.len() == 1 {
+            fields[0].1.clone()
+        } else {
+            Type::record(fields.iter().map(|(f, t)| (f.clone(), t.clone())))
+        }
+    };
+    Type::dict(side(key), Type::set(side(value)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_index_constraint_shapes() {
+        let cs = primary_index_constraints("I", "Proj", "PName");
+        assert_eq!(cs.len(), 2);
+        assert_eq!(
+            cs[0].to_string(),
+            "[PI1(I)] forall (p in Proj) -> exists (i in dom(I)) \
+             where i = p.PName and I[i] = p"
+        );
+        assert!(cs.iter().all(|d| d.check_scopes().is_ok()));
+        // PI1/PI2 are full: `i` is determined by the key path `p.PName`
+        // and `p` by the lookup `I[i]`.
+        assert!(cs[0].is_full());
+        assert!(cs[1].is_full());
+        assert!(cs[1].determined_existentials().contains("p"));
+    }
+
+    #[test]
+    fn secondary_index_constraint_shapes() {
+        let cs = secondary_index_constraints("SI", "Proj", "CustName");
+        assert_eq!(cs.len(), 3);
+        assert_eq!(
+            cs[0].to_string(),
+            "[SI1(SI)] forall (p in Proj) -> exists (k in dom(SI)) (t in SI[k]) \
+             where k = p.CustName and p = t"
+        );
+        // SI3 is pure non-emptiness.
+        assert!(cs[2].conclusion.is_empty());
+        assert!(!cs[2].is_egd());
+        assert!(cs.iter().all(|d| d.check_scopes().is_ok()));
+    }
+
+    #[test]
+    fn class_dict_constraints_cover_attr_kinds() {
+        let attrs: BTreeMap<String, Type> = [
+            ("DName".to_string(), Type::Str),
+            ("DProjs".to_string(), Type::set(Type::Str)),
+            ("MgrName".to_string(), Type::Str),
+        ]
+        .into();
+        let cs = class_dict_constraints("depts", "Dept", &attrs);
+        let names: Vec<&str> = cs.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"delta(Dept)"));
+        assert!(names.contains(&"delta'(Dept)"));
+        assert!(names.contains(&"delta(Dept.DProjs)"));
+        assert!(names.contains(&"delta'(Dept.DProjs)"));
+        assert!(names.contains(&"deref(Dept.DName)"));
+        assert!(names.contains(&"deref(Dept.MgrName)"));
+        assert_eq!(cs.len(), 6);
+        // The deref constraints are EGDs.
+        let deref = cs.iter().find(|d| d.name == "deref(Dept.DName)").unwrap();
+        assert!(deref.is_egd());
+        let eq = &deref.conclusion[0];
+        assert_eq!(format!("{} = {}", eq.0, eq.1), "o.DName = Dept[o].DName");
+        // The paper's δ_Dept is our delta(Dept.DProjs).
+        let delta = cs.iter().find(|d| d.name == "delta(Dept.DProjs)").unwrap();
+        assert_eq!(delta.forall.len(), 2);
+        assert_eq!(delta.exists.len(), 2);
+    }
+
+    #[test]
+    fn view_constraints_for_ji() {
+        // JI from the paper.
+        let def = pcql::parser::parse_query(
+            "select struct(DOID = d, PN = p.PName) \
+             from depts d, d.DProjs s, Proj p where s = p.PName",
+        )
+        .unwrap();
+        let cs = view_constraints("JI", &def);
+        assert_eq!(cs.len(), 2);
+        let c_ji = &cs[0];
+        assert_eq!(c_ji.name, "c_V(JI)");
+        assert_eq!(c_ji.forall.len(), 3);
+        assert_eq!(c_ji.exists.len(), 1);
+        // Conclusion equates the view tuple's fields with the outputs.
+        assert_eq!(c_ji.conclusion.len(), 2);
+        let c_ji_inv = &cs[1];
+        assert_eq!(c_ji_inv.forall.len(), 1);
+        assert_eq!(c_ji_inv.exists.len(), 3);
+        // c'_V restates the body conditions in its conclusion.
+        assert!(c_ji_inv.conclusion.len() >= 3);
+        assert!(cs.iter().all(|d| d.check_scopes().is_ok()));
+    }
+
+    #[test]
+    fn view_constraint_fresh_var_avoids_clash() {
+        let def = pcql::parser::parse_query("select struct(A = v.A) from R v").unwrap();
+        let cs = view_constraints("V", &def);
+        // The view variable must not be the definition's own `v`.
+        assert_ne!(cs[0].exists[0].var, "v");
+    }
+
+    #[test]
+    fn gmap_constraints_single_and_multi_key() {
+        let def = GmapDef {
+            from: vec![Binding::iter("r", Path::root("R"))],
+            where_: vec![],
+            key: vec![("A".into(), Path::var("r").field("A"))],
+            value: vec![("B".into(), Path::var("r").field("B"))],
+        };
+        let cs = gmap_constraints("G", &def);
+        assert_eq!(cs.len(), 3);
+        // Single-field key: direct equality `k = r.A`.
+        assert!(cs[0].conclusion.iter().any(|e| format!("{}", e.0) == "k0"));
+        assert!(cs.iter().all(|d| d.check_scopes().is_ok()));
+
+        let def2 = GmapDef {
+            key: vec![
+                ("A".into(), Path::var("r").field("A")),
+                ("B".into(), Path::var("r").field("B")),
+            ],
+            ..def
+        };
+        let cs2 = gmap_constraints("G2", &def2);
+        // Multi-field key: componentwise equalities `k.A = r.A`, `k.B = r.B`.
+        assert!(cs2[0]
+            .conclusion
+            .iter()
+            .any(|e| format!("{}", e.0).ends_with(".A")));
+    }
+
+    #[test]
+    fn gmap_type_shapes() {
+        let t = gmap_dict_type(
+            &[("A".into(), Type::Int)],
+            &[("B".into(), Type::Str), ("C".into(), Type::Int)],
+        );
+        let (k, v) = t.dict_parts().unwrap();
+        assert_eq!(k, &Type::Int);
+        assert_eq!(
+            v.set_elem().unwrap(),
+            &Type::record([("B", Type::Str), ("C", Type::Int)])
+        );
+    }
+}

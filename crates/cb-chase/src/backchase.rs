@@ -1,0 +1,868 @@
+//! The backchase (paper §3, phase 2) and generalized tableau
+//! minimization.
+//!
+//! A backchase step removes a (dependency-closed) set of bindings from a
+//! query, producing a *subquery* `Q'` such that
+//!
+//! 1. the conditions `C'` of `Q'` are implied by the conditions `C` of
+//!    `Q` — we compute the **maximal** implied set via the congruence
+//!    closure, as the paper requires for completeness;
+//! 2. the output `O'` is equal to `O` under `C` — outputs are re-expressed
+//!    by congruence-class extraction avoiding the removed variables;
+//! 3. `Q'` is equivalent to `Q` under `D ∪ D'`.
+//!
+//! Condition 3 comes in two flavours, both implemented here:
+//!
+//! * [`backchase_step`] — the paper's §3 *rewrite rule*: discharge the
+//!   reconstruction constraint `forall(remaining) C' -> exists(removed) C`
+//!   with the chase-based implication prover. Sound, and what a
+//!   rule-based optimizer would run; but a single-binding rule can miss
+//!   jointly-removable binding groups (remove `r` alone from
+//!   `R ⋈ S ⊑ V`-chases and the witness for `s` is lost even though
+//!   `{r, s}` together are redundant).
+//! * [`backchase`] — the paper's §5 *enumeration*: descend the subquery
+//!   lattice of the universal plan one binding at a time, keeping a
+//!   subquery only if it is **equivalent to the universal plan** (chase
+//!   containment both ways), and pruning entire sublattices under
+//!   non-equivalent subqueries ("whenever a subquery of chase(Q) is not
+//!   equivalent to the latter, neither are its subqueries"). This is the
+//!   complete procedure of Theorem 2 and the one Algorithm 1 uses.
+//!
+//! Additionally, every failing lookup of a produced subquery must remain
+//! *well-defined*: syntactically guarded by a `dom` binding, or provably
+//! non-failing under the constraints (this is what legitimizes plans like
+//! P4, while rejecting a bare `SI["CitiBank"]` whose key may be absent —
+//! that rewrite is only sound with the *non-failing* lookup, which the
+//! optimizer's plan-cleanup pass introduces separately).
+//!
+//! With an empty dependency set the backchase is exactly generalized
+//! tableau minimization.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use pcql::idgen::VarGen;
+use pcql::path::Path;
+use pcql::query::{Binding, Equality, Output, Query};
+use pcql::Dependency;
+
+use crate::canon::QueryGraph;
+use crate::chase::ChaseConfig;
+use crate::containment::{contained_in, contained_in_pre_chased, equivalent};
+use crate::egraph::EGraph;
+use crate::implication::implies;
+
+/// Budgets for backchase enumeration.
+#[derive(Debug, Clone, Default)]
+pub struct BackchaseConfig {
+    pub chase: ChaseConfig,
+    /// Maximum number of distinct subqueries to explore (0 = unlimited).
+    pub max_visited: usize,
+}
+
+/// The set of plans produced by backchasing.
+#[derive(Debug, Clone)]
+pub struct BackchaseOutcome {
+    /// Normal forms: equivalent subqueries from which no further binding
+    /// can be removed — the minimal plans.
+    pub normal_forms: Vec<Query>,
+    /// Every equivalent subquery encountered (including the input); each
+    /// is a sound plan, so the optimizer may cost them all.
+    pub visited: Vec<Query>,
+    /// False if `max_visited` was hit.
+    pub complete: bool,
+}
+
+/// Extends a removal set with the bindings that (transitively) depend on
+/// it and cannot be re-expressed without it (footnote 7 of the paper).
+fn dependent_closure(q: &Query, graph: &mut QueryGraph, seed_set: BTreeSet<String>) -> BTreeSet<String> {
+    let mut removed = seed_set;
+    loop {
+        let mut changed = false;
+        for b in &q.from {
+            if removed.contains(&b.var) {
+                continue;
+            }
+            if b.src.free_vars().iter().any(|v| removed.contains(v)) {
+                let class = graph.egraph.add_path(&b.src);
+                // A source may not mention its own variable, so forbid it
+                // during re-expression too.
+                let mut forbidden = removed.clone();
+                forbidden.insert(b.var.clone());
+                if graph.egraph.extract(class, &forbidden).is_none() {
+                    removed.insert(b.var.clone());
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return removed;
+        }
+    }
+}
+
+/// Computes the *syntactic* subquery for a removal set over `q`'s
+/// canonical database: re-expressed bindings, re-expressed output
+/// (condition 2) and the maximal implied conditions `C'` (condition 1).
+/// `None` if the output or a surviving binding cannot be re-expressed.
+fn subquery_for(q: &Query, graph: &mut QueryGraph, removed: &BTreeSet<String>) -> Option<Query> {
+    if removed.len() >= q.from.len() {
+        return None;
+    }
+    // Remaining bindings, re-expressed where needed, in a valid
+    // dependency order.
+    let mut remaining: Vec<Binding> = Vec::new();
+    for b in &q.from {
+        if removed.contains(&b.var) {
+            continue;
+        }
+        let src = if b.src.free_vars().iter().any(|v| removed.contains(v)) {
+            let class = graph.egraph.add_path(&b.src);
+            let mut forbidden = removed.clone();
+            forbidden.insert(b.var.clone());
+            graph.egraph.extract(class, &forbidden)?
+        } else {
+            b.src.clone()
+        };
+        remaining.push(Binding { var: b.var.clone(), src, kind: b.kind });
+    }
+    let remaining = topo_order(remaining)?;
+
+    // Output re-expressed over the remaining variables (condition 2).
+    let output = rewrite_output(graph, &q.output, removed)?;
+
+    // C': the maximal set of equalities implied by C over the remaining
+    // variables, as congruence-class chains, redundancy-filtered.
+    let where_ = implied_conditions(graph, removed);
+
+    let q_prime = Query::new(output, remaining, where_);
+    debug_assert!(q_prime.check_scopes().is_ok(), "subquery scoping broke: {q_prime}");
+    Some(q_prime)
+}
+
+/// The paper's §3 backchase **rewrite rule**: remove the binding of
+/// `seed` (with its dependent closure) when the reconstruction constraint
+/// is implied by `deps`. Sound; see the module docs for why the full
+/// enumeration uses equivalence pruning instead.
+pub fn backchase_step(
+    q: &Query,
+    deps: &[Dependency],
+    seed: &str,
+    cfg: &ChaseConfig,
+) -> Option<Query> {
+    if !q.from.iter().any(|b| b.var == seed) {
+        return None;
+    }
+    let mut graph = QueryGraph::of_query(q);
+    let removed = dependent_closure(q, &mut graph, [seed.to_string()].into());
+    let q_prime = subquery_for(q, &mut graph, &removed)?;
+    let q_prime = prune_unsafe_conditions(&q_prime, deps, cfg)?;
+    // Condition (3): forall(remaining) C' -> exists(removed) C.
+    let removed_bindings: Vec<Binding> =
+        q.from.iter().filter(|b| removed.contains(&b.var)).cloned().collect();
+    let sigma = Dependency::new(
+        "backchase-step",
+        q_prime.from.clone(),
+        q_prime.where_.clone(),
+        removed_bindings,
+        q.where_.clone(),
+    );
+    if !implies(deps, &sigma, cfg) {
+        return None;
+    }
+    Some(q_prime)
+}
+
+/// Orders bindings so each source only mentions earlier variables.
+fn topo_order(bindings: Vec<Binding>) -> Option<Vec<Binding>> {
+    let mut rest = bindings;
+    let mut placed: BTreeSet<String> = BTreeSet::new();
+    let mut out = Vec::with_capacity(rest.len());
+    while !rest.is_empty() {
+        let pos = rest
+            .iter()
+            .position(|b| b.src.free_vars().iter().all(|v| placed.contains(v)))?;
+        let b = rest.remove(pos);
+        placed.insert(b.var.clone());
+        out.push(b);
+    }
+    Some(out)
+}
+
+fn rewrite_output(
+    graph: &mut QueryGraph,
+    output: &Output,
+    removed: &BTreeSet<String>,
+) -> Option<Output> {
+    let mut rewrite = |p: &Path| -> Option<Path> {
+        if p.free_vars().iter().any(|v| removed.contains(v)) {
+            let class = graph.egraph.add_path(p);
+            graph.egraph.extract(class, removed)
+        } else {
+            Some(p.clone())
+        }
+    };
+    match output {
+        Output::Struct(fields) => {
+            let mut out = std::collections::BTreeMap::new();
+            for (name, p) in fields {
+                out.insert(name.clone(), rewrite(p)?);
+            }
+            Some(Output::Struct(out))
+        }
+        Output::Path(p) => Some(Output::Path(rewrite(p)?)),
+    }
+}
+
+/// The maximal implied condition set `C'` over the surviving variables:
+/// for every congruence class, chain together all realizable paths, then
+/// drop equalities already implied by the ones emitted so far.
+fn implied_conditions(graph: &QueryGraph, removed: &BTreeSet<String>) -> Vec<Equality> {
+    let reals = graph.egraph.realizable_paths(removed);
+    let mut candidates: Vec<Equality> = Vec::new();
+    for paths in reals.values() {
+        if paths.len() < 2 {
+            continue;
+        }
+        let mut sorted = paths.clone();
+        sorted.sort_by(|a, b| (a.size(), a).cmp(&(b.size(), b)));
+        let pivot = sorted[0].clone();
+        for p in sorted.into_iter().skip(1) {
+            if p != pivot {
+                candidates.push(Equality(pivot.clone(), p));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| {
+        (a.0.size() + a.1.size(), a).cmp(&(b.0.size() + b.1.size(), b))
+    });
+    let mut check = EGraph::new();
+    let mut out = Vec::new();
+    for e in candidates {
+        if !check.paths_equal(&e.0, &e.1) {
+            check.union_paths(&e.0, &e.1);
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Makes a subquery *well-defined*: every failing lookup must be provably
+/// non-failing at its evaluation point, where
+///
+/// * a lookup in the `i`-th binding's source sees only the bindings
+///   before it (and no conditions — filters run after iteration);
+/// * a lookup in the `where` clause sees all bindings but no conditions
+///   (conjunct order is engine-defined);
+/// * a lookup in the output sees all bindings and all conditions (outputs
+///   are only evaluated for rows that pass the filter).
+///
+/// An unsafe lookup in a binding source or the output is fatal (`None`).
+/// An unsafe lookup in a `where` condition is handled by *dropping* that
+/// condition: `C'` only has to be implied by `C` (condition 1), not
+/// maximal-at-all-costs, and the enumeration re-checks equivalence of the
+/// pruned subquery anyway. (Without pruning, the maximal `C'` could smuggle
+/// an index equation like `p = I[s]` into a plan whose own bindings cannot
+/// guarantee `s ∈ dom(I)`.)
+fn prune_unsafe_conditions(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> Option<Query> {
+    let mut q = q.clone();
+    loop {
+        match first_unsafe(&q, deps, cfg) {
+            None => return Some(q),
+            Some((lookup, fatal)) => {
+                if fatal {
+                    return None;
+                }
+                let before = q.where_.len();
+                q.where_.retain(|e| {
+                    !e.0.subpaths().contains(&&lookup) && !e.1.subpaths().contains(&&lookup)
+                });
+                if q.where_.len() == before {
+                    // The lookup did not come from a condition after all.
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// The first not-provably-safe failing lookup of `q`, tagged with whether
+/// it is fatal (binding source / output) or condition-level.
+fn first_unsafe(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> Option<(Path, bool)> {
+    let mut checked: BTreeSet<Path> = BTreeSet::new();
+    // (lookup, bindings in scope, assumable premise, fatal)
+    let mut obligations: Vec<(Path, usize, bool, bool)> = Vec::new();
+    for (i, b) in q.from.iter().enumerate() {
+        for sub in b.src.subpaths() {
+            if matches!(sub, Path::Get(_, _)) {
+                obligations.push((sub.clone(), i, false, true));
+            }
+        }
+    }
+    for (_, p) in q.output.paths() {
+        for sub in p.subpaths() {
+            if matches!(sub, Path::Get(_, _)) {
+                obligations.push((sub.clone(), q.from.len(), true, true));
+            }
+        }
+    }
+    for eq in &q.where_ {
+        for p in [&eq.0, &eq.1] {
+            for sub in p.subpaths() {
+                if matches!(sub, Path::Get(_, _)) {
+                    obligations.push((sub.clone(), q.from.len(), false, false));
+                }
+            }
+        }
+    }
+
+    for (lookup, scope, with_conditions, fatal) in obligations {
+        if !checked.insert(lookup.clone()) {
+            continue;
+        }
+        let (m, k) = match &lookup {
+            Path::Get(m, k) => (m.as_ref().clone(), k.as_ref().clone()),
+            _ => unreachable!(),
+        };
+        // Syntactic guard: a dom binding in scope whose variable equals
+        // the key under the query's conditions. Without assumable
+        // conditions we only accept a literally identical key.
+        let in_scope = &q.from[..scope];
+        let guarded = in_scope.iter().any(|b| {
+            b.src == Path::Dom(Box::new(m.clone()))
+                && (Path::Var(b.var.clone()) == k
+                    || (with_conditions && {
+                        let mut g = QueryGraph::of_query(q);
+                        g.egraph.paths_equal(&Path::Var(b.var.clone()), &k)
+                    }))
+        });
+        if guarded {
+            continue;
+        }
+        // Semantic safety: deps ⊨ forall(scope) [premise] ->
+        // exists (g in dom(m)) g = k. An empty scope can never be safe
+        // (the lookup would have to succeed on every instance).
+        let safe = if in_scope.is_empty() {
+            false
+        } else {
+            let mut gen = VarGen::avoiding(q.from.iter().map(|b| b.var.clone()));
+            let g = gen.fresh("g");
+            let premise = if with_conditions { q.where_.clone() } else { Vec::new() };
+            let sigma = Dependency::new(
+                "lookup-safety",
+                in_scope.to_vec(),
+                premise,
+                vec![Binding::iter(g.clone(), Path::Dom(Box::new(m.clone())))],
+                vec![Equality(Path::Var(g), k.clone())],
+            );
+            implies(deps, &sigma, cfg)
+        };
+        if !safe {
+            return Some((lookup, fatal));
+        }
+    }
+    None
+}
+
+/// Enumerates all minimal equivalent subqueries of `u` (Theorem 2), by
+/// descending the lattice of removal sets over `u`'s canonical database
+/// with equivalence pruning ("whenever a subquery of chase(Q) is not
+/// equivalent to the latter, neither are its subqueries"). `u` should
+/// already be chased (Algorithm 1 passes the universal plan), so
+/// equivalence to `u` is equivalence to the original query.
+pub fn backchase(u: &Query, deps: &[Dependency], cfg: &BackchaseConfig) -> BackchaseOutcome {
+    let mut graph = QueryGraph::of_query(u);
+    // Removal set -> was the resulting subquery a valid equivalent plan?
+    let mut seen: std::collections::BTreeMap<BTreeSet<String>, bool> =
+        std::collections::BTreeMap::new();
+    let mut queue: VecDeque<(BTreeSet<String>, Query)> = VecDeque::new();
+    seen.insert(BTreeSet::new(), true);
+    queue.push_back((BTreeSet::new(), u.clone()));
+    let mut normal_forms: Vec<Query> = Vec::new();
+    let mut visited: Vec<Query> = Vec::new();
+    let mut complete = true;
+    while let Some((removed, q)) = queue.pop_front() {
+        if cfg.max_visited > 0 && visited.len() >= cfg.max_visited {
+            complete = false;
+            break;
+        }
+        visited.push(q.clone());
+        let mut reduced = false;
+        for b in &u.from {
+            if removed.contains(&b.var) {
+                continue;
+            }
+            let mut grown = removed.clone();
+            grown.insert(b.var.clone());
+            let grown = dependent_closure(u, &mut graph, grown);
+            if let Some(&valid) = seen.get(&grown) {
+                // Already examined via another route; a valid child still
+                // means this node is not a normal form.
+                reduced |= valid;
+                continue;
+            }
+            let child = subquery_for(u, &mut graph, &grown)
+                .and_then(|q2| prune_unsafe_conditions(&q2, deps, &cfg.chase))
+                .filter(|q2| {
+                    // u ⊑ q2: containment mapping from q2 into u itself
+                    // (u is already chased, so no re-chase is needed)…
+                    contained_in_pre_chased(&graph, &u.output, q2, &cfg.chase)
+                    // …and q2 ⊑ u: chase q2, map u into it.
+                        && contained_in(q2, u, deps, &cfg.chase)
+                });
+            seen.insert(grown.clone(), child.is_some());
+            if let Some(q2) = child {
+                reduced = true;
+                queue.push_back((grown, q2));
+            }
+        }
+        if !reduced {
+            normal_forms.push(q);
+        }
+    }
+    BackchaseOutcome { normal_forms, visited, complete }
+}
+
+/// The paper's §3 heuristic strategy: "the obvious strategy for the
+/// optimizer is to attempt to remove whatever is in the logical schema
+/// but not in the physical schema". A single greedy descent: at each
+/// query, try removals in priority order (bindings whose sources mention
+/// `prefer_removing` roots first), follow the first valid one, stop at a
+/// normal form. Linear in the number of bindings (each step runs the
+/// equivalence checks once per candidate), against the exhaustive
+/// enumeration's exponential lattice — the E13 ablation measures the
+/// plan-quality price.
+pub fn backchase_greedy(
+    u: &Query,
+    deps: &[Dependency],
+    prefer_removing: &BTreeSet<String>,
+    cfg: &ChaseConfig,
+) -> Query {
+    let mut graph = QueryGraph::of_query(u);
+    let mut removed: BTreeSet<String> = BTreeSet::new();
+    // First move, per the paper: attempt to drop *everything* over the
+    // preferred (logical-only) roots in one step — redundant logical
+    // bindings usually justify each other, so they must go together.
+    if !prefer_removing.is_empty() {
+        let seed: BTreeSet<String> = u
+            .from
+            .iter()
+            .filter(|b| b.src.roots().iter().any(|r| prefer_removing.contains(r)))
+            .map(|b| b.var.clone())
+            .collect();
+        if !seed.is_empty() {
+            let grown = dependent_closure(u, &mut graph, seed);
+            if let Some(q2) = subquery_for(u, &mut graph, &grown)
+                .and_then(|q2| prune_unsafe_conditions(&q2, deps, cfg))
+            {
+                if contained_in_pre_chased(&graph, &u.output, &q2, cfg)
+                    && contained_in(&q2, u, deps, cfg)
+                {
+                    removed = grown;
+                }
+            }
+        }
+    }
+    loop {
+        // Candidate seeds, preferred (logical-only) bindings first, in
+        // binding order within each class.
+        let mut candidates: Vec<&Binding> =
+            u.from.iter().filter(|b| !removed.contains(&b.var)).collect();
+        candidates.sort_by_key(|b| {
+            let preferred = b.src.roots().iter().any(|r| prefer_removing.contains(r));
+            (!preferred, u.from.iter().position(|x| x.var == b.var))
+        });
+        let mut advanced = false;
+        for b in candidates {
+            let mut grown = removed.clone();
+            grown.insert(b.var.clone());
+            let grown = dependent_closure(u, &mut graph, grown);
+            let Some(q2) = subquery_for(u, &mut graph, &grown)
+                .and_then(|q2| prune_unsafe_conditions(&q2, deps, cfg))
+            else {
+                continue;
+            };
+            if contained_in_pre_chased(&graph, &u.output, &q2, cfg)
+                && contained_in(&q2, u, deps, cfg)
+            {
+                removed = grown;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return subquery_for(u, &mut graph, &removed)
+                .and_then(|q2| prune_unsafe_conditions(&q2, deps, cfg))
+                .unwrap_or_else(|| u.clone());
+        }
+    }
+}
+
+/// Why a removal set is (or is not) a valid equivalent subquery of `u` —
+/// the per-candidate judgement the enumeration makes, exposed for
+/// diagnostics and EXPLAIN output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemovalJudgement {
+    /// The subquery is a valid equivalent plan.
+    Valid(Query),
+    /// A surviving binding or the output cannot be re-expressed.
+    NotASubquery,
+    /// A failing lookup would not be well-defined.
+    UnsafeLookup(Query),
+    /// The subquery is not equivalent to `u`.
+    NotEquivalent(Query),
+}
+
+/// Judges one removal set against `u` (which should be chased).
+pub fn examine_removal(
+    u: &Query,
+    deps: &[Dependency],
+    removed: &BTreeSet<String>,
+    cfg: &ChaseConfig,
+) -> RemovalJudgement {
+    let mut graph = QueryGraph::of_query(u);
+    let removed = dependent_closure(u, &mut graph, removed.clone());
+    let Some(q2) = subquery_for(u, &mut graph, &removed) else {
+        return RemovalJudgement::NotASubquery;
+    };
+    let Some(q2) = prune_unsafe_conditions(&q2, deps, cfg) else {
+        return RemovalJudgement::UnsafeLookup(q2);
+    };
+    if !contained_in_pre_chased(&graph, &u.output, &q2, cfg) || !contained_in(&q2, u, deps, cfg)
+    {
+        return RemovalJudgement::NotEquivalent(q2);
+    }
+    RemovalJudgement::Valid(q2)
+}
+
+/// Is `q` minimal (no equivalent, well-defined subquery below it)?
+pub fn is_minimal(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
+    q.from.iter().all(|b| {
+        let mut graph = QueryGraph::of_query(q);
+        let removed = dependent_closure(q, &mut graph, [b.var.clone()].into());
+        match subquery_for(q, &mut graph, &removed)
+            .and_then(|q2| prune_unsafe_conditions(&q2, deps, cfg))
+        {
+            None => true,
+            Some(q2) => !equivalent(&q2, q, deps, cfg),
+        }
+    })
+}
+
+/// Generalized tableau minimization: backchase with no constraints
+/// ("chasing with trivial, always true, constraints"). Returns the
+/// smallest normal form.
+pub fn minimize(q: &Query, cfg: &BackchaseConfig) -> Query {
+    let out = backchase(q, &[], cfg);
+    out.normal_forms
+        .into_iter()
+        .min_by(|a, b| {
+            (a.from.len(), a.size(), a.alpha_normalized())
+                .cmp(&(b.from.len(), b.size(), b.alpha_normalized()))
+        })
+        .unwrap_or_else(|| q.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::chase;
+    use pcql::parser::{parse_dependency, parse_query};
+
+    fn bcfg() -> BackchaseConfig {
+        BackchaseConfig::default()
+    }
+
+    fn ccfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    #[test]
+    fn paper_tableau_minimization_example() {
+        // §3: R(A,B) with a redundant third binding.
+        let q = parse_query(
+            "select struct(A = p.A, B = r.B) from R p, R q, R r \
+             where p.B = q.A and q.B = r.B",
+        )
+        .unwrap();
+        let m = minimize(&q, &bcfg());
+        assert_eq!(m.from.len(), 2);
+        let expect = parse_query(
+            "select struct(A = p.A, B = q.B) from R p, R q where p.B = q.A",
+        )
+        .unwrap();
+        assert_eq!(m.alpha_normalized(), expect.alpha_normalized());
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let q = parse_query(
+            "select struct(A = p.A, B = r.B) from R p, R q, R r \
+             where p.B = q.A and q.B = r.B",
+        )
+        .unwrap();
+        let m1 = minimize(&q, &bcfg());
+        let m2 = minimize(&m1, &bcfg());
+        assert_eq!(m1.alpha_normalized(), m2.alpha_normalized());
+    }
+
+    #[test]
+    fn no_step_without_justification() {
+        // A plain join has no removable binding.
+        let q = parse_query(
+            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+        )
+        .unwrap();
+        assert!(is_minimal(&q, &[], &ccfg()));
+        for b in &q.from {
+            assert!(backchase_step(&q, &[], &b.var, &ccfg()).is_none());
+        }
+    }
+
+    #[test]
+    fn ric_justifies_join_elimination() {
+        // With the RIC every r has an s partner; the join with s whose
+        // columns aren't used can be dropped (semantic optimization).
+        let q = parse_query(
+            "select struct(A = r.A) from R r, S s where r.B = s.B",
+        )
+        .unwrap();
+        let ric = parse_dependency(
+            "ric",
+            "forall (r in R) -> exists (s in S) where r.B = s.B",
+        )
+        .unwrap();
+        let q2 = backchase_step(&q, &[ric.clone()], "s", &ccfg()).expect("s removable");
+        assert_eq!(q2.from.len(), 1);
+        assert_eq!(q2.to_string(), "select struct(A = r.A) from R r");
+        // Without the constraint the step is rejected.
+        assert!(backchase_step(&q, &[], "s", &ccfg()).is_none());
+        // The enumeration agrees.
+        let out = backchase(&q, &[ric], &bcfg());
+        assert_eq!(out.normal_forms.len(), 1);
+        assert_eq!(out.normal_forms[0].from.len(), 1);
+    }
+
+    #[test]
+    fn dependent_bindings_removed_together() {
+        // Removing d must drag s (bound to d.DProjs) along when s can't be
+        // re-expressed.
+        let q = parse_query(
+            "select struct(A = p.A) from depts d, d.DProjs s, Proj p",
+        )
+        .unwrap();
+        // Unconstrained, the removal is not equivalence-preserving
+        // (depts or DProjs may be empty).
+        assert!(backchase_step(&q, &[], "d", &ccfg()).is_none());
+        // With a constraint making every Proj row belong to some dept,
+        // the removal of {d, s} is justified.
+        let cov = parse_dependency(
+            "cov",
+            "forall (p in Proj) -> exists (d in depts) (s in d.DProjs) where s = s",
+        )
+        .unwrap();
+        let q2 = backchase_step(&q, &[cov], "d", &ccfg()).expect("d,s removable");
+        assert_eq!(q2.from.len(), 1);
+        assert_eq!(q2.from[0].src, Path::root("Proj"));
+    }
+
+    #[test]
+    fn dependent_binding_reexpressed_instead_of_removed() {
+        // d = d2, s ranges over d.DProjs; removing d re-expresses s's
+        // source over d2.
+        let q = parse_query(
+            "select struct(S = s) from depts d, depts d2, d.DProjs s where d = d2",
+        )
+        .unwrap();
+        let q2 = backchase_step(&q, &[], "d", &ccfg()).expect("d removable");
+        assert_eq!(q2.from.len(), 2);
+        assert!(q2.from.iter().any(|b| b.src == Path::var("d2").field("DProjs")));
+    }
+
+    #[test]
+    fn output_blocks_removal() {
+        // q's only output comes from s; s can't be removed even though the
+        // RIC would justify the existence part.
+        let q = parse_query(
+            "select struct(C = s.C) from R r, S s where r.B = s.B",
+        )
+        .unwrap();
+        let ric = parse_dependency(
+            "ric",
+            "forall (r in R) -> exists (s in S) where r.B = s.B",
+        )
+        .unwrap();
+        assert!(backchase_step(&q, &[ric.clone()], "s", &ccfg()).is_none());
+        let out = backchase(&q, &[ric], &bcfg());
+        assert_eq!(out.normal_forms.len(), 1);
+        assert_eq!(out.normal_forms[0].from.len(), 2);
+    }
+
+    #[test]
+    fn view_rewrite_via_backchase_enumeration() {
+        // The chased query contains the base join and the view; the
+        // complete enumeration finds both minimal plans, including the
+        // view-only plan that requires removing {r, s} jointly (which the
+        // single-binding rewrite rule alone cannot justify).
+        let u = parse_query(
+            "select struct(A = r.A) from R r, S s, V v \
+             where r.B = s.B and v.A = r.A",
+        )
+        .unwrap();
+        let deps = vec![
+            parse_dependency(
+                "c_V",
+                "forall (r in R) (s in S) where r.B = s.B -> exists (v in V) where v.A = r.A",
+            )
+            .unwrap(),
+            parse_dependency(
+                "c'_V",
+                "forall (v in V) -> exists (r in R) (s in S) where r.B = s.B and v.A = r.A",
+            )
+            .unwrap(),
+        ];
+        // The single-binding rule: v is removable, r alone is not (the
+        // witness for the remaining s is lost).
+        let base = backchase_step(&u, &deps, "v", &ccfg()).expect("v removable");
+        assert_eq!(base.from.len(), 2);
+        assert!(backchase_step(&u, &deps, "r", &ccfg()).is_none());
+
+        // The complete enumeration still reaches the view-only plan.
+        let out = backchase(&u, &deps, &bcfg());
+        assert!(out.complete);
+        let shapes: BTreeSet<Vec<String>> = out
+            .normal_forms
+            .iter()
+            .map(|q| q.from.iter().map(|b| b.src.to_string()).collect())
+            .collect();
+        assert!(shapes.contains(&vec!["V".to_string()]), "view-only plan found: {shapes:?}");
+        assert!(shapes.contains(&vec!["R".to_string(), "S".to_string()]));
+        assert_eq!(out.normal_forms.len(), 2);
+        // The visited set contains the universal plan itself.
+        assert!(out.visited.iter().any(|q| q.from.len() == 3));
+    }
+
+    #[test]
+    fn unguarded_lookup_rejected_without_proof() {
+        // Removing the dom guard around a constant-key lookup would leave
+        // SI["CitiBank"], which may fail; the step must be rejected.
+        let q = parse_query(
+            r#"select struct(PN = t.PName) from dom(SI) k, SI[k] t where k = "CitiBank""#,
+        )
+        .unwrap();
+        assert!(backchase_step(&q, &[], "k", &ccfg()).is_none());
+        let out = backchase(&q, &[], &bcfg());
+        assert_eq!(out.normal_forms.len(), 1);
+        assert_eq!(out.normal_forms[0].from.len(), 2);
+    }
+
+    #[test]
+    fn guarded_lookup_key_rewrite_allowed_with_proof() {
+        // JI's PN values are always in dom(I) (via the constraints), so
+        // the dom(I) binding can be removed, leaving I[j.PN] — P4's shape.
+        let q = parse_query(
+            "select struct(PB = I[i].Budg) from JI j, dom(I) i where i = j.PN",
+        )
+        .unwrap();
+        let safety = parse_dependency(
+            "ji_pn_indexed",
+            "forall (j in JI) -> exists (i in dom(I)) where i = j.PN",
+        )
+        .unwrap();
+        let q2 = backchase_step(&q, &[safety.clone()], "i", &ccfg()).expect("i removable");
+        assert_eq!(q2.from.len(), 1);
+        assert_eq!(q2.output.paths()[0].1.to_string(), "I[j.PN].Budg");
+        // Without the safety constraint the step is rejected.
+        assert!(backchase_step(&q, &[], "i", &ccfg()).is_none());
+        // Enumeration reaches P4's shape as the unique normal form.
+        let out = backchase(&q, &[safety], &bcfg());
+        assert_eq!(out.normal_forms.len(), 1);
+        assert_eq!(out.normal_forms[0].from.len(), 1);
+    }
+
+    #[test]
+    fn minimize_under_key_constraint() {
+        // Algorithm 1 structure: chase first (the key EGD equates the two
+        // sides), then backchase collapses the self-join.
+        let q = parse_query(
+            "select struct(A = p.A, B = q.B) from R p, R q where p.K = q.K",
+        )
+        .unwrap();
+        let key = parse_dependency(
+            "key",
+            "forall (p in R) (q in R) where p.K = q.K -> p = q",
+        )
+        .unwrap();
+        let u = chase(&q, &[key.clone()], &ccfg()).query;
+        let out = backchase(&u, &[key], &bcfg());
+        assert!(out.normal_forms.iter().any(|nf| nf.from.len() == 1));
+    }
+
+    #[test]
+    fn greedy_descent_reaches_a_minimal_plan() {
+        let u = parse_query(
+            "select struct(A = r.A) from R r, S s, V v \
+             where r.B = s.B and v.A = r.A",
+        )
+        .unwrap();
+        let deps = vec![
+            parse_dependency(
+                "c_V",
+                "forall (r in R) (s in S) where r.B = s.B -> exists (v in V) where v.A = r.A",
+            )
+            .unwrap(),
+            parse_dependency(
+                "c'_V",
+                "forall (v in V) -> exists (r in R) (s in S) where r.B = s.B and v.A = r.A",
+            )
+            .unwrap(),
+        ];
+        // Preferring to remove R and S (as if they were logical-only)
+        // drives the descent into the view-only plan.
+        let prefer: BTreeSet<String> = ["R".to_string(), "S".to_string()].into();
+        let plan = backchase_greedy(&u, &deps, &prefer, &ccfg());
+        assert_eq!(plan.from.len(), 1);
+        assert_eq!(plan.from[0].src, Path::root("V"));
+        assert!(is_minimal(&plan, &deps, &ccfg()));
+
+        // With no preference the descent still reaches a minimal plan
+        // (removing r alone is equivalence-preserving here: an empty S
+        // forces an empty V, so the dangling S binding filters nothing).
+        let plan2 = backchase_greedy(&u, &deps, &BTreeSet::new(), &ccfg());
+        assert!(is_minimal(&plan2, &deps, &ccfg()));
+        assert_eq!(plan2.from.len(), 1);
+    }
+
+    #[test]
+    fn greedy_on_already_minimal_query_is_identity_shaped() {
+        let q = parse_query(
+            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+        )
+        .unwrap();
+        let plan = backchase_greedy(&q, &[], &BTreeSet::new(), &ccfg());
+        assert_eq!(plan.from.len(), 2);
+    }
+
+    #[test]
+    fn visited_budget_respected() {
+        let u = parse_query(
+            "select struct(A = r.A) from R r, S s, V v \
+             where r.B = s.B and v.A = r.A",
+        )
+        .unwrap();
+        let deps = vec![
+            parse_dependency(
+                "c_V",
+                "forall (r in R) (s in S) where r.B = s.B -> exists (v in V) where v.A = r.A",
+            )
+            .unwrap(),
+            parse_dependency(
+                "c'_V",
+                "forall (v in V) -> exists (r in R) (s in S) where r.B = s.B and v.A = r.A",
+            )
+            .unwrap(),
+        ];
+        let tight = BackchaseConfig { max_visited: 1, ..BackchaseConfig::default() };
+        let out = backchase(&u, &deps, &tight);
+        assert!(!out.complete);
+    }
+}

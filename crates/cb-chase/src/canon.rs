@@ -1,0 +1,186 @@
+//! Canonical databases: the e-graph view of a query's body.
+//!
+//! The paper's backchase "builds a database instance out of the syntax of
+//! Q"; [`QueryGraph`] is that instance — membership facts from the `from`
+//! clause plus the congruence closure of the `where` clause.
+
+use std::collections::BTreeSet;
+
+use pcql::path::Path;
+use pcql::query::{BindKind, Query};
+
+use crate::egraph::{ClassId, EGraph};
+
+/// One membership fact `var ∈ src` of the canonical database.
+#[derive(Debug, Clone)]
+pub struct MemberFact {
+    pub var: String,
+    pub var_class: ClassId,
+    pub src_class: ClassId,
+}
+
+/// A query body as a canonical database.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    pub egraph: EGraph,
+    pub members: Vec<MemberFact>,
+}
+
+impl QueryGraph {
+    /// Builds the canonical database of a query: intern every binding and
+    /// condition, union the equalities (`let` bindings are equalities
+    /// `var = src`).
+    pub fn of_query(q: &Query) -> QueryGraph {
+        let mut egraph = EGraph::new();
+        let mut members = Vec::new();
+        for b in &q.from {
+            let var_class = egraph.add_path(&Path::Var(b.var.clone()));
+            let src_class = egraph.add_path(&b.src);
+            match b.kind {
+                BindKind::Iter => {
+                    members.push(MemberFact { var: b.var.clone(), var_class, src_class })
+                }
+                BindKind::Let => {
+                    egraph.union(var_class, src_class);
+                }
+            }
+        }
+        for eq in &q.where_ {
+            egraph.union_paths(&eq.0, &eq.1);
+        }
+        for (_, p) in q.output.paths() {
+            egraph.add_path(p);
+        }
+        // Canonical ids may have shifted after unions; refresh the facts.
+        let mut g = QueryGraph { egraph, members };
+        g.refresh();
+        g
+    }
+
+    fn refresh(&mut self) {
+        for m in &mut self.members {
+            m.var_class = self.egraph.find(m.var_class);
+            m.src_class = self.egraph.find(m.src_class);
+        }
+    }
+
+    /// Is there a membership fact `v ∈ src` with `src` congruent to
+    /// `class` and `v` congruent to `key_class`? Used for guardedness.
+    pub fn has_member(&mut self, src: &Path, key: &Path) -> bool {
+        let src_class = self.egraph.add_path(src);
+        let key_class = self.egraph.add_path(key);
+        self.refresh();
+        let (src_class, key_class) =
+            (self.egraph.find(src_class), self.egraph.find(key_class));
+        self.members
+            .iter()
+            .any(|m| m.src_class == src_class && m.var_class == key_class)
+    }
+
+    /// The variables whose binding is `var ∈ src` with `src` congruent to
+    /// the given class.
+    pub fn members_of(&self, src_class: ClassId) -> Vec<&MemberFact> {
+        let src_class = self.egraph.find(src_class);
+        self.members.iter().filter(|m| self.egraph.find(m.src_class) == src_class).collect()
+    }
+
+    /// Every failing lookup `M[k]` occurring in the query must either be
+    /// syntactically guarded by a binding `(g in dom(M))` with `g ≡ k`, or
+    /// be reported here for a semantic-safety check.
+    pub fn unguarded_lookups(&mut self, q: &Query) -> Vec<(Path, Path)> {
+        let mut all_paths: Vec<Path> = Vec::new();
+        for b in &q.from {
+            all_paths.push(b.src.clone());
+        }
+        for eq in &q.where_ {
+            all_paths.push(eq.0.clone());
+            all_paths.push(eq.1.clone());
+        }
+        for (_, p) in q.output.paths() {
+            all_paths.push(p.clone());
+        }
+        let mut seen: BTreeSet<Path> = BTreeSet::new();
+        let mut out = Vec::new();
+        for p in &all_paths {
+            for sub in p.subpaths() {
+                if let Path::Get(m, k) = sub {
+                    if !seen.insert(sub.clone()) {
+                        continue;
+                    }
+                    if !self.has_member(&Path::Dom(m.clone()), k) {
+                        out.push((m.as_ref().clone(), k.as_ref().clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcql::parser::parse_query;
+
+    #[test]
+    fn membership_and_congruence() {
+        let q = parse_query(
+            r#"select struct(PN = s) from depts d, d.DProjs s, Proj p
+               where s = p.PName and p.CustName = "CitiBank""#,
+        )
+        .unwrap();
+        let mut g = QueryGraph::of_query(&q);
+        assert_eq!(g.members.len(), 3);
+        assert!(g.egraph.paths_equal(&Path::var("s"), &Path::var("p").field("PName")));
+        assert!(g
+            .egraph
+            .paths_equal(&Path::var("p").field("CustName"), &Path::str("CitiBank")));
+        assert!(!g.egraph.paths_equal(&Path::var("s"), &Path::var("d")));
+    }
+
+    #[test]
+    fn let_bindings_are_equalities() {
+        let q = parse_query("select r.A from let r := I[5]").unwrap();
+        let mut g = QueryGraph::of_query(&q);
+        assert!(g.egraph.paths_equal(&Path::var("r"), &Path::root("I").get(Path::int(5))));
+        assert!(g.members.is_empty());
+    }
+
+    #[test]
+    fn guarded_lookup_detection() {
+        let q = parse_query(
+            "select struct(B = I[x].B) from dom(I) x where x = 5",
+        )
+        .unwrap();
+        let mut g = QueryGraph::of_query(&q);
+        assert!(g.unguarded_lookups(&q).is_empty());
+
+        // Guard through congruence: the key is a path equal to the bound
+        // dom variable.
+        let q2 = parse_query(
+            "select struct(B = I[r.A].B) from R r, dom(I) x where x = r.A",
+        )
+        .unwrap();
+        let mut g2 = QueryGraph::of_query(&q2);
+        assert!(g2.unguarded_lookups(&q2).is_empty());
+
+        let q3 = parse_query("select struct(B = I[r.A].B) from R r").unwrap();
+        let mut g3 = QueryGraph::of_query(&q3);
+        let unguarded = g3.unguarded_lookups(&q3);
+        assert_eq!(unguarded.len(), 1);
+        assert_eq!(unguarded[0].0, Path::root("I"));
+    }
+
+    #[test]
+    fn members_of_groups_by_source_class() {
+        let q = parse_query("select x from R x, R y, S z").unwrap();
+        let g = QueryGraph::of_query(&q);
+        let r_class = {
+            let mut eg = g.egraph.clone();
+            eg.add_path(&Path::root("R"))
+        };
+        let vars: Vec<&str> =
+            g.members_of(r_class).iter().map(|m| m.var.as_str()).collect();
+        assert_eq!(vars, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,370 @@
+//! The chase (paper §3, phase 1).
+//!
+//! A chase step with `forall (x̄ in P̄) B1 -> exists (ȳ in P̄') B2` finds a
+//! trigger — a homomorphism of the universal side into the query — that
+//! has no extension to the existential side (the *restricted* chase), and
+//! then adds the instantiated existential bindings and conclusion
+//! equalities to the query:
+//!
+//! ```text
+//! select O(r̄) from …, R1 r1, …, Rm rm, …        where … and B1 and …
+//!   ~>
+//! select O(r̄) from …, R1 r1, …, S1 s1, …, Sn sn where … and B1 and B2 and …
+//! ```
+//!
+//! Chasing to a fixpoint with `D ∪ D'` yields the **universal plan**: "an
+//! amalgam of all the query plans allowed by the constraints". The chase
+//! may be stopped at any time and remains sound; [`ChaseConfig`] bounds
+//! steps and size, and [`ChaseOutcome::complete`] reports whether a
+//! fixpoint was reached.
+
+use std::collections::BTreeMap;
+
+use pcql::idgen::VarGen;
+use pcql::path::Path;
+use pcql::query::{Binding, Equality, Query};
+use pcql::Dependency;
+
+use crate::canon::QueryGraph;
+use crate::hom::{extension_exists, find_homomorphisms, Assignment};
+
+/// Budgets for the chase (and for the implication checks that reuse it).
+#[derive(Debug, Clone)]
+pub struct ChaseConfig {
+    /// Maximum number of chase steps before giving up.
+    pub max_steps: usize,
+    /// Maximum number of `from`-clause bindings in the chased query.
+    pub max_bindings: usize,
+    /// Cap on enumerated triggers per (dependency, rebuild).
+    pub max_homs: usize,
+    /// Coalesce congruent duplicate bindings after the fixpoint.
+    pub coalesce: bool,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> ChaseConfig {
+        ChaseConfig { max_steps: 512, max_bindings: 64, max_homs: 4096, coalesce: true }
+    }
+}
+
+/// One applied chase step, for traces and EXPLAIN output.
+#[derive(Debug, Clone)]
+pub struct ChaseStepTrace {
+    pub dep: String,
+    /// The trigger: dependency variable -> query path.
+    pub trigger: Vec<(String, String)>,
+    pub added_bindings: Vec<Binding>,
+    pub added_eqs: Vec<Equality>,
+}
+
+/// The result of chasing.
+#[derive(Debug, Clone)]
+pub struct ChaseOutcome {
+    /// The chased query (the universal plan, when chasing with `D ∪ D'`).
+    pub query: Query,
+    /// The steps applied, in order.
+    pub steps: Vec<ChaseStepTrace>,
+    /// Whether a fixpoint was reached within the budgets. An incomplete
+    /// chase is still sound — the query is equivalent to the input under
+    /// the dependencies.
+    pub complete: bool,
+}
+
+/// Chases `q` with `deps` to a fixpoint (or until the budget runs out).
+pub fn chase(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> ChaseOutcome {
+    let mut query = q.clone();
+    let mut steps: Vec<ChaseStepTrace> = Vec::new();
+    loop {
+        if steps.len() >= cfg.max_steps || query.from.len() >= cfg.max_bindings {
+            // Budget exhausted: complete only if no trigger is applicable.
+            let complete = find_applicable(&query, deps, cfg).is_none();
+            if cfg.coalesce {
+                query = coalesce_duplicates(&query);
+            }
+            return ChaseOutcome { query, steps, complete };
+        }
+        match find_applicable(&query, deps, cfg) {
+            None => {
+                if cfg.coalesce {
+                    query = coalesce_duplicates(&query);
+                }
+                return ChaseOutcome { query, steps, complete: true };
+            }
+            Some((dep_idx, h)) => {
+                let trace = apply_step(&mut query, &deps[dep_idx], &h);
+                steps.push(trace);
+            }
+        }
+    }
+}
+
+/// A single chase step with one dependency, if applicable (used by the
+/// paper-example tests that chase with `c_JI` alone).
+pub fn chase_step(q: &Query, dep: &Dependency, cfg: &ChaseConfig) -> Option<Query> {
+    let deps = [dep.clone()];
+    let (idx, h) = find_applicable(q, &deps, cfg)?;
+    debug_assert_eq!(idx, 0);
+    let mut query = q.clone();
+    apply_step(&mut query, dep, &h);
+    Some(query)
+}
+
+/// Finds the first applicable (dependency, trigger) pair in deterministic
+/// order: EGDs before TGDs (equalities never grow the query and often
+/// satisfy pending TGD triggers, keeping the universal plan close to the
+/// paper's hand-derived one), then dependencies in their given order,
+/// triggers in membership-fact order.
+fn find_applicable(
+    q: &Query,
+    deps: &[Dependency],
+    cfg: &ChaseConfig,
+) -> Option<(usize, Assignment)> {
+    let mut graph = QueryGraph::of_query(q);
+    let ordered = deps
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_egd())
+        .chain(deps.iter().enumerate().filter(|(_, d)| !d.is_egd()));
+    for (i, dep) in ordered {
+        let homs =
+            find_homomorphisms(&mut graph, &dep.forall, &dep.premise, &BTreeMap::new(), cfg.max_homs);
+        for h in homs {
+            if !extension_exists(&mut graph, &dep.exists, &dep.conclusion, &h) {
+                return Some((i, h));
+            }
+        }
+    }
+    None
+}
+
+/// Drops bindings that are congruent duplicates of earlier ones (same
+/// variable class and same source class), substituting the kept variable
+/// everywhere. Dependency orderings of TGD firings can leave such
+/// duplicates behind once later EGDs merge their variables; removing them
+/// preserves equivalence (the containment mapping is the substitution
+/// itself) and keeps the universal plan at the paper's size.
+pub fn coalesce_duplicates(q: &Query) -> Query {
+    let mut graph = QueryGraph::of_query(q);
+    let mut out = q.clone();
+    loop {
+        let mut subst: Option<(String, String)> = None;
+        'search: for (i, b) in out.from.iter().enumerate() {
+            for earlier in &out.from[..i] {
+                if earlier.kind == b.kind
+                    && graph
+                        .egraph
+                        .paths_equal(&Path::Var(earlier.var.clone()), &Path::Var(b.var.clone()))
+                    && graph.egraph.paths_equal(&earlier.src, &b.src)
+                {
+                    subst = Some((b.var.clone(), earlier.var.clone()));
+                    break 'search;
+                }
+            }
+        }
+        let Some((dup, keep)) = subst else {
+            return cleanup_conditions(out);
+        };
+        let map: BTreeMap<String, String> = [(dup.clone(), keep)].into();
+        out = Query {
+            output: out.output.map_paths(&mut |p| p.rename(&map)),
+            from: out
+                .from
+                .iter()
+                .filter(|b| b.var != dup)
+                .map(|b| Binding {
+                    var: b.var.clone(),
+                    src: b.src.rename(&map),
+                    kind: b.kind,
+                })
+                .collect(),
+            where_: out.where_.iter().map(|e| e.rename(&map)).collect(),
+        };
+        graph = QueryGraph::of_query(&out);
+    }
+}
+
+/// Removes reflexive and duplicate conditions.
+fn cleanup_conditions(mut q: Query) -> Query {
+    let mut seen = std::collections::BTreeSet::new();
+    q.where_.retain(|e| e.0 != e.1 && seen.insert(e.normalized()));
+    q
+}
+
+/// Applies the step for trigger `h` of `dep` to `query`.
+fn apply_step(query: &mut Query, dep: &Dependency, h: &Assignment) -> ChaseStepTrace {
+    let trigger: Vec<(String, String)> =
+        h.iter().map(|(k, v)| (k.clone(), v.to_string())).collect();
+    let mut h = h.clone();
+    let mut gen = VarGen::avoiding(query.from.iter().map(|b| b.var.clone()));
+    let mut graph = QueryGraph::of_query(query);
+
+    let mut added_bindings = Vec::new();
+    for b in &dep.exists {
+        let fresh = gen.fresh(&b.var);
+        let src = b.src.subst(&h);
+        h.insert(b.var.clone(), Path::Var(fresh.clone()));
+        let binding = Binding::iter(fresh, src);
+        query.from.push(binding.clone());
+        added_bindings.push(binding);
+    }
+    let mut added_eqs = Vec::new();
+    for eq in &dep.conclusion {
+        let inst = eq.subst(&h);
+        // Skip equalities that already hold (relevant for EGD conclusions
+        // partially implied by the query).
+        if graph.egraph.paths_equal(&inst.0, &inst.1) {
+            continue;
+        }
+        graph.egraph.union_paths(&inst.0, &inst.1);
+        query.where_.push(inst.clone());
+        added_eqs.push(inst);
+    }
+    ChaseStepTrace { dep: dep.name.clone(), trigger, added_bindings, added_eqs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcql::parser::{parse_dependency, parse_query};
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    #[test]
+    fn egd_chase_adds_equality_once() {
+        let q = parse_query(
+            "select struct(A = p.A) from R p, R q where p.K = q.K",
+        )
+        .unwrap();
+        let key = parse_dependency(
+            "key",
+            "forall (a in R) (b in R) where a.K = b.K -> a = b",
+        )
+        .unwrap();
+        // Without coalescing, the EGD adds p = q to the where clause.
+        let raw = chase(&q, &[key.clone()], &ChaseConfig { coalesce: false, ..cfg() });
+        assert!(raw.complete);
+        assert_eq!(raw.steps.len(), 1);
+        assert_eq!(raw.steps[0].added_eqs.len(), 1);
+        assert!(raw.query.where_.iter().any(|e| {
+            (e.0 == Path::var("p") && e.1 == Path::var("q"))
+                || (e.0 == Path::var("q") && e.1 == Path::var("p"))
+        }));
+        // With coalescing (the default), the duplicate binding collapses.
+        let out = chase(&q, &[key], &cfg());
+        assert_eq!(out.query.from.len(), 1);
+        assert!(out.query.where_.iter().all(|e| e.0 != e.1));
+    }
+
+    #[test]
+    fn tgd_chase_introduces_bindings() {
+        let q = parse_query("select struct(A = r.A) from R r").unwrap();
+        let ric = parse_dependency(
+            "ric",
+            "forall (r in R) -> exists (s in S) where r.B = s.B",
+        )
+        .unwrap();
+        let out = chase(&q, &[ric], &cfg());
+        assert!(out.complete);
+        assert_eq!(out.query.from.len(), 2);
+        assert_eq!(out.query.from[1].src, Path::root("S"));
+        assert_eq!(out.query.where_.len(), 1);
+        // Re-chasing is a no-op: the constraint is now satisfied.
+        let again = chase(&out.query, &[parse_dependency(
+            "ric",
+            "forall (r in R) -> exists (s in S) where r.B = s.B",
+        )
+        .unwrap()], &cfg());
+        assert_eq!(again.steps.len(), 0);
+    }
+
+    #[test]
+    fn restricted_chase_terminates_on_cyclic_rics() {
+        // R -> S and S -> R reference each other; the restricted chase
+        // stops once both sides are witnessed.
+        let q = parse_query("select struct(A = r.A) from R r").unwrap();
+        let d1 = parse_dependency("rs", "forall (r in R) -> exists (s in S) where r.A = s.A")
+            .unwrap();
+        let d2 = parse_dependency("sr", "forall (s in S) -> exists (r in R) where s.A = r.A")
+            .unwrap();
+        let out = chase(&q, &[d1, d2], &cfg());
+        assert!(out.complete, "restricted chase must terminate here");
+        assert_eq!(out.query.from.len(), 2);
+    }
+
+    #[test]
+    fn paper_chase_step_with_c_ji() {
+        // §3's example: chasing Q with c_JI adds the JI binding and the
+        // two conditions.
+        let q = parse_query(
+            r#"select struct(PN = s, PB = p.Budg, DN = d.DName)
+               from depts d, d.DProjs s, Proj p
+               where s = p.PName and p.CustName = "CitiBank""#,
+        )
+        .unwrap();
+        let c_ji = parse_dependency(
+            "c_JI",
+            "forall (d in depts) (s in d.DProjs) (p in Proj) where s = p.PName \
+             -> exists (j in JI) where j.DOID = d and j.PN = p.PName",
+        )
+        .unwrap();
+        let out = chase_step(&q, &c_ji, &cfg()).expect("c_JI applies");
+        assert_eq!(out.from.len(), 4);
+        assert_eq!(out.from[3].src, Path::root("JI"));
+        let conds: Vec<String> =
+            out.where_.iter().map(|e| format!("{} = {}", e.0, e.1)).collect();
+        assert!(conds.contains(&"j0.DOID = d".to_string()));
+        assert!(conds.contains(&"j0.PN = p.PName".to_string()));
+        // A second step with the same constraint is not applicable.
+        assert!(chase_step(&out, &c_ji, &cfg()).is_none());
+    }
+
+    #[test]
+    fn budget_marks_incomplete() {
+        // A genuinely diverging chase: every S-element spawns a new one
+        // with a *different* witness requirement, so the restricted chase
+        // never satisfies it. (f is "injective with no fixpoint"-style.)
+        let q = parse_query("select struct(A = s.A) from S s").unwrap();
+        let grow = parse_dependency(
+            "grow",
+            "forall (s in S) -> exists (t in S) where t.Pred = s.A",
+        )
+        .unwrap();
+        let tight = ChaseConfig { max_steps: 5, ..ChaseConfig::default() };
+        let out = chase(&q, &[grow], &tight);
+        assert!(!out.complete);
+        assert_eq!(out.steps.len(), 5);
+    }
+
+    #[test]
+    fn trivial_dependency_never_fires() {
+        let q = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A")
+            .unwrap();
+        // "forall r,s with r.A = s.A there exists s' in S with r.A = s'.A"
+        // is satisfied by s itself.
+        let triv = parse_dependency(
+            "triv",
+            "forall (r in R) (s in S) where r.A = s.A -> exists (t in S) where r.A = t.A",
+        )
+        .unwrap();
+        let out = chase(&q, &[triv], &cfg());
+        assert!(out.steps.is_empty());
+        assert_eq!(out.query, q);
+    }
+
+    #[test]
+    fn chase_result_is_deterministic() {
+        let q = parse_query("select struct(A = r.A) from R r").unwrap();
+        let deps = vec![
+            parse_dependency("d1", "forall (r in R) -> exists (s in S) where r.A = s.A")
+                .unwrap(),
+            parse_dependency("d2", "forall (s in S) -> exists (t in T) where s.A = t.A")
+                .unwrap(),
+        ];
+        let a = chase(&q, &deps, &cfg());
+        let b = chase(&q, &deps, &cfg());
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.steps.len(), b.steps.len());
+    }
+}

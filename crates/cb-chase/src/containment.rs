@@ -1,0 +1,172 @@
+//! Containment and equivalence of PC queries under constraints.
+//!
+//! `Q1 ⊑ Q2` under `D` iff there is a containment mapping from `Q2` into
+//! `chase_D(Q1)`: a homomorphism of `Q2`'s body with `h(O2) ≡ O1` modulo
+//! the chased query's congruence. This generalizes the classical
+//! Chandra–Merlin test and is the PC containment of [Popa–Tannen
+//! ICDT'99], which the paper builds on.
+
+use std::collections::BTreeMap;
+
+use pcql::query::{Output, Query};
+use pcql::Dependency;
+
+use crate::canon::QueryGraph;
+use crate::chase::{chase, ChaseConfig};
+use crate::hom::{find_homomorphisms, Assignment};
+
+/// Is `q1 ⊑ q2` under `deps` (set semantics)?
+pub fn contained_in(q1: &Query, q2: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
+    let chased = chase(q1, deps, cfg).query;
+    let graph = QueryGraph::of_query(&chased);
+    // Use the chased query's output: coalescing may have renamed q1's
+    // variables, and the chased output is the consistently renamed one.
+    contained_in_pre_chased(&graph, &chased.output, q2, cfg)
+}
+
+/// `q1 ⊑ q2` where `graph` is the canonical database of the *already
+/// chased* `q1` (with output `q1_output`). Lets callers that test many
+/// candidates against one chased query (the backchase) skip re-chasing.
+pub fn contained_in_pre_chased(
+    graph: &QueryGraph,
+    q1_output: &Output,
+    q2: &Query,
+    cfg: &ChaseConfig,
+) -> bool {
+    let mut graph = graph.clone();
+    let homs = find_homomorphisms(&mut graph, &q2.from, &q2.where_, &BTreeMap::new(), cfg.max_homs);
+    homs.iter().any(|h| outputs_match(&mut graph, q1_output, &q2.output, h))
+}
+
+/// Are the queries equivalent under `deps`?
+pub fn equivalent(q1: &Query, q2: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
+    contained_in(q1, q2, deps, cfg) && contained_in(q2, q1, deps, cfg)
+}
+
+fn outputs_match(graph: &mut QueryGraph, o1: &Output, o2: &Output, h: &Assignment) -> bool {
+    match (o1, o2) {
+        (Output::Struct(f1), Output::Struct(f2)) => {
+            f1.len() == f2.len()
+                && f1.iter().all(|(name, p1)| match f2.get(name) {
+                    Some(p2) => graph.egraph.paths_equal(p1, &p2.subst(h)),
+                    None => false,
+                })
+        }
+        (Output::Path(p1), Output::Path(p2)) => graph.egraph.paths_equal(p1, &p2.subst(h)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcql::parser::{parse_dependency, parse_query};
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    #[test]
+    fn classical_containment() {
+        // The 3-binding tableau of paper §3 is contained in (and in fact
+        // equivalent to) its 2-binding minimization.
+        let big = parse_query(
+            "select struct(A = p.A, B = r.B) from R p, R q, R r \
+             where p.B = q.A and q.B = r.B",
+        )
+        .unwrap();
+        let small = parse_query(
+            "select struct(A = p.A, B = q.B) from R p, R q where p.B = q.A",
+        )
+        .unwrap();
+        assert!(contained_in(&big, &small, &[], &cfg()));
+        assert!(contained_in(&small, &big, &[], &cfg()));
+        assert!(equivalent(&big, &small, &[], &cfg()));
+    }
+
+    #[test]
+    fn strict_containment_not_equivalence() {
+        let narrower = parse_query(
+            "select struct(A = r.A) from R r, S s where r.A = s.A",
+        )
+        .unwrap();
+        let wider = parse_query("select struct(A = r.A) from R r").unwrap();
+        // narrower ⊑ wider but not conversely.
+        assert!(contained_in(&narrower, &wider, &[], &cfg()));
+        assert!(!contained_in(&wider, &narrower, &[], &cfg()));
+        assert!(!equivalent(&narrower, &wider, &[], &cfg()));
+    }
+
+    #[test]
+    fn containment_under_constraints() {
+        // With the RIC "every r has a matching s", the join is equivalent
+        // to the scan.
+        let narrower = parse_query(
+            "select struct(A = r.A) from R r, S s where r.A = s.A",
+        )
+        .unwrap();
+        let wider = parse_query("select struct(A = r.A) from R r").unwrap();
+        let ric = parse_dependency(
+            "ric",
+            "forall (r in R) -> exists (s in S) where r.A = s.A",
+        )
+        .unwrap();
+        assert!(equivalent(&narrower, &wider, &[ric], &cfg()));
+    }
+
+    #[test]
+    fn output_shape_must_match() {
+        let q1 = parse_query("select struct(A = r.A) from R r").unwrap();
+        let q2 = parse_query("select struct(B = r.A) from R r").unwrap();
+        let q3 = parse_query("select r.A from R r").unwrap();
+        assert!(!contained_in(&q1, &q2, &[], &cfg()));
+        assert!(!contained_in(&q1, &q3, &[], &cfg()));
+        assert!(contained_in(&q3, &q3, &[], &cfg()));
+    }
+
+    #[test]
+    fn constants_matter() {
+        let five = parse_query("select struct(C = r.C) from R r where r.A = 5").unwrap();
+        let six = parse_query("select struct(C = r.C) from R r where r.A = 6").unwrap();
+        assert!(contained_in(&five, &five, &[], &cfg()));
+        assert!(!contained_in(&five, &six, &[], &cfg()));
+        // A constant-filtered query is contained in the unfiltered one.
+        let all = parse_query("select struct(C = r.C) from R r").unwrap();
+        assert!(contained_in(&five, &all, &[], &cfg()));
+        assert!(!contained_in(&all, &five, &[], &cfg()));
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_transitive() {
+        let a = parse_query(
+            "select struct(A = r.A) from R r, S s, T t where r.A = s.A and s.A = t.A",
+        )
+        .unwrap();
+        let b = parse_query(
+            "select struct(A = r.A) from R r, S s where r.A = s.A",
+        )
+        .unwrap();
+        let c = parse_query("select struct(A = r.A) from R r").unwrap();
+        assert!(contained_in(&a, &a, &[], &cfg()));
+        assert!(contained_in(&a, &b, &[], &cfg()));
+        assert!(contained_in(&b, &c, &[], &cfg()));
+        assert!(contained_in(&a, &c, &[], &cfg()));
+    }
+
+    #[test]
+    fn oo_path_containment() {
+        let q1 = parse_query(
+            "select struct(S = s) from depts d, d.DProjs s, Proj p where s = p.PName",
+        )
+        .unwrap();
+        let q2 = parse_query("select struct(S = s) from depts d, d.DProjs s").unwrap();
+        assert!(contained_in(&q1, &q2, &[], &cfg()));
+        assert!(!contained_in(&q2, &q1, &[], &cfg()));
+        let ric1 = parse_dependency(
+            "RIC1",
+            "forall (d in depts) (s in d.DProjs) -> exists (p in Proj) where s = p.PName",
+        )
+        .unwrap();
+        assert!(contained_in(&q2, &q1, &[ric1], &cfg()));
+    }
+}

@@ -1,0 +1,162 @@
+//! Constraint implication via the chase: `D ⊨ σ`.
+//!
+//! The paper ("Trying to see whether [the constraint] of condition (3) is
+//! implied by the existing constraints can actually be done with the chase
+//! … when constraints are viewed as boolean-valued queries"): freeze σ's
+//! universal side as a canonical query, chase it with `D`, and check that
+//! σ's conclusion has a homomorphic witness in the result.
+//!
+//! Sound always; complete whenever the chase reaches a fixpoint (in
+//! particular for full dependencies). An incomplete chase makes the test
+//! conservative (may answer `false` for an implied constraint), which
+//! preserves the soundness of every backchase step built on it.
+
+use std::collections::BTreeMap;
+
+use pcql::path::Path;
+use pcql::query::{Output, Query};
+use pcql::Dependency;
+
+use crate::canon::QueryGraph;
+use crate::chase::{chase, ChaseConfig};
+use crate::hom::extension_exists;
+
+/// Does `deps ⊨ sigma` (as far as the bounded chase can tell)?
+pub fn implies(deps: &[Dependency], sigma: &Dependency, cfg: &ChaseConfig) -> bool {
+    // The premise of σ, frozen as a query ("viewed as a boolean query").
+    let premise = Query::new(
+        Output::record(Vec::<(String, Path)>::new()),
+        sigma.forall.clone(),
+        sigma.premise.clone(),
+    );
+    // No coalescing here: the conclusion check below pins σ's universal
+    // variables by name, so the chase must only add, never rename.
+    let cfg = ChaseConfig { coalesce: false, ..cfg.clone() };
+    let chased = chase(&premise, deps, &cfg);
+    let mut graph = QueryGraph::of_query(&chased.query);
+    // The universal variables are mapped to themselves (the chase only
+    // ever adds to the query, it never renames).
+    let init: BTreeMap<String, Path> = sigma
+        .forall
+        .iter()
+        .map(|b| (b.var.clone(), Path::Var(b.var.clone())))
+        .collect();
+    extension_exists(&mut graph, &sigma.exists, &sigma.conclusion, &init)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcql::parser::parse_dependency;
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    #[test]
+    fn self_implication() {
+        let d = parse_dependency("d", "forall (r in R) -> exists (s in S) where r.A = s.A")
+            .unwrap();
+        assert!(implies(&[d.clone()], &d, &cfg()));
+    }
+
+    #[test]
+    fn trivial_constraints_hold_without_deps() {
+        // The tableau-minimization constraint of paper §3:
+        // forall p,q with p.B = q.A there exists r in R with q.B = r.B —
+        // witnessed by q itself? No: needs r with q.B = r.B, and q works
+        // as r only if q.B = q.B — which is reflexively true.
+        let triv = parse_dependency(
+            "triv",
+            "forall (p in R) (q in R) where p.B = q.A \
+             -> exists (r in R) where p.B = q.A and q.B = r.B",
+        )
+        .unwrap();
+        assert!(implies(&[], &triv, &cfg()));
+
+        let nontriv = parse_dependency(
+            "nontriv",
+            "forall (p in R) -> exists (r in R) where p.B = r.A",
+        )
+        .unwrap();
+        assert!(!implies(&[], &nontriv, &cfg()));
+    }
+
+    #[test]
+    fn transitive_implication_through_chase() {
+        // R ⊆ S and S ⊆ T imply R ⊆ T (membership encoded via key
+        // equality).
+        let d1 = parse_dependency("d1", "forall (r in R) -> exists (s in S) where r.K = s.K")
+            .unwrap();
+        let d2 = parse_dependency("d2", "forall (s in S) -> exists (t in T) where s.K = t.K")
+            .unwrap();
+        let goal = parse_dependency(
+            "goal",
+            "forall (r in R) -> exists (t in T) where r.K = t.K",
+        )
+        .unwrap();
+        assert!(implies(&[d1.clone(), d2.clone()], &goal, &cfg()));
+        assert!(!implies(&[d1], &goal, &cfg()));
+    }
+
+    #[test]
+    fn egd_reasoning() {
+        // Key on R plus matching keys implies field equality.
+        let key =
+            parse_dependency("key", "forall (p in R) (q in R) where p.K = q.K -> p = q")
+                .unwrap();
+        let goal = parse_dependency(
+            "goal",
+            "forall (p in R) (q in R) where p.K = q.K -> p.B = q.B",
+        )
+        .unwrap();
+        assert!(implies(&[key], &goal, &cfg()));
+        assert!(!implies(&[], &goal, &cfg()));
+    }
+
+    #[test]
+    fn view_unfolding_implication() {
+        // c'_V : every view tuple comes from the join; then every view
+        // tuple's A value appears in R.
+        let c_v_prime = parse_dependency(
+            "c'_V",
+            "forall (v in V) -> exists (r in R) (s in S) \
+             where r.B = s.B and v.A = r.A",
+        )
+        .unwrap();
+        let goal = parse_dependency(
+            "goal",
+            "forall (v in V) -> exists (r in R) where v.A = r.A",
+        )
+        .unwrap();
+        assert!(implies(&[c_v_prime], &goal, &cfg()));
+    }
+
+    #[test]
+    fn paper_p2_justification() {
+        // Removing d, s from the ProjDept query is justified by RIC2 +
+        // INV2 (+ the INV1-derived condition): forall p in Proj there are
+        // d in depts, s in d.DProjs with s = p.PName and d.DName = p.PDept.
+        let ric2 = parse_dependency(
+            "RIC2",
+            "forall (p in Proj) -> exists (d in depts) where p.PDept = d.DName",
+        )
+        .unwrap();
+        let inv2 = parse_dependency(
+            "INV2",
+            "forall (p in Proj) (d in depts) where p.PDept = d.DName \
+             -> exists (s in d.DProjs) where p.PName = s",
+        )
+        .unwrap();
+        let goal = parse_dependency(
+            "goal",
+            "forall (p in Proj) -> exists (d in depts) (s in d.DProjs) \
+             where s = p.PName and d.DName = p.PDept",
+        )
+        .unwrap();
+        assert!(implies(&[ric2.clone(), inv2.clone()], &goal, &cfg()));
+        // Neither constraint alone suffices.
+        assert!(!implies(&[ric2], &goal, &cfg()));
+        assert!(!implies(&[inv2], &goal, &cfg()));
+    }
+}

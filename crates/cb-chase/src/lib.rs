@@ -1,0 +1,42 @@
+//! # cb-chase — the chase & backchase engines
+//!
+//! The rewriting core of *Physical Data Independence, Constraints and
+//! Optimization with Universal Plans* (Deutsch, Popa, Tannen; VLDB 1999):
+//!
+//! * [`chase`] — phase 1: rewrite a query with EPCD constraints until a
+//!   fixpoint, producing the **universal plan** that "holds in one place
+//!   essentially all possible physical plans expressible in our
+//!   language";
+//! * [`backchase`] — phase 2: enumerate the minimal plans by removing
+//!   redundant bindings, each removal justified by a constraint implied
+//!   by `D ∪ D'`;
+//! * [`implies`] — the chase-based constraint-implication prover behind
+//!   backchase condition (3);
+//! * [`contained_in`] / [`equivalent`] — PC query containment under
+//!   constraints (containment mappings into the chased query);
+//! * [`minimize`] — generalized tableau minimization (backchase with
+//!   trivial constraints).
+//!
+//! Everything is built on one structure: the congruence-closure e-graph
+//! of a query's body ([`canon::QueryGraph`] over [`egraph::EGraph`]).
+
+pub mod backchase;
+pub mod canon;
+pub mod chase;
+pub mod egraph;
+pub mod hom;
+pub mod implication;
+pub mod termination;
+
+mod containment;
+
+pub use backchase::{
+    backchase, backchase_greedy, backchase_step, examine_removal, is_minimal, minimize,
+    BackchaseConfig, BackchaseOutcome, RemovalJudgement,
+};
+pub use canon::QueryGraph;
+pub use chase::{chase, chase_step, coalesce_duplicates, ChaseConfig, ChaseOutcome, ChaseStepTrace};
+pub use containment::{contained_in, contained_in_pre_chased, equivalent};
+pub use egraph::EGraph;
+pub use implication::implies;
+pub use termination::{analyze_termination, is_weakly_acyclic, TerminationVerdict};

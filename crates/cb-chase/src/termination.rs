@@ -1,0 +1,247 @@
+//! Chase-termination analysis.
+//!
+//! The paper: "we show that while the chase does not always terminate, it
+//! does so for certain classes of constraints and queries, yielding an
+//! essentially unique result U whose size is polynomial." Two sufficient
+//! conditions are implemented here:
+//!
+//! * **full dependency sets** — every existential is determined by the
+//!   conclusion (view constraints `c_V` are the canonical example); the
+//!   chase adds at most one binding group per trigger and triggers don't
+//!   compound, giving the polynomial bound of Theorem 1;
+//! * **weak acyclicity** (Fagin et al.) — adapted to path-conjunctive
+//!   dependencies by abstracting each binding to its *position shape*
+//!   (the source path with variables replaced by their own shapes, e.g.
+//!   `depts.DProjs`, `dom(I)`, `SI[·]`). A dependency draws edges from
+//!   its premise shapes to its conclusion shapes, *special* edges when
+//!   the conclusion binding genuinely invents a value (undetermined
+//!   existential). No cycle through a special edge ⇒ the chase
+//!   terminates.
+//!
+//! Both checks are sufficient conditions only: the restricted chase often
+//! terminates on sets that fail them (the full ProjDept constraint set
+//! does — RIC1/INV2 form a special-edge cycle whose firings are always
+//! satisfied in practice). [`ChaseConfig`]'s budgets remain the safety
+//! net, and an incomplete chase is still sound.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pcql::path::Path;
+use pcql::query::Binding;
+use pcql::Dependency;
+
+/// The verdict of static termination analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationVerdict {
+    /// All dependencies are full: polynomial chase (Theorem 1 regime).
+    Full,
+    /// Weakly acyclic: terminating, possibly exponential.
+    WeaklyAcyclic,
+    /// No static guarantee; rely on chase budgets.
+    Unknown,
+}
+
+/// Statically classifies a dependency set.
+pub fn analyze_termination(deps: &[Dependency]) -> TerminationVerdict {
+    if deps.iter().all(Dependency::is_full) {
+        TerminationVerdict::Full
+    } else if is_weakly_acyclic(deps) {
+        TerminationVerdict::WeaklyAcyclic
+    } else {
+        TerminationVerdict::Unknown
+    }
+}
+
+/// The abstract "position" a binding ranges over: its source path with
+/// each variable replaced by the shape of that variable's own source.
+fn shape(src: &Path, var_shapes: &BTreeMap<String, String>) -> String {
+    match src {
+        Path::Var(v) => var_shapes.get(v).cloned().unwrap_or_else(|| "·".to_string()),
+        Path::Const(c) => c.to_string(),
+        Path::Root(r) => r.clone(),
+        Path::Field(p, f) => format!("{}.{f}", shape(p, var_shapes)),
+        Path::Dom(p) => format!("dom({})", shape(p, var_shapes)),
+        // Keys are abstracted away: all entries of a dictionary share a
+        // position.
+        Path::Get(m, _) => format!("{}[·]", shape(m, var_shapes)),
+        Path::GetOrEmpty(m, _) => format!("{}{{·}}", shape(m, var_shapes)),
+    }
+}
+
+fn binding_shapes(bindings: &[Binding], var_shapes: &mut BTreeMap<String, String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in bindings {
+        let s = shape(&b.src, var_shapes);
+        var_shapes.insert(b.var.clone(), s.clone());
+        out.push(s);
+    }
+    out
+}
+
+/// Sufficient termination condition: the position graph has no cycle
+/// through a special (value-inventing) edge.
+pub fn is_weakly_acyclic(deps: &[Dependency]) -> bool {
+    // Edges: (from, to, special).
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    let mut edges: Vec<(String, String, bool)> = Vec::new();
+    for d in deps {
+        let mut var_shapes = BTreeMap::new();
+        let premise = binding_shapes(&d.forall, &mut var_shapes);
+        let determined = d.determined_existentials();
+        let conclusion = binding_shapes(&d.exists, &mut var_shapes);
+        nodes.extend(premise.iter().cloned());
+        nodes.extend(conclusion.iter().cloned());
+        for (b, to) in d.exists.iter().zip(&conclusion) {
+            let special = !determined.contains(&b.var);
+            for from in &premise {
+                edges.push((from.clone(), to.clone(), special));
+            }
+        }
+    }
+    // A cycle through a special edge exists iff some special edge (u, v)
+    // has a path v ->* u.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to, _) in &edges {
+        adj.entry(from).or_default().push(to);
+    }
+    let reaches = |start: &str, goal: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if n == goal {
+                return true;
+            }
+            if seen.insert(n.to_string()) {
+                if let Some(nexts) = adj.get(n) {
+                    stack.extend(nexts.iter().copied());
+                }
+            }
+        }
+        false
+    };
+    !edges
+        .iter()
+        .filter(|(_, _, special)| *special)
+        .any(|(from, to, _)| reaches(to, from) || from == to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcql::parser::parse_dependency;
+
+    #[test]
+    fn view_constraints_are_full() {
+        let deps = vec![
+            parse_dependency(
+                "c_V",
+                "forall (r in R) (s in S) where r.B = s.B -> exists (v in V) where v = r.A",
+            )
+            .unwrap(),
+        ];
+        assert_eq!(analyze_termination(&deps), TerminationVerdict::Full);
+    }
+
+    #[test]
+    fn one_way_ric_is_weakly_acyclic() {
+        let deps = vec![parse_dependency(
+            "ric",
+            "forall (r in R) -> exists (s in S) where r.B = s.B",
+        )
+        .unwrap()];
+        assert_eq!(analyze_termination(&deps), TerminationVerdict::WeaklyAcyclic);
+    }
+
+    #[test]
+    fn mutual_rics_are_not_weakly_acyclic() {
+        // R -> S and S -> R with fresh witnesses: the classic potentially
+        // diverging set (the restricted chase happens to terminate, but
+        // no static guarantee exists).
+        let deps = vec![
+            parse_dependency("rs", "forall (r in R) -> exists (s in S) where r.A = s.A")
+                .unwrap(),
+            parse_dependency("sr", "forall (s in S) -> exists (r in R) where s.B = r.B")
+                .unwrap(),
+        ];
+        assert_eq!(analyze_termination(&deps), TerminationVerdict::Unknown);
+    }
+
+    #[test]
+    fn self_growing_dependency_is_not_weakly_acyclic() {
+        let deps = vec![parse_dependency(
+            "grow",
+            "forall (s in S) -> exists (t in S) where t.Pred = s.A",
+        )
+        .unwrap()];
+        assert!(!is_weakly_acyclic(&deps));
+        assert_eq!(analyze_termination(&deps), TerminationVerdict::Unknown);
+    }
+
+    #[test]
+    fn primary_index_constraints_are_full() {
+        // PI1/PI2 determine all their existentials: polynomial chase.
+        let cat = {
+            let mut c = cb_catalog::Catalog::new();
+            c.add_logical_relation(
+                "R",
+                [("A", pcql::Type::Int), ("B", pcql::Type::Int)],
+            );
+            c.add_direct_mapping("R");
+            c.add_primary_index("I", "R", "A").unwrap();
+            c
+        };
+        assert_eq!(
+            analyze_termination(&cat.mapping_constraints().to_vec()),
+            TerminationVerdict::Full
+        );
+    }
+
+    #[test]
+    fn secondary_index_set_is_only_restricted_chase_terminating() {
+        // SI3 (non-emptiness) invents an entry from a key, SI2 reaches the
+        // relation from entries, SI1 reaches keys from the relation — a
+        // genuine special-edge cycle. The *restricted* chase terminates
+        // (SI1 creates the entry that satisfies SI3), but weak acyclicity
+        // cannot see that; the verdict is honestly Unknown.
+        let cat = {
+            let mut c = cb_catalog::Catalog::new();
+            c.add_logical_relation(
+                "R",
+                [("A", pcql::Type::Int), ("B", pcql::Type::Int)],
+            );
+            c.add_direct_mapping("R");
+            c.add_secondary_index("SB", "R", "B").unwrap();
+            c
+        };
+        assert_eq!(
+            analyze_termination(&cat.mapping_constraints().to_vec()),
+            TerminationVerdict::Unknown
+        );
+        // Empirically the restricted chase reaches a fixpoint anyway.
+        let q = pcql::parser::parse_query("select struct(A = r.A) from R r").unwrap();
+        let out = crate::chase::chase(
+            &q,
+            &cat.all_constraints(),
+            &crate::chase::ChaseConfig::default(),
+        );
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn projdept_full_set_has_no_static_guarantee() {
+        // RIC1 + INV2 form a special-edge cycle (each invents the other's
+        // witnesses); the restricted chase still terminates in practice —
+        // the verdict is honest about being only a sufficient condition.
+        let cat = cb_catalog::scenarios::projdept::catalog();
+        assert_eq!(analyze_termination(&cat.all_constraints()), TerminationVerdict::Unknown);
+    }
+
+    #[test]
+    fn egds_never_block_termination() {
+        let deps = vec![
+            parse_dependency("key", "forall (p in R) (q in R) where p.A = q.A -> p = q")
+                .unwrap(),
+        ];
+        assert_eq!(analyze_termination(&deps), TerminationVerdict::Full);
+    }
+}

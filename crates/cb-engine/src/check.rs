@@ -1,0 +1,173 @@
+//! Constraint checking: does an instance satisfy an EPCD?
+//!
+//! Used by tests to validate that (a) generated instances satisfy the
+//! declared semantic constraints and (b) materialized access structures
+//! satisfy their own characterizing constraints — the ground truth that
+//! makes chase/backchase rewrites sound on these instances.
+
+use std::collections::BTreeMap;
+
+use pcql::query::{Binding, Equality};
+use pcql::Dependency;
+
+use crate::eval::{EvalError, Evaluator};
+use crate::value::Value;
+
+/// Does the instance behind `ev` satisfy `dep`?
+pub fn satisfies(ev: &Evaluator<'_>, dep: &Dependency) -> Result<bool, EvalError> {
+    let mut env = BTreeMap::new();
+    all_universal(ev, dep, &dep.forall, &mut env)
+}
+
+fn all_universal(
+    ev: &Evaluator<'_>,
+    dep: &Dependency,
+    rest: &[Binding],
+    env: &mut BTreeMap<String, Value>,
+) -> Result<bool, EvalError> {
+    match rest.split_first() {
+        None => {
+            if !eqs_hold(ev, &dep.premise, env)? {
+                return Ok(true); // premise false: vacuously satisfied
+            }
+            some_existential(ev, dep, &dep.exists, env)
+        }
+        Some((b, tail)) => {
+            let src = ev.eval_path(env, &b.src)?;
+            let items = src
+                .as_set()
+                .cloned()
+                .ok_or_else(|| EvalError::NotASet(b.src.to_string()))?;
+            for item in items {
+                env.insert(b.var.clone(), item);
+                if !all_universal(ev, dep, tail, env)? {
+                    env.remove(&b.var);
+                    return Ok(false);
+                }
+            }
+            env.remove(&b.var);
+            Ok(true)
+        }
+    }
+}
+
+fn some_existential(
+    ev: &Evaluator<'_>,
+    dep: &Dependency,
+    rest: &[Binding],
+    env: &mut BTreeMap<String, Value>,
+) -> Result<bool, EvalError> {
+    match rest.split_first() {
+        None => eqs_hold(ev, &dep.conclusion, env),
+        Some((b, tail)) => {
+            let src = ev.eval_path(env, &b.src)?;
+            let items = src
+                .as_set()
+                .cloned()
+                .ok_or_else(|| EvalError::NotASet(b.src.to_string()))?;
+            for item in items {
+                env.insert(b.var.clone(), item);
+                if some_existential(ev, dep, tail, env)? {
+                    env.remove(&b.var);
+                    return Ok(true);
+                }
+            }
+            env.remove(&b.var);
+            Ok(false)
+        }
+    }
+}
+
+fn eqs_hold(
+    ev: &Evaluator<'_>,
+    eqs: &[Equality],
+    env: &BTreeMap<String, Value>,
+) -> Result<bool, EvalError> {
+    for Equality(l, r) in eqs {
+        if ev.eval_path(env, l)? != ev.eval_path(env, r)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Checks a whole set of constraints, returning the names of violated
+/// ones.
+pub fn violations(
+    ev: &Evaluator<'_>,
+    deps: &[Dependency],
+) -> Result<Vec<String>, EvalError> {
+    let mut out = Vec::new();
+    for d in deps {
+        if !satisfies(ev, d)? {
+            out.push(d.name.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use pcql::parser::parse_dependency;
+
+    fn instance() -> Instance {
+        let row = |a: i64, b: i64| Value::record([("A", Value::Int(a)), ("B", Value::Int(b))]);
+        let srow = |b: i64| Value::record([("B", Value::Int(b))]);
+        let mut i = Instance::new();
+        i.set("R", Value::set([row(1, 10), row(2, 20)]));
+        i.set("S", Value::set([srow(10), srow(20), srow(99)]));
+        i
+    }
+
+    #[test]
+    fn tgd_satisfaction() {
+        let i = instance();
+        let ev = Evaluator::new(&i);
+        let ric = parse_dependency(
+            "ric",
+            "forall (r in R) -> exists (s in S) where r.B = s.B",
+        )
+        .unwrap();
+        assert!(satisfies(&ev, &ric).unwrap());
+        // The reverse direction fails (S has B = 99 unmatched).
+        let ric_rev = parse_dependency(
+            "ric_rev",
+            "forall (s in S) -> exists (r in R) where r.B = s.B",
+        )
+        .unwrap();
+        assert!(!satisfies(&ev, &ric_rev).unwrap());
+    }
+
+    #[test]
+    fn egd_satisfaction() {
+        let i = instance();
+        let ev = Evaluator::new(&i);
+        let key =
+            parse_dependency("key", "forall (p in R) (q in R) where p.A = q.A -> p = q")
+                .unwrap();
+        assert!(satisfies(&ev, &key).unwrap());
+        let not_key =
+            parse_dependency("nk", "forall (p in R) (q in R) where p.B = p.B -> p = q")
+                .unwrap();
+        assert!(!satisfies(&ev, &not_key).unwrap());
+    }
+
+    #[test]
+    fn violations_lists_names() {
+        let i = instance();
+        let ev = Evaluator::new(&i);
+        let good = parse_dependency(
+            "good",
+            "forall (r in R) -> exists (s in S) where r.B = s.B",
+        )
+        .unwrap();
+        let bad = parse_dependency(
+            "bad",
+            "forall (s in S) -> exists (r in R) where r.B = s.B",
+        )
+        .unwrap();
+        assert_eq!(violations(&ev, &[good, bad]).unwrap(), vec!["bad".to_string()]);
+    }
+}

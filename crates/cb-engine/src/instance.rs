@@ -1,0 +1,51 @@
+//! Database instances: named root values.
+
+use std::collections::BTreeMap;
+
+use crate::value::Value;
+
+/// An instance: a value for every (populated) schema root.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Instance {
+    pub roots: BTreeMap<String, Value>,
+}
+
+impl Instance {
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    pub fn set(&mut self, root: impl Into<String>, value: Value) -> &mut Self {
+        self.roots.insert(root.into(), value);
+        self
+    }
+
+    pub fn get(&self, root: &str) -> Option<&Value> {
+        self.roots.get(root)
+    }
+
+    /// Cardinality of a root: `|set|` or `|dom(dict)|`.
+    pub fn cardinality(&self, root: &str) -> Option<usize> {
+        match self.roots.get(root)? {
+            Value::Set(s) => Some(s.len()),
+            Value::Dict(d) => Some(d.len()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_round_trip() {
+        let mut i = Instance::new();
+        i.set("R", Value::set([Value::Int(1), Value::Int(2)]));
+        i.set("M", Value::dict([(Value::Int(1), Value::str("a"))]));
+        assert_eq!(i.cardinality("R"), Some(2));
+        assert_eq!(i.cardinality("M"), Some(1));
+        assert_eq!(i.cardinality("missing"), None);
+        assert!(i.get("R").is_some());
+    }
+}

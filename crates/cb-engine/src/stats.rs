@@ -1,0 +1,128 @@
+//! Statistics collection: populate the catalog's cost-model statistics
+//! from an actual instance.
+
+use std::collections::BTreeSet;
+
+use cb_catalog::{RootStats, Stats};
+
+use crate::instance::Instance;
+use crate::value::Value;
+
+/// Collects per-root statistics (cardinality, per-field distinct counts,
+/// set-valued fanouts, dictionary entry fanouts) for every root in the
+/// instance.
+pub fn collect_stats(instance: &Instance) -> Stats {
+    let mut stats = Stats::new();
+    for (name, value) in &instance.roots {
+        match value {
+            Value::Set(items) => {
+                let mut rs = RootStats::with_cardinality(items.len() as u64);
+                field_stats(items.iter(), &mut rs);
+                stats.set(name.clone(), rs);
+            }
+            Value::Dict(map) => {
+                let mut rs = RootStats::with_cardinality(map.len() as u64);
+                // Entry fanout for set-valued entries.
+                let mut total = 0usize;
+                let mut n_sets = 0usize;
+                for v in map.values() {
+                    if let Value::Set(s) = v {
+                        total += s.len();
+                        n_sets += 1;
+                    }
+                }
+                if n_sets > 0 {
+                    rs.avg_fanout.insert(String::new(), total as f64 / n_sets as f64);
+                }
+                // Field statistics over record entries.
+                field_stats(map.values(), &mut rs);
+                stats.set(name.clone(), rs);
+            }
+            _ => {}
+        }
+    }
+    stats
+}
+
+fn field_stats<'a>(rows: impl Iterator<Item = &'a Value>, rs: &mut RootStats) {
+    use std::collections::BTreeMap;
+    let mut distinct: BTreeMap<String, BTreeSet<&Value>> = BTreeMap::new();
+    let mut fanout: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for row in rows {
+        if let Value::Struct(fields) = row {
+            for (f, v) in fields {
+                match v {
+                    Value::Set(items) => {
+                        let e = fanout.entry(f.clone()).or_default();
+                        e.0 += items.len();
+                        e.1 += 1;
+                    }
+                    _ => {
+                        distinct.entry(f.clone()).or_default().insert(v);
+                    }
+                }
+            }
+        }
+    }
+    for (f, set) in distinct {
+        rs.distinct.insert(f, set.len() as u64);
+    }
+    for (f, (total, n)) in fanout {
+        if n > 0 {
+            rs.avg_fanout.insert(f, total as f64 / n as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_relation_stats() {
+        let row = |a: i64, b: i64| Value::record([("A", Value::Int(a)), ("B", Value::Int(b))]);
+        let mut i = Instance::new();
+        i.set("R", Value::set([row(1, 10), row(2, 10), row(3, 30)]));
+        let stats = collect_stats(&i);
+        let r = stats.get("R").unwrap();
+        assert_eq!(r.cardinality, 3);
+        assert_eq!(r.distinct_of("A"), Some(3));
+        assert_eq!(r.distinct_of("B"), Some(2));
+    }
+
+    #[test]
+    fn collects_dict_fanouts() {
+        let mut i = Instance::new();
+        i.set(
+            "SI",
+            Value::dict([
+                (Value::Int(1), Value::set([Value::Int(1), Value::Int(2)])),
+                (Value::Int(2), Value::set([Value::Int(3)])),
+            ]),
+        );
+        let stats = collect_stats(&i);
+        let si = stats.get("SI").unwrap();
+        assert_eq!(si.cardinality, 2);
+        assert_eq!(si.entry_fanout(), Some(1.5));
+    }
+
+    #[test]
+    fn collects_class_dict_member_fanouts() {
+        let mut i = Instance::new();
+        i.set(
+            "Dept",
+            Value::dict([(
+                Value::Oid("Dept".into(), 0),
+                Value::record([
+                    ("DName", Value::str("cs")),
+                    ("DProjs", Value::set([Value::str("a"), Value::str("b")])),
+                ]),
+            )]),
+        );
+        let stats = collect_stats(&i);
+        let d = stats.get("Dept").unwrap();
+        assert_eq!(d.cardinality, 1);
+        assert_eq!(d.fanout_of("DProjs"), Some(2.0));
+        assert_eq!(d.distinct_of("DName"), Some(1));
+    }
+}

@@ -1,0 +1,180 @@
+//! Runtime values of the complex-object data model.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use pcql::path::Constant;
+use pcql::types::Type;
+
+/// A runtime value. `BTreeMap`/`BTreeSet` keep everything totally ordered,
+/// which gives us set semantics, deterministic iteration and hashable
+/// results for free.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    /// An OID: the class name plus a numeric identity. OIDs are abstract —
+    /// queries can only compare them — but the engine needs an identity to
+    /// key class dictionaries.
+    Oid(String, u64),
+    Struct(BTreeMap<String, Value>),
+    Set(BTreeSet<Value>),
+    Dict(BTreeMap<Value, Value>),
+}
+
+impl Value {
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    pub fn record<I, S>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        Value::Struct(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    pub fn set<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Set(items.into_iter().collect())
+    }
+
+    pub fn dict<I: IntoIterator<Item = (Value, Value)>>(items: I) -> Value {
+        Value::Dict(items.into_iter().collect())
+    }
+
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_dict(&self) -> Option<&BTreeMap<Value, Value>> {
+        match self {
+            Value::Dict(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Struct(fields) => fields.get(name),
+            _ => None,
+        }
+    }
+
+    /// Does the value inhabit the type? (Structural check; used by tests
+    /// and the materializer's sanity assertions.)
+    pub fn has_type(&self, ty: &Type) -> bool {
+        match (self, ty) {
+            (Value::Bool(_), Type::Bool) => true,
+            (Value::Int(_), Type::Int) => true,
+            (Value::Str(_), Type::Str) => true,
+            (Value::Oid(class, _), Type::Oid(want)) => class == want,
+            (Value::Struct(fields), Type::Struct(tys)) => {
+                fields.len() == tys.len()
+                    && fields.iter().all(|(k, v)| tys.get(k).is_some_and(|t| v.has_type(t)))
+            }
+            (Value::Set(items), Type::Set(elem)) => items.iter().all(|v| v.has_type(elem)),
+            (Value::Dict(map), Type::Dict(k, v)) => {
+                map.iter().all(|(key, val)| key.has_type(k) && val.has_type(v))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl From<&Constant> for Value {
+    fn from(c: &Constant) -> Value {
+        match c {
+            Constant::Bool(b) => Value::Bool(*b),
+            Constant::Int(i) => Value::Int(*i),
+            Constant::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Oid(class, n) => write!(f, "&{class}#{n}"),
+            Value::Struct(fields) => {
+                write!(f, "struct(")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} = {v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Set(items) => {
+                write!(f, "{{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Dict(map) => {
+                write!(f, "dict{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} -> {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics_dedup() {
+        let s = Value::set([Value::Int(1), Value::Int(1), Value::Int(2)]);
+        assert_eq!(s.as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn typing_check() {
+        let row = Value::record([("A", Value::Int(1)), ("B", Value::str("x"))]);
+        let ty = Type::record([("A", Type::Int), ("B", Type::Str)]);
+        assert!(row.has_type(&ty));
+        assert!(!row.has_type(&Type::record([("A", Type::Int)])));
+        assert!(!Value::Int(1).has_type(&Type::Str));
+        let oid = Value::Oid("Dept".into(), 3);
+        assert!(oid.has_type(&Type::Oid("Dept".into())));
+        assert!(!oid.has_type(&Type::Oid("Proj".into())));
+        let d = Value::dict([(Value::Int(1), Value::str("a"))]);
+        assert!(d.has_type(&Type::dict(Type::Int, Type::Str)));
+        assert!(!d.has_type(&Type::dict(Type::Str, Type::Str)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::record([("A", Value::Int(1))]);
+        assert_eq!(v.to_string(), "struct(A = 1)");
+        assert_eq!(Value::Oid("Dept".into(), 7).to_string(), "&Dept#7");
+        assert_eq!(Value::set([Value::Int(2), Value::Int(1)]).to_string(), "{1, 2}");
+    }
+
+    #[test]
+    fn field_access() {
+        let v = Value::record([("A", Value::Int(1))]);
+        assert_eq!(v.field("A"), Some(&Value::Int(1)));
+        assert_eq!(v.field("B"), None);
+        assert_eq!(Value::Int(1).field("A"), None);
+    }
+}

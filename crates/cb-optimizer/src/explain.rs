@@ -1,0 +1,78 @@
+//! Human-readable EXPLAIN output for an optimization outcome.
+
+use std::fmt::Write as _;
+
+use crate::optimizer::OptimizeOutcome;
+
+/// Renders the full story of one optimization: input, chase steps,
+/// universal plan, candidate plans with costs, and the winner.
+pub fn explain(outcome: &OptimizeOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== input query ==");
+    let _ = writeln!(s, "{}", outcome.input);
+    let _ = writeln!(s, "\n== chase (phase 1): {} steps ==", outcome.chase_steps.len());
+    for step in &outcome.chase_steps {
+        let adds: Vec<String> = step
+            .added_bindings
+            .iter()
+            .map(|b| format!("{} in {}", b.var, b.src))
+            .collect();
+        let eqs: Vec<String> =
+            step.added_eqs.iter().map(|e| format!("{} = {}", e.0, e.1)).collect();
+        let _ = writeln!(
+            s,
+            "  [{}] + bindings {{{}}} + conditions {{{}}}",
+            step.dep,
+            adds.join(", "),
+            eqs.join(", ")
+        );
+    }
+    let _ = writeln!(s, "\n== universal plan ==");
+    let _ = writeln!(s, "{}", outcome.universal);
+    let _ = writeln!(
+        s,
+        "\n== backchase (phase 2): {} physical plan(s), cheapest first ==",
+        outcome.candidates.len()
+    );
+    for (i, c) in outcome.candidates.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  #{:<2} cost {:>12.1} {} {}",
+            i + 1,
+            c.cost,
+            if c.minimal { "[minimal]" } else { "[interim]" },
+            c.query
+        );
+    }
+    let _ = writeln!(s, "\n== chosen plan (cost {:.1}) ==", outcome.best.cost);
+    let _ = writeln!(s, "{}", outcome.best.query);
+    if !outcome.complete {
+        let _ = writeln!(s, "\n(note: search budgets were hit; the plan space may be larger)");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Optimizer;
+    use cb_catalog::scenarios::projdept;
+
+    #[test]
+    fn explain_mentions_all_sections() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 50, 5, 10);
+        let out = Optimizer::new(&cat).optimize(&projdept::query()).unwrap();
+        let text = explain(&out);
+        for needle in [
+            "== input query ==",
+            "== chase (phase 1)",
+            "== universal plan ==",
+            "== backchase (phase 2)",
+            "== chosen plan",
+            "[minimal]",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # cb-optimizer — Algorithm 1 of the universal-plans paper
+//!
+//! Putting the pieces together:
+//!
+//! 1. **chase** the input query with `D ∪ D'` into the universal plan;
+//! 2. **backchase** the universal plan into the set of minimal plans
+//!    (plus every physical equivalent subquery along the way);
+//! 3. per plan, run the "conventional" step: guard-elimination cleanup
+//!    (the §4 non-failing lookup rewrite), greedy binding reordering, and
+//!    System-R-style costing;
+//! 4. return the cheapest plan, with the whole derivation retained for
+//!    [`explain`].
+
+pub mod cleanup;
+pub mod cost;
+pub mod explain;
+pub mod optimizer;
+pub mod reorder;
+
+pub use cleanup::{cleanup_plan, prune_implied_conditions};
+pub use cost::CostModel;
+pub use explain::explain;
+pub use optimizer::{
+    OptimizeError, OptimizeOutcome, Optimizer, OptimizerConfig, PlanChoice, SearchStrategy,
+};
+pub use reorder::reorder_bindings;

@@ -1,0 +1,346 @@
+//! Algorithm 1 of the paper.
+//!
+//! ```text
+//! Input:  logical schema Λ with constraints D,
+//!         constraints D' characterizing physical schema Φ,
+//!         cost function C, query Q
+//! Output: cheapest plan Q' equivalent to Q under D ∪ D'
+//!
+//! 1 U := chase_{D ∪ D'}(Q)                      (universal plan)
+//! 2 for each p ∈ backchase_{D ∪ D'}(U)          (minimal plans)
+//! 3     do cost-based conventional optimization
+//!       keep cheapest plan so far
+//! 4 Q' := cheapest
+//! ```
+//!
+//! Steps 1 and 2 are cost-independent, as the paper stresses (contrast
+//! with Volcano); step 3 here is plan cleanup (non-failing-lookup
+//! introduction, §4) plus greedy binding reordering, followed by costing.
+//! Since every subquery the backchase visits is a sound plan ("we can
+//! stop this rewriting anytime"), the optimizer costs all *physical*
+//! visited subqueries, not just the normal forms — reproducing, e.g., the
+//! paper's P1, which is an equivalent physical plan even in regimes where
+//! it is not minimal.
+
+use std::fmt;
+
+use cb_catalog::Catalog;
+use cb_chase::{backchase, chase, BackchaseConfig, ChaseConfig, ChaseStepTrace};
+use pcql::query::Query;
+use pcql::typecheck::{check_query, TypeError};
+
+use crate::cleanup::cleanup_plan;
+use crate::cost::CostModel;
+use crate::reorder::reorder_bindings;
+
+/// How to search the plan space in phase 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Full lattice enumeration with equivalence pruning (Theorem 2's
+    /// complete procedure) — exponential, finds *all* minimal plans.
+    #[default]
+    Exhaustive,
+    /// The paper's §3 heuristic: one greedy descent that removes
+    /// logical-only bindings first — linear, finds *one* minimal plan.
+    Greedy,
+}
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerConfig {
+    pub chase: ChaseConfig,
+    pub backchase: BackchaseConfig,
+    /// Cost also the non-minimal physical subqueries encountered during
+    /// backchase (they are sound plans; the paper's P1 is one).
+    pub cost_visited: bool,
+    pub strategy: SearchStrategy,
+}
+
+/// One costed plan.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// The executable plan (cleaned up and reordered).
+    pub query: Query,
+    /// The backchase subquery it came from.
+    pub raw: Query,
+    /// Estimated cost.
+    pub cost: f64,
+    /// Whether the raw form was a backchase normal form (minimal plan).
+    pub minimal: bool,
+}
+
+/// The full outcome of Algorithm 1 (kept for EXPLAIN and experiments).
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The input query.
+    pub input: Query,
+    /// The universal plan `chase(Q)`.
+    pub universal: Query,
+    /// Chase steps applied to reach it.
+    pub chase_steps: Vec<ChaseStepTrace>,
+    /// All costed physical plans, cheapest first.
+    pub candidates: Vec<PlanChoice>,
+    /// The winner.
+    pub best: PlanChoice,
+    /// Whether both phases ran to completion within budgets.
+    pub complete: bool,
+}
+
+/// Optimization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimizeError {
+    Type(TypeError),
+    /// No enumerated plan mentions only physical-schema roots.
+    NoPhysicalPlan { universal: String },
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::Type(e) => write!(f, "{e}"),
+            OptimizeError::NoPhysicalPlan { universal } => {
+                write!(f, "no physical plan found; universal plan was: {universal}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+impl From<TypeError> for OptimizeError {
+    fn from(e: TypeError) -> Self {
+        OptimizeError::Type(e)
+    }
+}
+
+/// The chase & backchase optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    config: OptimizerConfig,
+}
+
+impl<'a> Optimizer<'a> {
+    pub fn new(catalog: &'a Catalog) -> Optimizer<'a> {
+        Optimizer {
+            catalog,
+            config: OptimizerConfig {
+                backchase: BackchaseConfig { max_visited: 4096, ..Default::default() },
+                cost_visited: true,
+                ..Default::default()
+            },
+        }
+    }
+
+    pub fn with_config(catalog: &'a Catalog, config: OptimizerConfig) -> Optimizer<'a> {
+        Optimizer { catalog, config }
+    }
+
+    /// Runs Algorithm 1 on `q`.
+    pub fn optimize(&self, q: &Query) -> Result<OptimizeOutcome, OptimizeError> {
+        let schema = self.catalog.combined_schema();
+        check_query(&schema, q)?;
+        let deps = self.catalog.all_constraints();
+
+        // Phase 1: chase to the universal plan.
+        let chased = chase(q, &deps, &self.config.chase);
+        let universal = chased.query.clone();
+
+        // Phase 2: backchase enumeration of minimal plans.
+        let bc = match self.config.strategy {
+            SearchStrategy::Exhaustive => backchase(&universal, &deps, &self.config.backchase),
+            SearchStrategy::Greedy => {
+                // Prefer removing what is logical-only, per the paper's
+                // "obvious strategy".
+                let prefer: std::collections::BTreeSet<String> = self
+                    .catalog
+                    .logical()
+                    .roots
+                    .keys()
+                    .filter(|r| !self.catalog.is_physical_root(r))
+                    .cloned()
+                    .collect();
+                let plan = cb_chase::backchase_greedy(
+                    &universal,
+                    &deps,
+                    &prefer,
+                    &self.config.chase,
+                );
+                cb_chase::BackchaseOutcome {
+                    normal_forms: vec![plan],
+                    visited: vec![universal.clone()],
+                    complete: true,
+                }
+            }
+        };
+
+        // Step 3: conventional optimization + costing of each physical
+        // plan.
+        let model = CostModel::for_catalog(self.catalog);
+        let mut candidates: Vec<PlanChoice> = Vec::new();
+        let consider = |raw: &Query, minimal: bool, candidates: &mut Vec<PlanChoice>| {
+            if !self.catalog.is_physical_query(raw) {
+                return;
+            }
+            let pruned =
+                crate::cleanup::prune_implied_conditions(self.catalog, raw, &self.config.chase);
+            let cleaned = cleanup_plan(self.catalog, &pruned);
+            let ordered = reorder_bindings(&cleaned, &model);
+            let cost = model.plan_cost(&ordered);
+            candidates.push(PlanChoice { query: ordered, raw: raw.clone(), cost, minimal });
+        };
+        for nf in &bc.normal_forms {
+            consider(nf, true, &mut candidates);
+        }
+        if self.config.cost_visited {
+            let nf_set: std::collections::BTreeSet<Query> =
+                bc.normal_forms.iter().map(|p| p.alpha_normalized()).collect();
+            for v in &bc.visited {
+                if !nf_set.contains(&v.alpha_normalized()) {
+                    consider(v, false, &mut candidates);
+                }
+            }
+        }
+        // Deduplicate by final plan, cheapest first; deterministic ties.
+        candidates.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.query.from.len().cmp(&b.query.from.len()))
+                .then_with(|| a.query.size().cmp(&b.query.size()))
+                .then_with(|| a.query.alpha_normalized().cmp(&b.query.alpha_normalized()))
+        });
+        candidates.dedup_by(|a, b| a.query.alpha_normalized() == b.query.alpha_normalized());
+
+        let best = candidates
+            .first()
+            .cloned()
+            .ok_or_else(|| OptimizeError::NoPhysicalPlan { universal: universal.to_string() })?;
+
+        Ok(OptimizeOutcome {
+            input: q.clone(),
+            universal,
+            chase_steps: chased.steps,
+            candidates,
+            best,
+            complete: chased.complete && bc.complete,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_catalog::scenarios::{projdept, relational_indexes, relational_views};
+
+    #[test]
+    fn projdept_end_to_end() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let out = Optimizer::new(&cat).optimize(&projdept::query()).unwrap();
+        assert!(out.complete);
+        assert!(!out.candidates.is_empty());
+        // With these statistics the secondary-index plan (P3) wins: a
+        // single non-failing lookup on SI.
+        let best = out.best.query.to_string();
+        assert!(best.contains("SI{\"CitiBank\"}"), "best = {best}");
+        // P2 and P4 shapes are among the candidates.
+        assert!(out
+            .candidates
+            .iter()
+            .any(|c| c.raw.from.len() == 1 && c.raw.to_string().contains("from Proj")));
+        assert!(out
+            .candidates
+            .iter()
+            .any(|c| c.raw.from.len() == 1 && c.raw.to_string().contains("from JI")));
+        // Costs are sorted.
+        for w in out.candidates.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+    }
+
+    #[test]
+    fn index_only_plan_wins_when_selective(){
+        let mut cat = relational_indexes::catalog();
+        relational_indexes::stats_for(&mut cat, 10_000, 1000, 1000);
+        let out = Optimizer::new(&cat).optimize(&relational_indexes::query()).unwrap();
+        // The best plan avoids scanning R: it uses SA and/or SB.
+        let best = &out.best.query;
+        assert!(
+            !best.from.iter().any(|b| b.src.to_string() == "R"),
+            "best should not scan R: {best}"
+        );
+        let s = best.to_string();
+        assert!(s.contains("SA") || s.contains("SB"), "best = {s}");
+    }
+
+    #[test]
+    fn view_plan_wins_when_view_small() {
+        let mut cat = relational_views::catalog();
+        // Tiny view over big relations.
+        relational_views::stats_for(&mut cat, 10_000, 10_000, 10);
+        let out = Optimizer::new(&cat).optimize(&relational_views::query()).unwrap();
+        let s = out.best.query.to_string();
+        assert!(s.contains('V'), "best should use the view: {s}");
+        // The navigation form uses the indexes, not base scans.
+        assert!(
+            !out.best.query.from.iter().any(|b| matches!(
+                b.src,
+                pcql::Path::Root(ref r) if r == "R" || r == "S"
+            )),
+            "best = {s}"
+        );
+    }
+
+    #[test]
+    fn base_join_wins_when_view_useless() {
+        let mut cat = relational_views::catalog();
+        // The "view" is as large as the join itself and the relations are
+        // small: scanning the base tables is competitive. Make the view
+        // enormous to force the base plan.
+        relational_views::stats_for(&mut cat, 50, 50, 1_000_000);
+        let out = Optimizer::new(&cat).optimize(&relational_views::query()).unwrap();
+        let s = out.best.query.to_string();
+        assert!(!s.contains("from V"), "best should avoid the view scan: {s}");
+    }
+
+    #[test]
+    fn greedy_strategy_returns_a_sound_plan_fast() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let config = OptimizerConfig {
+            strategy: SearchStrategy::Greedy,
+            cost_visited: false,
+            ..Default::default()
+        };
+        let out = Optimizer::with_config(&cat, config).optimize(&projdept::query()).unwrap();
+        // Exactly one plan, physical, minimal.
+        assert_eq!(out.candidates.len(), 1);
+        assert!(cat.is_physical_query(&out.best.raw), "plan: {}", out.best.raw);
+        // The exhaustive strategy can only be equal or better on cost.
+        let full = Optimizer::new(&cat).optimize(&projdept::query()).unwrap();
+        assert!(full.best.cost <= out.best.cost + 1e-9);
+    }
+
+    #[test]
+    fn unknown_query_is_a_type_error() {
+        let cat = projdept::catalog();
+        let q = pcql::parser::parse_query("select struct(X = x.X) from Nowhere x").unwrap();
+        assert!(matches!(
+            Optimizer::new(&cat).optimize(&q),
+            Err(OptimizeError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn logical_only_catalog_has_no_physical_plan() {
+        // A catalog whose physical schema is empty cannot produce plans.
+        let mut cat = cb_catalog::Catalog::new();
+        cat.add_logical_relation("L", [("X", pcql::Type::Int)]);
+        let q = pcql::parser::parse_query("select struct(X = l.X) from L l").unwrap();
+        assert!(matches!(
+            Optimizer::new(&cat).optimize(&q),
+            Err(OptimizeError::NoPhysicalPlan { .. })
+        ));
+    }
+}

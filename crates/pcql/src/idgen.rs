@@ -1,0 +1,80 @@
+//! Fresh-name generation for chase-introduced variables.
+
+use std::collections::BTreeSet;
+
+/// Generates variable names that are fresh with respect to a set of used
+/// names. Chase steps use this to introduce existential witnesses without
+/// capture.
+#[derive(Debug, Default, Clone)]
+pub struct VarGen {
+    used: BTreeSet<String>,
+    counter: u64,
+}
+
+impl VarGen {
+    pub fn new() -> VarGen {
+        VarGen::default()
+    }
+
+    /// A generator that will avoid every name in `used`.
+    pub fn avoiding<I, S>(used: I) -> VarGen
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        VarGen { used: used.into_iter().map(Into::into).collect(), counter: 0 }
+    }
+
+    /// Marks a name as used.
+    pub fn reserve(&mut self, name: impl Into<String>) {
+        self.used.insert(name.into());
+    }
+
+    /// Returns a fresh name based on `hint` (e.g. `p` -> `p0`, `p1`, …).
+    pub fn fresh(&mut self, hint: &str) -> String {
+        // Strip a trailing numeric suffix so hints from previous rounds
+        // don't snowball ("p0" -> "p00").
+        let base: &str = hint.trim_end_matches(|c: char| c.is_ascii_digit());
+        let base = if base.is_empty() { "v" } else { base };
+        loop {
+            let candidate = format!("{base}{}", self.counter);
+            self.counter += 1;
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_names_avoid_used() {
+        let mut g = VarGen::avoiding(["p0", "p1"]);
+        assert_eq!(g.fresh("p"), "p2");
+        assert_eq!(g.fresh("p"), "p3");
+    }
+
+    #[test]
+    fn hint_suffix_stripped() {
+        let mut g = VarGen::new();
+        let a = g.fresh("x12");
+        assert!(a.starts_with('x'));
+        assert!(!a.starts_with("x12"), "suffix must be stripped, got {a}");
+    }
+
+    #[test]
+    fn empty_hint_defaults() {
+        let mut g = VarGen::new();
+        assert!(g.fresh("42").starts_with('v'));
+    }
+
+    #[test]
+    fn reserve_blocks_name() {
+        let mut g = VarGen::new();
+        g.reserve("k0");
+        assert_eq!(g.fresh("k"), "k1");
+    }
+}

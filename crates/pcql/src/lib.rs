@@ -1,0 +1,70 @@
+//! # pcql — the path-conjunctive query language
+//!
+//! The data model, query language and constraint language of
+//! *Physical Data Independence, Constraints and Optimization with Universal
+//! Plans* (Deutsch, Popa, Tannen; VLDB 1999).
+//!
+//! The language is the path-conjunctive (PC) fragment of ODMG ODL/OQL
+//! extended with dictionaries:
+//!
+//! ```text
+//! Paths            P ::= x | c | R | P.A | dom(P) | P[x]
+//! PathConjunctions B ::= P1 = P1' and … and Pk = Pk'
+//! PC Queries           select struct(A1 = P1', …, An = Pn')
+//!                      from P1 x1, …, Pm xm
+//!                      where B
+//! ```
+//!
+//! together with embedded path-conjunctive dependencies (EPCDs):
+//!
+//! ```text
+//! forall (x1 in P1) … (xn in Pn) where B1(x)
+//! -> exists (y1 in P1') … (yk in Pk') where B2(x, y)
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`types::Type`] — the complex-object type system (base types, OIDs,
+//!   records, sets, dictionaries);
+//! * [`schema::Schema`] — named schema roots plus class declarations
+//!   (classes are dictionaries from OIDs to attribute records, following
+//!   the paper's representation of OO classes);
+//! * [`path::Path`] — path expressions, including the *non-failing* lookup
+//!   `M{k}` used by physical plans (paper §4);
+//! * [`query::Query`] — PC queries, plus `let`-style singleton bindings
+//!   that appear only in physical plans;
+//! * [`constraint::Dependency`] — EPCDs, with the EGD / full-TGD
+//!   classification that drives chase termination;
+//! * [`parser`] — a concrete OQL-ish syntax for all of the above;
+//! * [`typecheck`] — type checking and the PC well-formedness restrictions
+//!   of paper §5 (no collection-typed equalities, guarded lookups).
+//!
+//! Downstream crates build the catalog (`cb-catalog`), the chase/backchase
+//! engines (`cb-chase`), the evaluator (`cb-engine`) and the optimizer
+//! (`cb-optimizer`) on top of these definitions.
+
+pub mod constraint;
+pub mod idgen;
+pub mod parser;
+pub mod path;
+pub mod query;
+pub mod schema;
+pub mod typecheck;
+pub mod types;
+
+pub use constraint::Dependency;
+pub use path::{Constant, Path};
+pub use query::{BindKind, Binding, Equality, Output, Query};
+pub use schema::{ClassDecl, Schema};
+pub use types::Type;
+
+/// Convenient glob-import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::constraint::Dependency;
+    pub use crate::parser::{parse_dependency, parse_path, parse_query, parse_schema};
+    pub use crate::path::{Constant, Path};
+    pub use crate::query::{BindKind, Binding, Equality, Output, Query};
+    pub use crate::schema::{ClassDecl, Schema};
+    pub use crate::typecheck::{check_dependency, check_pc_query, check_query};
+    pub use crate::types::Type;
+}

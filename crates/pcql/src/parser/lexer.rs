@@ -1,0 +1,378 @@
+//! Lexer for the concrete OQL-ish syntax.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    // keywords
+    Select,
+    Struct,
+    From,
+    Where,
+    And,
+    Dom,
+    Forall,
+    Exists,
+    In,
+    True,
+    False,
+    Let,
+    Class,
+    // punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Lt,
+    Gt,
+    Dot,
+    Comma,
+    Eq,
+    Colon,
+    Semi,
+    Arrow,
+    Assign,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Select => write!(f, "`select`"),
+            Tok::Struct => write!(f, "`struct`"),
+            Tok::From => write!(f, "`from`"),
+            Tok::Where => write!(f, "`where`"),
+            Tok::And => write!(f, "`and`"),
+            Tok::Dom => write!(f, "`dom`"),
+            Tok::Forall => write!(f, "`forall`"),
+            Tok::Exists => write!(f, "`exists`"),
+            Tok::In => write!(f, "`in`"),
+            Tok::True => write!(f, "`true`"),
+            Tok::False => write!(f, "`false`"),
+            Tok::Let => write!(f, "`let`"),
+            Tok::Class => write!(f, "`class`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Assign => write!(f, "`:=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub offset: usize,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "select" => Tok::Select,
+        "struct" => Tok::Struct,
+        "from" => Tok::From,
+        "where" => Tok::Where,
+        "and" => Tok::And,
+        "dom" => Tok::Dom,
+        "forall" => Tok::Forall,
+        "exists" => Tok::Exists,
+        "in" => Tok::In,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        "let" => Tok::Let,
+        "class" => Tok::Class,
+        _ => return None,
+    })
+}
+
+/// Tokenizes `src`. Comments run from `--` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let tok = match c {
+            '(' => {
+                i += 1;
+                Tok::LParen
+            }
+            ')' => {
+                i += 1;
+                Tok::RParen
+            }
+            '[' => {
+                i += 1;
+                Tok::LBracket
+            }
+            ']' => {
+                i += 1;
+                Tok::RBracket
+            }
+            '{' => {
+                i += 1;
+                Tok::LBrace
+            }
+            '}' => {
+                i += 1;
+                Tok::RBrace
+            }
+            '<' => {
+                i += 1;
+                Tok::Lt
+            }
+            '>' => {
+                i += 1;
+                Tok::Gt
+            }
+            '.' => {
+                i += 1;
+                Tok::Dot
+            }
+            ',' => {
+                i += 1;
+                Tok::Comma
+            }
+            '=' => {
+                i += 1;
+                Tok::Eq
+            }
+            ';' => {
+                i += 1;
+                Tok::Semi
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    Tok::Assign
+                } else {
+                    i += 1;
+                    Tok::Colon
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    Tok::Arrow
+                } else if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    i += 1;
+                    let (n, j) = lex_int(bytes, i, start)?;
+                    i = j;
+                    Tok::Int(-n)
+                } else {
+                    return Err(LexError {
+                        offset: start,
+                        message: "stray `-` (expected `->` or a number)".into(),
+                    });
+                }
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(other) => {
+                                    return Err(LexError {
+                                        offset: i,
+                                        message: format!(
+                                            "unknown escape `\\{}`",
+                                            *other as char
+                                        ),
+                                    })
+                                }
+                                None => {
+                                    return Err(LexError {
+                                        offset: i,
+                                        message: "unterminated escape".into(),
+                                    })
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let (n, j) = lex_int(bytes, i, start)?;
+                i = j;
+                Tok::Int(n)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                i = j;
+                keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string()))
+            }
+            other => {
+                return Err(LexError {
+                    offset: start,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        };
+        toks.push(Spanned { tok, offset: start });
+    }
+    toks.push(Spanned { tok: Tok::Eof, offset: bytes.len() });
+    Ok(toks)
+}
+
+fn lex_int(bytes: &[u8], mut i: usize, start: usize) -> Result<(i64, usize), LexError> {
+    let from = i;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let text = std::str::from_utf8(&bytes[from..i]).expect("digits are ascii");
+    match text.parse::<i64>() {
+        Ok(n) => Ok((n, i)),
+        Err(_) => Err(LexError { offset: start, message: format!("integer out of range: {text}") }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("select struct Select"),
+            vec![Tok::Select, Tok::Struct, Tok::Ident("Select".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn punctuation() {
+        assert_eq!(
+            toks("( ) [ ] { } . , = : ; -> := < >"),
+            vec![
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBracket,
+                Tok::RBracket,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Dot,
+                Tok::Comma,
+                Tok::Eq,
+                Tok::Colon,
+                Tok::Semi,
+                Tok::Arrow,
+                Tok::Assign,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks(r#"42 -7 "CitiBank" true false"#),
+            vec![
+                Tok::Int(42),
+                Tok::Int(-7),
+                Tok::Str("CitiBank".into()),
+                Tok::True,
+                Tok::False,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\"b\\c""#), vec![Tok::Str("a\"b\\c".into()), Tok::Eof]);
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("select -- the output\nx"),
+            vec![Tok::Select, Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_have_offsets() {
+        let e = lex("a ? b").unwrap_err();
+        assert_eq!(e.offset, 2);
+        assert!(lex("x - y").is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Path expressions.
+//!
+//! ```text
+//! P ::= x | c | R | P.A | dom(P) | P[x] | P{x}
+//! ```
+//!
+//! `P[x]` is the failing lookup `M[k]` of OQL; `P{x}` is the *non-failing*
+//! lookup that returns the empty set when `k ∉ dom(M)` — the physical
+//! operation written `M⟨k⟩` in the paper, used only in final plans (§4).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A constant at base type.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Constant {
+    Bool(bool),
+    Int(i64),
+    Str(String),
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Bool(b) => write!(f, "{b}"),
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A path expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Path {
+    /// A variable bound by an enclosing `from`/`forall`/`exists` clause.
+    Var(String),
+    /// A constant.
+    Const(Constant),
+    /// A schema root (relation, class dictionary, index, view, …).
+    Root(String),
+    /// Field projection `P.A`; on OID-typed paths this is ODMG implicit
+    /// dereferencing.
+    Field(Box<Path>, String),
+    /// `dom(P)` — the set of keys of dictionary `P`.
+    Dom(Box<Path>),
+    /// `P[k]` — failing dictionary lookup.
+    Get(Box<Path>, Box<Path>),
+    /// `P{k}` — non-failing dictionary lookup returning the empty set when
+    /// the key is absent (only for set-valued entries; plan-level only).
+    GetOrEmpty(Box<Path>, Box<Path>),
+}
+
+impl Path {
+    pub fn var(name: impl Into<String>) -> Path {
+        Path::Var(name.into())
+    }
+
+    pub fn root(name: impl Into<String>) -> Path {
+        Path::Root(name.into())
+    }
+
+    pub fn str(s: impl Into<String>) -> Path {
+        Path::Const(Constant::Str(s.into()))
+    }
+
+    pub fn int(i: i64) -> Path {
+        Path::Const(Constant::Int(i))
+    }
+
+    pub fn bool(b: bool) -> Path {
+        Path::Const(Constant::Bool(b))
+    }
+
+    /// `self.name`
+    pub fn field(self, name: impl Into<String>) -> Path {
+        Path::Field(Box::new(self), name.into())
+    }
+
+    /// `dom(self)`
+    pub fn dom(self) -> Path {
+        Path::Dom(Box::new(self))
+    }
+
+    /// `self[key]`
+    pub fn get(self, key: Path) -> Path {
+        Path::Get(Box::new(self), Box::new(key))
+    }
+
+    /// `self{key}`
+    pub fn get_or_empty(self, key: Path) -> Path {
+        Path::GetOrEmpty(Box::new(self), Box::new(key))
+    }
+
+    /// The variables occurring in this path.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Path::Var(v) => {
+                out.insert(v.clone());
+            }
+            Path::Const(_) | Path::Root(_) => {}
+            Path::Field(p, _) | Path::Dom(p) => p.collect_vars(out),
+            Path::Get(p, k) | Path::GetOrEmpty(p, k) => {
+                p.collect_vars(out);
+                k.collect_vars(out);
+            }
+        }
+    }
+
+    /// Does this path mention variable `v`?
+    pub fn mentions_var(&self, v: &str) -> bool {
+        match self {
+            Path::Var(x) => x == v,
+            Path::Const(_) | Path::Root(_) => false,
+            Path::Field(p, _) | Path::Dom(p) => p.mentions_var(v),
+            Path::Get(p, k) | Path::GetOrEmpty(p, k) => p.mentions_var(v) || k.mentions_var(v),
+        }
+    }
+
+    /// Does this path mention any variable from `vars`?
+    pub fn mentions_any(&self, vars: &BTreeSet<String>) -> bool {
+        match self {
+            Path::Var(x) => vars.contains(x),
+            Path::Const(_) | Path::Root(_) => false,
+            Path::Field(p, _) | Path::Dom(p) => p.mentions_any(vars),
+            Path::Get(p, k) | Path::GetOrEmpty(p, k) => p.mentions_any(vars) || k.mentions_any(vars),
+        }
+    }
+
+    /// Does this path mention schema root `name`?
+    pub fn mentions_root(&self, name: &str) -> bool {
+        match self {
+            Path::Root(r) => r == name,
+            Path::Var(_) | Path::Const(_) => false,
+            Path::Field(p, _) | Path::Dom(p) => p.mentions_root(name),
+            Path::Get(p, k) | Path::GetOrEmpty(p, k) => p.mentions_root(name) || k.mentions_root(name),
+        }
+    }
+
+    /// The schema roots mentioned by this path.
+    pub fn roots(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_roots(&mut out);
+        out
+    }
+
+    fn collect_roots(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Path::Root(r) => {
+                out.insert(r.clone());
+            }
+            Path::Var(_) | Path::Const(_) => {}
+            Path::Field(p, _) | Path::Dom(p) => p.collect_roots(out),
+            Path::Get(p, k) | Path::GetOrEmpty(p, k) => {
+                p.collect_roots(out);
+                k.collect_roots(out);
+            }
+        }
+    }
+
+    /// Capture-avoiding substitution of whole paths for variables.
+    ///
+    /// Paths have no binders, so this is plain simultaneous substitution.
+    pub fn subst(&self, map: &BTreeMap<String, Path>) -> Path {
+        match self {
+            Path::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Path::Const(_) | Path::Root(_) => self.clone(),
+            Path::Field(p, a) => Path::Field(Box::new(p.subst(map)), a.clone()),
+            Path::Dom(p) => Path::Dom(Box::new(p.subst(map))),
+            Path::Get(p, k) => Path::Get(Box::new(p.subst(map)), Box::new(k.subst(map))),
+            Path::GetOrEmpty(p, k) => {
+                Path::GetOrEmpty(Box::new(p.subst(map)), Box::new(k.subst(map)))
+            }
+        }
+    }
+
+    /// Substitute a single variable.
+    pub fn subst1(&self, var: &str, with: &Path) -> Path {
+        let mut m = BTreeMap::new();
+        m.insert(var.to_string(), with.clone());
+        self.subst(&m)
+    }
+
+    /// Rename variables according to `map` (variables not in the map are
+    /// left alone).
+    pub fn rename(&self, map: &BTreeMap<String, String>) -> Path {
+        match self {
+            Path::Var(v) => match map.get(v) {
+                Some(n) => Path::Var(n.clone()),
+                None => self.clone(),
+            },
+            Path::Const(_) | Path::Root(_) => self.clone(),
+            Path::Field(p, a) => Path::Field(Box::new(p.rename(map)), a.clone()),
+            Path::Dom(p) => Path::Dom(Box::new(p.rename(map))),
+            Path::Get(p, k) => Path::Get(Box::new(p.rename(map)), Box::new(k.rename(map))),
+            Path::GetOrEmpty(p, k) => {
+                Path::GetOrEmpty(Box::new(p.rename(map)), Box::new(k.rename(map)))
+            }
+        }
+    }
+
+    /// Number of AST nodes — used for chase-size accounting (Theorem 1's
+    /// polynomial bound) and cost tie-breaking.
+    pub fn size(&self) -> usize {
+        match self {
+            Path::Var(_) | Path::Const(_) | Path::Root(_) => 1,
+            Path::Field(p, _) | Path::Dom(p) => 1 + p.size(),
+            Path::Get(p, k) | Path::GetOrEmpty(p, k) => 1 + p.size() + k.size(),
+        }
+    }
+
+    /// All subpaths (including `self`), outermost first.
+    pub fn subpaths(&self) -> Vec<&Path> {
+        let mut out = Vec::new();
+        self.collect_subpaths(&mut out);
+        out
+    }
+
+    fn collect_subpaths<'a>(&'a self, out: &mut Vec<&'a Path>) {
+        out.push(self);
+        match self {
+            Path::Var(_) | Path::Const(_) | Path::Root(_) => {}
+            Path::Field(p, _) | Path::Dom(p) => p.collect_subpaths(out),
+            Path::Get(p, k) | Path::GetOrEmpty(p, k) => {
+                p.collect_subpaths(out);
+                k.collect_subpaths(out);
+            }
+        }
+    }
+
+    /// True if the path contains a non-failing lookup (`P{k}`); such paths
+    /// are plan-level only and are rejected by the PC well-formedness check.
+    pub fn has_nonfailing_lookup(&self) -> bool {
+        match self {
+            Path::Var(_) | Path::Const(_) | Path::Root(_) => false,
+            Path::Field(p, _) | Path::Dom(p) => p.has_nonfailing_lookup(),
+            Path::GetOrEmpty(_, _) => true,
+            Path::Get(p, k) => p.has_nonfailing_lookup() || k.has_nonfailing_lookup(),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Path::Var(v) => write!(f, "{v}"),
+            Path::Const(c) => write!(f, "{c}"),
+            Path::Root(r) => write!(f, "{r}"),
+            Path::Field(p, a) => write!(f, "{p}.{a}"),
+            Path::Dom(p) => write!(f, "dom({p})"),
+            Path::Get(p, k) => write!(f, "{p}[{k}]"),
+            Path::GetOrEmpty(p, k) => write!(f, "{p}{{{k}}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let p = Path::root("Dept").get(Path::var("d")).field("DName");
+        assert_eq!(p.to_string(), "Dept[d].DName");
+        let q = Path::root("SI").get_or_empty(Path::str("CitiBank"));
+        assert_eq!(q.to_string(), "SI{\"CitiBank\"}");
+        let r = Path::root("I").dom();
+        assert_eq!(r.to_string(), "dom(I)");
+    }
+
+    #[test]
+    fn free_vars_and_roots() {
+        let p = Path::root("Dept").get(Path::var("d")).field("DProjs");
+        assert_eq!(p.free_vars().into_iter().collect::<Vec<_>>(), vec!["d"]);
+        assert!(p.mentions_root("Dept"));
+        assert!(!p.mentions_root("Proj"));
+        assert!(p.mentions_var("d"));
+        assert!(!p.mentions_var("x"));
+    }
+
+    #[test]
+    fn substitution() {
+        let p = Path::var("x").field("A");
+        let s = p.subst1("x", &Path::root("R").get(Path::var("k")));
+        assert_eq!(s.to_string(), "R[k].A");
+        // Substituting an unrelated variable leaves the path intact.
+        assert_eq!(p.subst1("y", &Path::int(3)), p);
+    }
+
+    #[test]
+    fn rename_only_mapped() {
+        let p = Path::var("x").field("A").get(Path::var("y"));
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), "z".to_string());
+        assert_eq!(p.rename(&m).to_string(), "z.A[y]");
+    }
+
+    #[test]
+    fn size_and_subpaths() {
+        let p = Path::root("M").get(Path::var("k")).field("A");
+        assert_eq!(p.size(), 4);
+        let subs: Vec<String> = p.subpaths().iter().map(|s| s.to_string()).collect();
+        assert_eq!(subs, vec!["M[k].A", "M[k]", "M", "k"]);
+    }
+
+    #[test]
+    fn nonfailing_detection() {
+        let p = Path::root("IS").get_or_empty(Path::var("k"));
+        assert!(p.has_nonfailing_lookup());
+        let q = Path::root("IS").get(Path::var("k"));
+        assert!(!q.has_nonfailing_lookup());
+    }
+}

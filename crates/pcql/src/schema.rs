@@ -1,0 +1,237 @@
+//! Schemas: named roots plus class declarations.
+//!
+//! Both logical and physical schemas are "a typed data definition language
+//! with constraints" (paper §1); a [`Schema`] is the typed part. A class
+//! `C` contributes an abstract OID type `Oid<C>`; its *extent* (a
+//! `Set<Oid<C>>` root such as `depts`) lives in the logical schema, while
+//! its implementing dictionary (a `Dict<Oid<C>, Struct{…}>` root such as
+//! `Dept`) lives in the physical schema. Field projection on an OID-typed
+//! path is ODMG implicit dereferencing and is typed against the class
+//! declaration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::types::Type;
+
+/// A class declaration: the attributes visible through implicit
+/// dereferencing of its OIDs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    pub name: String,
+    pub attrs: BTreeMap<String, Type>,
+}
+
+impl ClassDecl {
+    pub fn new<I, S>(name: impl Into<String>, attrs: I) -> ClassDecl
+    where
+        I: IntoIterator<Item = (S, Type)>,
+        S: Into<String>,
+    {
+        ClassDecl {
+            name: name.into(),
+            attrs: attrs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// The record type stored for each object of the class (the dictionary
+    /// entry type of the class's physical representation).
+    pub fn record_type(&self) -> Type {
+        Type::Struct(self.attrs.clone())
+    }
+
+    /// The OID type of this class.
+    pub fn oid_type(&self) -> Type {
+        Type::Oid(self.name.clone())
+    }
+
+    /// The type of the class's implementing dictionary.
+    pub fn dict_type(&self) -> Type {
+        Type::dict(self.oid_type(), self.record_type())
+    }
+
+    /// The type of the class's extent.
+    pub fn extent_type(&self) -> Type {
+        Type::set(self.oid_type())
+    }
+}
+
+/// A schema: a set of typed roots plus class declarations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    pub roots: BTreeMap<String, Type>,
+    pub classes: BTreeMap<String, ClassDecl>,
+}
+
+/// Error when merging schemas that disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaConflict {
+    pub name: String,
+    pub left: String,
+    pub right: String,
+}
+
+impl fmt::Display for SchemaConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schema conflict on `{}`: `{}` vs `{}`",
+            self.name, self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for SchemaConflict {}
+
+impl Schema {
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Adds (or replaces) a root.
+    pub fn add_root(&mut self, name: impl Into<String>, ty: Type) -> &mut Self {
+        self.roots.insert(name.into(), ty);
+        self
+    }
+
+    /// Declares a class (enables implicit dereferencing for its OID type).
+    pub fn declare_class(&mut self, decl: ClassDecl) -> &mut Self {
+        self.classes.insert(decl.name.clone(), decl);
+        self
+    }
+
+    pub fn root(&self, name: &str) -> Option<&Type> {
+        self.roots.get(name)
+    }
+
+    pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        self.classes.get(name)
+    }
+
+    /// The type of attribute `attr` of class `class`, if any.
+    pub fn class_attr(&self, class: &str, attr: &str) -> Option<&Type> {
+        self.classes.get(class).and_then(|c| c.attrs.get(attr))
+    }
+
+    /// Union of two schemas; identical double declarations are fine,
+    /// conflicting ones are errors. Used to type universal plans, which
+    /// mention logical and physical roots at once ("the physical level …
+    /// is not disjoint from the logical; this is a common situation").
+    pub fn merged(&self, other: &Schema) -> Result<Schema, SchemaConflict> {
+        let mut out = self.clone();
+        for (name, ty) in &other.roots {
+            match out.roots.get(name) {
+                Some(existing) if existing != ty => {
+                    return Err(SchemaConflict {
+                        name: name.clone(),
+                        left: existing.to_string(),
+                        right: ty.to_string(),
+                    });
+                }
+                _ => {
+                    out.roots.insert(name.clone(), ty.clone());
+                }
+            }
+        }
+        for (name, decl) in &other.classes {
+            match out.classes.get(name) {
+                Some(existing) if existing != decl => {
+                    return Err(SchemaConflict {
+                        name: name.clone(),
+                        left: format!("{:?}", existing.attrs),
+                        right: format!("{:?}", decl.attrs),
+                    });
+                }
+                _ => {
+                    out.classes.insert(name.clone(), decl.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for decl in self.classes.values() {
+            write!(f, "class {} {{ ", decl.name)?;
+            for (i, (a, t)) in decl.attrs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}: {t}")?;
+            }
+            writeln!(f, " }}")?;
+        }
+        for (name, ty) in &self.roots {
+            writeln!(f, "let {name} : {ty};")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dept_class() -> ClassDecl {
+        ClassDecl::new(
+            "Dept",
+            [
+                ("DName", Type::Str),
+                ("DProjs", Type::set(Type::Str)),
+                ("MgrName", Type::Str),
+            ],
+        )
+    }
+
+    #[test]
+    fn class_derived_types() {
+        let c = dept_class();
+        assert_eq!(c.oid_type(), Type::Oid("Dept".into()));
+        assert_eq!(c.extent_type(), Type::set(Type::Oid("Dept".into())));
+        let dict = c.dict_type();
+        let (k, v) = dict.dict_parts().unwrap();
+        assert_eq!(k, &Type::Oid("Dept".into()));
+        assert_eq!(v.field("DProjs"), Some(&Type::set(Type::Str)));
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let mut s = Schema::new();
+        s.declare_class(dept_class());
+        assert_eq!(s.class_attr("Dept", "DName"), Some(&Type::Str));
+        assert_eq!(s.class_attr("Dept", "Nope"), None);
+        assert_eq!(s.class_attr("Nope", "DName"), None);
+    }
+
+    #[test]
+    fn merge_compatible() {
+        let mut a = Schema::new();
+        a.add_root("Proj", Type::set(Type::record([("PName", Type::Str)])));
+        let mut b = Schema::new();
+        b.add_root("Proj", Type::set(Type::record([("PName", Type::Str)])));
+        b.add_root("I", Type::dict(Type::Str, Type::record([("PName", Type::Str)])));
+        let m = a.merged(&b).unwrap();
+        assert_eq!(m.roots.len(), 2);
+    }
+
+    #[test]
+    fn merge_conflict() {
+        let mut a = Schema::new();
+        a.add_root("R", Type::set(Type::Int));
+        let mut b = Schema::new();
+        b.add_root("R", Type::set(Type::Str));
+        assert!(a.merged(&b).is_err());
+    }
+
+    #[test]
+    fn display_shape() {
+        let mut s = Schema::new();
+        s.declare_class(dept_class());
+        s.add_root("depts", dept_class().extent_type());
+        let text = s.to_string();
+        assert!(text.contains("class Dept {"));
+        assert!(text.contains("let depts : Set<Oid<Dept>>;"));
+    }
+}

@@ -1,0 +1,667 @@
+//! Type checking and the PC well-formedness restrictions.
+//!
+//! Restrictions on PC queries (paper §5):
+//!
+//! 1. dictionary keys, `where`-clause equalities and `select` expressions
+//!    may not be (or contain) expressions of set/dictionary type;
+//! 2. a lookup `P[x]` must be *guarded*: there must be a binding
+//!    `(y in dom(P))` in the `from` clause with `x = y` implied by the
+//!    `where` clause (a PTIME-checkable condition — we use transitive
+//!    closure of the syntactic equalities).
+//!
+//! Physical *plans* are typed with the same rules but are exempt from the
+//! guardedness restriction (plans such as P4 of §1 contain lookups whose
+//! safety is justified semantically, by the catalog's constraints, rather
+//! than syntactically).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::constraint::Dependency;
+use crate::path::{Constant, Path};
+use crate::query::{BindKind, Binding, Equality, Output, Query, ScopeError};
+use crate::schema::Schema;
+use crate::types::Type;
+
+/// A typing or well-formedness error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    Scope(ScopeError),
+    UnknownRoot(String),
+    UnknownVar(String),
+    UnknownField { on: String, field: String },
+    UnknownClass(String),
+    NotASet { path: String, ty: String },
+    NotADict { path: String, ty: String },
+    KeyMismatch { dict: String, expected: String, got: String },
+    NonSetEntryNonFailing { path: String },
+    EqMismatch { left: String, right: String, lt: String, rt: String },
+    /// PC restriction 1 violated.
+    CollectionTyped { path: String, ty: String, place: &'static str },
+    /// PC restriction 2 violated.
+    UnguardedLookup { path: String },
+    /// `Let` bindings / non-failing lookups are not PC.
+    NotPlainPc,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Scope(e) => write!(f, "{e}"),
+            TypeError::UnknownRoot(r) => write!(f, "unknown schema root `{r}`"),
+            TypeError::UnknownVar(v) => write!(f, "unknown variable `{v}`"),
+            TypeError::UnknownField { on, field } => {
+                write!(f, "no field `{field}` on `{on}`")
+            }
+            TypeError::UnknownClass(c) => write!(f, "unknown class `{c}`"),
+            TypeError::NotASet { path, ty } => {
+                write!(f, "`{path}` has type `{ty}`, expected a set")
+            }
+            TypeError::NotADict { path, ty } => {
+                write!(f, "`{path}` has type `{ty}`, expected a dictionary")
+            }
+            TypeError::KeyMismatch { dict, expected, got } => {
+                write!(f, "lookup key for `{dict}` has type `{got}`, expected `{expected}`")
+            }
+            TypeError::NonSetEntryNonFailing { path } => {
+                write!(f, "non-failing lookup `{path}` requires a set-valued entry type")
+            }
+            TypeError::EqMismatch { left, right, lt, rt } => {
+                write!(f, "cannot equate `{left}` : `{lt}` with `{right}` : `{rt}`")
+            }
+            TypeError::CollectionTyped { path, ty, place } => {
+                write!(f, "`{path}` : `{ty}` is collection-typed, not allowed in {place}")
+            }
+            TypeError::UnguardedLookup { path } => {
+                write!(f, "unguarded lookup `{path}` in a PC query")
+            }
+            TypeError::NotPlainPc => write!(f, "plan-level construct in a PC query"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl From<ScopeError> for TypeError {
+    fn from(e: ScopeError) -> TypeError {
+        TypeError::Scope(e)
+    }
+}
+
+/// The result of typing a query: per-variable types and the output type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTyping {
+    pub vars: BTreeMap<String, Type>,
+    pub output: Type,
+}
+
+/// Types a path under `schema` and a variable environment.
+pub fn path_type(
+    schema: &Schema,
+    env: &BTreeMap<String, Type>,
+    path: &Path,
+) -> Result<Type, TypeError> {
+    match path {
+        Path::Var(v) => env.get(v).cloned().ok_or_else(|| TypeError::UnknownVar(v.clone())),
+        Path::Const(Constant::Bool(_)) => Ok(Type::Bool),
+        Path::Const(Constant::Int(_)) => Ok(Type::Int),
+        Path::Const(Constant::Str(_)) => Ok(Type::Str),
+        Path::Root(r) => {
+            schema.root(r).cloned().ok_or_else(|| TypeError::UnknownRoot(r.clone()))
+        }
+        Path::Field(p, a) => {
+            let t = path_type(schema, env, p)?;
+            match &t {
+                Type::Struct(fields) => fields.get(a).cloned().ok_or_else(|| {
+                    TypeError::UnknownField { on: p.to_string(), field: a.clone() }
+                }),
+                // ODMG implicit dereferencing on OID-typed paths.
+                Type::Oid(class) => match schema.class(class) {
+                    None => Err(TypeError::UnknownClass(class.clone())),
+                    Some(decl) => decl.attrs.get(a).cloned().ok_or_else(|| {
+                        TypeError::UnknownField { on: p.to_string(), field: a.clone() }
+                    }),
+                },
+                other => Err(TypeError::UnknownField {
+                    on: format!("{p} : {other}"),
+                    field: a.clone(),
+                }),
+            }
+        }
+        Path::Dom(p) => {
+            let t = path_type(schema, env, p)?;
+            match t {
+                Type::Dict(k, _) => Ok(Type::Set(k)),
+                other => {
+                    Err(TypeError::NotADict { path: p.to_string(), ty: other.to_string() })
+                }
+            }
+        }
+        Path::Get(p, k) | Path::GetOrEmpty(p, k) => {
+            let t = path_type(schema, env, p)?;
+            let (kt, vt) = match &t {
+                Type::Dict(kt, vt) => (kt.as_ref().clone(), vt.as_ref().clone()),
+                other => {
+                    return Err(TypeError::NotADict {
+                        path: p.to_string(),
+                        ty: other.to_string(),
+                    })
+                }
+            };
+            let key_t = path_type(schema, env, k)?;
+            if key_t != kt {
+                return Err(TypeError::KeyMismatch {
+                    dict: p.to_string(),
+                    expected: kt.to_string(),
+                    got: key_t.to_string(),
+                });
+            }
+            if matches!(path, Path::GetOrEmpty(_, _)) && !matches!(vt, Type::Set(_)) {
+                return Err(TypeError::NonSetEntryNonFailing { path: path.to_string() });
+            }
+            Ok(vt)
+        }
+    }
+}
+
+fn check_equalities(
+    schema: &Schema,
+    env: &BTreeMap<String, Type>,
+    eqs: &[Equality],
+) -> Result<(), TypeError> {
+    for Equality(l, r) in eqs {
+        let lt = path_type(schema, env, l)?;
+        let rt = path_type(schema, env, r)?;
+        if lt != rt {
+            return Err(TypeError::EqMismatch {
+                left: l.to_string(),
+                right: r.to_string(),
+                lt: lt.to_string(),
+                rt: rt.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn extend_env(
+    schema: &Schema,
+    env: &mut BTreeMap<String, Type>,
+    bindings: &[Binding],
+) -> Result<(), TypeError> {
+    for b in bindings {
+        let src_t = path_type(schema, env, &b.src)?;
+        let var_t = match b.kind {
+            BindKind::Iter => match src_t {
+                Type::Set(t) => *t,
+                other => {
+                    return Err(TypeError::NotASet {
+                        path: b.src.to_string(),
+                        ty: other.to_string(),
+                    })
+                }
+            },
+            BindKind::Let => src_t,
+        };
+        env.insert(b.var.clone(), var_t);
+    }
+    Ok(())
+}
+
+/// Types a query (or plan) and returns the typing.
+pub fn check_query(schema: &Schema, q: &Query) -> Result<QueryTyping, TypeError> {
+    q.check_scopes()?;
+    let mut env = BTreeMap::new();
+    extend_env(schema, &mut env, &q.from)?;
+    check_equalities(schema, &env, &q.where_)?;
+    let output = match &q.output {
+        Output::Struct(fields) => {
+            let mut tys = BTreeMap::new();
+            for (name, p) in fields {
+                tys.insert(name.clone(), path_type(schema, &env, p)?);
+            }
+            Type::Struct(tys)
+        }
+        Output::Path(p) => path_type(schema, &env, p)?,
+    };
+    Ok(QueryTyping { vars: env, output })
+}
+
+/// Types a dependency.
+pub fn check_dependency(schema: &Schema, d: &Dependency) -> Result<(), TypeError> {
+    d.check_scopes()?;
+    let mut env = BTreeMap::new();
+    extend_env(schema, &mut env, &d.forall)?;
+    check_equalities(schema, &env, &d.premise)?;
+    extend_env(schema, &mut env, &d.exists)?;
+    check_equalities(schema, &env, &d.conclusion)?;
+    Ok(())
+}
+
+/// Transitive (but not congruence) closure of equalities: enough for the
+/// PTIME guardedness check of paper §5's footnote.
+struct SyntacticClasses {
+    ids: BTreeMap<Path, usize>,
+    parent: Vec<usize>,
+}
+
+impl SyntacticClasses {
+    fn new(eqs: &[Equality]) -> SyntacticClasses {
+        let mut s = SyntacticClasses { ids: BTreeMap::new(), parent: Vec::new() };
+        for Equality(l, r) in eqs {
+            let a = s.intern(l);
+            let b = s.intern(r);
+            s.union(a, b);
+        }
+        s
+    }
+
+    fn intern(&mut self, p: &Path) -> usize {
+        if let Some(&id) = self.ids.get(p) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.ids.insert(p.clone(), id);
+        id
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    fn equal(&mut self, a: &Path, b: &Path) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.ids.get(a).copied(), self.ids.get(b).copied()) {
+            (Some(x), Some(y)) => self.find(x) == self.find(y),
+            _ => false,
+        }
+    }
+}
+
+fn check_collection_free(
+    schema: &Schema,
+    env: &BTreeMap<String, Type>,
+    p: &Path,
+    place: &'static str,
+) -> Result<(), TypeError> {
+    let t = path_type(schema, env, p)?;
+    if !t.is_collection_free() {
+        return Err(TypeError::CollectionTyped {
+            path: p.to_string(),
+            ty: t.to_string(),
+            place,
+        });
+    }
+    Ok(())
+}
+
+/// Checks restriction 2 for every lookup occurring in `paths`: each
+/// `M[k]` needs a from-binding `(y in dom(M))` with `k = y` implied.
+fn check_guards(
+    q: &Query,
+    classes: &mut SyntacticClasses,
+    paths: &[&Path],
+) -> Result<(), TypeError> {
+    for p in paths {
+        for sub in p.subpaths() {
+            if let Path::Get(m, k) = sub {
+                let mut guarded = false;
+                for b in &q.from {
+                    if let Path::Dom(m2) = &b.src {
+                        if classes.equal(m, m2)
+                            && classes.equal(k, &Path::Var(b.var.clone()))
+                        {
+                            guarded = true;
+                            break;
+                        }
+                    }
+                }
+                if !guarded {
+                    return Err(TypeError::UnguardedLookup { path: sub.to_string() });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Full PC well-formedness: typing plus restrictions 1 and 2 plus "no
+/// plan-level constructs".
+pub fn check_pc_query(schema: &Schema, q: &Query) -> Result<QueryTyping, TypeError> {
+    if !q.is_plain_pc() {
+        return Err(TypeError::NotPlainPc);
+    }
+    let typing = check_query(schema, q)?;
+    let env = &typing.vars;
+
+    // Restriction 1: equalities, outputs and lookup keys collection-free.
+    for Equality(l, r) in &q.where_ {
+        check_collection_free(schema, env, l, "a where-clause equality")?;
+        check_collection_free(schema, env, r, "a where-clause equality")?;
+    }
+    for (_, p) in q.output.paths() {
+        check_collection_free(schema, env, p, "the select clause")?;
+    }
+    let mut all_paths: Vec<&Path> = Vec::new();
+    for b in &q.from {
+        all_paths.push(&b.src);
+    }
+    for Equality(l, r) in &q.where_ {
+        all_paths.push(l);
+        all_paths.push(r);
+    }
+    for (_, p) in q.output.paths() {
+        all_paths.push(p);
+    }
+    for p in &all_paths {
+        for sub in p.subpaths() {
+            if let Path::Get(_, k) | Path::GetOrEmpty(_, k) = sub {
+                check_collection_free(schema, env, k, "a dictionary key")?;
+            }
+        }
+    }
+
+    // Restriction 2: guarded lookups.
+    let mut classes = SyntacticClasses::new(&q.where_);
+    check_guards(q, &mut classes, &all_paths)?;
+
+    Ok(typing)
+}
+
+/// PC well-formedness for dependencies: both sides must satisfy the PC
+/// restrictions; lookups must be guarded by `dom` bindings of the
+/// appropriate side.
+pub fn check_pc_dependency(schema: &Schema, d: &Dependency) -> Result<(), TypeError> {
+    check_dependency(schema, d)?;
+    // View each side as a query body for the guardedness/collection checks.
+    let as_query = |bindings: &[Binding], eqs: &[Equality]| Query {
+        output: Output::record(Vec::<(String, Path)>::new()),
+        from: bindings.to_vec(),
+        where_: eqs.to_vec(),
+    };
+    // LHS alone.
+    let lhs = as_query(&d.forall, &d.premise);
+    let mut env = BTreeMap::new();
+    extend_env(schema, &mut env, &d.forall)?;
+    for Equality(l, r) in &d.premise {
+        check_collection_free(schema, env_ref(&env), l, "a premise equality")?;
+        check_collection_free(schema, env_ref(&env), r, "a premise equality")?;
+    }
+    let mut classes = SyntacticClasses::new(&lhs.where_);
+    let lhs_paths: Vec<&Path> = lhs.from.iter().map(|b| &b.src).collect();
+    check_guards(&lhs, &mut classes, &lhs_paths)?;
+
+    // Whole dependency (RHS may use LHS guards).
+    let mut both = d.forall.clone();
+    both.extend(d.exists.iter().cloned());
+    let mut eqs = d.premise.clone();
+    eqs.extend(d.conclusion.iter().cloned());
+    let whole = as_query(&both, &eqs);
+    extend_env(schema, &mut env, &d.exists)?;
+    for Equality(l, r) in &d.conclusion {
+        check_collection_free(schema, env_ref(&env), l, "a conclusion equality")?;
+        check_collection_free(schema, env_ref(&env), r, "a conclusion equality")?;
+    }
+    let mut classes = SyntacticClasses::new(&whole.where_);
+    let whole_paths: Vec<&Path> = whole.from.iter().map(|b| &b.src).collect();
+    check_guards(&whole, &mut classes, &whole_paths)?;
+    Ok(())
+}
+
+fn env_ref(env: &BTreeMap<String, Type>) -> &BTreeMap<String, Type> {
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ClassDecl;
+
+    fn projdept_schema() -> Schema {
+        let mut s = Schema::new();
+        s.declare_class(ClassDecl::new(
+            "Dept",
+            [
+                ("DName", Type::Str),
+                ("DProjs", Type::set(Type::Str)),
+                ("MgrName", Type::Str),
+            ],
+        ));
+        let proj_row = Type::record([
+            ("PName", Type::Str),
+            ("CustName", Type::Str),
+            ("PDept", Type::Str),
+            ("Budg", Type::Int),
+        ]);
+        s.add_root("depts", Type::set(Type::Oid("Dept".into())));
+        s.add_root("Proj", Type::set(proj_row.clone()));
+        s.add_root(
+            "Dept",
+            Type::dict(
+                Type::Oid("Dept".into()),
+                Type::record([
+                    ("DName", Type::Str),
+                    ("DProjs", Type::set(Type::Str)),
+                    ("MgrName", Type::Str),
+                ]),
+            ),
+        );
+        s.add_root("I", Type::dict(Type::Str, proj_row.clone()));
+        s.add_root("SI", Type::dict(Type::Str, Type::set(proj_row)));
+        s
+    }
+
+    fn paper_q() -> Query {
+        Query::new(
+            Output::record([
+                ("PN", Path::var("s")),
+                ("PB", Path::var("p").field("Budg")),
+                ("DN", Path::var("d").field("DName")),
+            ]),
+            vec![
+                Binding::iter("d", Path::root("depts")),
+                Binding::iter("s", Path::var("d").field("DProjs")),
+                Binding::iter("p", Path::root("Proj")),
+            ],
+            vec![
+                Equality(Path::var("s"), Path::var("p").field("PName")),
+                Equality(Path::var("p").field("CustName"), Path::str("CitiBank")),
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_query_types() {
+        let s = projdept_schema();
+        let t = check_pc_query(&s, &paper_q()).unwrap();
+        assert_eq!(t.vars["s"], Type::Str);
+        assert_eq!(t.vars["d"], Type::Oid("Dept".into()));
+        assert_eq!(
+            t.output,
+            Type::record([("PN", Type::Str), ("PB", Type::Int), ("DN", Type::Str)])
+        );
+    }
+
+    #[test]
+    fn implicit_dereferencing_types_oid_fields() {
+        let s = projdept_schema();
+        let env = BTreeMap::from([("d".to_string(), Type::Oid("Dept".into()))]);
+        let t = path_type(&s, &env, &Path::var("d").field("DProjs")).unwrap();
+        assert_eq!(t, Type::set(Type::Str));
+        let err = path_type(&s, &env, &Path::var("d").field("Nope")).unwrap_err();
+        assert!(matches!(err, TypeError::UnknownField { .. }));
+    }
+
+    #[test]
+    fn dict_operations_type() {
+        let s = projdept_schema();
+        let env = BTreeMap::new();
+        assert_eq!(
+            path_type(&s, &env, &Path::root("I").dom()).unwrap(),
+            Type::set(Type::Str)
+        );
+        assert_eq!(
+            path_type(&s, &env, &Path::root("SI").get_or_empty(Path::str("c"))).unwrap(),
+            path_type(&s, &env, &Path::root("SI").get(Path::str("c"))).unwrap()
+        );
+        // Non-failing lookup on a record-valued dictionary is rejected.
+        let err =
+            path_type(&s, &env, &Path::root("I").get_or_empty(Path::str("c"))).unwrap_err();
+        assert!(matches!(err, TypeError::NonSetEntryNonFailing { .. }));
+        // Key type mismatch.
+        let err = path_type(&s, &env, &Path::root("I").get(Path::int(3))).unwrap_err();
+        assert!(matches!(err, TypeError::KeyMismatch { .. }));
+    }
+
+    #[test]
+    fn guarded_lookup_accepted() {
+        let s = projdept_schema();
+        // P1 from the paper: from dom(Dept) d, Dept[d].DProjs s, Proj p …
+        let p1 = Query::new(
+            Output::record([
+                ("PN", Path::var("s")),
+                ("PB", Path::var("p").field("Budg")),
+                ("DN", Path::root("Dept").get(Path::var("d")).field("DName")),
+            ]),
+            vec![
+                Binding::iter("d", Path::root("Dept").dom()),
+                Binding::iter("s", Path::root("Dept").get(Path::var("d")).field("DProjs")),
+                Binding::iter("p", Path::root("Proj")),
+            ],
+            vec![
+                Equality(Path::var("s"), Path::var("p").field("PName")),
+                Equality(Path::var("p").field("CustName"), Path::str("CitiBank")),
+            ],
+        );
+        check_pc_query(&s, &p1).unwrap();
+    }
+
+    #[test]
+    fn unguarded_lookup_rejected() {
+        let s = projdept_schema();
+        let bad = Query::new(
+            Output::Path(Path::root("I").get(Path::var("x")).field("Budg")),
+            vec![Binding::iter("x", Path::root("I").dom().clone())],
+            vec![],
+        );
+        // Guarded: x ranges over dom(I).
+        check_pc_query(&s, &bad).unwrap();
+
+        let really_bad = Query::new(
+            Output::Path(Path::root("I").get(Path::var("p").field("PName")).field("Budg")),
+            vec![Binding::iter("p", Path::root("Proj"))],
+            vec![],
+        );
+        let err = check_pc_query(&s, &really_bad).unwrap_err();
+        assert!(matches!(err, TypeError::UnguardedLookup { .. }));
+    }
+
+    #[test]
+    fn guard_through_equality() {
+        let s = projdept_schema();
+        // Lookup key equal (via where) to a dom-bound variable is guarded.
+        let q = Query::new(
+            Output::Path(Path::root("I").get(Path::var("p").field("PName")).field("Budg")),
+            vec![
+                Binding::iter("p", Path::root("Proj")),
+                Binding::iter("i", Path::root("I").dom()),
+            ],
+            vec![Equality(Path::var("i"), Path::var("p").field("PName"))],
+        );
+        check_pc_query(&s, &q).unwrap();
+    }
+
+    #[test]
+    fn collection_equality_rejected() {
+        let s = projdept_schema();
+        let q = Query::new(
+            Output::Path(Path::var("d").field("DName")),
+            vec![
+                Binding::iter("d", Path::root("depts")),
+                Binding::iter("e", Path::root("depts")),
+            ],
+            vec![Equality(
+                Path::var("d").field("DProjs"),
+                Path::var("e").field("DProjs"),
+            )],
+        );
+        let err = check_pc_query(&s, &q).unwrap_err();
+        assert!(matches!(err, TypeError::CollectionTyped { .. }));
+        // Plain typing is fine with it — the restriction is PC-specific.
+        check_query(&s, &q).unwrap();
+    }
+
+    #[test]
+    fn dependency_checking() {
+        let s = projdept_schema();
+        let ric = Dependency::new(
+            "RIC1",
+            vec![
+                Binding::iter("d", Path::root("depts")),
+                Binding::iter("s", Path::var("d").field("DProjs")),
+            ],
+            vec![],
+            vec![Binding::iter("p", Path::root("Proj"))],
+            vec![Equality(Path::var("s"), Path::var("p").field("PName"))],
+        );
+        check_dependency(&s, &ric).unwrap();
+        check_pc_dependency(&s, &ric).unwrap();
+
+        let bad = Dependency::new(
+            "bad",
+            vec![Binding::iter("d", Path::root("nonexistent"))],
+            vec![],
+            vec![],
+            vec![],
+        );
+        assert!(matches!(
+            check_dependency(&s, &bad),
+            Err(TypeError::UnknownRoot(_))
+        ));
+    }
+
+    #[test]
+    fn pi1_style_dependency_is_pc() {
+        let s = projdept_schema();
+        // PI1: forall (p in Proj) exists (i in dom(I))
+        //      where i = p.PName and I[i] = p
+        let pi1 = Dependency::new(
+            "PI1",
+            vec![Binding::iter("p", Path::root("Proj"))],
+            vec![],
+            vec![Binding::iter("i", Path::root("I").dom())],
+            vec![
+                Equality(Path::var("i"), Path::var("p").field("PName")),
+                Equality(Path::root("I").get(Path::var("i")), Path::var("p")),
+            ],
+        );
+        check_pc_dependency(&s, &pi1).unwrap();
+    }
+
+    #[test]
+    fn let_binding_types_but_is_not_pc() {
+        let s = projdept_schema();
+        let plan = Query::new(
+            Output::Path(Path::var("r").field("Budg")),
+            vec![Binding::let_("r", Path::root("I").get(Path::str("p1")))],
+            vec![],
+        );
+        let t = check_query(&s, &plan).unwrap();
+        assert_eq!(t.output, Type::Int);
+        assert!(matches!(check_pc_query(&s, &plan), Err(TypeError::NotPlainPc)));
+    }
+}

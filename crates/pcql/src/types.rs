@@ -1,0 +1,168 @@
+//! The complex-object type system.
+//!
+//! Types follow the paper's physical data model: base types, abstract OID
+//! types (one per class), records (`Struct`), finite sets and dictionaries
+//! (finite functions `Dict<K, V>` with a `dom` operation and lookup).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A type in the complex-object data model.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Type {
+    /// Booleans.
+    Bool,
+    /// 64-bit signed integers.
+    Int,
+    /// Unicode strings.
+    Str,
+    /// The abstract OID type of the named class. The paper "invents fresh
+    /// new base types" for OIDs (e.g. `Doid` for class `Dept`); we name the
+    /// OID type after its class. No operations other than equality are
+    /// available on OIDs themselves, but field projection on an OID is
+    /// ODMG implicit dereferencing (resolved through the class dictionary).
+    Oid(String),
+    /// Record type with named fields.
+    Struct(BTreeMap<String, Type>),
+    /// Finite set.
+    Set(Box<Type>),
+    /// Dictionary (finite function) from keys to entries.
+    Dict(Box<Type>, Box<Type>),
+}
+
+impl Type {
+    /// Builds a `Struct` type from `(field, type)` pairs.
+    pub fn record<I, S>(fields: I) -> Type
+    where
+        I: IntoIterator<Item = (S, Type)>,
+        S: Into<String>,
+    {
+        Type::Struct(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a `Set` type.
+    pub fn set(elem: Type) -> Type {
+        Type::Set(Box::new(elem))
+    }
+
+    /// Builds a `Dict` type.
+    pub fn dict(key: Type, entry: Type) -> Type {
+        Type::Dict(Box::new(key), Box::new(entry))
+    }
+
+    /// True for the base types (including OID types): the types at which
+    /// PC queries may compare, output and use as dictionary keys.
+    pub fn is_base(&self) -> bool {
+        matches!(self, Type::Bool | Type::Int | Type::Str | Type::Oid(_))
+    }
+
+    /// True if the type contains no set or dictionary anywhere. PC queries
+    /// restrict equalities and outputs to such types (paper §5,
+    /// restriction 1 applies to set/dictionary types; flat records of base
+    /// types are the outputs of PSJ-style views).
+    pub fn is_collection_free(&self) -> bool {
+        match self {
+            Type::Bool | Type::Int | Type::Str | Type::Oid(_) => true,
+            Type::Struct(fields) => fields.values().all(Type::is_collection_free),
+            Type::Set(_) | Type::Dict(_, _) => false,
+        }
+    }
+
+    /// The element type if this is a set.
+    pub fn set_elem(&self) -> Option<&Type> {
+        match self {
+            Type::Set(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The `(key, entry)` types if this is a dictionary.
+    pub fn dict_parts(&self) -> Option<(&Type, &Type)> {
+        match self {
+            Type::Dict(k, v) => Some((k, v)),
+            _ => None,
+        }
+    }
+
+    /// The type of field `name` if this is a struct that has it.
+    pub fn field(&self, name: &str) -> Option<&Type> {
+        match self {
+            Type::Struct(fields) => fields.get(name),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "Bool"),
+            Type::Int => write!(f, "Int"),
+            Type::Str => write!(f, "String"),
+            Type::Oid(class) => write!(f, "Oid<{class}>"),
+            Type::Struct(fields) => {
+                write!(f, "Struct{{")?;
+                for (i, (name, ty)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {ty}")?;
+                }
+                write!(f, "}}")
+            }
+            Type::Set(t) => write!(f, "Set<{t}>"),
+            Type::Dict(k, v) => write!(f, "Dict<{k}, {v}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proj_row() -> Type {
+        Type::record([
+            ("PName", Type::Str),
+            ("CustName", Type::Str),
+            ("PDept", Type::Str),
+            ("Budg", Type::Int),
+        ])
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let t = Type::dict(Type::Str, Type::set(proj_row()));
+        let s = t.to_string();
+        assert!(s.starts_with("Dict<String, Set<Struct{"));
+        assert!(s.contains("Budg: Int"));
+        assert!(s.contains("PName: String"));
+    }
+
+    #[test]
+    fn base_types() {
+        assert!(Type::Str.is_base());
+        assert!(Type::Oid("Dept".into()).is_base());
+        assert!(!proj_row().is_base());
+        assert!(proj_row().is_collection_free());
+        assert!(!Type::set(Type::Int).is_collection_free());
+        assert!(!Type::record([("a", Type::set(Type::Int))]).is_collection_free());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Type::dict(Type::Str, Type::set(Type::Int));
+        let (k, v) = t.dict_parts().unwrap();
+        assert_eq!(k, &Type::Str);
+        assert_eq!(v.set_elem(), Some(&Type::Int));
+        assert_eq!(proj_row().field("Budg"), Some(&Type::Int));
+        assert_eq!(proj_row().field("Nope"), None);
+        assert_eq!(Type::Int.field("x"), None);
+    }
+
+    #[test]
+    fn struct_fields_are_sorted_canonically() {
+        let a = Type::record([("b", Type::Int), ("a", Type::Str)]);
+        let b = Type::record([("a", Type::Str), ("b", Type::Int)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,170 @@
+//! A corpus of concrete-syntax queries, constraints and schemas pushed
+//! through parse → typecheck → PC-check → display → reparse.
+
+use universal_plans::prelude::*;
+
+fn projdept_schema() -> pcql::Schema {
+    parse_schema(
+        r#"
+        class Dept { DName: String, DProjs: Set<String>, MgrName: String }
+        let depts : Set<Oid<Dept>>;
+        let Proj : Set<Struct{PName: String, CustName: String, PDept: String, Budg: Int}>;
+        let Dept : Dict<Oid<Dept>, Struct{DName: String, DProjs: Set<String>, MgrName: String}>;
+        let I : Dict<String, Struct{PName: String, CustName: String, PDept: String, Budg: Int}>;
+        let SI : Dict<String, Set<Struct{PName: String, CustName: String, PDept: String, Budg: Int}>>;
+        let JI : Set<Struct{DOID: Oid<Dept>, PN: String}>;
+        "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn schema_text_matches_programmatic_catalog() {
+    let parsed = projdept_schema();
+    let catalog = cb_catalog::scenarios::projdept::catalog();
+    let combined = catalog.combined_schema();
+    for (name, ty) in &parsed.roots {
+        assert_eq!(
+            combined.root(name),
+            Some(ty),
+            "root {name} differs between DDL text and builder"
+        );
+    }
+    assert_eq!(parsed.classes.len(), 1);
+    assert_eq!(
+        parsed.class("Dept").unwrap().attrs,
+        combined.class("Dept").unwrap().attrs
+    );
+}
+
+#[test]
+fn pc_query_corpus_round_trips_and_typechecks() {
+    let schema = projdept_schema();
+    let corpus = [
+        // The paper's query and plans in PC form.
+        r#"select struct(PN = s, PB = p.Budg, DN = d.DName)
+           from depts d, d.DProjs s, Proj p
+           where s = p.PName and p.CustName = "CitiBank""#,
+        r#"select struct(PN = s, PB = p.Budg, DN = Dept[d].DName)
+           from dom(Dept) d, Dept[d].DProjs s, Proj p
+           where s = p.PName and p.CustName = "CitiBank""#,
+        // dom-guarded primary index dereference.
+        "select struct(B = I[i].Budg) from dom(I) i",
+        // Secondary index with a constant-pinned key.
+        r#"select struct(PN = t.PName) from dom(SI) k, SI[k] t where k = "CitiBank""#,
+        // Join through the join-index view.
+        "select struct(PN = j.PN) from JI j, Proj p where j.PN = p.PName",
+        // Nested membership only.
+        "select struct(S = s) from depts d, d.DProjs s",
+        // Output can be a bare path.
+        "select p.Budg from Proj p",
+        // Multiple conditions across three bindings.
+        r#"select struct(A = p.PName, B = q.PName)
+           from Proj p, Proj q, depts d
+           where p.PDept = d.DName and q.PDept = d.DName and p.CustName = q.CustName"#,
+    ];
+    for src in corpus {
+        let q = parse_query(src).unwrap_or_else(|e| panic!("parse {src}: {e}"));
+        check_pc_query(&schema, &q).unwrap_or_else(|e| panic!("typecheck {src}: {e}"));
+        let printed = q.to_string();
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
+        assert_eq!(q, q2, "round trip changed {src}");
+    }
+}
+
+#[test]
+fn plan_corpus_typechecks_but_is_not_pc() {
+    let schema = projdept_schema();
+    let plans = [
+        // Non-failing lookup (P3 display form).
+        r#"select struct(PN = p.PName) from SI{"CitiBank"} p"#,
+        // Unguarded failing lookups (P4).
+        r#"select struct(PN = j.PN, PB = I[j.PN].Budg, DN = Dept[j.DOID].DName)
+           from JI j where I[j.PN].CustName = "CitiBank""#,
+        // Let binding.
+        r#"select struct(B = x.Budg) from let x := I["proj0_0"]"#,
+    ];
+    for src in plans {
+        let q = parse_query(src).unwrap();
+        check_query(&schema, &q).unwrap_or_else(|e| panic!("typecheck {src}: {e}"));
+        assert!(
+            check_pc_query(&schema, &q).is_err(),
+            "{src} should not be strict PC"
+        );
+    }
+}
+
+#[test]
+fn constraint_corpus_parses_and_typechecks() {
+    let schema = projdept_schema();
+    let corpus = [
+        ("RIC1", "forall (d in depts) (s in d.DProjs) -> exists (p in Proj) where s = p.PName"),
+        ("RIC2", "forall (p in Proj) -> exists (d in depts) where p.PDept = d.DName"),
+        (
+            "INV1",
+            "forall (d in depts) (s in d.DProjs) (p in Proj) where s = p.PName \
+             -> p.PDept = d.DName",
+        ),
+        (
+            "INV2",
+            "forall (p in Proj) (d in depts) where p.PDept = d.DName \
+             -> exists (s in d.DProjs) where p.PName = s",
+        ),
+        ("KEY1", "forall (d in depts) (e in depts) where d.DName = e.DName -> d = e"),
+        ("KEY2", "forall (p in Proj) (q in Proj) where p.PName = q.PName -> p = q"),
+        ("PI1", "forall (p in Proj) -> exists (i in dom(I)) where i = p.PName and I[i] = p"),
+        ("PI2", "forall (i in dom(I)) -> exists (p in Proj) where i = p.PName and I[i] = p"),
+        (
+            "SI1",
+            "forall (p in Proj) -> exists (k in dom(SI)) (t in SI[k]) \
+             where k = p.CustName and p = t",
+        ),
+        ("SI3", "forall (k in dom(SI)) -> exists (t in SI[k]) where t = t"),
+        (
+            "c_JI",
+            "forall (d in depts) (s in d.DProjs) (p in Proj) where s = p.PName \
+             -> exists (j in JI) where j.DOID = d and j.PN = p.PName",
+        ),
+    ];
+    for (name, src) in corpus {
+        let d = parse_dependency(name, src).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+        check_dependency(&schema, &d).unwrap_or_else(|e| panic!("typecheck {name}: {e}"));
+    }
+}
+
+#[test]
+fn parser_rejects_garbage_gracefully() {
+    for src in [
+        "",
+        "select",
+        "select struct(",
+        "select x from",
+        "select x from R",      // missing variable name
+        "select x from R x where",
+        "forall -> x = y",
+        "select x from R x where x == y",
+    ] {
+        assert!(
+            parse_query(src).is_err() || src.starts_with("forall"),
+            "should reject: {src}"
+        );
+    }
+    assert!(parse_dependency("d", "exists (x in R) -> x = x").is_err());
+    assert!(parse_schema("class {}").is_err());
+    assert!(parse_schema("let x : Unknown<Int>;").is_err());
+}
+
+#[test]
+fn typechecker_rejects_ill_typed_corpus() {
+    let schema = projdept_schema();
+    for (src, why) in [
+        ("select struct(X = p.Nope) from Proj p", "unknown field"),
+        ("select struct(X = p.Budg) from Proj p, p.Budg b", "iterating a non-set"),
+        ("select struct(X = I[p.Budg].Budg) from Proj p, dom(I) i where i = p.PName", "key type"),
+        ("select struct(X = d.DProjs) from depts d", "collection output in PC"),
+    ] {
+        let q = parse_query(src).unwrap();
+        assert!(check_pc_query(&schema, &q).is_err(), "should reject ({why}): {src}");
+    }
+}

@@ -1,0 +1,86 @@
+//! The physical-operator pipeline must agree with the reference
+//! interpreter on every optimizer-produced plan, with and without hash
+//! joins.
+
+use universal_plans::engine::exec::{compile, execute, CompileOptions};
+use universal_plans::prelude::*;
+
+fn check_pipelines(catalog: &Catalog, q: &pcql::Query, instance: &Instance) {
+    let ev = Evaluator::for_catalog(catalog, instance);
+    let reference = ev.eval_query(q).unwrap();
+    let config = cb_optimizer::OptimizerConfig {
+        backchase: universal_plans::chase::BackchaseConfig {
+            max_visited: 200,
+            ..Default::default()
+        },
+        cost_visited: true,
+        ..Default::default()
+    };
+    let outcome = Optimizer::with_config(catalog, config).optimize(q).unwrap();
+    for c in &outcome.candidates {
+        for options in [CompileOptions { hash_joins: false }, CompileOptions { hash_joins: true }]
+        {
+            let pipeline = compile(&c.query, options);
+            let rows = execute(&ev, &pipeline).unwrap_or_else(|e| {
+                panic!("pipeline failed: {e}\nplan: {}\npipeline: {pipeline}", c.query)
+            });
+            assert_eq!(rows, reference, "plan {} via {pipeline}", c.query);
+        }
+    }
+}
+
+#[test]
+fn projdept_plans_compile_to_pipelines() {
+    let mut catalog = cb_catalog::scenarios::projdept::catalog();
+    let q = cb_catalog::scenarios::projdept::query();
+    let mut instance = cb_engine::projdept_instance(&cb_engine::ProjDeptParams {
+        n_depts: 10,
+        projs_per_dept: 4,
+        n_customers: 4,
+        seed: 77,
+    });
+    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    *catalog.stats_mut() = cb_engine::collect_stats(&instance);
+    check_pipelines(&catalog, &q, &instance);
+}
+
+#[test]
+fn view_plans_compile_to_pipelines() {
+    let mut catalog = cb_catalog::scenarios::relational_views::catalog();
+    let q = cb_catalog::scenarios::relational_views::query();
+    let mut instance = cb_engine::join_instance(&cb_engine::JoinParams {
+        n_r: 80,
+        n_s: 80,
+        match_fraction: 0.3,
+        seed: 5,
+    });
+    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    *catalog.stats_mut() = cb_engine::collect_stats(&instance);
+    check_pipelines(&catalog, &q, &instance);
+}
+
+#[test]
+fn greedy_strategy_plans_execute_correctly() {
+    let mut catalog = cb_catalog::scenarios::projdept::catalog();
+    let q = cb_catalog::scenarios::projdept::query();
+    let mut instance = cb_engine::projdept_instance(&cb_engine::ProjDeptParams {
+        n_depts: 10,
+        projs_per_dept: 4,
+        n_customers: 4,
+        seed: 13,
+    });
+    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    *catalog.stats_mut() = cb_engine::collect_stats(&instance);
+
+    let ev = Evaluator::for_catalog(&catalog, &instance);
+    let reference = ev.eval_query(&q).unwrap();
+    let config = cb_optimizer::OptimizerConfig {
+        strategy: cb_optimizer::SearchStrategy::Greedy,
+        cost_visited: false,
+        ..Default::default()
+    };
+    let outcome = Optimizer::with_config(&catalog, config).optimize(&q).unwrap();
+    assert_eq!(outcome.candidates.len(), 1);
+    let rows = ev.eval_query(&outcome.best.query).unwrap();
+    assert_eq!(rows, reference, "greedy plan: {}", outcome.best.query);
+}

@@ -1,0 +1,233 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use universal_plans::chase::{
+    backchase, chase, contained_in, minimize, BackchaseConfig, ChaseConfig, EGraph,
+};
+use universal_plans::prelude::*;
+
+// ---------- generators ----------
+
+/// Fields that exist in the generated R(A,B) instances.
+fn field_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["A", "B"]).prop_map(str::to_string)
+}
+
+/// Fields for purely syntactic path tests (never evaluated).
+fn any_field_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["A", "B", "C"]).prop_map(str::to_string)
+}
+
+fn var_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["x", "y", "z"]).prop_map(str::to_string)
+}
+
+/// Random flat paths over variables x, y, z and roots R, S.
+fn arb_path() -> impl Strategy<Value = pcql::Path> {
+    let leaf = prop_oneof![
+        var_name().prop_map(pcql::Path::Var),
+        prop::sample::select(vec!["R", "S"]).prop_map(|r| pcql::Path::root(r)),
+        any::<i64>().prop_map(pcql::Path::int),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), any_field_name()).prop_map(|(p, f)| p.field(f)),
+            inner.clone().prop_map(|p| p.dom()),
+            (inner.clone(), inner).prop_map(|(m, k)| m.get(k)),
+        ]
+    })
+}
+
+/// Random conjunctive queries over R(A,B): 1–3 bindings, 0–3 conditions
+/// among variable fields and small constants.
+fn arb_cq() -> impl Strategy<Value = pcql::Query> {
+    let n_bindings = 1..=3usize;
+    (n_bindings, prop::collection::vec((0..3usize, field_name(), 0..3usize, field_name()), 0..3), (0..3usize, field_name()))
+        .prop_map(|(n, eqs, (ov, of))| {
+            let from: Vec<pcql::Binding> = (0..n)
+                .map(|i| pcql::Binding::iter(format!("v{i}"), pcql::Path::root("R")))
+                .collect();
+            let where_: Vec<pcql::Equality> = eqs
+                .into_iter()
+                .map(|(l, lf, r, rf)| {
+                    pcql::Equality(
+                        pcql::Path::var(format!("v{}", l % n)).field(lf),
+                        pcql::Path::var(format!("v{}", r % n)).field(rf),
+                    )
+                })
+                .collect();
+            pcql::Query::new(
+                pcql::Output::record([(
+                    "O".to_string(),
+                    pcql::Path::var(format!("v{}", ov % n)).field(of),
+                )]),
+                from,
+                where_,
+            )
+        })
+}
+
+/// A small random R(A,B) instance.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    prop::collection::vec((0..4i64, 0..4i64), 0..12).prop_map(|rows| {
+        let mut i = Instance::new();
+        i.set(
+            "R",
+            Value::set(rows.into_iter().map(|(a, b)| {
+                Value::record([("A", Value::Int(a)), ("B", Value::Int(b))])
+            })),
+        );
+        i
+    })
+}
+
+// ---------- properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Printing and reparsing a path is the identity.
+    #[test]
+    fn path_display_parse_roundtrip(p in arb_path()) {
+        let text = p.to_string();
+        let vars: std::collections::BTreeSet<String> = p.free_vars();
+        // Reparse: bare identifiers come back as roots; rename variables
+        // first so the comparison is faithful.
+        let parsed = pcql::parser::parse_path(&text).unwrap();
+        // parse_path resolves all identifiers to roots; map our vars
+        // to roots for comparison.
+        let as_roots = {
+            fn var_to_root(p: &pcql::Path, vars: &std::collections::BTreeSet<String>) -> pcql::Path {
+                match p {
+                    pcql::Path::Var(v) if vars.contains(v) => pcql::Path::Root(v.clone()),
+                    pcql::Path::Var(_) | pcql::Path::Const(_) | pcql::Path::Root(_) => p.clone(),
+                    pcql::Path::Field(q, f) => var_to_root(q, vars).field(f.clone()),
+                    pcql::Path::Dom(q) => var_to_root(q, vars).dom(),
+                    pcql::Path::Get(m, k) => var_to_root(m, vars).get(var_to_root(k, vars)),
+                    pcql::Path::GetOrEmpty(m, k) => {
+                        var_to_root(m, vars).get_or_empty(var_to_root(k, vars))
+                    }
+                }
+            }
+            var_to_root(&p, &vars)
+        };
+        prop_assert_eq!(parsed, as_roots);
+    }
+
+    /// Queries round-trip through the printer and parser.
+    #[test]
+    fn query_display_parse_roundtrip(q in arb_cq()) {
+        let reparsed = pcql::parser::parse_query(&q.to_string()).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// The e-graph congruence relation is reflexive/symmetric/transitive
+    /// and congruent under field projection.
+    #[test]
+    fn egraph_laws(pairs in prop::collection::vec((var_name(), var_name()), 0..4),
+                   probe in var_name(), f in field_name()) {
+        let mut g = EGraph::new();
+        for (a, b) in &pairs {
+            g.union_paths(&pcql::Path::var(a.clone()), &pcql::Path::var(b.clone()));
+        }
+        // Reflexive.
+        prop_assert!(g.paths_equal(&pcql::Path::var(probe.clone()), &pcql::Path::var(probe.clone())));
+        // Symmetric + congruent: check every recorded pair.
+        for (a, b) in &pairs {
+            prop_assert!(g.paths_equal(&pcql::Path::var(b.clone()), &pcql::Path::var(a.clone())));
+            prop_assert!(g.paths_equal(
+                &pcql::Path::var(a.clone()).field(f.clone()),
+                &pcql::Path::var(b.clone()).field(f.clone())
+            ));
+        }
+        // Transitive closure via chained unions.
+        if pairs.len() >= 2 {
+            let (a0, _) = &pairs[0];
+            let class0 = g.add_path(&pcql::Path::var(a0.clone()));
+            let _ = g.extract(class0, &Default::default());
+        }
+    }
+
+    /// Tableau minimization is sound (same results on random instances)
+    /// and idempotent.
+    #[test]
+    fn minimization_sound_and_idempotent(q in arb_cq(), inst in arb_instance()) {
+        let m = minimize(&q, &BackchaseConfig::default());
+        prop_assert!(m.from.len() <= q.from.len());
+        let m2 = minimize(&m, &BackchaseConfig::default());
+        prop_assert_eq!(m.alpha_normalized(), m2.alpha_normalized());
+        let ev = Evaluator::new(&inst);
+        let a = ev.eval_query(&q).unwrap();
+        let b = ev.eval_query(&m).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Chasing with a constraint never changes results on instances that
+    /// satisfy the constraint (chase soundness).
+    #[test]
+    fn chase_soundness_on_satisfying_instances(q in arb_cq(), inst in arb_instance()) {
+        // The key EGD on A is satisfiable by filtering the instance to
+        // one row per A value.
+        let key = pcql::parser::parse_dependency(
+            "key",
+            "forall (p in R) (q in R) where p.A = q.A -> p = q",
+        ).unwrap();
+        let mut by_a: BTreeMap<Value, Value> = BTreeMap::new();
+        if let Some(Value::Set(rows)) = inst.get("R").cloned() {
+            for row in rows {
+                by_a.entry(row.field("A").cloned().unwrap()).or_insert(row);
+            }
+        }
+        let mut keyed = Instance::new();
+        keyed.set("R", Value::set(by_a.into_values()));
+
+        let ev = Evaluator::new(&keyed);
+        prop_assert!(cb_engine::satisfies(&ev, &key).unwrap());
+        let chased = chase(&q, &[key], &ChaseConfig::default());
+        prop_assert!(chased.complete);
+        let a = ev.eval_query(&q).unwrap();
+        let b = ev.eval_query(&chased.query).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Backchase normal forms of a chased query still evaluate to the
+    /// same result (backchase soundness).
+    #[test]
+    fn backchase_soundness(q in arb_cq(), inst in arb_instance()) {
+        let out = backchase(&q, &[], &BackchaseConfig::default());
+        let ev = Evaluator::new(&inst);
+        let reference = ev.eval_query(&q).unwrap();
+        for nf in &out.normal_forms {
+            let rows = ev.eval_query(nf).unwrap();
+            prop_assert_eq!(&rows, &reference, "nf = {}", nf);
+        }
+    }
+
+    /// Containment agrees with evaluation: if Q1 ⊑ Q2 is claimed, then on
+    /// every instance eval(Q1) ⊆ eval(Q2).
+    #[test]
+    fn containment_sound_wrt_evaluation(q1 in arb_cq(), q2 in arb_cq(), inst in arb_instance()) {
+        if contained_in(&q1, &q2, &[], &ChaseConfig::default()) {
+            let ev = Evaluator::new(&inst);
+            let a = ev.eval_query(&q1).unwrap();
+            let b = ev.eval_query(&q2).unwrap();
+            prop_assert!(a.is_subset(&b), "q1 = {} q2 = {}", q1, q2);
+        }
+    }
+
+    /// Materialized secondary indexes always satisfy their constraints.
+    #[test]
+    fn materialized_index_satisfies_constraints(inst in arb_instance()) {
+        let mut catalog = Catalog::new();
+        catalog.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int)]);
+        catalog.add_direct_mapping("R");
+        catalog.add_secondary_index("SA", "R", "A").unwrap();
+        let mut inst = inst;
+        Materializer::new(&catalog).materialize(&mut inst).unwrap();
+        let ev = Evaluator::for_catalog(&catalog, &inst);
+        let bad = cb_engine::violations(&ev, &catalog.all_constraints()).unwrap();
+        prop_assert!(bad.is_empty(), "violations: {:?}", bad);
+    }
+}
