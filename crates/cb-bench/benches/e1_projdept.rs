@@ -24,7 +24,10 @@ fn optimizer_phases(c: &mut Criterion) {
             backchase(
                 black_box(&u),
                 &deps,
-                &BackchaseConfig { max_visited: 4096, ..Default::default() },
+                &BackchaseConfig {
+                    max_visited: 4096,
+                    ..Default::default()
+                },
             )
         })
     });

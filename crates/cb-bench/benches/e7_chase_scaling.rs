@@ -27,10 +27,7 @@ fn catalog_with_views(k: usize) -> cb_catalog::Catalog {
 }
 
 fn chase_scaling(c: &mut Criterion) {
-    let q = parse_query(
-        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-    )
-    .unwrap();
+    let q = parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
     let mut group = c.benchmark_group("e7/chase_vs_views");
     for k in [1usize, 2, 4, 8] {
         let catalog = catalog_with_views(k);

@@ -25,10 +25,7 @@ fn setup(k: usize) -> (Vec<pcql::Dependency>, pcql::Query) {
             )
             .unwrap();
     }
-    let q = parse_query(
-        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-    )
-    .unwrap();
+    let q = parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
     let deps = catalog.all_constraints();
     let u = chase(&q, &deps, &ChaseConfig::default()).query;
     (deps, u)
@@ -44,7 +41,10 @@ fn backchase_scaling(c: &mut Criterion) {
                 let out = backchase(
                     black_box(&u),
                     &deps,
-                    &BackchaseConfig { max_visited: 0, ..Default::default() },
+                    &BackchaseConfig {
+                        max_visited: 0,
+                        ..Default::default()
+                    },
                 );
                 assert_eq!(out.normal_forms.len(), k + 1);
                 out

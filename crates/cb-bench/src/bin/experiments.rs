@@ -72,11 +72,7 @@ fn e13_strategy_ablation() {
     banner("E13", "exhaustive vs. greedy backchase (ablation)");
     use cb_optimizer::{OptimizerConfig, SearchStrategy};
     let mut rows = Vec::new();
-    for (name, mk) in [
-        ("projdept", 0usize),
-        ("§4 indexes", 1),
-        ("§4 views", 2),
-    ] {
+    for (name, mk) in [("projdept", 0usize), ("§4 indexes", 1), ("§4 views", 2)] {
         let p = match mk {
             0 => prepared_projdept(50, 10, 25),
             1 => prepared_indexes(5_000, 100, 50),
@@ -91,7 +87,9 @@ fn e13_strategy_ablation() {
             ..Default::default()
         };
         let t1 = Instant::now();
-        let greedy = Optimizer::with_config(&p.catalog, config).optimize(&p.query).unwrap();
+        let greedy = Optimizer::with_config(&p.catalog, config)
+            .optimize(&p.query)
+            .unwrap();
         let greedy_ms = t1.elapsed().as_secs_f64() * 1e3;
         rows.push(vec![
             name.to_string(),
@@ -136,12 +134,21 @@ fn e1_projdept_plan_space() {
 
     for (regime, catalog) in [
         ("D ∪ D' (semantic + mapping)", p.catalog.clone()),
-        ("D' only (mapping)", p.catalog.without_semantic_constraints()),
+        (
+            "D' only (mapping)",
+            p.catalog.without_semantic_constraints(),
+        ),
     ] {
         let deps = catalog.all_constraints();
         let u = chase(q, &deps, &ChaseConfig::default()).query;
-        let out =
-            backchase(&u, &deps, &BackchaseConfig { max_visited: 4096, ..Default::default() });
+        let out = backchase(
+            &u,
+            &deps,
+            &BackchaseConfig {
+                max_visited: 4096,
+                ..Default::default()
+            },
+        );
         println!("\nregime: {regime}");
         println!("  universal plan: {} bindings", u.from.len());
         println!("  equivalent subqueries visited: {}", out.visited.len());
@@ -211,8 +218,16 @@ fn e5_index_only() {
     let (plan_ms, n2) = p.time_plan(&outcome.best.query);
     assert_eq!(n, n2);
     let rows = vec![
-        vec!["base scan of R".to_string(), format!("{scan_ms:.2}"), n.to_string()],
-        vec!["chosen index plan".to_string(), format!("{plan_ms:.2}"), n2.to_string()],
+        vec![
+            "base scan of R".to_string(),
+            format!("{scan_ms:.2}"),
+            n.to_string(),
+        ],
+        vec![
+            "chosen index plan".to_string(),
+            format!("{plan_ms:.2}"),
+            n2.to_string(),
+        ],
     ];
     println!("{}", render_table(&["plan", "time (ms)", "rows"], &rows));
     println!("speedup: {:.1}x", scan_ms / plan_ms.max(1e-9));
@@ -229,8 +244,12 @@ fn e6_views_and_indexes() {
         let (best_ms, _) = p.time_plan(&outcome.best.query);
         rows.push(vec![
             format!("{}", p.instance.cardinality("V").unwrap()),
-            if outcome.best.query.to_string().contains('V') { "view nav" } else { "other" }
-                .to_string(),
+            if outcome.best.query.to_string().contains('V') {
+                "view nav"
+            } else {
+                "other"
+            }
+            .to_string(),
             format!("{base_ms:.1}"),
             format!("{best_ms:.1}"),
             format!("{:.1}x", base_ms / best_ms.max(1e-9)),
@@ -238,7 +257,10 @@ fn e6_views_and_indexes() {
     }
     println!(
         "{}",
-        render_table(&["|V|", "chosen", "base join ms", "chosen ms", "speedup"], &rows)
+        render_table(
+            &["|V|", "chosen", "base join ms", "chosen ms", "speedup"],
+            &rows
+        )
     );
     // The derivation of the navigation plan itself:
     let p = prepared_views(400, 400, 0.05);
@@ -261,17 +283,13 @@ fn e7_chase_scaling() {
             catalog
                 .add_materialized_view(
                     &format!("V{i}"),
-                    parse_query(
-                        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-                    )
-                    .unwrap(),
+                    parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+                        .unwrap(),
                 )
                 .unwrap();
         }
-        let q = parse_query(
-            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
         let t = Instant::now();
         let out = chase(&q, &catalog.all_constraints(), &ChaseConfig::default());
         let ms = t.elapsed().as_secs_f64() * 1e3;
@@ -285,7 +303,10 @@ fn e7_chase_scaling() {
     }
     println!(
         "{}",
-        render_table(&["#views", "U bindings", "U size", "steps", "chase ms"], &rows)
+        render_table(
+            &["#views", "U bindings", "U size", "steps", "chase ms"],
+            &rows
+        )
     );
 }
 
@@ -303,21 +324,24 @@ fn e8_backchase_scaling() {
             catalog
                 .add_materialized_view(
                     &format!("V{i}"),
-                    parse_query(
-                        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-                    )
-                    .unwrap(),
+                    parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+                        .unwrap(),
                 )
                 .unwrap();
         }
-        let q = parse_query(
-            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
         let deps = catalog.all_constraints();
         let u = chase(&q, &deps, &ChaseConfig::default()).query;
         let t = Instant::now();
-        let out = backchase(&u, &deps, &BackchaseConfig { max_visited: 0, ..Default::default() });
+        let out = backchase(
+            &u,
+            &deps,
+            &BackchaseConfig {
+                max_visited: 0,
+                ..Default::default()
+            },
+        );
         let ms = t.elapsed().as_secs_f64() * 1e3;
         rows.push(vec![
             k.to_string(),
@@ -330,7 +354,13 @@ fn e8_backchase_scaling() {
     println!(
         "{}",
         render_table(
-            &["#views", "U bindings", "visited", "minimal plans", "backchase ms"],
+            &[
+                "#views",
+                "U bindings",
+                "visited",
+                "minimal plans",
+                "backchase ms"
+            ],
             &rows
         )
     );
@@ -351,8 +381,7 @@ fn e9_completeness() {
     catalog
         .add_materialized_view(
             "V1",
-            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
-                .unwrap(),
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap(),
         )
         .unwrap();
     catalog
@@ -368,7 +397,14 @@ fn e9_completeness() {
     .unwrap();
     let deps = catalog.all_constraints();
     let u = chase(&q, &deps, &ChaseConfig::default()).query;
-    let out = backchase(&u, &deps, &BackchaseConfig { max_visited: 0, ..Default::default() });
+    let out = backchase(
+        &u,
+        &deps,
+        &BackchaseConfig {
+            max_visited: 0,
+            ..Default::default()
+        },
+    );
 
     // Brute force over all removal subsets.
     let vars: Vec<String> = u.from.iter().map(|b| b.var.clone()).collect();
@@ -387,7 +423,9 @@ fn e9_completeness() {
     let minimal: Vec<&pcql::Query> = equivalents
         .iter()
         .filter(|(r1, _)| {
-            !equivalents.iter().any(|(r2, _)| r2.len() > r1.len() && r2.is_superset(r1))
+            !equivalents
+                .iter()
+                .any(|(r2, _)| r2.len() > r1.len() && r2.is_superset(r1))
         })
         .map(|(_, qq)| qq)
         .collect();
@@ -426,13 +464,21 @@ fn e10_plan_crossover() {
             .0];
         cells.push(winner.to_string());
         let outcome = p.optimizer().optimize(&p.query).unwrap();
-        cells.push(format!("{}", shape(&outcome.best.query)));
+        cells.push(shape(&outcome.best.query).to_string());
         rows.push(cells);
     }
     println!(
         "{}",
         render_table(
-            &["selectivity", "P1 ms", "P2 ms", "P3 ms", "P4 ms", "measured winner", "optimizer pick"],
+            &[
+                "selectivity",
+                "P1 ms",
+                "P2 ms",
+                "P3 ms",
+                "P4 ms",
+                "measured winner",
+                "optimizer pick"
+            ],
             &rows
         )
     );
@@ -459,8 +505,14 @@ fn e11_structure_encodings() {
         .unwrap();
     let q = parse_query("select struct(B = r.B) from R r where r.A = 3").unwrap();
     let out = Optimizer::new(&catalog).optimize(&q).unwrap();
-    let gmap_plan = out.candidates.iter().find(|c| c.query.to_string().contains('G'));
-    println!("gmap rewrite:              {}", gmap_plan.map(|c| c.query.to_string()).unwrap_or_default());
+    let gmap_plan = out
+        .candidates
+        .iter()
+        .find(|c| c.query.to_string().contains('G'));
+    println!(
+        "gmap rewrite:              {}",
+        gmap_plan.map(|c| c.query.to_string()).unwrap_or_default()
+    );
 
     // Hash table (same constraints as a secondary index).
     let mut catalog = cb_catalog::Catalog::new();
@@ -469,22 +521,32 @@ fn e11_structure_encodings() {
     catalog.add_direct_mapping("R");
     catalog.add_direct_mapping("S");
     catalog.add_hash_table("HS", "S", "B").unwrap();
-    let q = parse_query(
-        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-    )
-    .unwrap();
+    let q = parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
     let out = Optimizer::new(&catalog).optimize(&q).unwrap();
-    let hash_plan = out.candidates.iter().find(|c| c.query.to_string().contains("HS"));
-    println!("hash-join-style rewrite:   {}", hash_plan.map(|c| c.query.to_string()).unwrap_or_default());
+    let hash_plan = out
+        .candidates
+        .iter()
+        .find(|c| c.query.to_string().contains("HS"));
+    println!(
+        "hash-join-style rewrite:   {}",
+        hash_plan.map(|c| c.query.to_string()).unwrap_or_default()
+    );
 
     // Access support relation over the ProjDept path.
     let mut catalog = cb_catalog::scenarios::projdept::catalog();
-    catalog.add_access_support_relation("ASR", "depts", &["DProjs"]).unwrap();
-    let q = parse_query("select struct(DN = d.DName, PN = s) from depts d, d.DProjs s")
+    catalog
+        .add_access_support_relation("ASR", "depts", &["DProjs"])
         .unwrap();
+    let q = parse_query("select struct(DN = d.DName, PN = s) from depts d, d.DProjs s").unwrap();
     let out = Optimizer::new(&catalog).optimize(&q).unwrap();
-    let asr_plan = out.candidates.iter().find(|c| c.query.to_string().contains("ASR"));
-    println!("ASR rewrite:               {}", asr_plan.map(|c| c.query.to_string()).unwrap_or_default());
+    let asr_plan = out
+        .candidates
+        .iter()
+        .find(|c| c.query.to_string().contains("ASR"));
+    println!(
+        "ASR rewrite:               {}",
+        asr_plan.map(|c| c.query.to_string()).unwrap_or_default()
+    );
 
     // Source capability: a dictionary from bound attribute to results.
     let mut catalog = cb_catalog::Catalog::new();

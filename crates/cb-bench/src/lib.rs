@@ -29,9 +29,15 @@ pub fn prepared_projdept(n_depts: usize, projs_per_dept: usize, n_customers: usi
         n_customers,
         seed: 42,
     });
-    Materializer::new(&catalog).materialize(&mut instance).expect("materialize");
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .expect("materialize");
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
-    Prepared { catalog, instance, query: cb_catalog::scenarios::projdept::query() }
+    Prepared {
+        catalog,
+        instance,
+        query: cb_catalog::scenarios::projdept::query(),
+    }
 }
 
 /// Builds §4 scenario 1 (R(A,B,C) + SA + SB) at a given scale.
@@ -43,9 +49,15 @@ pub fn prepared_indexes(n_rows: usize, distinct_a: usize, distinct_b: usize) -> 
         distinct_b,
         seed: 7,
     });
-    Materializer::new(&catalog).materialize(&mut instance).expect("materialize");
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .expect("materialize");
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
-    Prepared { catalog, instance, query: cb_catalog::scenarios::relational_indexes::query() }
+    Prepared {
+        catalog,
+        instance,
+        query: cb_catalog::scenarios::relational_indexes::query(),
+    }
 }
 
 /// Builds §4 scenario 2 (R ⋈ S with V, IR, IS) at a given scale.
@@ -57,9 +69,15 @@ pub fn prepared_views(n_r: usize, n_s: usize, match_fraction: f64) -> Prepared {
         match_fraction,
         seed: 11,
     });
-    Materializer::new(&catalog).materialize(&mut instance).expect("materialize");
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .expect("materialize");
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
-    Prepared { catalog, instance, query: cb_catalog::scenarios::relational_views::query() }
+    Prepared {
+        catalog,
+        instance,
+        query: cb_catalog::scenarios::relational_views::query(),
+    }
 }
 
 impl Prepared {
@@ -131,7 +149,10 @@ mod tests {
     fn table_rendering() {
         let t = render_table(
             &["plan", "cost"],
-            &[vec!["P1".into(), "10".into()], vec!["P2".into(), "3".into()]],
+            &[
+                vec!["P1".into(), "10".into()],
+                vec!["P2".into(), "3".into()],
+            ],
         );
         assert!(t.contains("plan"));
         assert!(t.lines().count() == 4);

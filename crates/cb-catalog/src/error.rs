@@ -44,7 +44,10 @@ impl fmt::Display for CatalogError {
             }
             CatalogError::DuplicateName(n) => write!(f, "name `{n}` is already in use"),
             CatalogError::BadKeyType { field, ty } => {
-                write!(f, "field `{field}` of type `{ty}` cannot be a dictionary key")
+                write!(
+                    f,
+                    "field `{field}` of type `{ty}` cannot be a dictionary key"
+                )
             }
             CatalogError::BadViewDefinition { name, reason } => {
                 write!(f, "bad definition for view `{name}`: {reason}")

@@ -118,16 +118,15 @@ impl Catalog {
         }
     }
 
-    fn key_field_type(
-        &self,
-        relation: &str,
-        field: &str,
-    ) -> Result<(Type, Type), CatalogError> {
+    fn key_field_type(&self, relation: &str, field: &str) -> Result<(Type, Type), CatalogError> {
         let (row, fields) = self.relation_row(relation)?;
-        let key_ty = fields.get(field).cloned().ok_or_else(|| CatalogError::NoSuchField {
-            relation: relation.to_string(),
-            field: field.to_string(),
-        })?;
+        let key_ty = fields
+            .get(field)
+            .cloned()
+            .ok_or_else(|| CatalogError::NoSuchField {
+                relation: relation.to_string(),
+                field: field.to_string(),
+            })?;
         if !key_ty.is_base() {
             return Err(CatalogError::BadKeyType {
                 field: field.to_string(),
@@ -153,7 +152,8 @@ impl Catalog {
             .extend(structures::primary_index_constraints(name, relation, field));
         let key_name = format!("key({relation}.{field})");
         if !self.semantic.iter().any(|d| d.name == key_name) {
-            self.semantic.push(builtin::key_constraint(key_name, relation, field));
+            self.semantic
+                .push(builtin::key_constraint(key_name, relation, field));
         }
         self.structures.push(AccessStructure::PrimaryIndex {
             name: name.to_string(),
@@ -195,9 +195,11 @@ impl Catalog {
     ) -> Result<&mut Self, CatalogError> {
         self.check_fresh(name)?;
         let (row, key_ty) = self.key_field_type(relation, field)?;
-        self.physical.add_root(name, Type::dict(key_ty, Type::set(row)));
-        self.mapping
-            .extend(structures::secondary_index_constraints(name, relation, field));
+        self.physical
+            .add_root(name, Type::dict(key_ty, Type::set(row)));
+        self.mapping.extend(structures::secondary_index_constraints(
+            name, relation, field,
+        ));
         self.structures.push(AccessStructure::SecondaryIndex {
             name: name.to_string(),
             relation: relation.to_string(),
@@ -226,8 +228,11 @@ impl Catalog {
             return Err(CatalogError::UnknownRoot(extent.to_string()));
         }
         self.physical.add_root(dict, decl.dict_type());
-        self.mapping
-            .extend(structures::class_dict_constraints(extent, dict, &decl.attrs));
+        self.mapping.extend(structures::class_dict_constraints(
+            extent,
+            dict,
+            &decl.attrs,
+        ));
         self.structures.push(AccessStructure::ClassDict {
             class: class.to_string(),
             extent: extent.to_string(),
@@ -302,7 +307,8 @@ impl Catalog {
             });
         }
         self.physical.add_root(name, Type::set(typing.output));
-        self.mapping.extend(structures::view_constraints(name, &def));
+        self.mapping
+            .extend(structures::view_constraints(name, &def));
         self.structures.push(AccessStructure::MaterializedView {
             name: name.to_string(),
             def,
@@ -344,7 +350,10 @@ impl Catalog {
         let schema = self.combined_schema();
         let body = Query::new(
             pcql::Output::record(
-                def.key.iter().chain(&def.value).map(|(f, p)| (f.clone(), p.clone())),
+                def.key
+                    .iter()
+                    .chain(&def.value)
+                    .map(|(f, p)| (f.clone(), p.clone())),
             ),
             def.from.clone(),
             def.where_.clone(),
@@ -354,18 +363,28 @@ impl Catalog {
             Type::Struct(m) => m[f].clone(),
             _ => unreachable!("body output is a struct"),
         };
-        let key_tys: Vec<(String, Type)> =
-            def.key.iter().map(|(f, _)| (f.clone(), field_ty(f))).collect();
-        let val_tys: Vec<(String, Type)> =
-            def.value.iter().map(|(f, _)| (f.clone(), field_ty(f))).collect();
+        let key_tys: Vec<(String, Type)> = def
+            .key
+            .iter()
+            .map(|(f, _)| (f.clone(), field_ty(f)))
+            .collect();
+        let val_tys: Vec<(String, Type)> = def
+            .value
+            .iter()
+            .map(|(f, _)| (f.clone(), field_ty(f)))
+            .collect();
         for (f, t) in key_tys.iter().chain(&val_tys) {
             if !t.is_collection_free() {
-                return Err(CatalogError::BadKeyType { field: f.clone(), ty: t.to_string() });
+                return Err(CatalogError::BadKeyType {
+                    field: f.clone(),
+                    ty: t.to_string(),
+                });
             }
         }
         self.physical
             .add_root(name, structures::gmap_dict_type(&key_tys, &val_tys));
-        self.mapping.extend(structures::gmap_constraints(name, &def));
+        self.mapping
+            .extend(structures::gmap_constraints(name, &def));
         self.structures.push(AccessStructure::GmapDict {
             name: name.to_string(),
             def,
@@ -471,10 +490,7 @@ mod tests {
 
     fn base_catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.add_logical_relation(
-            "R",
-            [("A", Type::Int), ("B", Type::Int), ("C", Type::Int)],
-        );
+        c.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int), ("C", Type::Int)]);
         c.add_logical_relation("S", [("B", Type::Int), ("C", Type::Int)]);
         c.add_direct_mapping("R");
         c.add_direct_mapping("S");
@@ -540,17 +556,17 @@ mod tests {
     #[test]
     fn materialized_view_roundtrip() {
         let mut c = base_catalog();
-        let def = parse_query(
-            "select struct(A = r.A) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
+        let def = parse_query("select struct(A = r.A) from R r, S s where r.B = s.B").unwrap();
         c.add_materialized_view("V", def).unwrap();
         assert_eq!(
             c.physical().root("V"),
             Some(&Type::set(Type::record([("A", Type::Int)])))
         );
-        let names: Vec<&str> =
-            c.mapping_constraints().iter().map(|d| d.name.as_str()).collect();
+        let names: Vec<&str> = c
+            .mapping_constraints()
+            .iter()
+            .map(|d| d.name.as_str())
+            .collect();
         assert_eq!(names, vec!["c_V(V)", "c'_V(V)"]);
         let schema = c.combined_schema();
         for d in c.all_constraints() {
@@ -567,12 +583,14 @@ mod tests {
             Err(CatalogError::BadViewDefinition { .. })
         ));
         let good =
-            parse_query("select struct(RA = r.A, SB = s.B) from R r, S s where r.B = s.B")
-                .unwrap();
+            parse_query("select struct(RA = r.A, SB = s.B) from R r, S s where r.B = s.B").unwrap();
         c.add_join_index("J", good).unwrap();
         assert!(matches!(
             c.structure("J"),
-            Some(AccessStructure::MaterializedView { kind: ViewKind::JoinIndex, .. })
+            Some(AccessStructure::MaterializedView {
+                kind: ViewKind::JoinIndex,
+                ..
+            })
         ));
     }
 
@@ -635,7 +653,8 @@ mod tests {
             ClassDecl::new("Dept", [("DProjs", Type::set(Type::Str))]),
             "depts",
         );
-        c.add_access_support_relation("ASR", "depts", &["DProjs"]).unwrap();
+        c.add_access_support_relation("ASR", "depts", &["DProjs"])
+            .unwrap();
         match c.structure("ASR") {
             Some(AccessStructure::MaterializedView {
                 def,

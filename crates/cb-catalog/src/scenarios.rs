@@ -69,7 +69,8 @@ pub mod projdept {
             "INV2", "depts", "DProjs", "Proj", "PName", "PDept", "DName",
         ))
         .unwrap();
-        c.add_semantic_constraint(builtin::extent_key("KEY1", "depts", "DName")).unwrap();
+        c.add_semantic_constraint(builtin::extent_key("KEY1", "depts", "DName"))
+            .unwrap();
         c.add_semantic_constraint(builtin::key_constraint("KEY2", "Proj", "PName"))
             .unwrap();
 
@@ -137,13 +138,18 @@ pub mod projdept {
         let n_proj = n_depts * projs_per_dept;
         let mut proj = RootStats::with_cardinality(n_proj);
         proj.distinct.insert("PName".into(), n_proj);
-        proj.distinct.insert("CustName".into(), n_customers.min(n_proj));
+        proj.distinct
+            .insert("CustName".into(), n_customers.min(n_proj));
         proj.distinct.insert("PDept".into(), n_depts);
         let mut depts = RootStats::with_cardinality(n_depts);
-        depts.avg_fanout.insert("DProjs".into(), projs_per_dept as f64);
+        depts
+            .avg_fanout
+            .insert("DProjs".into(), projs_per_dept as f64);
         depts.distinct.insert("DName".into(), n_depts);
         let mut dept_dict = RootStats::with_cardinality(n_depts);
-        dept_dict.avg_fanout.insert("DProjs".into(), projs_per_dept as f64);
+        dept_dict
+            .avg_fanout
+            .insert("DProjs".into(), projs_per_dept as f64);
         let mut si = RootStats::with_cardinality(n_customers.min(n_proj));
         si.avg_fanout
             .insert("".into(), n_proj as f64 / n_customers.max(1) as f64);
@@ -167,10 +173,7 @@ pub mod relational_indexes {
     /// itself is also physical (direct mapping).
     pub fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.add_logical_relation(
-            "R",
-            [("A", Type::Int), ("B", Type::Int), ("C", Type::Int)],
-        );
+        c.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int), ("C", Type::Int)]);
         c.add_direct_mapping("R");
         c.add_secondary_index("SA", "R", "A").unwrap();
         c.add_secondary_index("SB", "R", "B").unwrap();
@@ -190,9 +193,11 @@ pub mod relational_indexes {
         r.distinct.insert("A".into(), distinct_a);
         r.distinct.insert("B".into(), distinct_b);
         let mut sa = RootStats::with_cardinality(distinct_a);
-        sa.avg_fanout.insert("".into(), n as f64 / distinct_a.max(1) as f64);
+        sa.avg_fanout
+            .insert("".into(), n as f64 / distinct_a.max(1) as f64);
         let mut sb = RootStats::with_cardinality(distinct_b);
-        sb.avg_fanout.insert("".into(), n as f64 / distinct_b.max(1) as f64);
+        sb.avg_fanout
+            .insert("".into(), n as f64 / distinct_b.max(1) as f64);
         let stats = c.stats_mut();
         stats.set("R", r);
         stats.set("SA", sa);
@@ -226,10 +231,8 @@ pub mod relational_views {
 
     /// The logical query `Q = R ⋈ S`.
     pub fn query() -> Query {
-        parse_query(
-            "select struct(A = r.A, B = s.B, C = s.C) from R r, S s where r.B = s.B",
-        )
-        .unwrap()
+        parse_query("select struct(A = r.A, B = s.B, C = s.C) from R r, S s where r.B = s.B")
+            .unwrap()
     }
 
     /// Statistics: `|R|`, `|S|`, `|V|` and distinct counts.
@@ -270,8 +273,11 @@ mod tests {
         // 6 semantic constraints + key(Proj.PName) from the primary index.
         assert_eq!(c.semantic_constraints().len(), 7);
         // Constraint families present.
-        let names: Vec<String> =
-            c.mapping_constraints().iter().map(|d| d.name.clone()).collect();
+        let names: Vec<String> = c
+            .mapping_constraints()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
         for expected in [
             "delta(Dept)",
             "delta(Dept.DProjs)",
@@ -282,7 +288,10 @@ mod tests {
             "c_V(JI)",
             "c'_V(JI)",
         ] {
-            assert!(names.iter().any(|n| n == expected), "missing {expected}: {names:?}");
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected}: {names:?}"
+            );
         }
     }
 

@@ -22,7 +22,11 @@ pub struct RootStats {
 
 impl RootStats {
     pub fn with_cardinality(cardinality: u64) -> RootStats {
-        RootStats { cardinality, distinct: BTreeMap::new(), avg_fanout: BTreeMap::new() }
+        RootStats {
+            cardinality,
+            distinct: BTreeMap::new(),
+            avg_fanout: BTreeMap::new(),
+        }
     }
 
     pub fn distinct_of(&self, field: &str) -> Option<u64> {
@@ -63,7 +67,9 @@ impl Stats {
     /// statistics (unknown sources are assumed big, so plans that avoid
     /// them win ties).
     pub fn cardinality(&self, root: &str) -> f64 {
-        self.get(root).map(|s| s.cardinality as f64).unwrap_or(DEFAULT_CARDINALITY)
+        self.get(root)
+            .map(|s| s.cardinality as f64)
+            .unwrap_or(DEFAULT_CARDINALITY)
     }
 }
 

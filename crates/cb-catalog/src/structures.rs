@@ -136,10 +136,7 @@ pub fn primary_index_constraints(name: &str, relation: &str, key_field: &str) ->
             vec![Binding::iter("i", Path::root(name).dom())],
             vec![],
             vec![Binding::iter("p", Path::root(relation))],
-            vec![
-                Equality(i, p.clone().field(key_field)),
-                Equality(lookup, p),
-            ],
+            vec![Equality(i, p.clone().field(key_field)), Equality(lookup, p)],
         ),
     ]
 }
@@ -153,11 +150,7 @@ pub fn primary_index_constraints(name: &str, relation: &str, key_field: &str) ->
 ///      where k = p.A and p = t
 /// SI3: forall (k in dom(SI)) -> exists (t in SI[k])
 /// ```
-pub fn secondary_index_constraints(
-    name: &str,
-    relation: &str,
-    key_field: &str,
-) -> Vec<Dependency> {
+pub fn secondary_index_constraints(name: &str, relation: &str, key_field: &str) -> Vec<Dependency> {
     let k = Path::var("k");
     let t = Path::var("t");
     let p = Path::var("p");
@@ -184,10 +177,7 @@ pub fn secondary_index_constraints(
             ],
             vec![],
             vec![Binding::iter("p", Path::root(relation))],
-            vec![
-                Equality(k, p.clone().field(key_field)),
-                Equality(p, t),
-            ],
+            vec![Equality(k, p.clone().field(key_field)), Equality(p, t)],
         ),
         Dependency::new(
             format!("SI3({name})"),

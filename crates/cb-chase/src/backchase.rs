@@ -74,7 +74,11 @@ pub struct BackchaseOutcome {
 
 /// Extends a removal set with the bindings that (transitively) depend on
 /// it and cannot be re-expressed without it (footnote 7 of the paper).
-fn dependent_closure(q: &Query, graph: &mut QueryGraph, seed_set: BTreeSet<String>) -> BTreeSet<String> {
+fn dependent_closure(
+    q: &Query,
+    graph: &mut QueryGraph,
+    seed_set: BTreeSet<String>,
+) -> BTreeSet<String> {
     let mut removed = seed_set;
     loop {
         let mut changed = false;
@@ -123,7 +127,11 @@ fn subquery_for(q: &Query, graph: &mut QueryGraph, removed: &BTreeSet<String>) -
         } else {
             b.src.clone()
         };
-        remaining.push(Binding { var: b.var.clone(), src, kind: b.kind });
+        remaining.push(Binding {
+            var: b.var.clone(),
+            src,
+            kind: b.kind,
+        });
     }
     let remaining = topo_order(remaining)?;
 
@@ -135,7 +143,10 @@ fn subquery_for(q: &Query, graph: &mut QueryGraph, removed: &BTreeSet<String>) -
     let where_ = implied_conditions(graph, removed);
 
     let q_prime = Query::new(output, remaining, where_);
-    debug_assert!(q_prime.check_scopes().is_ok(), "subquery scoping broke: {q_prime}");
+    debug_assert!(
+        q_prime.check_scopes().is_ok(),
+        "subquery scoping broke: {q_prime}"
+    );
     Some(q_prime)
 }
 
@@ -157,8 +168,12 @@ pub fn backchase_step(
     let q_prime = subquery_for(q, &mut graph, &removed)?;
     let q_prime = prune_unsafe_conditions(&q_prime, deps, cfg)?;
     // Condition (3): forall(remaining) C' -> exists(removed) C.
-    let removed_bindings: Vec<Binding> =
-        q.from.iter().filter(|b| removed.contains(&b.var)).cloned().collect();
+    let removed_bindings: Vec<Binding> = q
+        .from
+        .iter()
+        .filter(|b| removed.contains(&b.var))
+        .cloned()
+        .collect();
     let sigma = Dependency::new(
         "backchase-step",
         q_prime.from.clone(),
@@ -232,9 +247,7 @@ fn implied_conditions(graph: &QueryGraph, removed: &BTreeSet<String>) -> Vec<Equ
             }
         }
     }
-    candidates.sort_by(|a, b| {
-        (a.0.size() + a.1.size(), a).cmp(&(b.0.size() + b.1.size(), b))
-    });
+    candidates.sort_by(|a, b| (a.0.size() + a.1.size(), a).cmp(&(b.0.size() + b.1.size(), b)));
     let mut check = EGraph::new();
     let mut out = Vec::new();
     for e in candidates {
@@ -346,7 +359,11 @@ fn first_unsafe(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> Option<(Pa
         } else {
             let mut gen = VarGen::avoiding(q.from.iter().map(|b| b.var.clone()));
             let g = gen.fresh("g");
-            let premise = if with_conditions { q.where_.clone() } else { Vec::new() };
+            let premise = if with_conditions {
+                q.where_.clone()
+            } else {
+                Vec::new()
+            };
             let sigma = Dependency::new(
                 "lookup-safety",
                 in_scope.to_vec(),
@@ -419,7 +436,11 @@ pub fn backchase(u: &Query, deps: &[Dependency], cfg: &BackchaseConfig) -> Backc
             normal_forms.push(q);
         }
     }
-    BackchaseOutcome { normal_forms, visited, complete }
+    BackchaseOutcome {
+        normal_forms,
+        visited,
+        complete,
+    }
 }
 
 /// The paper's §3 heuristic strategy: "the obvious strategy for the
@@ -465,8 +486,11 @@ pub fn backchase_greedy(
     loop {
         // Candidate seeds, preferred (logical-only) bindings first, in
         // binding order within each class.
-        let mut candidates: Vec<&Binding> =
-            u.from.iter().filter(|b| !removed.contains(&b.var)).collect();
+        let mut candidates: Vec<&Binding> = u
+            .from
+            .iter()
+            .filter(|b| !removed.contains(&b.var))
+            .collect();
         candidates.sort_by_key(|b| {
             let preferred = b.src.roots().iter().any(|r| prefer_removing.contains(r));
             (!preferred, u.from.iter().position(|x| x.var == b.var))
@@ -527,8 +551,7 @@ pub fn examine_removal(
     let Some(q2) = prune_unsafe_conditions(&q2, deps, cfg) else {
         return RemovalJudgement::UnsafeLookup(q2);
     };
-    if !contained_in_pre_chased(&graph, &u.output, &q2, cfg) || !contained_in(&q2, u, deps, cfg)
-    {
+    if !contained_in_pre_chased(&graph, &u.output, &q2, cfg) || !contained_in(&q2, u, deps, cfg) {
         return RemovalJudgement::NotEquivalent(q2);
     }
     RemovalJudgement::Valid(q2)
@@ -556,8 +579,11 @@ pub fn minimize(q: &Query, cfg: &BackchaseConfig) -> Query {
     out.normal_forms
         .into_iter()
         .min_by(|a, b| {
-            (a.from.len(), a.size(), a.alpha_normalized())
-                .cmp(&(b.from.len(), b.size(), b.alpha_normalized()))
+            (a.from.len(), a.size(), a.alpha_normalized()).cmp(&(
+                b.from.len(),
+                b.size(),
+                b.alpha_normalized(),
+            ))
         })
         .unwrap_or_else(|| q.clone())
 }
@@ -586,10 +612,8 @@ mod tests {
         .unwrap();
         let m = minimize(&q, &bcfg());
         assert_eq!(m.from.len(), 2);
-        let expect = parse_query(
-            "select struct(A = p.A, B = q.B) from R p, R q where p.B = q.A",
-        )
-        .unwrap();
+        let expect =
+            parse_query("select struct(A = p.A, B = q.B) from R p, R q where p.B = q.A").unwrap();
         assert_eq!(m.alpha_normalized(), expect.alpha_normalized());
     }
 
@@ -608,10 +632,8 @@ mod tests {
     #[test]
     fn no_step_without_justification() {
         // A plain join has no removable binding.
-        let q = parse_query(
-            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
         assert!(is_minimal(&q, &[], &ccfg()));
         for b in &q.from {
             assert!(backchase_step(&q, &[], &b.var, &ccfg()).is_none());
@@ -622,16 +644,10 @@ mod tests {
     fn ric_justifies_join_elimination() {
         // With the RIC every r has an s partner; the join with s whose
         // columns aren't used can be dropped (semantic optimization).
-        let q = parse_query(
-            "select struct(A = r.A) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
-        let ric = parse_dependency(
-            "ric",
-            "forall (r in R) -> exists (s in S) where r.B = s.B",
-        )
-        .unwrap();
-        let q2 = backchase_step(&q, &[ric.clone()], "s", &ccfg()).expect("s removable");
+        let q = parse_query("select struct(A = r.A) from R r, S s where r.B = s.B").unwrap();
+        let ric =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.B = s.B").unwrap();
+        let q2 = backchase_step(&q, std::slice::from_ref(&ric), "s", &ccfg()).expect("s removable");
         assert_eq!(q2.from.len(), 1);
         assert_eq!(q2.to_string(), "select struct(A = r.A) from R r");
         // Without the constraint the step is rejected.
@@ -646,10 +662,7 @@ mod tests {
     fn dependent_bindings_removed_together() {
         // Removing d must drag s (bound to d.DProjs) along when s can't be
         // re-expressed.
-        let q = parse_query(
-            "select struct(A = p.A) from depts d, d.DProjs s, Proj p",
-        )
-        .unwrap();
+        let q = parse_query("select struct(A = p.A) from depts d, d.DProjs s, Proj p").unwrap();
         // Unconstrained, the removal is not equivalence-preserving
         // (depts or DProjs may be empty).
         assert!(backchase_step(&q, &[], "d", &ccfg()).is_none());
@@ -669,29 +682,24 @@ mod tests {
     fn dependent_binding_reexpressed_instead_of_removed() {
         // d = d2, s ranges over d.DProjs; removing d re-expresses s's
         // source over d2.
-        let q = parse_query(
-            "select struct(S = s) from depts d, depts d2, d.DProjs s where d = d2",
-        )
-        .unwrap();
+        let q = parse_query("select struct(S = s) from depts d, depts d2, d.DProjs s where d = d2")
+            .unwrap();
         let q2 = backchase_step(&q, &[], "d", &ccfg()).expect("d removable");
         assert_eq!(q2.from.len(), 2);
-        assert!(q2.from.iter().any(|b| b.src == Path::var("d2").field("DProjs")));
+        assert!(q2
+            .from
+            .iter()
+            .any(|b| b.src == Path::var("d2").field("DProjs")));
     }
 
     #[test]
     fn output_blocks_removal() {
         // q's only output comes from s; s can't be removed even though the
         // RIC would justify the existence part.
-        let q = parse_query(
-            "select struct(C = s.C) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
-        let ric = parse_dependency(
-            "ric",
-            "forall (r in R) -> exists (s in S) where r.B = s.B",
-        )
-        .unwrap();
-        assert!(backchase_step(&q, &[ric.clone()], "s", &ccfg()).is_none());
+        let q = parse_query("select struct(C = s.C) from R r, S s where r.B = s.B").unwrap();
+        let ric =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.B = s.B").unwrap();
+        assert!(backchase_step(&q, std::slice::from_ref(&ric), "s", &ccfg()).is_none());
         let out = backchase(&q, &[ric], &bcfg());
         assert_eq!(out.normal_forms.len(), 1);
         assert_eq!(out.normal_forms[0].from.len(), 2);
@@ -734,7 +742,10 @@ mod tests {
             .iter()
             .map(|q| q.from.iter().map(|b| b.src.to_string()).collect())
             .collect();
-        assert!(shapes.contains(&vec!["V".to_string()]), "view-only plan found: {shapes:?}");
+        assert!(
+            shapes.contains(&vec!["V".to_string()]),
+            "view-only plan found: {shapes:?}"
+        );
         assert!(shapes.contains(&vec!["R".to_string(), "S".to_string()]));
         assert_eq!(out.normal_forms.len(), 2);
         // The visited set contains the universal plan itself.
@@ -759,16 +770,15 @@ mod tests {
     fn guarded_lookup_key_rewrite_allowed_with_proof() {
         // JI's PN values are always in dom(I) (via the constraints), so
         // the dom(I) binding can be removed, leaving I[j.PN] — P4's shape.
-        let q = parse_query(
-            "select struct(PB = I[i].Budg) from JI j, dom(I) i where i = j.PN",
-        )
-        .unwrap();
+        let q = parse_query("select struct(PB = I[i].Budg) from JI j, dom(I) i where i = j.PN")
+            .unwrap();
         let safety = parse_dependency(
             "ji_pn_indexed",
             "forall (j in JI) -> exists (i in dom(I)) where i = j.PN",
         )
         .unwrap();
-        let q2 = backchase_step(&q, &[safety.clone()], "i", &ccfg()).expect("i removable");
+        let q2 =
+            backchase_step(&q, std::slice::from_ref(&safety), "i", &ccfg()).expect("i removable");
         assert_eq!(q2.from.len(), 1);
         assert_eq!(q2.output.paths()[0].1.to_string(), "I[j.PN].Budg");
         // Without the safety constraint the step is rejected.
@@ -783,16 +793,11 @@ mod tests {
     fn minimize_under_key_constraint() {
         // Algorithm 1 structure: chase first (the key EGD equates the two
         // sides), then backchase collapses the self-join.
-        let q = parse_query(
-            "select struct(A = p.A, B = q.B) from R p, R q where p.K = q.K",
-        )
-        .unwrap();
-        let key = parse_dependency(
-            "key",
-            "forall (p in R) (q in R) where p.K = q.K -> p = q",
-        )
-        .unwrap();
-        let u = chase(&q, &[key.clone()], &ccfg()).query;
+        let q =
+            parse_query("select struct(A = p.A, B = q.B) from R p, R q where p.K = q.K").unwrap();
+        let key =
+            parse_dependency("key", "forall (p in R) (q in R) where p.K = q.K -> p = q").unwrap();
+        let u = chase(&q, std::slice::from_ref(&key), &ccfg()).query;
         let out = backchase(&u, &[key], &bcfg());
         assert!(out.normal_forms.iter().any(|nf| nf.from.len() == 1));
     }
@@ -834,10 +839,8 @@ mod tests {
 
     #[test]
     fn greedy_on_already_minimal_query_is_identity_shaped() {
-        let q = parse_query(
-            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
         let plan = backchase_greedy(&q, &[], &BTreeSet::new(), &ccfg());
         assert_eq!(plan.from.len(), 2);
     }
@@ -861,7 +864,10 @@ mod tests {
             )
             .unwrap(),
         ];
-        let tight = BackchaseConfig { max_visited: 1, ..BackchaseConfig::default() };
+        let tight = BackchaseConfig {
+            max_visited: 1,
+            ..BackchaseConfig::default()
+        };
         let out = backchase(&u, &deps, &tight);
         assert!(!out.complete);
     }

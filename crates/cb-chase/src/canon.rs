@@ -37,9 +37,11 @@ impl QueryGraph {
             let var_class = egraph.add_path(&Path::Var(b.var.clone()));
             let src_class = egraph.add_path(&b.src);
             match b.kind {
-                BindKind::Iter => {
-                    members.push(MemberFact { var: b.var.clone(), var_class, src_class })
-                }
+                BindKind::Iter => members.push(MemberFact {
+                    var: b.var.clone(),
+                    var_class,
+                    src_class,
+                }),
                 BindKind::Let => {
                     egraph.union(var_class, src_class);
                 }
@@ -70,8 +72,7 @@ impl QueryGraph {
         let src_class = self.egraph.add_path(src);
         let key_class = self.egraph.add_path(key);
         self.refresh();
-        let (src_class, key_class) =
-            (self.egraph.find(src_class), self.egraph.find(key_class));
+        let (src_class, key_class) = (self.egraph.find(src_class), self.egraph.find(key_class));
         self.members
             .iter()
             .any(|m| m.src_class == src_class && m.var_class == key_class)
@@ -81,7 +82,10 @@ impl QueryGraph {
     /// the given class.
     pub fn members_of(&self, src_class: ClassId) -> Vec<&MemberFact> {
         let src_class = self.egraph.find(src_class);
-        self.members.iter().filter(|m| self.egraph.find(m.src_class) == src_class).collect()
+        self.members
+            .iter()
+            .filter(|m| self.egraph.find(m.src_class) == src_class)
+            .collect()
     }
 
     /// Every failing lookup `M[k]` occurring in the query must either be
@@ -131,7 +135,9 @@ mod tests {
         .unwrap();
         let mut g = QueryGraph::of_query(&q);
         assert_eq!(g.members.len(), 3);
-        assert!(g.egraph.paths_equal(&Path::var("s"), &Path::var("p").field("PName")));
+        assert!(g
+            .egraph
+            .paths_equal(&Path::var("s"), &Path::var("p").field("PName")));
         assert!(g
             .egraph
             .paths_equal(&Path::var("p").field("CustName"), &Path::str("CitiBank")));
@@ -142,25 +148,22 @@ mod tests {
     fn let_bindings_are_equalities() {
         let q = parse_query("select r.A from let r := I[5]").unwrap();
         let mut g = QueryGraph::of_query(&q);
-        assert!(g.egraph.paths_equal(&Path::var("r"), &Path::root("I").get(Path::int(5))));
+        assert!(g
+            .egraph
+            .paths_equal(&Path::var("r"), &Path::root("I").get(Path::int(5))));
         assert!(g.members.is_empty());
     }
 
     #[test]
     fn guarded_lookup_detection() {
-        let q = parse_query(
-            "select struct(B = I[x].B) from dom(I) x where x = 5",
-        )
-        .unwrap();
+        let q = parse_query("select struct(B = I[x].B) from dom(I) x where x = 5").unwrap();
         let mut g = QueryGraph::of_query(&q);
         assert!(g.unguarded_lookups(&q).is_empty());
 
         // Guard through congruence: the key is a path equal to the bound
         // dom variable.
-        let q2 = parse_query(
-            "select struct(B = I[r.A].B) from R r, dom(I) x where x = r.A",
-        )
-        .unwrap();
+        let q2 =
+            parse_query("select struct(B = I[r.A].B) from R r, dom(I) x where x = r.A").unwrap();
         let mut g2 = QueryGraph::of_query(&q2);
         assert!(g2.unguarded_lookups(&q2).is_empty());
 
@@ -179,8 +182,11 @@ mod tests {
             let mut eg = g.egraph.clone();
             eg.add_path(&Path::root("R"))
         };
-        let vars: Vec<&str> =
-            g.members_of(r_class).iter().map(|m| m.var.as_str()).collect();
+        let vars: Vec<&str> = g
+            .members_of(r_class)
+            .iter()
+            .map(|m| m.var.as_str())
+            .collect();
         assert_eq!(vars, vec!["x", "y"]);
     }
 }

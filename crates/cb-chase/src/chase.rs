@@ -43,7 +43,12 @@ pub struct ChaseConfig {
 
 impl Default for ChaseConfig {
     fn default() -> ChaseConfig {
-        ChaseConfig { max_steps: 512, max_bindings: 64, max_homs: 4096, coalesce: true }
+        ChaseConfig {
+            max_steps: 512,
+            max_bindings: 64,
+            max_homs: 4096,
+            coalesce: true,
+        }
     }
 }
 
@@ -81,14 +86,22 @@ pub fn chase(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> ChaseOutcome 
             if cfg.coalesce {
                 query = coalesce_duplicates(&query);
             }
-            return ChaseOutcome { query, steps, complete };
+            return ChaseOutcome {
+                query,
+                steps,
+                complete,
+            };
         }
         match find_applicable(&query, deps, cfg) {
             None => {
                 if cfg.coalesce {
                     query = coalesce_duplicates(&query);
                 }
-                return ChaseOutcome { query, steps, complete: true };
+                return ChaseOutcome {
+                    query,
+                    steps,
+                    complete: true,
+                };
             }
             Some((dep_idx, h)) => {
                 let trace = apply_step(&mut query, &deps[dep_idx], &h);
@@ -126,8 +139,13 @@ fn find_applicable(
         .filter(|(_, d)| d.is_egd())
         .chain(deps.iter().enumerate().filter(|(_, d)| !d.is_egd()));
     for (i, dep) in ordered {
-        let homs =
-            find_homomorphisms(&mut graph, &dep.forall, &dep.premise, &BTreeMap::new(), cfg.max_homs);
+        let homs = find_homomorphisms(
+            &mut graph,
+            &dep.forall,
+            &dep.premise,
+            &BTreeMap::new(),
+            cfg.max_homs,
+        );
         for h in homs {
             if !extension_exists(&mut graph, &dep.exists, &dep.conclusion, &h) {
                 return Some((i, h));
@@ -186,7 +204,8 @@ pub fn coalesce_duplicates(q: &Query) -> Query {
 /// Removes reflexive and duplicate conditions.
 fn cleanup_conditions(mut q: Query) -> Query {
     let mut seen = std::collections::BTreeSet::new();
-    q.where_.retain(|e| e.0 != e.1 && seen.insert(e.normalized()));
+    q.where_
+        .retain(|e| e.0 != e.1 && seen.insert(e.normalized()));
     q
 }
 
@@ -219,7 +238,12 @@ fn apply_step(query: &mut Query, dep: &Dependency, h: &Assignment) -> ChaseStepT
         query.where_.push(inst.clone());
         added_eqs.push(inst);
     }
-    ChaseStepTrace { dep: dep.name.clone(), trigger, added_bindings, added_eqs }
+    ChaseStepTrace {
+        dep: dep.name.clone(),
+        trigger,
+        added_bindings,
+        added_eqs,
+    }
 }
 
 #[cfg(test)]
@@ -233,17 +257,18 @@ mod tests {
 
     #[test]
     fn egd_chase_adds_equality_once() {
-        let q = parse_query(
-            "select struct(A = p.A) from R p, R q where p.K = q.K",
-        )
-        .unwrap();
-        let key = parse_dependency(
-            "key",
-            "forall (a in R) (b in R) where a.K = b.K -> a = b",
-        )
-        .unwrap();
+        let q = parse_query("select struct(A = p.A) from R p, R q where p.K = q.K").unwrap();
+        let key =
+            parse_dependency("key", "forall (a in R) (b in R) where a.K = b.K -> a = b").unwrap();
         // Without coalescing, the EGD adds p = q to the where clause.
-        let raw = chase(&q, &[key.clone()], &ChaseConfig { coalesce: false, ..cfg() });
+        let raw = chase(
+            &q,
+            std::slice::from_ref(&key),
+            &ChaseConfig {
+                coalesce: false,
+                ..cfg()
+            },
+        );
         assert!(raw.complete);
         assert_eq!(raw.steps.len(), 1);
         assert_eq!(raw.steps[0].added_eqs.len(), 1);
@@ -260,22 +285,22 @@ mod tests {
     #[test]
     fn tgd_chase_introduces_bindings() {
         let q = parse_query("select struct(A = r.A) from R r").unwrap();
-        let ric = parse_dependency(
-            "ric",
-            "forall (r in R) -> exists (s in S) where r.B = s.B",
-        )
-        .unwrap();
+        let ric =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.B = s.B").unwrap();
         let out = chase(&q, &[ric], &cfg());
         assert!(out.complete);
         assert_eq!(out.query.from.len(), 2);
         assert_eq!(out.query.from[1].src, Path::root("S"));
         assert_eq!(out.query.where_.len(), 1);
         // Re-chasing is a no-op: the constraint is now satisfied.
-        let again = chase(&out.query, &[parse_dependency(
-            "ric",
-            "forall (r in R) -> exists (s in S) where r.B = s.B",
-        )
-        .unwrap()], &cfg());
+        let again = chase(
+            &out.query,
+            &[
+                parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.B = s.B")
+                    .unwrap(),
+            ],
+            &cfg(),
+        );
         assert_eq!(again.steps.len(), 0);
     }
 
@@ -284,10 +309,10 @@ mod tests {
         // R -> S and S -> R reference each other; the restricted chase
         // stops once both sides are witnessed.
         let q = parse_query("select struct(A = r.A) from R r").unwrap();
-        let d1 = parse_dependency("rs", "forall (r in R) -> exists (s in S) where r.A = s.A")
-            .unwrap();
-        let d2 = parse_dependency("sr", "forall (s in S) -> exists (r in R) where s.A = r.A")
-            .unwrap();
+        let d1 =
+            parse_dependency("rs", "forall (r in R) -> exists (s in S) where r.A = s.A").unwrap();
+        let d2 =
+            parse_dependency("sr", "forall (s in S) -> exists (r in R) where s.A = r.A").unwrap();
         let out = chase(&q, &[d1, d2], &cfg());
         assert!(out.complete, "restricted chase must terminate here");
         assert_eq!(out.query.from.len(), 2);
@@ -312,8 +337,11 @@ mod tests {
         let out = chase_step(&q, &c_ji, &cfg()).expect("c_JI applies");
         assert_eq!(out.from.len(), 4);
         assert_eq!(out.from[3].src, Path::root("JI"));
-        let conds: Vec<String> =
-            out.where_.iter().map(|e| format!("{} = {}", e.0, e.1)).collect();
+        let conds: Vec<String> = out
+            .where_
+            .iter()
+            .map(|e| format!("{} = {}", e.0, e.1))
+            .collect();
         assert!(conds.contains(&"j0.DOID = d".to_string()));
         assert!(conds.contains(&"j0.PN = p.PName".to_string()));
         // A second step with the same constraint is not applicable.
@@ -331,7 +359,10 @@ mod tests {
             "forall (s in S) -> exists (t in S) where t.Pred = s.A",
         )
         .unwrap();
-        let tight = ChaseConfig { max_steps: 5, ..ChaseConfig::default() };
+        let tight = ChaseConfig {
+            max_steps: 5,
+            ..ChaseConfig::default()
+        };
         let out = chase(&q, &[grow], &tight);
         assert!(!out.complete);
         assert_eq!(out.steps.len(), 5);
@@ -339,8 +370,7 @@ mod tests {
 
     #[test]
     fn trivial_dependency_never_fires() {
-        let q = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A")
-            .unwrap();
+        let q = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A").unwrap();
         // "forall r,s with r.A = s.A there exists s' in S with r.A = s'.A"
         // is satisfied by s itself.
         let triv = parse_dependency(
@@ -357,10 +387,8 @@ mod tests {
     fn chase_result_is_deterministic() {
         let q = parse_query("select struct(A = r.A) from R r").unwrap();
         let deps = vec![
-            parse_dependency("d1", "forall (r in R) -> exists (s in S) where r.A = s.A")
-                .unwrap(),
-            parse_dependency("d2", "forall (s in S) -> exists (t in T) where s.A = t.A")
-                .unwrap(),
+            parse_dependency("d1", "forall (r in R) -> exists (s in S) where r.A = s.A").unwrap(),
+            parse_dependency("d2", "forall (s in S) -> exists (t in T) where s.A = t.A").unwrap(),
         ];
         let a = chase(&q, &deps, &cfg());
         let b = chase(&q, &deps, &cfg());

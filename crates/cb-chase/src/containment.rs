@@ -34,8 +34,15 @@ pub fn contained_in_pre_chased(
     cfg: &ChaseConfig,
 ) -> bool {
     let mut graph = graph.clone();
-    let homs = find_homomorphisms(&mut graph, &q2.from, &q2.where_, &BTreeMap::new(), cfg.max_homs);
-    homs.iter().any(|h| outputs_match(&mut graph, q1_output, &q2.output, h))
+    let homs = find_homomorphisms(
+        &mut graph,
+        &q2.from,
+        &q2.where_,
+        &BTreeMap::new(),
+        cfg.max_homs,
+    );
+    homs.iter()
+        .any(|h| outputs_match(&mut graph, q1_output, &q2.output, h))
 }
 
 /// Are the queries equivalent under `deps`?
@@ -75,10 +82,8 @@ mod tests {
              where p.B = q.A and q.B = r.B",
         )
         .unwrap();
-        let small = parse_query(
-            "select struct(A = p.A, B = q.B) from R p, R q where p.B = q.A",
-        )
-        .unwrap();
+        let small =
+            parse_query("select struct(A = p.A, B = q.B) from R p, R q where p.B = q.A").unwrap();
         assert!(contained_in(&big, &small, &[], &cfg()));
         assert!(contained_in(&small, &big, &[], &cfg()));
         assert!(equivalent(&big, &small, &[], &cfg()));
@@ -86,10 +91,7 @@ mod tests {
 
     #[test]
     fn strict_containment_not_equivalence() {
-        let narrower = parse_query(
-            "select struct(A = r.A) from R r, S s where r.A = s.A",
-        )
-        .unwrap();
+        let narrower = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A").unwrap();
         let wider = parse_query("select struct(A = r.A) from R r").unwrap();
         // narrower ⊑ wider but not conversely.
         assert!(contained_in(&narrower, &wider, &[], &cfg()));
@@ -101,16 +103,10 @@ mod tests {
     fn containment_under_constraints() {
         // With the RIC "every r has a matching s", the join is equivalent
         // to the scan.
-        let narrower = parse_query(
-            "select struct(A = r.A) from R r, S s where r.A = s.A",
-        )
-        .unwrap();
+        let narrower = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A").unwrap();
         let wider = parse_query("select struct(A = r.A) from R r").unwrap();
-        let ric = parse_dependency(
-            "ric",
-            "forall (r in R) -> exists (s in S) where r.A = s.A",
-        )
-        .unwrap();
+        let ric =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.A = s.A").unwrap();
         assert!(equivalent(&narrower, &wider, &[ric], &cfg()));
     }
 
@@ -138,14 +134,10 @@ mod tests {
 
     #[test]
     fn containment_is_reflexive_and_transitive() {
-        let a = parse_query(
-            "select struct(A = r.A) from R r, S s, T t where r.A = s.A and s.A = t.A",
-        )
-        .unwrap();
-        let b = parse_query(
-            "select struct(A = r.A) from R r, S s where r.A = s.A",
-        )
-        .unwrap();
+        let a =
+            parse_query("select struct(A = r.A) from R r, S s, T t where r.A = s.A and s.A = t.A")
+                .unwrap();
+        let b = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A").unwrap();
         let c = parse_query("select struct(A = r.A) from R r").unwrap();
         assert!(contained_in(&a, &a, &[], &cfg()));
         assert!(contained_in(&a, &b, &[], &cfg()));
@@ -155,10 +147,9 @@ mod tests {
 
     #[test]
     fn oo_path_containment() {
-        let q1 = parse_query(
-            "select struct(S = s) from depts d, d.DProjs s, Proj p where s = p.PName",
-        )
-        .unwrap();
+        let q1 =
+            parse_query("select struct(S = s) from depts d, d.DProjs s, Proj p where s = p.PName")
+                .unwrap();
         let q2 = parse_query("select struct(S = s) from depts d, d.DProjs s").unwrap();
         assert!(contained_in(&q1, &q2, &[], &cfg()));
         assert!(!contained_in(&q2, &q1, &[], &cfg()));

@@ -206,7 +206,9 @@ impl EGraph {
     /// All node ids of a class.
     pub fn class_nodes(&self, class: ClassId) -> Vec<NodeId> {
         let class = self.find(class);
-        (0..self.nodes.len()).filter(|&id| self.find(id) == class).collect()
+        (0..self.nodes.len())
+            .filter(|&id| self.find(id) == class)
+            .collect()
     }
 
     /// All distinct canonical classes.
@@ -252,7 +254,7 @@ impl EGraph {
                     continue;
                 }
                 let class = self.find(id);
-                if best[class].map_or(true, |(c, n)| cost < c || (cost == c && id < n)) {
+                if best[class].is_none_or(|(c, n)| cost < c || (cost == c && id < n)) {
                     best[class] = Some((cost, id));
                     changed = true;
                 }
@@ -288,7 +290,7 @@ impl EGraph {
                 if path.size() != cost {
                     continue;
                 }
-                if best.as_ref().map_or(true, |b| path < *b) {
+                if best.as_ref().is_none_or(|b| path < *b) {
                     best = Some(path);
                 }
             }
@@ -338,7 +340,9 @@ impl EGraph {
     /// The cheapest path of `class` that avoids all `forbidden` variables,
     /// if one exists.
     pub fn extract(&self, class: ClassId, forbidden: &BTreeSet<String>) -> Option<Path> {
-        self.canonical_reprs(forbidden).get(&self.find(class)).cloned()
+        self.canonical_reprs(forbidden)
+            .get(&self.find(class))
+            .cloned()
     }
 
     /// For every class, every realizable path (one per node of the class,
@@ -496,9 +500,6 @@ mod tests {
         g2.union_paths(&Path::var("b"), &Path::var("a"));
         let a1 = g1.add_path(&Path::var("a"));
         let a2 = g2.add_path(&Path::var("a"));
-        assert_eq!(
-            g1.extract(a1, &none()),
-            g2.extract(a2, &none())
-        );
+        assert_eq!(g1.extract(a1, &none()), g2.extract(a2, &none()));
     }
 }

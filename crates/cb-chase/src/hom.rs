@@ -72,7 +72,11 @@ fn search(
     // were all assigned by earlier levels (or by `init`); an unassigned
     // one would capture a target variable of the same name, so bail out.
     if !b.src.free_vars().iter().all(|v| h.contains_key(v)) {
-        debug_assert!(false, "unassigned pattern variables in {} (ill-scoped)", b.src);
+        debug_assert!(
+            false,
+            "unassigned pattern variables in {} (ill-scoped)",
+            b.src
+        );
         return;
     }
     let src = b.src.subst(h);
@@ -143,9 +147,7 @@ mod tests {
 
     #[test]
     fn respects_premise_equalities() {
-        let (mut g, _) = graph(
-            r#"select x from R x, R y where x.A = 1 and y.A = 2"#,
-        );
+        let (mut g, _) = graph(r#"select x from R x, R y where x.A = 1 and y.A = 2"#);
         // Premise x.A = 1 only matches the first binding.
         let d = parse_dependency("d", "forall (a in R) where a.A = 1 -> a = a").unwrap();
         let homs = find_homomorphisms(&mut g, &d.forall, &d.premise, &BTreeMap::new(), 10);
@@ -156,11 +158,7 @@ mod tests {
     #[test]
     fn dependent_bindings_follow_assignments() {
         let (mut g, _) = graph("select s from depts d, d.DProjs s");
-        let dep = parse_dependency(
-            "d",
-            "forall (a in depts) (b in a.DProjs) -> a = a",
-        )
-        .unwrap();
+        let dep = parse_dependency("d", "forall (a in depts) (b in a.DProjs) -> a = a").unwrap();
         let homs = find_homomorphisms(&mut g, &dep.forall, &dep.premise, &BTreeMap::new(), 10);
         assert_eq!(homs.len(), 1);
         assert_eq!(homs[0]["b"], Path::var("s"));
@@ -170,11 +168,8 @@ mod tests {
     fn congruent_sources_match() {
         // y ranges over e.DProjs and e = d, so a binding over d.DProjs
         // must match it.
-        let (mut g, _) = graph(
-            "select y from depts d, depts e, e.DProjs y where d = e",
-        );
-        let dep =
-            parse_dependency("d", "forall (a in depts) (b in a.DProjs) -> a = a").unwrap();
+        let (mut g, _) = graph("select y from depts d, depts e, e.DProjs y where d = e");
+        let dep = parse_dependency("d", "forall (a in depts) (b in a.DProjs) -> a = a").unwrap();
         let homs = find_homomorphisms(&mut g, &dep.forall, &dep.premise, &BTreeMap::new(), 10);
         // a can be d or e; b is y in both cases.
         assert_eq!(homs.len(), 2);
@@ -193,9 +188,7 @@ mod tests {
 
     #[test]
     fn extension_with_fixed_universals() {
-        let (mut g, _) = graph(
-            "select p from Proj p, dom(I) i where i = p.PName",
-        );
+        let (mut g, _) = graph("select p from Proj p, dom(I) i where i = p.PName");
         // With a fixed p, does an i with i = p.PName exist?
         let d = parse_dependency(
             "d",
@@ -218,7 +211,6 @@ mod tests {
     fn no_match_when_source_absent() {
         let (mut g, _) = graph("select x from R x");
         let d = parse_dependency("d", "forall (a in S) -> a = a").unwrap();
-        assert!(find_homomorphisms(&mut g, &d.forall, &d.premise, &BTreeMap::new(), 10)
-            .is_empty());
+        assert!(find_homomorphisms(&mut g, &d.forall, &d.premise, &BTreeMap::new(), 10).is_empty());
     }
 }

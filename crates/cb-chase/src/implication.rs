@@ -31,7 +31,10 @@ pub fn implies(deps: &[Dependency], sigma: &Dependency, cfg: &ChaseConfig) -> bo
     );
     // No coalescing here: the conclusion check below pins σ's universal
     // variables by name, so the chase must only add, never rename.
-    let cfg = ChaseConfig { coalesce: false, ..cfg.clone() };
+    let cfg = ChaseConfig {
+        coalesce: false,
+        ..cfg.clone()
+    };
     let chased = chase(&premise, deps, &cfg);
     let mut graph = QueryGraph::of_query(&chased.query);
     // The universal variables are mapped to themselves (the chase only
@@ -55,9 +58,9 @@ mod tests {
 
     #[test]
     fn self_implication() {
-        let d = parse_dependency("d", "forall (r in R) -> exists (s in S) where r.A = s.A")
-            .unwrap();
-        assert!(implies(&[d.clone()], &d, &cfg()));
+        let d =
+            parse_dependency("d", "forall (r in R) -> exists (s in S) where r.A = s.A").unwrap();
+        assert!(implies(std::slice::from_ref(&d), &d, &cfg()));
     }
 
     #[test]
@@ -86,15 +89,12 @@ mod tests {
     fn transitive_implication_through_chase() {
         // R ⊆ S and S ⊆ T imply R ⊆ T (membership encoded via key
         // equality).
-        let d1 = parse_dependency("d1", "forall (r in R) -> exists (s in S) where r.K = s.K")
-            .unwrap();
-        let d2 = parse_dependency("d2", "forall (s in S) -> exists (t in T) where s.K = t.K")
-            .unwrap();
-        let goal = parse_dependency(
-            "goal",
-            "forall (r in R) -> exists (t in T) where r.K = t.K",
-        )
-        .unwrap();
+        let d1 =
+            parse_dependency("d1", "forall (r in R) -> exists (s in S) where r.K = s.K").unwrap();
+        let d2 =
+            parse_dependency("d2", "forall (s in S) -> exists (t in T) where s.K = t.K").unwrap();
+        let goal =
+            parse_dependency("goal", "forall (r in R) -> exists (t in T) where r.K = t.K").unwrap();
         assert!(implies(&[d1.clone(), d2.clone()], &goal, &cfg()));
         assert!(!implies(&[d1], &goal, &cfg()));
     }
@@ -103,8 +103,7 @@ mod tests {
     fn egd_reasoning() {
         // Key on R plus matching keys implies field equality.
         let key =
-            parse_dependency("key", "forall (p in R) (q in R) where p.K = q.K -> p = q")
-                .unwrap();
+            parse_dependency("key", "forall (p in R) (q in R) where p.K = q.K -> p = q").unwrap();
         let goal = parse_dependency(
             "goal",
             "forall (p in R) (q in R) where p.K = q.K -> p.B = q.B",
@@ -124,11 +123,8 @@ mod tests {
              where r.B = s.B and v.A = r.A",
         )
         .unwrap();
-        let goal = parse_dependency(
-            "goal",
-            "forall (v in V) -> exists (r in R) where v.A = r.A",
-        )
-        .unwrap();
+        let goal =
+            parse_dependency("goal", "forall (v in V) -> exists (r in R) where v.A = r.A").unwrap();
         assert!(implies(&[c_v_prime], &goal, &cfg()));
     }
 

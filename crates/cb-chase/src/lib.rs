@@ -35,7 +35,9 @@ pub use backchase::{
     BackchaseConfig, BackchaseOutcome, RemovalJudgement,
 };
 pub use canon::QueryGraph;
-pub use chase::{chase, chase_step, coalesce_duplicates, ChaseConfig, ChaseOutcome, ChaseStepTrace};
+pub use chase::{
+    chase, chase_step, coalesce_duplicates, ChaseConfig, ChaseOutcome, ChaseStepTrace,
+};
 pub use containment::{contained_in, contained_in_pre_chased, equivalent};
 pub use egraph::EGraph;
 pub use implication::implies;

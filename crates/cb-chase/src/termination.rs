@@ -56,7 +56,10 @@ pub fn analyze_termination(deps: &[Dependency]) -> TerminationVerdict {
 /// each variable replaced by the shape of that variable's own source.
 fn shape(src: &Path, var_shapes: &BTreeMap<String, String>) -> String {
     match src {
-        Path::Var(v) => var_shapes.get(v).cloned().unwrap_or_else(|| "·".to_string()),
+        Path::Var(v) => var_shapes
+            .get(v)
+            .cloned()
+            .unwrap_or_else(|| "·".to_string()),
         Path::Const(c) => c.to_string(),
         Path::Root(r) => r.clone(),
         Path::Field(p, f) => format!("{}.{f}", shape(p, var_shapes)),
@@ -132,24 +135,25 @@ mod tests {
 
     #[test]
     fn view_constraints_are_full() {
-        let deps = vec![
-            parse_dependency(
-                "c_V",
-                "forall (r in R) (s in S) where r.B = s.B -> exists (v in V) where v = r.A",
-            )
-            .unwrap(),
-        ];
+        let deps = vec![parse_dependency(
+            "c_V",
+            "forall (r in R) (s in S) where r.B = s.B -> exists (v in V) where v = r.A",
+        )
+        .unwrap()];
         assert_eq!(analyze_termination(&deps), TerminationVerdict::Full);
     }
 
     #[test]
     fn one_way_ric_is_weakly_acyclic() {
-        let deps = vec![parse_dependency(
-            "ric",
-            "forall (r in R) -> exists (s in S) where r.B = s.B",
-        )
-        .unwrap()];
-        assert_eq!(analyze_termination(&deps), TerminationVerdict::WeaklyAcyclic);
+        let deps =
+            vec![
+                parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.B = s.B")
+                    .unwrap(),
+            ];
+        assert_eq!(
+            analyze_termination(&deps),
+            TerminationVerdict::WeaklyAcyclic
+        );
     }
 
     #[test]
@@ -158,10 +162,8 @@ mod tests {
         // diverging set (the restricted chase happens to terminate, but
         // no static guarantee exists).
         let deps = vec![
-            parse_dependency("rs", "forall (r in R) -> exists (s in S) where r.A = s.A")
-                .unwrap(),
-            parse_dependency("sr", "forall (s in S) -> exists (r in R) where s.B = r.B")
-                .unwrap(),
+            parse_dependency("rs", "forall (r in R) -> exists (s in S) where r.A = s.A").unwrap(),
+            parse_dependency("sr", "forall (s in S) -> exists (r in R) where s.B = r.B").unwrap(),
         ];
         assert_eq!(analyze_termination(&deps), TerminationVerdict::Unknown);
     }
@@ -182,16 +184,13 @@ mod tests {
         // PI1/PI2 determine all their existentials: polynomial chase.
         let cat = {
             let mut c = cb_catalog::Catalog::new();
-            c.add_logical_relation(
-                "R",
-                [("A", pcql::Type::Int), ("B", pcql::Type::Int)],
-            );
+            c.add_logical_relation("R", [("A", pcql::Type::Int), ("B", pcql::Type::Int)]);
             c.add_direct_mapping("R");
             c.add_primary_index("I", "R", "A").unwrap();
             c
         };
         assert_eq!(
-            analyze_termination(&cat.mapping_constraints().to_vec()),
+            analyze_termination(cat.mapping_constraints()),
             TerminationVerdict::Full
         );
     }
@@ -205,16 +204,13 @@ mod tests {
         // cannot see that; the verdict is honestly Unknown.
         let cat = {
             let mut c = cb_catalog::Catalog::new();
-            c.add_logical_relation(
-                "R",
-                [("A", pcql::Type::Int), ("B", pcql::Type::Int)],
-            );
+            c.add_logical_relation("R", [("A", pcql::Type::Int), ("B", pcql::Type::Int)]);
             c.add_direct_mapping("R");
             c.add_secondary_index("SB", "R", "B").unwrap();
             c
         };
         assert_eq!(
-            analyze_termination(&cat.mapping_constraints().to_vec()),
+            analyze_termination(cat.mapping_constraints()),
             TerminationVerdict::Unknown
         );
         // Empirically the restricted chase reaches a fixpoint anyway.
@@ -233,15 +229,19 @@ mod tests {
         // witnesses); the restricted chase still terminates in practice —
         // the verdict is honest about being only a sufficient condition.
         let cat = cb_catalog::scenarios::projdept::catalog();
-        assert_eq!(analyze_termination(&cat.all_constraints()), TerminationVerdict::Unknown);
+        assert_eq!(
+            analyze_termination(&cat.all_constraints()),
+            TerminationVerdict::Unknown
+        );
     }
 
     #[test]
     fn egds_never_block_termination() {
-        let deps = vec![
-            parse_dependency("key", "forall (p in R) (q in R) where p.A = q.A -> p = q")
-                .unwrap(),
-        ];
+        let deps =
+            vec![
+                parse_dependency("key", "forall (p in R) (q in R) where p.A = q.A -> p = q")
+                    .unwrap(),
+            ];
         assert_eq!(analyze_termination(&deps), TerminationVerdict::Full);
     }
 }

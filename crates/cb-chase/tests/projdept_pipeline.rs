@@ -7,7 +7,10 @@ use cb_catalog::scenarios::projdept;
 use cb_chase::{backchase, chase, BackchaseConfig, ChaseConfig};
 
 fn roots_of(q: &pcql::Query) -> Vec<String> {
-    q.from.iter().map(|b| b.src.roots().into_iter().collect::<Vec<_>>().join(".")).collect()
+    q.from
+        .iter()
+        .map(|b| b.src.roots().into_iter().collect::<Vec<_>>().join("."))
+        .collect()
 }
 
 #[test]
@@ -28,9 +31,15 @@ fn universal_plan_contains_all_access_paths() {
     assert!(sources.contains(&"dom(SI)".to_string()));
     assert!(sources.contains(&"dom(I)".to_string()));
     // The INV1 EGD fired: d.DName = p.PDept is among the conditions.
-    let conds: Vec<String> = u.where_.iter().map(|e| format!("{} = {}", e.0, e.1)).collect();
+    let conds: Vec<String> = u
+        .where_
+        .iter()
+        .map(|e| format!("{} = {}", e.0, e.1))
+        .collect();
     assert!(
-        conds.iter().any(|c| c == "d.DName = p.PDept" || c == "p.PDept = d.DName"),
+        conds
+            .iter()
+            .any(|c| c == "d.DName = p.PDept" || c == "p.PDept = d.DName"),
         "INV1 condition missing: {conds:?}"
     );
 }
@@ -41,7 +50,10 @@ fn backchase_finds_the_paper_plans() {
     let q = projdept::query();
     let deps = cat.all_constraints();
     let u = chase(&q, &deps, &ChaseConfig::default()).query;
-    let cfg = BackchaseConfig { max_visited: 4096, ..BackchaseConfig::default() };
+    let cfg = BackchaseConfig {
+        max_visited: 4096,
+        ..BackchaseConfig::default()
+    };
     let out = backchase(&u, &deps, &cfg);
     assert!(out.complete, "backchase enumeration must finish");
 
@@ -85,8 +97,11 @@ fn backchase_finds_the_paper_plans() {
         })
         .collect();
     assert!(
-        physical_visited
-            .contains(&vec!["Dept".to_string(), "Dept".to_string(), "Proj".to_string()]),
+        physical_visited.contains(&vec![
+            "Dept".to_string(),
+            "Dept".to_string(),
+            "Proj".to_string()
+        ]),
         "P1 shape missing from visited physical plans: {physical_visited:?}"
     );
 }
@@ -107,7 +122,14 @@ fn mapping_only_regime() {
     let q = projdept::query();
     let deps = cat.all_constraints();
     let u = chase(&q, &deps, &ChaseConfig::default()).query;
-    let out = backchase(&u, &deps, &BackchaseConfig { max_visited: 4096, ..Default::default() });
+    let out = backchase(
+        &u,
+        &deps,
+        &BackchaseConfig {
+            max_visited: 4096,
+            ..Default::default()
+        },
+    );
     assert!(out.complete);
     let nf_shapes: BTreeSet<Vec<String>> = out
         .normal_forms
@@ -122,7 +144,11 @@ fn mapping_only_regime() {
     assert!(nf_shapes.contains(&vec!["JI".to_string()]), "{nf_shapes:?}");
     // The PI2-refined dictionary plan: dom(Dept), Dept[o].DProjs, dom(I).
     assert!(
-        nf_shapes.contains(&vec!["Dept".to_string(), "Dept".to_string(), "I".to_string()]),
+        nf_shapes.contains(&vec![
+            "Dept".to_string(),
+            "Dept".to_string(),
+            "I".to_string()
+        ]),
         "{nf_shapes:?}"
     );
     // P2 and P3 shapes must be absent without the INV constraints.
@@ -139,6 +165,9 @@ fn mapping_only_regime() {
             v
         })
         .collect();
-    assert!(visited_shapes
-        .contains(&vec!["Dept".to_string(), "Dept".to_string(), "Proj".to_string()]));
+    assert!(visited_shapes.contains(&vec![
+        "Dept".to_string(),
+        "Dept".to_string(),
+        "Proj".to_string()
+    ]));
 }

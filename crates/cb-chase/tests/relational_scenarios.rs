@@ -32,16 +32,32 @@ fn index_only_access_path_is_found() {
     assert!(srcs.contains(&"dom(SA)".to_string()), "{srcs:?}");
     assert!(srcs.contains(&"dom(SB)".to_string()), "{srcs:?}");
 
-    let out = backchase(&u, &deps, &BackchaseConfig { max_visited: 4096, ..Default::default() });
+    let out = backchase(
+        &u,
+        &deps,
+        &BackchaseConfig {
+            max_visited: 4096,
+            ..Default::default()
+        },
+    );
     assert!(out.complete);
     let nf = shapes(&out.normal_forms);
     // Index-only plans: no scan of R at all. Our secondary indexes store
     // whole rows (not RIDs), so a *single* index suffices and is minimal;
     // the paper's interleaved SA ∩ SB plan is an equivalent subquery but
     // not a minimal one in this representation (see EXPERIMENTS.md).
-    assert!(nf.contains(&vec!["SA".to_string(), "SA".to_string()]), "{nf:?}");
-    assert!(nf.contains(&vec!["SB".to_string(), "SB".to_string()]), "{nf:?}");
-    assert!(nf.contains(&vec!["R".to_string()]), "base plan missing: {nf:?}");
+    assert!(
+        nf.contains(&vec!["SA".to_string(), "SA".to_string()]),
+        "{nf:?}"
+    );
+    assert!(
+        nf.contains(&vec!["SB".to_string(), "SB".to_string()]),
+        "{nf:?}"
+    );
+    assert!(
+        nf.contains(&vec!["R".to_string()]),
+        "base plan missing: {nf:?}"
+    );
     // The interleaved two-index plan is among the visited equivalents.
     let visited = shapes(&out.visited);
     assert!(
@@ -65,7 +81,14 @@ fn view_navigation_plan_is_found() {
     let u = chase(&relational_views::query(), &deps, &ChaseConfig::default()).query;
     assert_eq!(u.from.len(), 7, "U = {u}");
 
-    let out = backchase(&u, &deps, &BackchaseConfig { max_visited: 4096, ..Default::default() });
+    let out = backchase(
+        &u,
+        &deps,
+        &BackchaseConfig {
+            max_visited: 4096,
+            ..Default::default()
+        },
+    );
     assert!(out.complete);
     let nf = shapes(&out.normal_forms);
     assert!(
@@ -77,7 +100,10 @@ fn view_navigation_plan_is_found() {
         ]),
         "navigation plan missing: {nf:?}"
     );
-    assert!(nf.contains(&vec!["R".to_string(), "S".to_string()]), "base join: {nf:?}");
+    assert!(
+        nf.contains(&vec!["R".to_string(), "S".to_string()]),
+        "base join: {nf:?}"
+    );
 
     // The paper's intermediate P (V joined with base R and S) is among
     // the visited equivalent subqueries but is *not* minimal — exactly

@@ -93,10 +93,7 @@ fn eqs_hold(
 
 /// Checks a whole set of constraints, returning the names of violated
 /// ones.
-pub fn violations(
-    ev: &Evaluator<'_>,
-    deps: &[Dependency],
-) -> Result<Vec<String>, EvalError> {
+pub fn violations(ev: &Evaluator<'_>, deps: &[Dependency]) -> Result<Vec<String>, EvalError> {
     let mut out = Vec::new();
     for d in deps {
         if !satisfies(ev, d)? {
@@ -125,11 +122,8 @@ mod tests {
     fn tgd_satisfaction() {
         let i = instance();
         let ev = Evaluator::new(&i);
-        let ric = parse_dependency(
-            "ric",
-            "forall (r in R) -> exists (s in S) where r.B = s.B",
-        )
-        .unwrap();
+        let ric =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.B = s.B").unwrap();
         assert!(satisfies(&ev, &ric).unwrap());
         // The reverse direction fails (S has B = 99 unmatched).
         let ric_rev = parse_dependency(
@@ -145,12 +139,10 @@ mod tests {
         let i = instance();
         let ev = Evaluator::new(&i);
         let key =
-            parse_dependency("key", "forall (p in R) (q in R) where p.A = q.A -> p = q")
-                .unwrap();
+            parse_dependency("key", "forall (p in R) (q in R) where p.A = q.A -> p = q").unwrap();
         assert!(satisfies(&ev, &key).unwrap());
         let not_key =
-            parse_dependency("nk", "forall (p in R) (q in R) where p.B = p.B -> p = q")
-                .unwrap();
+            parse_dependency("nk", "forall (p in R) (q in R) where p.B = p.B -> p = q").unwrap();
         assert!(!satisfies(&ev, &not_key).unwrap());
     }
 
@@ -158,16 +150,13 @@ mod tests {
     fn violations_lists_names() {
         let i = instance();
         let ev = Evaluator::new(&i);
-        let good = parse_dependency(
-            "good",
-            "forall (r in R) -> exists (s in S) where r.B = s.B",
-        )
-        .unwrap();
-        let bad = parse_dependency(
-            "bad",
-            "forall (s in S) -> exists (r in R) where r.B = s.B",
-        )
-        .unwrap();
-        assert_eq!(violations(&ev, &[good, bad]).unwrap(), vec!["bad".to_string()]);
+        let good =
+            parse_dependency("good", "forall (r in R) -> exists (s in S) where r.B = s.B").unwrap();
+        let bad =
+            parse_dependency("bad", "forall (s in S) -> exists (r in R) where r.B = s.B").unwrap();
+        assert_eq!(
+            violations(&ev, &[good, bad]).unwrap(),
+            vec!["bad".to_string()]
+        );
     }
 }

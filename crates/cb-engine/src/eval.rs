@@ -27,9 +27,15 @@ use crate::value::Value;
 pub enum EvalError {
     UnknownRoot(String),
     UnknownVar(String),
-    NoSuchField { value: String, field: String },
+    NoSuchField {
+        value: String,
+        field: String,
+    },
     /// Failing lookup on an absent key.
-    LookupFailed { dict: String, key: String },
+    LookupFailed {
+        dict: String,
+        key: String,
+    },
     NotASet(String),
     NotADict(String),
     /// OID dereference with no registered class dictionary.
@@ -72,7 +78,10 @@ pub struct Evaluator<'a> {
 
 impl<'a> Evaluator<'a> {
     pub fn new(instance: &'a Instance) -> Evaluator<'a> {
-        Evaluator { instance, class_dicts: BTreeMap::new() }
+        Evaluator {
+            instance,
+            class_dicts: BTreeMap::new(),
+        }
     }
 
     /// Registers `dict_root` as the implementing dictionary of `class`.
@@ -98,11 +107,7 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluates a path under an environment.
-    pub fn eval_path(
-        &self,
-        env: &BTreeMap<String, Value>,
-        p: &Path,
-    ) -> Result<Value, EvalError> {
+    pub fn eval_path(&self, env: &BTreeMap<String, Value>, p: &Path) -> Result<Value, EvalError> {
         Ok(self.eval_ref(env, p)?.into_owned())
     }
 
@@ -129,22 +134,20 @@ impl<'a> Evaluator<'a> {
             Path::Field(q, name) => {
                 let base = self.eval_ref(env, q)?;
                 match base {
-                    Cow::Borrowed(Value::Struct(fields)) => {
-                        fields.get(name).map(Cow::Borrowed).ok_or_else(|| {
-                            EvalError::NoSuchField {
-                                value: format!("{q}"),
-                                field: name.clone(),
-                            }
-                        })
-                    }
-                    Cow::Owned(Value::Struct(mut fields)) => {
-                        fields.remove(name).map(Cow::Owned).ok_or_else(|| {
-                            EvalError::NoSuchField {
-                                value: format!("{q}"),
-                                field: name.clone(),
-                            }
-                        })
-                    }
+                    Cow::Borrowed(Value::Struct(fields)) => fields
+                        .get(name)
+                        .map(Cow::Borrowed)
+                        .ok_or_else(|| EvalError::NoSuchField {
+                            value: format!("{q}"),
+                            field: name.clone(),
+                        }),
+                    Cow::Owned(Value::Struct(mut fields)) => fields
+                        .remove(name)
+                        .map(Cow::Owned)
+                        .ok_or_else(|| EvalError::NoSuchField {
+                            value: format!("{q}"),
+                            field: name.clone(),
+                        }),
                     base => {
                         let oid = match base.as_ref() {
                             Value::Oid(class, _) => (class.clone(), base.as_ref().clone()),
@@ -171,19 +174,21 @@ impl<'a> Evaluator<'a> {
                         let entry = map
                             .get(&oid_val)
                             .ok_or_else(|| EvalError::DanglingOid(oid_val.to_string()))?;
-                        entry.field(name).map(Cow::Borrowed).ok_or_else(|| {
-                            EvalError::NoSuchField {
+                        entry
+                            .field(name)
+                            .map(Cow::Borrowed)
+                            .ok_or_else(|| EvalError::NoSuchField {
                                 value: entry.to_string(),
                                 field: name.clone(),
-                            }
-                        })
+                            })
                     }
                 }
             }
             Path::Dom(q) => {
                 let base = self.eval_ref(env, q)?;
-                let map =
-                    base.as_dict().ok_or_else(|| EvalError::NotADict(q.to_string()))?;
+                let map = base
+                    .as_dict()
+                    .ok_or_else(|| EvalError::NotADict(q.to_string()))?;
                 Ok(Cow::Owned(Value::Set(map.keys().cloned().collect())))
             }
             Path::Get(m, k) => {
@@ -191,17 +196,23 @@ impl<'a> Evaluator<'a> {
                 let dict = self.eval_ref(env, m)?;
                 match dict {
                     Cow::Borrowed(d) => {
-                        let map =
-                            d.as_dict().ok_or_else(|| EvalError::NotADict(m.to_string()))?;
-                        map.get(&key).map(Cow::Borrowed).ok_or_else(|| {
-                            EvalError::LookupFailed { dict: m.to_string(), key: key.to_string() }
-                        })
+                        let map = d
+                            .as_dict()
+                            .ok_or_else(|| EvalError::NotADict(m.to_string()))?;
+                        map.get(&key)
+                            .map(Cow::Borrowed)
+                            .ok_or_else(|| EvalError::LookupFailed {
+                                dict: m.to_string(),
+                                key: key.to_string(),
+                            })
                     }
-                    Cow::Owned(Value::Dict(mut map)) => {
-                        map.remove(&key).map(Cow::Owned).ok_or_else(|| {
-                            EvalError::LookupFailed { dict: m.to_string(), key: key.to_string() }
-                        })
-                    }
+                    Cow::Owned(Value::Dict(mut map)) => map
+                        .remove(&key)
+                        .map(Cow::Owned)
+                        .ok_or_else(|| EvalError::LookupFailed {
+                            dict: m.to_string(),
+                            key: key.to_string(),
+                        }),
                     _ => Err(EvalError::NotADict(m.to_string())),
                 }
             }
@@ -211,8 +222,9 @@ impl<'a> Evaluator<'a> {
                 let empty = || Cow::Owned(Value::Set(BTreeSet::new()));
                 match dict {
                     Cow::Borrowed(d) => {
-                        let map =
-                            d.as_dict().ok_or_else(|| EvalError::NotADict(m.to_string()))?;
+                        let map = d
+                            .as_dict()
+                            .ok_or_else(|| EvalError::NotADict(m.to_string()))?;
                         Ok(map.get(&key).map(Cow::Borrowed).unwrap_or_else(empty))
                     }
                     Cow::Owned(Value::Dict(mut map)) => {
@@ -320,15 +332,25 @@ mod tests {
 
     fn sample_instance() -> Instance {
         let row = |a: i64, b: i64, c: i64| {
-            Value::record([("A", Value::Int(a)), ("B", Value::Int(b)), ("C", Value::Int(c))])
+            Value::record([
+                ("A", Value::Int(a)),
+                ("B", Value::Int(b)),
+                ("C", Value::Int(c)),
+            ])
         };
         let mut i = Instance::new();
-        i.set("R", Value::set([row(1, 10, 100), row(2, 20, 200), row(2, 21, 201)]));
+        i.set(
+            "R",
+            Value::set([row(1, 10, 100), row(2, 20, 200), row(2, 21, 201)]),
+        );
         i.set(
             "SA",
             Value::dict([
                 (Value::Int(1), Value::set([row(1, 10, 100)])),
-                (Value::Int(2), Value::set([row(2, 20, 200), row(2, 21, 201)])),
+                (
+                    Value::Int(2),
+                    Value::set([row(2, 20, 200), row(2, 21, 201)]),
+                ),
             ]),
         );
         i
@@ -349,10 +371,7 @@ mod tests {
         let i = sample_instance();
         let e = Evaluator::new(&i);
         // dom + guarded lookup.
-        let q = parse_query(
-            "select struct(C = t.C) from dom(SA) x, SA[x] t where x = 2",
-        )
-        .unwrap();
+        let q = parse_query("select struct(C = t.C) from dom(SA) x, SA[x] t where x = 2").unwrap();
         let rows = e.eval_query(&q).unwrap();
         assert_eq!(rows.len(), 2);
 
@@ -371,9 +390,7 @@ mod tests {
     fn let_bindings() {
         let i = sample_instance();
         let e = Evaluator::new(&i);
-        let q = parse_query(
-            "select struct(N = one.C) from SA[1] grp, let one := grp",
-        );
+        let q = parse_query("select struct(N = one.C) from SA[1] grp, let one := grp");
         // `SA[1] grp` iterates the entry set; `let one := grp` aliases it.
         let q = q.unwrap();
         let rows = e.eval_query(&q).unwrap();
@@ -396,8 +413,8 @@ mod tests {
             )]),
         );
         let e = Evaluator::new(&i).with_class_dict("Dept", "Dept");
-        let q = parse_query("select struct(DN = d.DName, PN = s) from depts d, d.DProjs s")
-            .unwrap();
+        let q =
+            parse_query("select struct(DN = d.DName, PN = s) from depts d, d.DProjs s").unwrap();
         let rows = e.eval_query(&q).unwrap();
         assert_eq!(rows.len(), 1);
         assert!(rows.contains(&Value::record([
@@ -417,10 +434,9 @@ mod tests {
         // the placement is what the benches measure).
         let i = sample_instance();
         let e = Evaluator::new(&i);
-        let q = parse_query(
-            "select struct(A = r.A, B = t.B) from R r, R t where r.A = 1 and t.A = 2",
-        )
-        .unwrap();
+        let q =
+            parse_query("select struct(A = r.A, B = t.B) from R r, R t where r.A = 1 and t.A = 2")
+                .unwrap();
         let rows = e.eval_query(&q).unwrap();
         assert_eq!(rows.len(), 2);
     }

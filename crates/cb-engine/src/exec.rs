@@ -47,7 +47,12 @@ pub enum Operator {
     /// `build_key` (a path over the root's row bound to `row_var`), then
     /// emit one env per row matching `probe_key` evaluated in the current
     /// environment.
-    HashJoin { row_var: String, root: String, build_key: Path, probe_key: Path },
+    HashJoin {
+        row_var: String,
+        root: String,
+        build_key: Path,
+        probe_key: Path,
+    },
 }
 
 impl fmt::Display for Operator {
@@ -57,7 +62,12 @@ impl fmt::Display for Operator {
             Operator::IterDependent { var, src } => write!(f, "Iter({src} as {var})"),
             Operator::Bind { var, src } => write!(f, "Bind({var} := {src})"),
             Operator::Filter { left, right } => write!(f, "Filter({left} = {right})"),
-            Operator::HashJoin { row_var, root, build_key, probe_key } => write!(
+            Operator::HashJoin {
+                row_var,
+                root,
+                build_key,
+                probe_key,
+            } => write!(
                 f,
                 "HashJoin({root} as {row_var} on {build_key} = {probe_key})"
             ),
@@ -110,7 +120,10 @@ pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
                 .all(|v| bound.iter().any(|b| b == v));
             if ready {
                 let eq = pending.remove(i);
-                ops.push(Operator::Filter { left: eq.0, right: eq.1 });
+                ops.push(Operator::Filter {
+                    left: eq.0,
+                    right: eq.1,
+                });
             } else {
                 i += 1;
             }
@@ -130,8 +143,7 @@ pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
                             vs.len() == 1 && vs.contains(&b.var)
                         };
                         let earlier = |vs: &std::collections::BTreeSet<String>| {
-                            !vs.contains(&b.var)
-                                && vs.iter().all(|v| bound.iter().any(|x| x == v))
+                            !vs.contains(&b.var) && vs.iter().all(|v| bound.iter().any(|x| x == v))
                         };
                         (this(&lv) && earlier(&rv)) || (this(&rv) && earlier(&lv))
                     })
@@ -153,24 +165,35 @@ pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
                             probe_key,
                         });
                     }
-                    None => ops.push(Operator::Scan { var: b.var.clone(), root: root.clone() }),
+                    None => ops.push(Operator::Scan {
+                        var: b.var.clone(),
+                        root: root.clone(),
+                    }),
                 }
             }
-            (BindKind::Iter, src) => {
-                ops.push(Operator::IterDependent { var: b.var.clone(), src: src.clone() })
-            }
-            (BindKind::Let, src) => {
-                ops.push(Operator::Bind { var: b.var.clone(), src: src.clone() })
-            }
+            (BindKind::Iter, src) => ops.push(Operator::IterDependent {
+                var: b.var.clone(),
+                src: src.clone(),
+            }),
+            (BindKind::Let, src) => ops.push(Operator::Bind {
+                var: b.var.clone(),
+                src: src.clone(),
+            }),
         }
         bound.push(b.var.clone());
         flush_filters(&bound, &mut ops, &mut pending);
     }
     // Anything left (e.g. ground conditions) becomes trailing filters.
     for eq in pending {
-        ops.push(Operator::Filter { left: eq.0, right: eq.1 });
+        ops.push(Operator::Filter {
+            left: eq.0,
+            right: eq.1,
+        });
     }
-    Pipeline { ops, output: q.output.clone() }
+    Pipeline {
+        ops,
+        output: q.output.clone(),
+    }
 }
 
 /// Executes a pipeline against the evaluator's instance.
@@ -182,7 +205,13 @@ pub fn execute(
     let mut tables: Vec<BTreeMap<Value, Vec<Value>>> = Vec::new();
     let empty_env = BTreeMap::new();
     for op in &pipeline.ops {
-        if let Operator::HashJoin { row_var, root, build_key, .. } = op {
+        if let Operator::HashJoin {
+            row_var,
+            root,
+            build_key,
+            ..
+        } = op
+        {
             let rows = ev.eval_path(&empty_env, &Path::Root(root.clone()))?;
             let rows = rows
                 .as_set()
@@ -231,7 +260,10 @@ fn run_level(
     match &pipeline.ops[op_idx] {
         Operator::Scan { var, root } => {
             let set = ev.eval_path(env, &Path::Root(root.clone()))?;
-            let items = set.as_set().cloned().ok_or_else(|| EvalError::NotASet(root.clone()))?;
+            let items = set
+                .as_set()
+                .cloned()
+                .ok_or_else(|| EvalError::NotASet(root.clone()))?;
             for item in items {
                 env.insert(var.clone(), item);
                 run_level(ev, pipeline, tables, op_idx + 1, table_idx, env, out)?;
@@ -261,7 +293,9 @@ fn run_level(
                 run_level(ev, pipeline, tables, op_idx + 1, table_idx, env, out)?;
             }
         }
-        Operator::HashJoin { row_var, probe_key, .. } => {
+        Operator::HashJoin {
+            row_var, probe_key, ..
+        } => {
             let key = ev.eval_path(env, probe_key)?;
             if let Some(matches) = tables[table_idx].get(&key) {
                 for row in matches.clone() {
@@ -285,15 +319,15 @@ mod tests {
         let mut i = Instance::new();
         i.set(
             "R",
-            Value::set((0..n).map(|k| {
-                Value::record([("A", Value::Int(k)), ("B", Value::Int(k % 5))])
-            })),
+            Value::set(
+                (0..n).map(|k| Value::record([("A", Value::Int(k)), ("B", Value::Int(k % 5))])),
+            ),
         );
         i.set(
             "S",
-            Value::set((0..n).map(|k| {
-                Value::record([("B", Value::Int(k % 7)), ("C", Value::Int(k))])
-            })),
+            Value::set(
+                (0..n).map(|k| Value::record([("B", Value::Int(k % 7)), ("C", Value::Int(k))])),
+            ),
         );
         i
     }
@@ -309,9 +343,10 @@ mod tests {
         ] {
             let q = parse_query(src).unwrap();
             let reference = ev.eval_query(&q).unwrap();
-            for options in
-                [CompileOptions { hash_joins: false }, CompileOptions { hash_joins: true }]
-            {
+            for options in [
+                CompileOptions { hash_joins: false },
+                CompileOptions { hash_joins: true },
+            ] {
                 let pipeline = compile(&q, options);
                 let rows = execute(&ev, &pipeline).unwrap();
                 assert_eq!(rows, reference, "{src} with {options:?}");
@@ -321,15 +356,18 @@ mod tests {
 
     #[test]
     fn hash_join_operator_is_used() {
-        let q = parse_query(
-            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
         let nl = compile(&q, CompileOptions { hash_joins: false });
-        assert!(nl.ops.iter().all(|op| !matches!(op, Operator::HashJoin { .. })));
+        assert!(nl
+            .ops
+            .iter()
+            .all(|op| !matches!(op, Operator::HashJoin { .. })));
         let hj = compile(&q, CompileOptions { hash_joins: true });
         assert!(
-            hj.ops.iter().any(|op| matches!(op, Operator::HashJoin { .. })),
+            hj.ops
+                .iter()
+                .any(|op| matches!(op, Operator::HashJoin { .. })),
             "pipeline: {hj}"
         );
         // The first binding can't be hash-joined (nothing bound yet).
@@ -397,9 +435,9 @@ mod tests {
         let mut inst = rs_instance(30);
         inst.set(
             "T",
-            Value::set((0..30).map(|k| {
-                Value::record([("C", Value::Int(k)), ("D", Value::Int(k * 2))])
-            })),
+            Value::set(
+                (0..30).map(|k| Value::record([("C", Value::Int(k)), ("D", Value::Int(k * 2))])),
+            ),
         );
         let ev = Evaluator::new(&inst);
         let q = parse_query(
@@ -419,10 +457,8 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let q = parse_query(
-            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
         let p = compile(&q, CompileOptions { hash_joins: true });
         let text = p.to_string();
         assert!(text.contains("Scan(R as r)"));

@@ -24,7 +24,12 @@ pub struct ProjDeptParams {
 
 impl Default for ProjDeptParams {
     fn default() -> Self {
-        ProjDeptParams { n_depts: 20, projs_per_dept: 5, n_customers: 10, seed: 42 }
+        ProjDeptParams {
+            n_depts: 20,
+            projs_per_dept: 5,
+            n_customers: 10,
+            seed: 42,
+        }
     }
 }
 
@@ -46,7 +51,11 @@ pub fn projdept_instance(p: &ProjDeptParams) -> Instance {
                 "CitiBank".to_string()
             } else {
                 let c = rng.random_range(0..p.n_customers);
-                if c == 0 { "CitiBank".to_string() } else { format!("cust{c}") }
+                if c == 0 {
+                    "CitiBank".to_string()
+                } else {
+                    format!("cust{c}")
+                }
             };
             proj_rows.push(Value::record([
                 ("PName", Value::str(&pname)),
@@ -82,7 +91,12 @@ pub struct RabcParams {
 
 impl Default for RabcParams {
     fn default() -> Self {
-        RabcParams { n_rows: 1000, distinct_a: 50, distinct_b: 20, seed: 7 }
+        RabcParams {
+            n_rows: 1000,
+            distinct_a: 50,
+            distinct_b: 20,
+            seed: 7,
+        }
     }
 }
 
@@ -93,8 +107,14 @@ pub fn rabc_instance(p: &RabcParams) -> Instance {
     let rows: Vec<Value> = (0..p.n_rows)
         .map(|n| {
             Value::record([
-                ("A", Value::Int(rng.random_range(0..p.distinct_a.max(1)) as i64)),
-                ("B", Value::Int(rng.random_range(0..p.distinct_b.max(1)) as i64)),
+                (
+                    "A",
+                    Value::Int(rng.random_range(0..p.distinct_a.max(1)) as i64),
+                ),
+                (
+                    "B",
+                    Value::Int(rng.random_range(0..p.distinct_b.max(1)) as i64),
+                ),
                 ("C", Value::Int(n as i64)),
             ])
         })
@@ -117,7 +137,12 @@ pub struct JoinParams {
 
 impl Default for JoinParams {
     fn default() -> Self {
-        JoinParams { n_r: 500, n_s: 500, match_fraction: 0.1, seed: 11 }
+        JoinParams {
+            n_r: 500,
+            n_s: 500,
+            match_fraction: 0.1,
+            seed: 11,
+        }
     }
 }
 
@@ -214,7 +239,10 @@ mod tests {
         let a = projdept_instance(&ProjDeptParams::default());
         let b = projdept_instance(&ProjDeptParams::default());
         assert_eq!(a, b);
-        let c = projdept_instance(&ProjDeptParams { seed: 43, ..Default::default() });
+        let c = projdept_instance(&ProjDeptParams {
+            seed: 43,
+            ..Default::default()
+        });
         assert_ne!(a, c);
     }
 

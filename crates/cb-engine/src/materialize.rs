@@ -25,10 +25,16 @@ pub enum MaterializeError {
     MissingBase(String),
     NotASet(String),
     /// Primary index build found two rows with the same key.
-    DuplicateKey { index: String, key: String },
+    DuplicateKey {
+        index: String,
+        key: String,
+    },
     /// A class dictionary must be populated by the data generator (it *is*
     /// the storage of the objects); only the extent can be derived.
-    MissingClassDict { class: String, dict: String },
+    MissingClassDict {
+        class: String,
+        dict: String,
+    },
 }
 
 impl fmt::Display for MaterializeError {
@@ -38,10 +44,16 @@ impl fmt::Display for MaterializeError {
             MaterializeError::MissingBase(r) => write!(f, "missing base root `{r}`"),
             MaterializeError::NotASet(r) => write!(f, "root `{r}` is not a set"),
             MaterializeError::DuplicateKey { index, key } => {
-                write!(f, "duplicate key {key} while building primary index `{index}`")
+                write!(
+                    f,
+                    "duplicate key {key} while building primary index `{index}`"
+                )
             }
             MaterializeError::MissingClassDict { class, dict } => {
-                write!(f, "class `{class}`: dictionary `{dict}` must be provided by the generator")
+                write!(
+                    f,
+                    "class `{class}`: dictionary `{dict}` must be provided by the generator"
+                )
             }
         }
     }
@@ -75,11 +87,7 @@ impl<'a> Materializer<'a> {
         Ok(())
     }
 
-    fn rows_of(
-        &self,
-        instance: &Instance,
-        relation: &str,
-    ) -> Result<Vec<Value>, MaterializeError> {
+    fn rows_of(&self, instance: &Instance, relation: &str) -> Result<Vec<Value>, MaterializeError> {
         let v = instance
             .get(relation)
             .ok_or_else(|| MaterializeError::MissingBase(relation.to_string()))?;
@@ -94,16 +102,19 @@ impl<'a> Materializer<'a> {
         s: &AccessStructure,
     ) -> Result<(), MaterializeError> {
         match s {
-            AccessStructure::PrimaryIndex { name, relation, key_field } => {
+            AccessStructure::PrimaryIndex {
+                name,
+                relation,
+                key_field,
+            } => {
                 let mut dict: BTreeMap<Value, Value> = BTreeMap::new();
                 for row in self.rows_of(instance, relation)? {
-                    let key = row
-                        .field(key_field)
-                        .cloned()
-                        .ok_or_else(|| MaterializeError::Eval(EvalError::NoSuchField {
+                    let key = row.field(key_field).cloned().ok_or_else(|| {
+                        MaterializeError::Eval(EvalError::NoSuchField {
                             value: row.to_string(),
                             field: key_field.clone(),
-                        }))?;
+                        })
+                    })?;
                     if dict.insert(key.clone(), row).is_some() {
                         return Err(MaterializeError::DuplicateKey {
                             index: name.clone(),
@@ -113,16 +124,20 @@ impl<'a> Materializer<'a> {
                 }
                 instance.set(name.clone(), Value::Dict(dict));
             }
-            AccessStructure::SecondaryIndex { name, relation, key_field, .. } => {
+            AccessStructure::SecondaryIndex {
+                name,
+                relation,
+                key_field,
+                ..
+            } => {
                 let mut dict: BTreeMap<Value, Value> = BTreeMap::new();
                 for row in self.rows_of(instance, relation)? {
-                    let key = row
-                        .field(key_field)
-                        .cloned()
-                        .ok_or_else(|| MaterializeError::Eval(EvalError::NoSuchField {
+                    let key = row.field(key_field).cloned().ok_or_else(|| {
+                        MaterializeError::Eval(EvalError::NoSuchField {
                             value: row.to_string(),
                             field: key_field.clone(),
-                        }))?;
+                        })
+                    })?;
                     match dict.entry(key).or_insert_with(|| Value::set([])) {
                         Value::Set(items) => {
                             items.insert(row);
@@ -132,7 +147,11 @@ impl<'a> Materializer<'a> {
                 }
                 instance.set(name.clone(), Value::Dict(dict));
             }
-            AccessStructure::ClassDict { class, extent, dict } => {
+            AccessStructure::ClassDict {
+                class,
+                extent,
+                dict,
+            } => {
                 // The dictionary is the object store itself; the generator
                 // provides it and we derive the extent (dom), mirroring
                 // "an OO class must have an extent … whose domain is the
@@ -171,15 +190,9 @@ impl<'a> Materializer<'a> {
 
     /// Builds `dict z in (select K from body) | (select V from body where
     /// K = z)` by grouping one pass over the body.
-    fn build_gmap(
-        &self,
-        instance: &Instance,
-        def: &GmapDef,
-    ) -> Result<Value, MaterializeError> {
+    fn build_gmap(&self, instance: &Instance, def: &GmapDef) -> Result<Value, MaterializeError> {
         let body = Query::new(
-            Output::record([
-                ("__key".to_string(), pcql::Path::var("__self")),
-            ]),
+            Output::record([("__key".to_string(), pcql::Path::var("__self"))]),
             def.from.clone(),
             def.where_.clone(),
         );
@@ -197,7 +210,9 @@ impl<'a> Materializer<'a> {
         let rows = self.eval(instance, &combined)?;
         let side = |row: &Value, fields: &[(String, pcql::Path)], prefix: &str| -> Value {
             if fields.len() == 1 {
-                row.field(&format!("{prefix}_{}", fields[0].0)).cloned().expect("projected")
+                row.field(&format!("{prefix}_{}", fields[0].0))
+                    .cloned()
+                    .expect("projected")
             } else {
                 Value::Struct(
                     fields
@@ -205,7 +220,9 @@ impl<'a> Materializer<'a> {
                         .map(|(f, _)| {
                             (
                                 f.clone(),
-                                row.field(&format!("{prefix}_{f}")).cloned().expect("projected"),
+                                row.field(&format!("{prefix}_{f}"))
+                                    .cloned()
+                                    .expect("projected"),
                             )
                         })
                         .collect(),

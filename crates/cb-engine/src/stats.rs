@@ -32,7 +32,8 @@ pub fn collect_stats(instance: &Instance) -> Stats {
                     }
                 }
                 if n_sets > 0 {
-                    rs.avg_fanout.insert(String::new(), total as f64 / n_sets as f64);
+                    rs.avg_fanout
+                        .insert(String::new(), total as f64 / n_sets as f64);
                 }
                 // Field statistics over record entries.
                 field_stats(map.values(), &mut rs);

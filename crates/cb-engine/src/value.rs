@@ -75,12 +75,14 @@ impl Value {
             (Value::Oid(class, _), Type::Oid(want)) => class == want,
             (Value::Struct(fields), Type::Struct(tys)) => {
                 fields.len() == tys.len()
-                    && fields.iter().all(|(k, v)| tys.get(k).is_some_and(|t| v.has_type(t)))
+                    && fields
+                        .iter()
+                        .all(|(k, v)| tys.get(k).is_some_and(|t| v.has_type(t)))
             }
             (Value::Set(items), Type::Set(elem)) => items.iter().all(|v| v.has_type(elem)),
-            (Value::Dict(map), Type::Dict(k, v)) => {
-                map.iter().all(|(key, val)| key.has_type(k) && val.has_type(v))
-            }
+            (Value::Dict(map), Type::Dict(k, v)) => map
+                .iter()
+                .all(|(key, val)| key.has_type(k) && val.has_type(v)),
             _ => false,
         }
     }
@@ -167,7 +169,10 @@ mod tests {
         let v = Value::record([("A", Value::Int(1))]);
         assert_eq!(v.to_string(), "struct(A = 1)");
         assert_eq!(Value::Oid("Dept".into(), 7).to_string(), "&Dept#7");
-        assert_eq!(Value::set([Value::Int(2), Value::Int(1)]).to_string(), "{1, 2}");
+        assert_eq!(
+            Value::set([Value::Int(2), Value::Int(1)]).to_string(),
+            "{1, 2}"
+        );
     }
 
     #[test]

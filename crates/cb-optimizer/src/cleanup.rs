@@ -87,7 +87,9 @@ fn cleanup_once(catalog: &Catalog, q: &Query) -> Option<Query> {
         // it.
         let g_class = graph.egraph.add_path(&Path::Var(b.var.clone()));
         let forbidden: std::collections::BTreeSet<String> = [b.var.clone()].into();
-        let Some(key) = graph.egraph.extract(g_class, &forbidden) else { continue };
+        let Some(key) = graph.egraph.extract(g_class, &forbidden) else {
+            continue;
+        };
         // At least one iterated entry binding M[g'] with g' ≡ g provides
         // the emptiness filtering that makes dropping the loop sound.
         let serves_entry = q.from.iter().any(|other| {
@@ -117,10 +119,13 @@ fn cleanup_once(catalog: &Catalog, q: &Query) -> Option<Query> {
                 }
                 other_src => other_src.subst(&subst),
             };
-            from.push(Binding { var: other.var.clone(), src, kind: other.kind });
+            from.push(Binding {
+                var: other.var.clone(),
+                src,
+                kind: other.kind,
+            });
         }
-        let mut where_: Vec<pcql::Equality> =
-            q.where_.iter().map(|e| e.subst(&subst)).collect();
+        let mut where_: Vec<pcql::Equality> = q.where_.iter().map(|e| e.subst(&subst)).collect();
         where_.retain(|e| e.0 != e.1);
         let output = q.output.map_paths(&mut |p| p.subst(&subst));
         let candidate = Query::new(output, from, where_);
@@ -186,10 +191,7 @@ mod tests {
         .unwrap();
         let cleaned = cleanup_plan(&cat, &pc_form);
         assert_eq!(cleaned.from.len(), 3);
-        assert!(cleaned
-            .from
-            .iter()
-            .any(|b| b.src.to_string() == "IS{rr.B}"));
+        assert!(cleaned.from.iter().any(|b| b.src.to_string() == "IS{rr.B}"));
     }
 
     #[test]
@@ -197,10 +199,7 @@ mod tests {
         // The dom loop is the only access to the dictionary — dropping it
         // would change the result, so cleanup must leave it alone.
         let cat = projdept::catalog();
-        let q = parse_query(
-            r#"select struct(K = k) from dom(SI) k where k = "CitiBank""#,
-        )
-        .unwrap();
+        let q = parse_query(r#"select struct(K = k) from dom(SI) k where k = "CitiBank""#).unwrap();
         assert_eq!(cleanup_plan(&cat, &q), q);
     }
 
@@ -209,10 +208,8 @@ mod tests {
         // I is a primary index (record entries): no non-failing form
         // exists, so the guard loop must stay.
         let cat = projdept::catalog();
-        let q = parse_query(
-            r#"select struct(B = I[i].Budg) from dom(I) i where i = "proj1""#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"select struct(B = I[i].Budg) from dom(I) i where i = "proj1""#).unwrap();
         assert_eq!(cleanup_plan(&cat, &q), q);
     }
 
@@ -220,10 +217,7 @@ mod tests {
     fn unrelated_guards_untouched() {
         let cat = projdept::catalog();
         // k is a genuine iteration variable (no equality pins it down).
-        let q = parse_query(
-            "select struct(K = k, PN = t.PName) from dom(SI) k, SI[k] t",
-        )
-        .unwrap();
+        let q = parse_query("select struct(K = k, PN = t.PName) from dom(SI) k, SI[k] t").unwrap();
         assert_eq!(cleanup_plan(&cat, &q), q);
     }
 }

@@ -30,7 +30,9 @@ impl<'a> CostModel<'a> {
     }
 
     pub fn for_catalog(catalog: &'a Catalog) -> CostModel<'a> {
-        CostModel { stats: catalog.stats() }
+        CostModel {
+            stats: catalog.stats(),
+        }
     }
 
     /// Estimated total operations to execute `q` with the engine's
@@ -74,8 +76,12 @@ impl<'a> CostModel<'a> {
             }
         }
         // Output evaluation for surviving rows.
-        let out_cost: f64 =
-            q.output.paths().iter().map(|(_, p)| 1.0 + path_eval_cost(p)).sum();
+        let out_cost: f64 = q
+            .output
+            .paths()
+            .iter()
+            .map(|(_, p)| 1.0 + path_eval_cost(p))
+            .sum();
         cost + rows * out_cost
     }
 
@@ -155,7 +161,10 @@ impl<'a> CostModel<'a> {
             Path::Const(_) => None,
             Path::Field(base, field) => {
                 let root = root_hint(base, hints)?;
-                self.stats.get(&root).and_then(|s| s.distinct_of(field)).map(|d| d as f64)
+                self.stats
+                    .get(&root)
+                    .and_then(|s| s.distinct_of(field))
+                    .map(|d| d as f64)
             }
             // A bare variable over a keyed collection: use its cardinality.
             Path::Var(v) => {
@@ -218,10 +227,9 @@ mod tests {
     fn selectivity_uses_distinct_counts() {
         let c = model_catalog();
         let m = CostModel::for_catalog(&c);
-        let filtered = parse_query(
-            r#"select struct(B = p.Budg) from Proj p where p.CustName = "CitiBank""#,
-        )
-        .unwrap();
+        let filtered =
+            parse_query(r#"select struct(B = p.Budg) from Proj p where p.CustName = "CitiBank""#)
+                .unwrap();
         let unfiltered = parse_query("select struct(B = p.Budg) from Proj p").unwrap();
         assert!(m.result_cardinality(&filtered) < m.result_cardinality(&unfiltered));
         // 1000 projects, 20 customers -> ~50 expected rows.
@@ -251,12 +259,10 @@ mod tests {
     fn lookups_cost_less_than_scans() {
         let c = model_catalog();
         let m = CostModel::for_catalog(&c);
-        let by_lookup =
-            parse_query(r#"select struct(T = t.PName) from SI{"CitiBank"} t"#).unwrap();
-        let by_scan = parse_query(
-            r#"select struct(T = t.PName) from Proj t where t.CustName = "CitiBank""#,
-        )
-        .unwrap();
+        let by_lookup = parse_query(r#"select struct(T = t.PName) from SI{"CitiBank"} t"#).unwrap();
+        let by_scan =
+            parse_query(r#"select struct(T = t.PName) from Proj t where t.CustName = "CitiBank""#)
+                .unwrap();
         assert!(m.plan_cost(&by_lookup) < m.plan_cost(&by_scan));
     }
 

@@ -10,15 +10,22 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== input query ==");
     let _ = writeln!(s, "{}", outcome.input);
-    let _ = writeln!(s, "\n== chase (phase 1): {} steps ==", outcome.chase_steps.len());
+    let _ = writeln!(
+        s,
+        "\n== chase (phase 1): {} steps ==",
+        outcome.chase_steps.len()
+    );
     for step in &outcome.chase_steps {
         let adds: Vec<String> = step
             .added_bindings
             .iter()
             .map(|b| format!("{} in {}", b.var, b.src))
             .collect();
-        let eqs: Vec<String> =
-            step.added_eqs.iter().map(|e| format!("{} = {}", e.0, e.1)).collect();
+        let eqs: Vec<String> = step
+            .added_eqs
+            .iter()
+            .map(|e| format!("{} = {}", e.0, e.1))
+            .collect();
         let _ = writeln!(
             s,
             "  [{}] + bindings {{{}}} + conditions {{{}}}",
@@ -47,7 +54,10 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
     let _ = writeln!(s, "\n== chosen plan (cost {:.1}) ==", outcome.best.cost);
     let _ = writeln!(s, "{}", outcome.best.query);
     if !outcome.complete {
-        let _ = writeln!(s, "\n(note: search budgets were hit; the plan space may be larger)");
+        let _ = writeln!(
+            s,
+            "\n(note: search budgets were hit; the plan space may be larger)"
+        );
     }
     s
 }

@@ -91,7 +91,9 @@ pub struct OptimizeOutcome {
 pub enum OptimizeError {
     Type(TypeError),
     /// No enumerated plan mentions only physical-schema roots.
-    NoPhysicalPlan { universal: String },
+    NoPhysicalPlan {
+        universal: String,
+    },
 }
 
 impl fmt::Display for OptimizeError {
@@ -125,7 +127,10 @@ impl<'a> Optimizer<'a> {
         Optimizer {
             catalog,
             config: OptimizerConfig {
-                backchase: BackchaseConfig { max_visited: 4096, ..Default::default() },
+                backchase: BackchaseConfig {
+                    max_visited: 4096,
+                    ..Default::default()
+                },
                 cost_visited: true,
                 ..Default::default()
             },
@@ -160,12 +165,8 @@ impl<'a> Optimizer<'a> {
                     .filter(|r| !self.catalog.is_physical_root(r))
                     .cloned()
                     .collect();
-                let plan = cb_chase::backchase_greedy(
-                    &universal,
-                    &deps,
-                    &prefer,
-                    &self.config.chase,
-                );
+                let plan =
+                    cb_chase::backchase_greedy(&universal, &deps, &prefer, &self.config.chase);
                 cb_chase::BackchaseOutcome {
                     normal_forms: vec![plan],
                     visited: vec![universal.clone()],
@@ -187,14 +188,22 @@ impl<'a> Optimizer<'a> {
             let cleaned = cleanup_plan(self.catalog, &pruned);
             let ordered = reorder_bindings(&cleaned, &model);
             let cost = model.plan_cost(&ordered);
-            candidates.push(PlanChoice { query: ordered, raw: raw.clone(), cost, minimal });
+            candidates.push(PlanChoice {
+                query: ordered,
+                raw: raw.clone(),
+                cost,
+                minimal,
+            });
         };
         for nf in &bc.normal_forms {
             consider(nf, true, &mut candidates);
         }
         if self.config.cost_visited {
-            let nf_set: std::collections::BTreeSet<Query> =
-                bc.normal_forms.iter().map(|p| p.alpha_normalized()).collect();
+            let nf_set: std::collections::BTreeSet<Query> = bc
+                .normal_forms
+                .iter()
+                .map(|p| p.alpha_normalized())
+                .collect();
             for v in &bc.visited {
                 if !nf_set.contains(&v.alpha_normalized()) {
                     consider(v, false, &mut candidates);
@@ -215,7 +224,9 @@ impl<'a> Optimizer<'a> {
         let best = candidates
             .first()
             .cloned()
-            .ok_or_else(|| OptimizeError::NoPhysicalPlan { universal: universal.to_string() })?;
+            .ok_or_else(|| OptimizeError::NoPhysicalPlan {
+                universal: universal.to_string(),
+            })?;
 
         Ok(OptimizeOutcome {
             input: q.clone(),
@@ -260,10 +271,12 @@ mod tests {
     }
 
     #[test]
-    fn index_only_plan_wins_when_selective(){
+    fn index_only_plan_wins_when_selective() {
         let mut cat = relational_indexes::catalog();
         relational_indexes::stats_for(&mut cat, 10_000, 1000, 1000);
-        let out = Optimizer::new(&cat).optimize(&relational_indexes::query()).unwrap();
+        let out = Optimizer::new(&cat)
+            .optimize(&relational_indexes::query())
+            .unwrap();
         // The best plan avoids scanning R: it uses SA and/or SB.
         let best = &out.best.query;
         assert!(
@@ -279,7 +292,9 @@ mod tests {
         let mut cat = relational_views::catalog();
         // Tiny view over big relations.
         relational_views::stats_for(&mut cat, 10_000, 10_000, 10);
-        let out = Optimizer::new(&cat).optimize(&relational_views::query()).unwrap();
+        let out = Optimizer::new(&cat)
+            .optimize(&relational_views::query())
+            .unwrap();
         let s = out.best.query.to_string();
         assert!(s.contains('V'), "best should use the view: {s}");
         // The navigation form uses the indexes, not base scans.
@@ -299,9 +314,14 @@ mod tests {
         // small: scanning the base tables is competitive. Make the view
         // enormous to force the base plan.
         relational_views::stats_for(&mut cat, 50, 50, 1_000_000);
-        let out = Optimizer::new(&cat).optimize(&relational_views::query()).unwrap();
+        let out = Optimizer::new(&cat)
+            .optimize(&relational_views::query())
+            .unwrap();
         let s = out.best.query.to_string();
-        assert!(!s.contains("from V"), "best should avoid the view scan: {s}");
+        assert!(
+            !s.contains("from V"),
+            "best should avoid the view scan: {s}"
+        );
     }
 
     #[test]
@@ -313,10 +333,16 @@ mod tests {
             cost_visited: false,
             ..Default::default()
         };
-        let out = Optimizer::with_config(&cat, config).optimize(&projdept::query()).unwrap();
+        let out = Optimizer::with_config(&cat, config)
+            .optimize(&projdept::query())
+            .unwrap();
         // Exactly one plan, physical, minimal.
         assert_eq!(out.candidates.len(), 1);
-        assert!(cat.is_physical_query(&out.best.raw), "plan: {}", out.best.raw);
+        assert!(
+            cat.is_physical_query(&out.best.raw),
+            "plan: {}",
+            out.best.raw
+        );
         // The exhaustive strategy can only be equal or better on cost.
         let full = Optimizer::new(&cat).optimize(&projdept::query()).unwrap();
         assert!(full.best.cost <= out.best.cost + 1e-9);

@@ -33,7 +33,7 @@ pub fn reorder_bindings(q: &Query, model: &CostModel<'_>) -> Query {
             prefix_order.push(idx);
             let prefix = project_prefix(q, &prefix_order);
             let key = (model.result_cardinality(&prefix), model.plan_cost(&prefix));
-            if best.map_or(true, |(k, _)| key < k) {
+            if best.is_none_or(|(k, _)| key < k) {
                 best = Some((key, pos));
             }
         }
@@ -54,15 +54,18 @@ pub fn reorder_bindings(q: &Query, model: &CostModel<'_>) -> Query {
 /// prefix variables only, and a placeholder output.
 fn project_prefix(q: &Query, order: &[usize]) -> Query {
     let from: Vec<_> = order.iter().map(|&i| q.from[i].clone()).collect();
-    let vars: std::collections::BTreeSet<String> =
-        from.iter().map(|b| b.var.clone()).collect();
+    let vars: std::collections::BTreeSet<String> = from.iter().map(|b| b.var.clone()).collect();
     let where_: Vec<_> = q
         .where_
         .iter()
         .filter(|e| e.free_vars().iter().all(|v| vars.contains(v)))
         .cloned()
         .collect();
-    Query::new(pcql::Output::record(Vec::<(String, pcql::Path)>::new()), from, where_)
+    Query::new(
+        pcql::Output::record(Vec::<(String, pcql::Path)>::new()),
+        from,
+        where_,
+    )
 }
 
 #[cfg(test)]
@@ -98,8 +101,12 @@ mod tests {
         let q = projdept::query();
         let r = reorder_bindings(&q, &model);
         // s ranges over d.DProjs, so d must still precede s.
-        let pos =
-            |v: &str| r.from.iter().position(|b| b.var == v).expect("binding kept");
+        let pos = |v: &str| {
+            r.from
+                .iter()
+                .position(|b| b.var == v)
+                .expect("binding kept")
+        };
         assert!(pos("d") < pos("s"));
         assert_eq!(r.from.len(), q.from.len());
         assert!(r.check_scopes().is_ok());

@@ -47,7 +47,13 @@ impl Dependency {
         exists: Vec<Binding>,
         conclusion: Vec<Equality>,
     ) -> Dependency {
-        Dependency { name: name.into(), forall, premise, exists, conclusion }
+        Dependency {
+            name: name.into(),
+            forall,
+            premise,
+            exists,
+            conclusion,
+        }
     }
 
     /// An equality-generating dependency: no existential bindings.
@@ -108,15 +114,17 @@ impl Dependency {
             }
             for v in b.src.free_vars() {
                 if !bound.contains(&v) {
-                    return Err(ScopeError::UnboundInBinding { binding: b.var.clone(), var: v });
+                    return Err(ScopeError::UnboundInBinding {
+                        binding: b.var.clone(),
+                        var: v,
+                    });
                 }
             }
             if !bound.insert(b.var.clone()) {
                 return Err(ScopeError::DuplicateVar(b.var.clone()));
             }
         }
-        let universal: BTreeSet<String> =
-            self.forall.iter().map(|b| b.var.clone()).collect();
+        let universal: BTreeSet<String> = self.forall.iter().map(|b| b.var.clone()).collect();
         for eq in &self.premise {
             for v in eq.free_vars() {
                 if !universal.contains(&v) {
@@ -365,7 +373,10 @@ mod tests {
         assert_eq!(d.forall[0].var, "d_7");
         assert_eq!(d.forall[1].src.to_string(), "d_7.DProjs");
         assert_eq!(d.exists[0].var, "p_7");
-        assert_eq!(d.conclusion[0].to_string_pair(), ("s_7".to_string(), "p_7.PName".to_string()));
+        assert_eq!(
+            d.conclusion[0].to_string_pair(),
+            ("s_7".to_string(), "p_7.PName".to_string())
+        );
     }
 
     impl Equality {

@@ -22,7 +22,10 @@ impl VarGen {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        VarGen { used: used.into_iter().map(Into::into).collect(), counter: 0 }
+        VarGen {
+            used: used.into_iter().map(Into::into).collect(),
+            counter: 0,
+        }
     }
 
     /// Marks a name as used.

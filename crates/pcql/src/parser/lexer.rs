@@ -235,10 +235,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                                 Some(other) => {
                                     return Err(LexError {
                                         offset: i,
-                                        message: format!(
-                                            "unknown escape `\\{}`",
-                                            *other as char
-                                        ),
+                                        message: format!("unknown escape `\\{}`", *other as char),
                                     })
                                 }
                                 None => {
@@ -283,7 +280,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         };
         toks.push(Spanned { tok, offset: start });
     }
-    toks.push(Spanned { tok: Tok::Eof, offset: bytes.len() });
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        offset: bytes.len(),
+    });
     Ok(toks)
 }
 
@@ -295,7 +295,10 @@ fn lex_int(bytes: &[u8], mut i: usize, start: usize) -> Result<(i64, usize), Lex
     let text = std::str::from_utf8(&bytes[from..i]).expect("digits are ascii");
     match text.parse::<i64>() {
         Ok(n) => Ok((n, i)),
-        Err(_) => Err(LexError { offset: start, message: format!("integer out of range: {text}") }),
+        Err(_) => Err(LexError {
+            offset: start,
+            message: format!("integer out of range: {text}"),
+        }),
     }
 }
 
@@ -311,7 +314,12 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             toks("select struct Select"),
-            vec![Tok::Select, Tok::Struct, Tok::Ident("Select".into()), Tok::Eof]
+            vec![
+                Tok::Select,
+                Tok::Struct,
+                Tok::Ident("Select".into()),
+                Tok::Eof
+            ]
         );
     }
 
@@ -357,7 +365,10 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(toks(r#""a\"b\\c""#), vec![Tok::Str("a\"b\\c".into()), Tok::Eof]);
+        assert_eq!(
+            toks(r#""a\"b\\c""#),
+            vec![Tok::Str("a\"b\\c".into()), Tok::Eof]
+        );
         assert!(lex("\"unterminated").is_err());
     }
 

@@ -53,7 +53,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { offset: e.offset, message: e.message }
+        ParseError {
+            offset: e.offset,
+            message: e.message,
+        }
     }
 }
 
@@ -64,7 +67,10 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Parser, ParseError> {
-        Ok(Parser { toks: lex(src)?, pos: 0 })
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &Tok {
@@ -103,7 +109,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { offset: self.offset(), message }
+        ParseError {
+            offset: self.offset(),
+            message,
+        }
     }
 
     fn at_eof(&self) -> bool {
@@ -292,7 +301,9 @@ impl Parser {
         } else {
             (Vec::new(), self.conj()?)
         };
-        Ok(resolve_dependency(Dependency::new(name, forall, premise, exists, conclusion)))
+        Ok(resolve_dependency(Dependency::new(
+            name, forall, premise, exists, conclusion,
+        )))
     }
 
     // ---- schemas ----
@@ -523,7 +534,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plan.from[1].kind, BindKind::Let);
-        assert_eq!(plan.from[1].src, Path::root("IR").get(Path::var("v").field("A")));
+        assert_eq!(
+            plan.from[1].src,
+            Path::root("IR").get(Path::var("v").field("A"))
+        );
         assert_eq!(
             plan.from[2].src,
             Path::root("IS").get_or_empty(Path::var("rr").field("B"))
@@ -535,10 +549,7 @@ mod tests {
 
     #[test]
     fn parse_dom_and_lookup() {
-        let q = parse_query(
-            "select struct(C = r.C) from dom(SA) x, SA[x] r where x = 5",
-        )
-        .unwrap();
+        let q = parse_query("select struct(C = r.C) from dom(SA) x, SA[x] r where x = 5").unwrap();
         assert_eq!(q.from[0].src, Path::root("SA").dom());
         assert_eq!(q.from[1].src, Path::root("SA").get(Path::var("x")));
     }
@@ -570,8 +581,7 @@ mod tests {
 
     #[test]
     fn dependency_round_trip_via_display() {
-        let src =
-            "forall (p in Proj) -> exists (i in dom(I)) where i = p.PName and I[i] = p";
+        let src = "forall (p in Proj) -> exists (i in dom(I)) where i = p.PName and I[i] = p";
         let d = parse_dependency("PI1", src).unwrap();
         // Display prints "[PI1] forall …"; strip the name prefix and reparse.
         let text = d.to_string();

@@ -129,7 +129,9 @@ impl Path {
             Path::Var(x) => vars.contains(x),
             Path::Const(_) | Path::Root(_) => false,
             Path::Field(p, _) | Path::Dom(p) => p.mentions_any(vars),
-            Path::Get(p, k) | Path::GetOrEmpty(p, k) => p.mentions_any(vars) || k.mentions_any(vars),
+            Path::Get(p, k) | Path::GetOrEmpty(p, k) => {
+                p.mentions_any(vars) || k.mentions_any(vars)
+            }
         }
     }
 
@@ -139,7 +141,9 @@ impl Path {
             Path::Root(r) => r == name,
             Path::Var(_) | Path::Const(_) => false,
             Path::Field(p, _) | Path::Dom(p) => p.mentions_root(name),
-            Path::Get(p, k) | Path::GetOrEmpty(p, k) => p.mentions_root(name) || k.mentions_root(name),
+            Path::Get(p, k) | Path::GetOrEmpty(p, k) => {
+                p.mentions_root(name) || k.mentions_root(name)
+            }
         }
     }
 

@@ -37,11 +37,19 @@ pub struct Binding {
 
 impl Binding {
     pub fn iter(var: impl Into<String>, src: Path) -> Binding {
-        Binding { var: var.into(), src, kind: BindKind::Iter }
+        Binding {
+            var: var.into(),
+            src,
+            kind: BindKind::Iter,
+        }
     }
 
     pub fn let_(var: impl Into<String>, src: Path) -> Binding {
-        Binding { var: var.into(), src, kind: BindKind::Let }
+        Binding {
+            var: var.into(),
+            src,
+            kind: BindKind::Let,
+        }
     }
 }
 
@@ -96,9 +104,7 @@ impl Output {
     /// path output).
     pub fn paths(&self) -> Vec<(Option<&str>, &Path)> {
         match self {
-            Output::Struct(fields) => {
-                fields.iter().map(|(k, v)| (Some(k.as_str()), v)).collect()
-            }
+            Output::Struct(fields) => fields.iter().map(|(k, v)| (Some(k.as_str()), v)).collect(),
             Output::Path(p) => vec![(None, p)],
         }
     }
@@ -165,7 +171,11 @@ impl std::error::Error for ScopeError {}
 
 impl Query {
     pub fn new(output: Output, from: Vec<Binding>, where_: Vec<Equality>) -> Query {
-        Query { output, from, where_ }
+        Query {
+            output,
+            from,
+            where_,
+        }
     }
 
     /// The variables bound by the `from` clause, in binding order.
@@ -181,7 +191,10 @@ impl Query {
         for b in &self.from {
             for v in b.src.free_vars() {
                 if !bound.contains(&v) {
-                    return Err(ScopeError::UnboundInBinding { binding: b.var.clone(), var: v });
+                    return Err(ScopeError::UnboundInBinding {
+                        binding: b.var.clone(),
+                        var: v,
+                    });
                 }
             }
             if !bound.insert(b.var.clone()) {
@@ -291,12 +304,18 @@ impl Query {
     /// constructs). Typing/guardedness are checked separately in
     /// [`crate::typecheck`].
     pub fn is_plain_pc(&self) -> bool {
-        self.from.iter().all(|b| b.kind == BindKind::Iter && !b.src.has_nonfailing_lookup())
+        self.from
+            .iter()
+            .all(|b| b.kind == BindKind::Iter && !b.src.has_nonfailing_lookup())
             && self
                 .where_
                 .iter()
                 .all(|e| !e.0.has_nonfailing_lookup() && !e.1.has_nonfailing_lookup())
-            && self.output.paths().iter().all(|(_, p)| !p.has_nonfailing_lookup())
+            && self
+                .output
+                .paths()
+                .iter()
+                .all(|(_, p)| !p.has_nonfailing_lookup())
     }
 }
 
@@ -404,7 +423,10 @@ mod tests {
             ],
             vec![],
         );
-        assert!(matches!(dup.check_scopes(), Err(ScopeError::DuplicateVar(_))));
+        assert!(matches!(
+            dup.check_scopes(),
+            Err(ScopeError::DuplicateVar(_))
+        ));
     }
 
     #[test]
@@ -457,7 +479,12 @@ mod tests {
         let q = paper_q();
         assert!(q.size() > 10);
         assert_eq!(
-            Query::new(Output::Path(Path::var("x")), vec![Binding::iter("x", Path::root("R"))], vec![]).size(),
+            Query::new(
+                Output::Path(Path::var("x")),
+                vec![Binding::iter("x", Path::root("R"))],
+                vec![]
+            )
+            .size(),
             3
         );
     }

@@ -211,7 +211,10 @@ mod tests {
         a.add_root("Proj", Type::set(Type::record([("PName", Type::Str)])));
         let mut b = Schema::new();
         b.add_root("Proj", Type::set(Type::record([("PName", Type::Str)])));
-        b.add_root("I", Type::dict(Type::Str, Type::record([("PName", Type::Str)])));
+        b.add_root(
+            "I",
+            Type::dict(Type::Str, Type::record([("PName", Type::Str)])),
+        );
         let m = a.merged(&b).unwrap();
         assert_eq!(m.roots.len(), 2);
     }

@@ -29,17 +29,43 @@ pub enum TypeError {
     Scope(ScopeError),
     UnknownRoot(String),
     UnknownVar(String),
-    UnknownField { on: String, field: String },
+    UnknownField {
+        on: String,
+        field: String,
+    },
     UnknownClass(String),
-    NotASet { path: String, ty: String },
-    NotADict { path: String, ty: String },
-    KeyMismatch { dict: String, expected: String, got: String },
-    NonSetEntryNonFailing { path: String },
-    EqMismatch { left: String, right: String, lt: String, rt: String },
+    NotASet {
+        path: String,
+        ty: String,
+    },
+    NotADict {
+        path: String,
+        ty: String,
+    },
+    KeyMismatch {
+        dict: String,
+        expected: String,
+        got: String,
+    },
+    NonSetEntryNonFailing {
+        path: String,
+    },
+    EqMismatch {
+        left: String,
+        right: String,
+        lt: String,
+        rt: String,
+    },
     /// PC restriction 1 violated.
-    CollectionTyped { path: String, ty: String, place: &'static str },
+    CollectionTyped {
+        path: String,
+        ty: String,
+        place: &'static str,
+    },
     /// PC restriction 2 violated.
-    UnguardedLookup { path: String },
+    UnguardedLookup {
+        path: String,
+    },
     /// `Let` bindings / non-failing lookups are not PC.
     NotPlainPc,
 }
@@ -60,17 +86,35 @@ impl fmt::Display for TypeError {
             TypeError::NotADict { path, ty } => {
                 write!(f, "`{path}` has type `{ty}`, expected a dictionary")
             }
-            TypeError::KeyMismatch { dict, expected, got } => {
-                write!(f, "lookup key for `{dict}` has type `{got}`, expected `{expected}`")
+            TypeError::KeyMismatch {
+                dict,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "lookup key for `{dict}` has type `{got}`, expected `{expected}`"
+                )
             }
             TypeError::NonSetEntryNonFailing { path } => {
-                write!(f, "non-failing lookup `{path}` requires a set-valued entry type")
+                write!(
+                    f,
+                    "non-failing lookup `{path}` requires a set-valued entry type"
+                )
             }
-            TypeError::EqMismatch { left, right, lt, rt } => {
+            TypeError::EqMismatch {
+                left,
+                right,
+                lt,
+                rt,
+            } => {
                 write!(f, "cannot equate `{left}` : `{lt}` with `{right}` : `{rt}`")
             }
             TypeError::CollectionTyped { path, ty, place } => {
-                write!(f, "`{path}` : `{ty}` is collection-typed, not allowed in {place}")
+                write!(
+                    f,
+                    "`{path}` : `{ty}` is collection-typed, not allowed in {place}"
+                )
             }
             TypeError::UnguardedLookup { path } => {
                 write!(f, "unguarded lookup `{path}` in a PC query")
@@ -102,25 +146,41 @@ pub fn path_type(
     path: &Path,
 ) -> Result<Type, TypeError> {
     match path {
-        Path::Var(v) => env.get(v).cloned().ok_or_else(|| TypeError::UnknownVar(v.clone())),
+        Path::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| TypeError::UnknownVar(v.clone())),
         Path::Const(Constant::Bool(_)) => Ok(Type::Bool),
         Path::Const(Constant::Int(_)) => Ok(Type::Int),
         Path::Const(Constant::Str(_)) => Ok(Type::Str),
-        Path::Root(r) => {
-            schema.root(r).cloned().ok_or_else(|| TypeError::UnknownRoot(r.clone()))
-        }
+        Path::Root(r) => schema
+            .root(r)
+            .cloned()
+            .ok_or_else(|| TypeError::UnknownRoot(r.clone())),
         Path::Field(p, a) => {
             let t = path_type(schema, env, p)?;
             match &t {
-                Type::Struct(fields) => fields.get(a).cloned().ok_or_else(|| {
-                    TypeError::UnknownField { on: p.to_string(), field: a.clone() }
-                }),
+                Type::Struct(fields) => {
+                    fields
+                        .get(a)
+                        .cloned()
+                        .ok_or_else(|| TypeError::UnknownField {
+                            on: p.to_string(),
+                            field: a.clone(),
+                        })
+                }
                 // ODMG implicit dereferencing on OID-typed paths.
                 Type::Oid(class) => match schema.class(class) {
                     None => Err(TypeError::UnknownClass(class.clone())),
-                    Some(decl) => decl.attrs.get(a).cloned().ok_or_else(|| {
-                        TypeError::UnknownField { on: p.to_string(), field: a.clone() }
-                    }),
+                    Some(decl) => {
+                        decl.attrs
+                            .get(a)
+                            .cloned()
+                            .ok_or_else(|| TypeError::UnknownField {
+                                on: p.to_string(),
+                                field: a.clone(),
+                            })
+                    }
                 },
                 other => Err(TypeError::UnknownField {
                     on: format!("{p} : {other}"),
@@ -132,9 +192,10 @@ pub fn path_type(
             let t = path_type(schema, env, p)?;
             match t {
                 Type::Dict(k, _) => Ok(Type::Set(k)),
-                other => {
-                    Err(TypeError::NotADict { path: p.to_string(), ty: other.to_string() })
-                }
+                other => Err(TypeError::NotADict {
+                    path: p.to_string(),
+                    ty: other.to_string(),
+                }),
             }
         }
         Path::Get(p, k) | Path::GetOrEmpty(p, k) => {
@@ -157,7 +218,9 @@ pub fn path_type(
                 });
             }
             if matches!(path, Path::GetOrEmpty(_, _)) && !matches!(vt, Type::Set(_)) {
-                return Err(TypeError::NonSetEntryNonFailing { path: path.to_string() });
+                return Err(TypeError::NonSetEntryNonFailing {
+                    path: path.to_string(),
+                });
             }
             Ok(vt)
         }
@@ -247,7 +310,10 @@ struct SyntacticClasses {
 
 impl SyntacticClasses {
     fn new(eqs: &[Equality]) -> SyntacticClasses {
-        let mut s = SyntacticClasses { ids: BTreeMap::new(), parent: Vec::new() };
+        let mut s = SyntacticClasses {
+            ids: BTreeMap::new(),
+            parent: Vec::new(),
+        };
         for Equality(l, r) in eqs {
             let a = s.intern(l);
             let b = s.intern(r);
@@ -322,16 +388,16 @@ fn check_guards(
                 let mut guarded = false;
                 for b in &q.from {
                     if let Path::Dom(m2) = &b.src {
-                        if classes.equal(m, m2)
-                            && classes.equal(k, &Path::Var(b.var.clone()))
-                        {
+                        if classes.equal(m, m2) && classes.equal(k, &Path::Var(b.var.clone())) {
                             guarded = true;
                             break;
                         }
                     }
                 }
                 if !guarded {
-                    return Err(TypeError::UnguardedLookup { path: sub.to_string() });
+                    return Err(TypeError::UnguardedLookup {
+                        path: sub.to_string(),
+                    });
                 }
             }
         }
@@ -519,8 +585,7 @@ mod tests {
             path_type(&s, &env, &Path::root("SI").get(Path::str("c"))).unwrap()
         );
         // Non-failing lookup on a record-valued dictionary is rejected.
-        let err =
-            path_type(&s, &env, &Path::root("I").get_or_empty(Path::str("c"))).unwrap_err();
+        let err = path_type(&s, &env, &Path::root("I").get_or_empty(Path::str("c"))).unwrap_err();
         assert!(matches!(err, TypeError::NonSetEntryNonFailing { .. }));
         // Key type mismatch.
         let err = path_type(&s, &env, &Path::root("I").get(Path::int(3))).unwrap_err();
@@ -562,7 +627,11 @@ mod tests {
         check_pc_query(&s, &bad).unwrap();
 
         let really_bad = Query::new(
-            Output::Path(Path::root("I").get(Path::var("p").field("PName")).field("Budg")),
+            Output::Path(
+                Path::root("I")
+                    .get(Path::var("p").field("PName"))
+                    .field("Budg"),
+            ),
             vec![Binding::iter("p", Path::root("Proj"))],
             vec![],
         );
@@ -575,7 +644,11 @@ mod tests {
         let s = projdept_schema();
         // Lookup key equal (via where) to a dom-bound variable is guarded.
         let q = Query::new(
-            Output::Path(Path::root("I").get(Path::var("p").field("PName")).field("Budg")),
+            Output::Path(
+                Path::root("I")
+                    .get(Path::var("p").field("PName"))
+                    .field("Budg"),
+            ),
             vec![
                 Binding::iter("p", Path::root("Proj")),
                 Binding::iter("i", Path::root("I").dom()),
@@ -662,6 +735,9 @@ mod tests {
         );
         let t = check_query(&s, &plan).unwrap();
         assert_eq!(t.output, Type::Int);
-        assert!(matches!(check_pc_query(&s, &plan), Err(TypeError::NotPlainPc)));
+        assert!(matches!(
+            check_pc_query(&s, &plan),
+            Err(TypeError::NotPlainPc)
+        ));
     }
 }

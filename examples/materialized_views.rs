@@ -15,9 +15,10 @@ use std::time::Instant;
 use universal_plans::prelude::*;
 
 fn main() {
-    for (label, match_fraction) in
-        [("selective view (|V| small)", 0.02), ("useless view (|V| huge)", 0.98)]
-    {
+    for (label, match_fraction) in [
+        ("selective view (|V| small)", 0.02),
+        ("useless view (|V| huge)", 0.98),
+    ] {
         println!("=== {label} ===");
         let mut catalog = cb_catalog::scenarios::relational_views::catalog();
         let q = cb_catalog::scenarios::relational_views::query();
@@ -28,7 +29,9 @@ fn main() {
             seed: 11,
         };
         let mut instance = cb_engine::join_instance(&params);
-        Materializer::new(&catalog).materialize(&mut instance).unwrap();
+        Materializer::new(&catalog)
+            .materialize(&mut instance)
+            .unwrap();
         *catalog.stats_mut() = cb_engine::collect_stats(&instance);
         println!(
             "|R| = {}, |S| = {}, |V| = {}",

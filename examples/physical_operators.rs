@@ -25,21 +25,18 @@ fn main() {
     let n = 3000i64;
     instance.set(
         "R",
-        Value::set((0..n).map(|k| {
-            Value::record([("A", Value::Int(k)), ("B", Value::Int(k % 100))])
-        })),
+        Value::set(
+            (0..n).map(|k| Value::record([("A", Value::Int(k)), ("B", Value::Int(k % 100))])),
+        ),
     );
     instance.set(
         "S",
-        Value::set((0..n).map(|k| {
-            Value::record([("B", Value::Int(k % 100)), ("C", Value::Int(k))])
-        })),
+        Value::set(
+            (0..n).map(|k| Value::record([("B", Value::Int(k % 100)), ("C", Value::Int(k))])),
+        ),
     );
 
-    let q = parse_query(
-        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-    )
-    .unwrap();
+    let q = parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
 
     let ev = Evaluator::for_catalog(&catalog, &instance);
 
@@ -70,7 +67,9 @@ fn main() {
         match_fraction: 0.05,
         seed: 11,
     });
-    Materializer::new(&view_cat).materialize(&mut view_inst).unwrap();
+    Materializer::new(&view_cat)
+        .materialize(&mut view_inst)
+        .unwrap();
     *view_cat.stats_mut() = cb_engine::collect_stats(&view_inst);
     let outcome = Optimizer::new(&view_cat)
         .optimize(&cb_catalog::scenarios::relational_views::query())

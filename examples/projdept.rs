@@ -24,13 +24,18 @@ fn main() {
         seed: 42,
     };
     let mut instance = cb_engine::projdept_instance(&params);
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
 
     // Every declared constraint holds on the generated instance.
     let ev = Evaluator::for_catalog(&catalog, &instance);
     let violations = cb_engine::violations(&ev, &catalog.all_constraints()).unwrap();
-    assert!(violations.is_empty(), "constraint violations: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "constraint violations: {violations:?}"
+    );
 
     // Algorithm 1.
     let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();
@@ -38,8 +43,14 @@ fn main() {
 
     // The paper's four plans, evaluated against the chosen plan and Q.
     let reference = ev.eval_query(&q).unwrap();
-    println!("Q returns {} rows; checking the paper's plans:", reference.len());
-    for (i, plan) in cb_catalog::scenarios::projdept::paper_plans().iter().enumerate() {
+    println!(
+        "Q returns {} rows; checking the paper's plans:",
+        reference.len()
+    );
+    for (i, plan) in cb_catalog::scenarios::projdept::paper_plans()
+        .iter()
+        .enumerate()
+    {
         let rows = ev.eval_query(plan).unwrap();
         let same = rows == reference;
         println!("  P{}: {} rows, equal to Q: {}", i + 1, rows.len(), same);

@@ -12,10 +12,7 @@ fn main() {
     //    index on A. The index is *described to the optimizer purely by
     //    constraints* (SI1/SI2/SI3 of the paper).
     let mut catalog = Catalog::new();
-    catalog.add_logical_relation(
-        "R",
-        [("A", Type::Int), ("B", Type::Int), ("C", Type::Int)],
-    );
+    catalog.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int), ("C", Type::Int)]);
     catalog.add_direct_mapping("R");
     catalog.add_secondary_index("SA", "R", "A").unwrap();
 
@@ -26,7 +23,9 @@ fn main() {
 
     // 2. Some data, with the physical structures built from it.
     let mut instance = cb_engine_instance();
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
 
     // 3. Statistics for the cost model.
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);

@@ -24,7 +24,9 @@ fn main() {
         seed: 7,
     };
     let mut instance = cb_engine::rabc_instance(&params);
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
 
     let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();

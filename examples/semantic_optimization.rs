@@ -50,10 +50,8 @@ fn join_elimination() {
 
     // The join with Customers contributes nothing to the output; the FK
     // makes it redundant.
-    let q = parse_query(
-        "select struct(O = o.OId) from Orders o, Customers c where o.Cust = c.CId",
-    )
-    .unwrap();
+    let q = parse_query("select struct(O = o.OId) from Orders o, Customers c where o.Cust = c.CId")
+        .unwrap();
     let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();
     println!("query: {q}");
     println!("plan:  {}\n", outcome.best.query);
@@ -63,7 +61,10 @@ fn join_elimination() {
     let bare = catalog.without_semantic_constraints();
     let outcome2 = Optimizer::new(&bare).optimize(&q).unwrap();
     assert_eq!(outcome2.best.query.from.len(), 2);
-    println!("without the FK the plan keeps both scans: {}", outcome2.best.query);
+    println!(
+        "without the FK the plan keeps both scans: {}",
+        outcome2.best.query
+    );
 }
 
 /// A key constraint collapses a self-join (EGD chase + backchase).
@@ -73,12 +74,15 @@ fn key_collapse() {
     catalog.add_logical_relation("Emp", [("Id", Type::Int), ("Name", Type::Str)]);
     catalog.add_direct_mapping("Emp");
     catalog
-        .add_semantic_constraint(cb_catalog::builtin::key_constraint("key(Emp.Id)", "Emp", "Id"))
+        .add_semantic_constraint(cb_catalog::builtin::key_constraint(
+            "key(Emp.Id)",
+            "Emp",
+            "Id",
+        ))
         .unwrap();
-    let q = parse_query(
-        "select struct(N1 = e.Name, N2 = f.Name) from Emp e, Emp f where e.Id = f.Id",
-    )
-    .unwrap();
+    let q =
+        parse_query("select struct(N1 = e.Name, N2 = f.Name) from Emp e, Emp f where e.Id = f.Id")
+            .unwrap();
     let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();
     println!("query: {q}");
     println!("plan:  {}", outcome.best.query);

@@ -3,8 +3,7 @@
 use std::collections::BTreeSet;
 
 use universal_plans::chase::{
-    backchase, chase, contained_in, examine_removal, BackchaseConfig, ChaseConfig,
-    RemovalJudgement,
+    backchase, chase, contained_in, examine_removal, BackchaseConfig, ChaseConfig, RemovalJudgement,
 };
 use universal_plans::prelude::*;
 
@@ -17,8 +16,7 @@ fn views_catalog() -> Catalog {
     catalog
         .add_materialized_view(
             "V",
-            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
-                .unwrap(),
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap(),
         )
         .unwrap();
     catalog
@@ -30,14 +28,18 @@ fn views_catalog() -> Catalog {
 #[test]
 fn minimal_plans_are_subqueries_of_the_universal_plan() {
     let catalog = views_catalog();
-    let q = parse_query(
-        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-    )
-    .unwrap();
+    let q = parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
     let deps = catalog.all_constraints();
     let u = chase(&q, &deps, &ChaseConfig::default()).query;
     let u_vars: BTreeSet<String> = u.from.iter().map(|b| b.var.clone()).collect();
-    let out = backchase(&u, &deps, &BackchaseConfig { max_visited: 0, ..Default::default() });
+    let out = backchase(
+        &u,
+        &deps,
+        &BackchaseConfig {
+            max_visited: 0,
+            ..Default::default()
+        },
+    );
     assert!(out.complete);
     for nf in &out.normal_forms {
         let nf_vars: BTreeSet<String> = nf.from.iter().map(|b| b.var.clone()).collect();
@@ -62,10 +64,7 @@ fn minimal_plans_are_subqueries_of_the_universal_plan() {
 #[test]
 fn chase_is_order_insensitive_for_full_dependencies() {
     let catalog = views_catalog();
-    let q = parse_query(
-        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-    )
-    .unwrap();
+    let q = parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
     let mut deps = catalog.all_constraints();
     let a = chase(&q, &deps, &ChaseConfig::default()).query;
     deps.reverse();
@@ -98,10 +97,7 @@ fn universal_plan_is_equivalent_to_query() {
 #[test]
 fn pruning_is_monotone_on_views_scenario() {
     let catalog = views_catalog();
-    let q = parse_query(
-        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-    )
-    .unwrap();
+    let q = parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
     let deps = catalog.all_constraints();
     let u = chase(&q, &deps, &ChaseConfig::default()).query;
     let vars: Vec<String> = u.from.iter().map(|b| b.var.clone()).collect();
@@ -145,6 +141,10 @@ fn chase_is_idempotent() {
     let once = chase(&q, &deps, &cfg);
     assert!(once.complete);
     let twice = chase(&once.query, &deps, &cfg);
-    assert!(twice.steps.is_empty(), "second chase fired: {:?}", twice.steps);
+    assert!(
+        twice.steps.is_empty(),
+        "second chase fired: {:?}",
+        twice.steps
+    );
     assert_eq!(once.query, twice.query);
 }

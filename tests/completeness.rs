@@ -30,18 +30,19 @@ fn brute_force_minimal(u: &pcql::Query, deps: &[Dependency]) -> Vec<pcql::Query>
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| vars[i].clone())
             .collect();
-        match universal_plans::chase::examine_removal(u, deps, &removed, &cfg) {
-            universal_plans::chase::RemovalJudgement::Valid(q) => {
-                equivalents.push((removed, q));
-            }
-            _ => {}
+        if let universal_plans::chase::RemovalJudgement::Valid(q) =
+            universal_plans::chase::examine_removal(u, deps, &removed, &cfg)
+        {
+            equivalents.push((removed, q));
         }
     }
     // Minimal = no other equivalent subquery removes strictly more.
     let minimal: Vec<pcql::Query> = equivalents
         .iter()
         .filter(|(r1, _)| {
-            !equivalents.iter().any(|(r2, _)| r2.len() > r1.len() && r2.is_superset(r1))
+            !equivalents
+                .iter()
+                .any(|(r2, _)| r2.len() > r1.len() && r2.is_superset(r1))
         })
         .map(|(_, q)| q.clone())
         .collect();
@@ -52,8 +53,7 @@ fn shapes(plans: &[pcql::Query]) -> BTreeSet<Vec<String>> {
     plans
         .iter()
         .map(|p| {
-            let mut v: Vec<String> =
-                p.from.iter().map(|b| b.src.to_string()).collect();
+            let mut v: Vec<String> = p.from.iter().map(|b| b.src.to_string()).collect();
             v.sort();
             v
         })
@@ -76,10 +76,8 @@ fn scenario(seed: u64) -> (Catalog, pcql::Query) {
             catalog
                 .add_materialized_view(
                     "V1",
-                    parse_query(
-                        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-                    )
-                    .unwrap(),
+                    parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+                        .unwrap(),
                 )
                 .unwrap();
         }
@@ -87,10 +85,8 @@ fn scenario(seed: u64) -> (Catalog, pcql::Query) {
             catalog
                 .add_materialized_view(
                     "V1",
-                    parse_query(
-                        "select struct(B = s.B, D = t.D) from S s, T t where s.C = t.C",
-                    )
-                    .unwrap(),
+                    parse_query("select struct(B = s.B, D = t.D) from S s, T t where s.C = t.C")
+                        .unwrap(),
                 )
                 .unwrap();
         }
@@ -98,10 +94,8 @@ fn scenario(seed: u64) -> (Catalog, pcql::Query) {
             catalog
                 .add_materialized_view(
                     "V1",
-                    parse_query(
-                        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-                    )
-                    .unwrap(),
+                    parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+                        .unwrap(),
                 )
                 .unwrap();
             catalog
@@ -138,11 +132,20 @@ fn backchase_matches_brute_force_on_view_scenarios() {
         let (catalog, q) = scenario(seed);
         let deps = catalog.all_constraints();
         let chased = chase(&q, &deps, &ChaseConfig::default());
-        assert!(chased.complete, "scenario {seed}: chase must terminate (full deps)");
+        assert!(
+            chased.complete,
+            "scenario {seed}: chase must terminate (full deps)"
+        );
         let u = chased.query;
 
-        let out =
-            backchase(&u, &deps, &BackchaseConfig { max_visited: 0, ..Default::default() });
+        let out = backchase(
+            &u,
+            &deps,
+            &BackchaseConfig {
+                max_visited: 0,
+                ..Default::default()
+            },
+        );
         assert!(out.complete);
         let brute = brute_force_minimal(&u, &deps);
 
@@ -175,17 +178,13 @@ fn chase_size_is_polynomial_for_view_constraints() {
             catalog
                 .add_materialized_view(
                     &format!("V{i}"),
-                    parse_query(
-                        "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-                    )
-                    .unwrap(),
+                    parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+                        .unwrap(),
                 )
                 .unwrap();
         }
-        let q = parse_query(
-            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
-        )
-        .unwrap();
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
         let out = chase(&q, &catalog.all_constraints(), &ChaseConfig::default());
         assert!(out.complete);
         assert_eq!(out.query.from.len(), 2 + k, "one binding per view");
@@ -211,7 +210,10 @@ fn containment_is_a_preorder_on_samples() {
         for b in &qs {
             for c in &qs {
                 if contained_in(a, b, &[], &cfg) && contained_in(b, c, &[], &cfg) {
-                    assert!(contained_in(a, c, &[], &cfg), "transitivity: {a} / {b} / {c}");
+                    assert!(
+                        contained_in(a, c, &[], &cfg),
+                        "transitivity: {a} / {b} / {c}"
+                    );
                 }
             }
         }

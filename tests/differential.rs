@@ -46,7 +46,9 @@ fn projdept_plans_agree_across_seeds() {
             n_customers: 5,
             seed,
         });
-        Materializer::new(&catalog).materialize(&mut instance).unwrap();
+        Materializer::new(&catalog)
+            .materialize(&mut instance)
+            .unwrap();
         *catalog.stats_mut() = cb_engine::collect_stats(&instance);
         check_all_plans(&catalog, &q, &instance);
     }
@@ -81,7 +83,9 @@ fn projdept_plans_agree_when_citibank_absent() {
     instance.set("Proj", Value::Set(rewritten));
     // Departments still reference the same project names, so the
     // constraints hold.
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
 
     let ev = Evaluator::for_catalog(&catalog, &instance);
@@ -100,7 +104,9 @@ fn relational_indexes_plans_agree() {
             distinct_b: db,
             seed,
         });
-        Materializer::new(&catalog).materialize(&mut instance).unwrap();
+        Materializer::new(&catalog)
+            .materialize(&mut instance)
+            .unwrap();
         *catalog.stats_mut() = cb_engine::collect_stats(&instance);
         check_all_plans(&catalog, &q, &instance);
     }
@@ -117,7 +123,9 @@ fn relational_views_plans_agree() {
             match_fraction: frac,
             seed,
         });
-        Materializer::new(&catalog).materialize(&mut instance).unwrap();
+        Materializer::new(&catalog)
+            .materialize(&mut instance)
+            .unwrap();
         *catalog.stats_mut() = cb_engine::collect_stats(&instance);
         check_all_plans(&catalog, &q, &instance);
     }
@@ -147,14 +155,19 @@ fn gmap_backed_plans_agree() {
         .map(|i| Value::record([("A", Value::Int(i % 6)), ("B", Value::Int(i))]))
         .collect();
     instance.set("R", Value::set(rows));
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
     check_all_plans(&catalog, &q, &instance);
 
     // The gmap plan is actually among the candidates.
     let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();
     assert!(
-        outcome.candidates.iter().any(|c| c.query.to_string().contains('G')),
+        outcome
+            .candidates
+            .iter()
+            .any(|c| c.query.to_string().contains('G')),
         "no gmap plan among candidates"
     );
 }
@@ -163,23 +176,27 @@ fn gmap_backed_plans_agree() {
 fn asr_backed_plans_agree() {
     // Access support relation over the ProjDept membership path.
     let mut catalog = cb_catalog::scenarios::projdept::catalog();
-    catalog.add_access_support_relation("ASR", "depts", &["DProjs"]).unwrap();
-    let q = parse_query(
-        "select struct(DN = d.DName, PN = s) from depts d, d.DProjs s",
-    )
-    .unwrap();
+    catalog
+        .add_access_support_relation("ASR", "depts", &["DProjs"])
+        .unwrap();
+    let q = parse_query("select struct(DN = d.DName, PN = s) from depts d, d.DProjs s").unwrap();
     let mut instance = cb_engine::projdept_instance(&cb_engine::ProjDeptParams {
         n_depts: 8,
         projs_per_dept: 3,
         n_customers: 4,
         seed: 21,
     });
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
     check_all_plans(&catalog, &q, &instance);
     let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();
     assert!(
-        outcome.candidates.iter().any(|c| c.query.to_string().contains("ASR")),
+        outcome
+            .candidates
+            .iter()
+            .any(|c| c.query.to_string().contains("ASR")),
         "no ASR plan among candidates"
     );
 }

@@ -1,0 +1,38 @@
+//! Smoke test: every example binary builds and runs to completion, so the
+//! examples cannot silently rot.
+//!
+//! Examples are run at the release profile: the chase/backchase search they
+//! exercise is too slow unoptimized, and the tier-1 pipeline
+//! (`cargo build --release && cargo test -q`) has already warmed that cache.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "projdept",
+    "relational_indexes",
+    "materialized_views",
+    "physical_operators",
+    "semantic_optimization",
+];
+
+#[test]
+fn all_examples_run() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .current_dir(manifest_dir)
+            .args(["run", "--quiet", "--release", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

@@ -30,7 +30,8 @@ fn chase_step_output_matches_paper_text() {
 fn optimizer_prints_p3_verbatim() {
     let mut catalog = cb_catalog::scenarios::projdept::catalog();
     cb_catalog::scenarios::projdept::stats_for(&mut catalog, 100, 10, 20);
-    let outcome = Optimizer::new(&catalog).optimize(&cb_catalog::scenarios::projdept::query())
+    let outcome = Optimizer::new(&catalog)
+        .optimize(&cb_catalog::scenarios::projdept::query())
         .unwrap();
     assert_eq!(
         outcome.best.query.to_string(),
@@ -50,8 +51,11 @@ fn universal_plan_conditions_cover_paper_u() {
         &ChaseConfig::default(),
     )
     .query;
-    let conds: Vec<String> =
-        u.where_.iter().map(|e| format!("{} = {}", e.0, e.1)).collect();
+    let conds: Vec<String> = u
+        .where_
+        .iter()
+        .map(|e| format!("{} = {}", e.0, e.1))
+        .collect();
     let has = |needle: &str| conds.iter().any(|c| c == needle);
     // Original query conditions.
     assert!(has("s = p.PName"));
@@ -93,7 +97,7 @@ fn navigation_join_plan_matches_paper_form() {
 /// by constraints" — dropping one direction of the characterization loses
 /// plans.
 #[test]
-fn both_index_directions_are_needed()  {
+fn both_index_directions_are_needed() {
     let full = cb_catalog::scenarios::projdept::catalog();
     let deps_full = full.all_constraints();
     // Remove SI2/SI3 (the dictionary-to-relation direction).
@@ -114,18 +118,22 @@ fn both_index_directions_are_needed()  {
     let out_full = universal_plans::chase::backchase(
         &u_full,
         &deps_full,
-        &universal_plans::chase::BackchaseConfig { max_visited: 4096, ..Default::default() },
+        &universal_plans::chase::BackchaseConfig {
+            max_visited: 4096,
+            ..Default::default()
+        },
     );
     let out_oneway = universal_plans::chase::backchase(
         &u_oneway,
         &deps_oneway,
-        &universal_plans::chase::BackchaseConfig { max_visited: 4096, ..Default::default() },
+        &universal_plans::chase::BackchaseConfig {
+            max_visited: 4096,
+            ..Default::default()
+        },
     );
     let si_only = |nfs: &[pcql::Query]| {
-        nfs.iter().any(|p| {
-            p.from.len() == 2
-                && p.from.iter().all(|b| b.src.mentions_root("SI"))
-        })
+        nfs.iter()
+            .any(|p| p.from.len() == 2 && p.from.iter().all(|b| b.src.mentions_root("SI")))
     };
     assert!(si_only(&out_full.normal_forms));
     assert!(!si_only(&out_oneway.normal_forms));

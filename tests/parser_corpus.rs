@@ -67,8 +67,7 @@ fn pc_query_corpus_round_trips_and_typechecks() {
         let q = parse_query(src).unwrap_or_else(|e| panic!("parse {src}: {e}"));
         check_pc_query(&schema, &q).unwrap_or_else(|e| panic!("typecheck {src}: {e}"));
         let printed = q.to_string();
-        let q2 = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
+        let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
         assert_eq!(q, q2, "round trip changed {src}");
     }
 }
@@ -99,8 +98,14 @@ fn plan_corpus_typechecks_but_is_not_pc() {
 fn constraint_corpus_parses_and_typechecks() {
     let schema = projdept_schema();
     let corpus = [
-        ("RIC1", "forall (d in depts) (s in d.DProjs) -> exists (p in Proj) where s = p.PName"),
-        ("RIC2", "forall (p in Proj) -> exists (d in depts) where p.PDept = d.DName"),
+        (
+            "RIC1",
+            "forall (d in depts) (s in d.DProjs) -> exists (p in Proj) where s = p.PName",
+        ),
+        (
+            "RIC2",
+            "forall (p in Proj) -> exists (d in depts) where p.PDept = d.DName",
+        ),
         (
             "INV1",
             "forall (d in depts) (s in d.DProjs) (p in Proj) where s = p.PName \
@@ -111,16 +116,31 @@ fn constraint_corpus_parses_and_typechecks() {
             "forall (p in Proj) (d in depts) where p.PDept = d.DName \
              -> exists (s in d.DProjs) where p.PName = s",
         ),
-        ("KEY1", "forall (d in depts) (e in depts) where d.DName = e.DName -> d = e"),
-        ("KEY2", "forall (p in Proj) (q in Proj) where p.PName = q.PName -> p = q"),
-        ("PI1", "forall (p in Proj) -> exists (i in dom(I)) where i = p.PName and I[i] = p"),
-        ("PI2", "forall (i in dom(I)) -> exists (p in Proj) where i = p.PName and I[i] = p"),
+        (
+            "KEY1",
+            "forall (d in depts) (e in depts) where d.DName = e.DName -> d = e",
+        ),
+        (
+            "KEY2",
+            "forall (p in Proj) (q in Proj) where p.PName = q.PName -> p = q",
+        ),
+        (
+            "PI1",
+            "forall (p in Proj) -> exists (i in dom(I)) where i = p.PName and I[i] = p",
+        ),
+        (
+            "PI2",
+            "forall (i in dom(I)) -> exists (p in Proj) where i = p.PName and I[i] = p",
+        ),
         (
             "SI1",
             "forall (p in Proj) -> exists (k in dom(SI)) (t in SI[k]) \
              where k = p.CustName and p = t",
         ),
-        ("SI3", "forall (k in dom(SI)) -> exists (t in SI[k]) where t = t"),
+        (
+            "SI3",
+            "forall (k in dom(SI)) -> exists (t in SI[k]) where t = t",
+        ),
         (
             "c_JI",
             "forall (d in depts) (s in d.DProjs) (p in Proj) where s = p.PName \
@@ -140,7 +160,7 @@ fn parser_rejects_garbage_gracefully() {
         "select",
         "select struct(",
         "select x from",
-        "select x from R",      // missing variable name
+        "select x from R", // missing variable name
         "select x from R x where",
         "forall -> x = y",
         "select x from R x where x == y",
@@ -160,11 +180,23 @@ fn typechecker_rejects_ill_typed_corpus() {
     let schema = projdept_schema();
     for (src, why) in [
         ("select struct(X = p.Nope) from Proj p", "unknown field"),
-        ("select struct(X = p.Budg) from Proj p, p.Budg b", "iterating a non-set"),
-        ("select struct(X = I[p.Budg].Budg) from Proj p, dom(I) i where i = p.PName", "key type"),
-        ("select struct(X = d.DProjs) from depts d", "collection output in PC"),
+        (
+            "select struct(X = p.Budg) from Proj p, p.Budg b",
+            "iterating a non-set",
+        ),
+        (
+            "select struct(X = I[p.Budg].Budg) from Proj p, dom(I) i where i = p.PName",
+            "key type",
+        ),
+        (
+            "select struct(X = d.DProjs) from depts d",
+            "collection output in PC",
+        ),
     ] {
         let q = parse_query(src).unwrap();
-        assert!(check_pc_query(&schema, &q).is_err(), "should reject ({why}): {src}");
+        assert!(
+            check_pc_query(&schema, &q).is_err(),
+            "should reject ({why}): {src}"
+        );
     }
 }

@@ -18,11 +18,16 @@ fn check_pipelines(catalog: &Catalog, q: &pcql::Query, instance: &Instance) {
     };
     let outcome = Optimizer::with_config(catalog, config).optimize(q).unwrap();
     for c in &outcome.candidates {
-        for options in [CompileOptions { hash_joins: false }, CompileOptions { hash_joins: true }]
-        {
+        for options in [
+            CompileOptions { hash_joins: false },
+            CompileOptions { hash_joins: true },
+        ] {
             let pipeline = compile(&c.query, options);
             let rows = execute(&ev, &pipeline).unwrap_or_else(|e| {
-                panic!("pipeline failed: {e}\nplan: {}\npipeline: {pipeline}", c.query)
+                panic!(
+                    "pipeline failed: {e}\nplan: {}\npipeline: {pipeline}",
+                    c.query
+                )
             });
             assert_eq!(rows, reference, "plan {} via {pipeline}", c.query);
         }
@@ -39,7 +44,9 @@ fn projdept_plans_compile_to_pipelines() {
         n_customers: 4,
         seed: 77,
     });
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
     check_pipelines(&catalog, &q, &instance);
 }
@@ -54,7 +61,9 @@ fn view_plans_compile_to_pipelines() {
         match_fraction: 0.3,
         seed: 5,
     });
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
     check_pipelines(&catalog, &q, &instance);
 }
@@ -69,7 +78,9 @@ fn greedy_strategy_plans_execute_correctly() {
         n_customers: 4,
         seed: 13,
     });
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
 
     let ev = Evaluator::for_catalog(&catalog, &instance);
@@ -79,7 +90,9 @@ fn greedy_strategy_plans_execute_correctly() {
         cost_visited: false,
         ..Default::default()
     };
-    let outcome = Optimizer::with_config(&catalog, config).optimize(&q).unwrap();
+    let outcome = Optimizer::with_config(&catalog, config)
+        .optimize(&q)
+        .unwrap();
     assert_eq!(outcome.candidates.len(), 1);
     let rows = ev.eval_query(&outcome.best.query).unwrap();
     assert_eq!(rows, reference, "greedy plan: {}", outcome.best.query);

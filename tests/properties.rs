@@ -28,7 +28,7 @@ fn var_name() -> impl Strategy<Value = String> {
 fn arb_path() -> impl Strategy<Value = pcql::Path> {
     let leaf = prop_oneof![
         var_name().prop_map(pcql::Path::Var),
-        prop::sample::select(vec!["R", "S"]).prop_map(|r| pcql::Path::root(r)),
+        prop::sample::select(vec!["R", "S"]).prop_map(pcql::Path::root),
         any::<i64>().prop_map(pcql::Path::int),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
@@ -44,7 +44,11 @@ fn arb_path() -> impl Strategy<Value = pcql::Path> {
 /// among variable fields and small constants.
 fn arb_cq() -> impl Strategy<Value = pcql::Query> {
     let n_bindings = 1..=3usize;
-    (n_bindings, prop::collection::vec((0..3usize, field_name(), 0..3usize, field_name()), 0..3), (0..3usize, field_name()))
+    (
+        n_bindings,
+        prop::collection::vec((0..3usize, field_name(), 0..3usize, field_name()), 0..3),
+        (0..3usize, field_name()),
+    )
         .prop_map(|(n, eqs, (ov, of))| {
             let from: Vec<pcql::Binding> = (0..n)
                 .map(|i| pcql::Binding::iter(format!("v{i}"), pcql::Path::root("R")))
@@ -75,9 +79,10 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
         let mut i = Instance::new();
         i.set(
             "R",
-            Value::set(rows.into_iter().map(|(a, b)| {
-                Value::record([("A", Value::Int(a)), ("B", Value::Int(b))])
-            })),
+            Value::set(
+                rows.into_iter()
+                    .map(|(a, b)| Value::record([("A", Value::Int(a)), ("B", Value::Int(b))])),
+            ),
         );
         i
     })

@@ -9,22 +9,27 @@ use universal_plans::prelude::*;
 fn fk_chain_join_elimination() {
     let mut catalog = Catalog::new();
     catalog.add_logical_relation("Orders", [("OId", Type::Int), ("Cust", Type::Int)]);
-    catalog.add_logical_relation(
-        "Customers",
-        [("CId", Type::Int), ("Region", Type::Int)],
-    );
+    catalog.add_logical_relation("Customers", [("CId", Type::Int), ("Region", Type::Int)]);
     catalog.add_logical_relation("Regions", [("RId", Type::Int), ("Name", Type::Str)]);
     for r in ["Orders", "Customers", "Regions"] {
         catalog.add_direct_mapping(r);
     }
     catalog
         .add_semantic_constraint(cb_catalog::builtin::foreign_key(
-            "fk1", "Orders", "Cust", "Customers", "CId",
+            "fk1",
+            "Orders",
+            "Cust",
+            "Customers",
+            "CId",
         ))
         .unwrap();
     catalog
         .add_semantic_constraint(cb_catalog::builtin::foreign_key(
-            "fk2", "Customers", "Region", "Regions", "RId",
+            "fk2",
+            "Customers",
+            "Region",
+            "Regions",
+            "RId",
         ))
         .unwrap();
 
@@ -66,7 +71,11 @@ fn fk_join_kept_when_columns_are_used() {
     catalog.add_direct_mapping("Customers");
     catalog
         .add_semantic_constraint(cb_catalog::builtin::foreign_key(
-            "fk", "Orders", "Cust", "Customers", "CId",
+            "fk",
+            "Orders",
+            "Cust",
+            "Customers",
+            "CId",
         ))
         .unwrap();
     let q = parse_query(
@@ -106,19 +115,30 @@ fn gmap_and_view_compete() {
     let mut instance = Instance::new();
     instance.set(
         "R",
-        Value::set((0..200).map(|i| {
-            Value::record([("A", Value::Int(i % 10)), ("B", Value::Int(i))])
-        })),
+        Value::set(
+            (0..200).map(|i| Value::record([("A", Value::Int(i % 10)), ("B", Value::Int(i))])),
+        ),
     );
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
 
     let q = parse_query("select struct(B = r.B) from R r where r.A = 3").unwrap();
     let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();
-    let shapes: Vec<String> =
-        outcome.candidates.iter().map(|c| c.query.to_string()).collect();
-    assert!(shapes.iter().any(|s| s.contains("VA")), "view plan present: {shapes:?}");
-    assert!(shapes.iter().any(|s| s.contains('G')), "gmap plan present: {shapes:?}");
+    let shapes: Vec<String> = outcome
+        .candidates
+        .iter()
+        .map(|c| c.query.to_string())
+        .collect();
+    assert!(
+        shapes.iter().any(|s| s.contains("VA")),
+        "view plan present: {shapes:?}"
+    );
+    assert!(
+        shapes.iter().any(|s| s.contains('G')),
+        "gmap plan present: {shapes:?}"
+    );
     // Both beat the base scan; the winner is one of the structures.
     let best = &outcome.best.query.to_string();
     assert!(best.contains("VA") || best.contains('G'), "best = {best}");
@@ -127,7 +147,12 @@ fn gmap_and_view_compete() {
     let ev = Evaluator::for_catalog(&catalog, &instance);
     let reference = ev.eval_query(&q).unwrap();
     for c in &outcome.candidates {
-        assert_eq!(ev.eval_query(&c.query).unwrap(), reference, "plan {}", c.query);
+        assert_eq!(
+            ev.eval_query(&c.query).unwrap(),
+            reference,
+            "plan {}",
+            c.query
+        );
     }
 }
 
@@ -137,7 +162,10 @@ fn gmap_and_view_compete() {
 fn class_dictionary_only_navigation() {
     let mut catalog = Catalog::new();
     catalog.declare_class(
-        ClassDecl::new("Dept", [("DName", Type::Str), ("DProjs", Type::set(Type::Str))]),
+        ClassDecl::new(
+            "Dept",
+            [("DName", Type::Str), ("DProjs", Type::set(Type::Str))],
+        ),
         "depts",
     );
     catalog.add_class_dict("Dept", "depts", "Dept").unwrap();
@@ -153,15 +181,21 @@ fn class_dictionary_only_navigation() {
         )
     };
     instance.set("Dept", Value::dict([mk(0), mk(1), mk(2)]));
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
 
-    let q = parse_query("select struct(DN = d.DName, PN = s) from depts d, d.DProjs s")
-        .unwrap();
+    let q = parse_query("select struct(DN = d.DName, PN = s) from depts d, d.DProjs s").unwrap();
     let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();
     // The chosen plan runs over the dictionary, not the (logical) extent.
     assert!(
-        outcome.best.query.from.iter().any(|b| b.src.mentions_root("Dept")),
+        outcome
+            .best
+            .query
+            .from
+            .iter()
+            .any(|b| b.src.mentions_root("Dept")),
         "{}",
         outcome.best.query
     );
@@ -187,7 +221,9 @@ fn bounded_search_remains_sound() {
         ..Default::default()
     };
     let q = cb_catalog::scenarios::projdept::query();
-    let outcome = Optimizer::with_config(&catalog, config).optimize(&q).unwrap();
+    let outcome = Optimizer::with_config(&catalog, config)
+        .optimize(&q)
+        .unwrap();
     assert!(!outcome.complete);
     assert!(!outcome.candidates.is_empty());
 
@@ -197,10 +233,17 @@ fn bounded_search_remains_sound() {
         n_customers: 5,
         seed: 9,
     });
-    Materializer::new(&catalog).materialize(&mut instance).unwrap();
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
     let ev = Evaluator::for_catalog(&catalog, &instance);
     let reference = ev.eval_query(&q).unwrap();
     for c in &outcome.candidates {
-        assert_eq!(ev.eval_query(&c.query).unwrap(), reference, "plan {}", c.query);
+        assert_eq!(
+            ev.eval_query(&c.query).unwrap(),
+            reference,
+            "plan {}",
+            c.query
+        );
     }
 }

@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate. Implements the API subset
+//! used by this workspace's benches: enough to compile them, run a short
+//! timed loop per benchmark, and print mean wall-clock times. No warm-up
+//! modelling, statistics, or HTML reports.
+//!
+//! Iteration counts can be controlled with the `CRITERION_STUB_ITERS`
+//! environment variable (default: up to `sample_size` iterations or 200 ms
+//! per benchmark, whichever comes first).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver standing in for criterion's `Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.default_sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark as a function name plus a parameter value.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Hands the routine under measurement to the timing loop.
+pub struct Bencher {
+    max_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.max_iters {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let max_iters = std::env::var("CRITERION_STUB_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(sample_size as u64)
+        .max(1);
+    let mut b = Bencher {
+        max_iters,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = if b.iters > 0 {
+        b.elapsed.as_secs_f64() * 1e3 / b.iters as f64
+    } else {
+        0.0
+    };
+    println!("bench {id:60} {:>6} iters  mean {mean:10.3} ms", b.iters);
+}
+
+/// Collects benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A single test: the env var is process-global and tests run in
+    // parallel threads, so setting it from two tests would race.
+    #[test]
+    fn bench_functions_run_routines() {
+        std::env::set_var("CRITERION_STUB_ITERS", "3");
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("t/count", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3);
+
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = 0i64;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7i64, |b, i| b.iter(|| seen = *i));
+        group.finish();
+        assert_eq!(seen, 7);
+        std::env::remove_var("CRITERION_STUB_ITERS");
+    }
+}

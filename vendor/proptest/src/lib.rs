@@ -1,0 +1,143 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! range, tuple, [`sample::select`] and [`collection::vec`] strategies,
+//! [`arbitrary::any`], and the [`proptest!`], [`prop_oneof!`] and
+//! `prop_assert*!` macros.
+//!
+//! Differences from the real crate: cases are generated from a deterministic
+//! per-test RNG (seeded from the test's name) and failures are **not
+//! shrunk** — the failing panic message reports the case index instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::sample::select` / `prop::collection::vec`
+/// resolve after `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::{collection, sample};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let run = || {
+                        $(let $arg = $crate::strategy::Strategy::new_value(&$strategy, &mut rng);)*
+                        $body
+                    };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest stub: case {}/{} of `{}` failed (no shrinking)",
+                            case + 1, config.cases, stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Chooses uniformly among the given strategies (all must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range + map + oneof + recursive strategies all generate.
+        #[test]
+        fn composite_strategies(n in 1..=3usize,
+                                s in prop::sample::select(vec!["a", "b"]).prop_map(str::to_string),
+                                v in prop::collection::vec((0..4i64, 0..4i64), 0..12),
+                                x in any::<i64>()) {
+            prop_assert!((1..=3).contains(&n));
+            prop_assert!(s == "a" || s == "b");
+            prop_assert!(v.len() < 12);
+            for (a, b) in &v {
+                prop_assert!((0..4).contains(a), "a = {}", a);
+                prop_assert!((0..4).contains(b));
+            }
+            prop_assert_eq!(x, x);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(depths in prop::collection::vec(arb_nested(), 0..4)) {
+            for d in depths {
+                prop_assert!(d <= 4);
+            }
+        }
+    }
+
+    /// Depth counter built with `prop_recursive`, to exercise the machinery.
+    fn arb_nested() -> impl Strategy<Value = u32> {
+        let leaf = prop_oneof![0..1u32, 0..1u32];
+        leaf.prop_recursive(4, 16, 2, |inner| inner.prop_map(|d| d + 1))
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRng::for_test("same");
+        let mut b = crate::test_runner::TestRng::for_test("same");
+        let s = crate::arbitrary::any::<u64>();
+        for _ in 0..10 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}
