@@ -1,19 +1,24 @@
 //! Regenerates every example, figure and claim of the paper's evaluation
-//! (experiment index E1–E12 in DESIGN.md; results recorded in
-//! EXPERIMENTS.md).
+//! (experiment index E1–E13 and the paper-vs-measured record live in
+//! `crates/cb-bench/EXPERIMENTS.md`).
 //!
 //! ```sh
 //! cargo run --release --bin experiments            # all experiments
 //! cargo run --release --bin experiments e1 e10     # a selection
+//! cargo run --release --bin experiments -- --json BENCH_experiments.json
 //! ```
+//!
+//! `--json <path>` runs the measurable experiments several times each and
+//! writes a structured record (experiment id, median ns, chase-cache hit
+//! rate) instead of the human-readable tables.
 
 use std::collections::BTreeSet;
 use std::time::Instant;
 
 use cb_bench::{prepared_indexes, prepared_projdept, prepared_views, render_table};
 use cb_chase::{
-    backchase, chase, chase_step, examine_removal, minimize, BackchaseConfig, ChaseConfig,
-    RemovalJudgement,
+    backchase_in, chase_step, examine_removal_in, minimize, BackchaseConfig, CacheStats,
+    ChaseConfig, ChaseContext, QueryGraph, RemovalJudgement,
 };
 use cb_engine::{Evaluator, Materializer};
 use cb_optimizer::{explain, Optimizer};
@@ -21,7 +26,17 @@ use pcql::parser::{parse_dependency, parse_query};
 use pcql::Type;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        if i + 1 >= args.len() {
+            eprintln!("usage: experiments --json <path> [e1 e2 …]");
+            std::process::exit(2);
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        run_json(&path, &args);
+        return;
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
 
@@ -64,6 +79,152 @@ fn main() {
     if want("e13") {
         e13_strategy_ablation();
     }
+}
+
+/// One `--json` record: experiment id, median wall time over the runs,
+/// and the chase-cache hit rate of the final run.
+struct JsonRecord {
+    id: &'static str,
+    median_ns: u128,
+    /// `None` for experiments that do not run through a `ChaseContext`
+    /// (emitted as JSON `null`, not a fake 0.0).
+    cache_hit_rate: Option<f64>,
+}
+
+/// Runs `f` `iters` times, recording wall time per run and the
+/// [`CacheStats`] the run reports (if any).
+fn measure(
+    id: &'static str,
+    iters: usize,
+    mut f: impl FnMut() -> Option<CacheStats>,
+) -> JsonRecord {
+    let mut samples: Vec<u128> = Vec::with_capacity(iters);
+    let mut rate = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let stats = f();
+        samples.push(t.elapsed().as_nanos());
+        rate = stats.map(|s| s.hit_rate());
+    }
+    samples.sort_unstable();
+    JsonRecord {
+        id,
+        median_ns: samples[samples.len() / 2],
+        cache_hit_rate: rate,
+    }
+}
+
+/// `--json <path>`: timed runs of the measurable experiments, written as
+/// a structured `BENCH_*.json` (this replaces the old manual
+/// redirect-the-tables recipe from the README).
+fn run_json(path: &str, selection: &[String]) {
+    let all = selection.is_empty() || selection.iter().any(|a| a == "all");
+    let want = |name: &str| all || selection.iter().any(|a| a == name);
+    const ITERS: usize = 5;
+    let mut records: Vec<JsonRecord> = Vec::new();
+
+    if want("e1") {
+        let p = prepared_projdept(50, 10, 25);
+        records.push(measure("e1_projdept_optimize", ITERS, || {
+            Some(p.optimizer().optimize(&p.query).unwrap().cache)
+        }));
+    }
+    if want("e4") {
+        let q = parse_query(
+            "select struct(A = p.A, B = r.B) from R p, R q, R r \
+             where p.B = q.A and q.B = r.B",
+        )
+        .unwrap();
+        records.push(measure("e4_tableau_minimization", ITERS, || {
+            minimize(&q, &BackchaseConfig::default());
+            None // generalized minimization runs through the free-function API
+        }));
+    }
+    if want("e5") {
+        let p = prepared_indexes(5_000, 100, 50);
+        records.push(measure("e5_index_only_optimize", ITERS, || {
+            Some(p.optimizer().optimize(&p.query).unwrap().cache)
+        }));
+    }
+    if want("e6") {
+        let p = prepared_views(1_000, 1_000, 0.05);
+        records.push(measure("e6_view_nav_optimize", ITERS, || {
+            Some(p.optimizer().optimize(&p.query).unwrap().cache)
+        }));
+    }
+    if want("e7") {
+        let (catalog, q) = views_scenario(8);
+        records.push(measure("e7_chase_8_views", ITERS, || {
+            let mut ctx = ChaseContext::new(catalog.all_constraints(), ChaseConfig::default());
+            ctx.chase(&q);
+            ctx.chase(&q); // the memoized re-chase the counters attribute
+            Some(ctx.stats())
+        }));
+    }
+    if want("e8") {
+        let (catalog, q) = views_scenario(4);
+        let deps = catalog.all_constraints();
+        records.push(measure("e8_backchase_4_views", ITERS, || {
+            let mut ctx = ChaseContext::new(deps.clone(), ChaseConfig::default());
+            let u = ctx.chase(&q).query;
+            backchase_in(&mut ctx, &u, 0);
+            Some(ctx.stats())
+        }));
+    }
+    if want("e13") {
+        use cb_optimizer::{OptimizerConfig, SearchStrategy};
+        let p = prepared_projdept(50, 10, 25);
+        let config = OptimizerConfig {
+            strategy: SearchStrategy::Greedy,
+            cost_visited: false,
+            ..Default::default()
+        };
+        records.push(measure("e13_greedy_optimize", ITERS, || {
+            Optimizer::with_config(&p.catalog, config.clone())
+                .optimize(&p.query)
+                .map(|o| o.cache)
+                .ok()
+        }));
+    }
+
+    let mut out =
+        String::from("{\n  \"suite\": \"universal-plans experiments\",\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let rate = match r.cache_hit_rate {
+            Some(v) => format!("{v:.4}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {}, \"cache_hit_rate\": {}}}{}\n",
+            r.id,
+            r.median_ns,
+            rate,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, &out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {} records to {path}", records.len());
+}
+
+/// The R ⋈ S + k-copies-of-V scenario used by the E7/E8 scaling sweeps.
+fn views_scenario(k: usize) -> (cb_catalog::Catalog, pcql::Query) {
+    let mut catalog = cb_catalog::Catalog::new();
+    catalog.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int)]);
+    catalog.add_logical_relation("S", [("B", Type::Int), ("C", Type::Int)]);
+    catalog.add_direct_mapping("R");
+    catalog.add_direct_mapping("S");
+    for i in 0..k {
+        catalog
+            .add_materialized_view(
+                &format!("V{i}"),
+                parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
+                    .unwrap(),
+            )
+            .unwrap();
+    }
+    let q = parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
+    (catalog, q)
 }
 
 /// E13 — ablation: exhaustive backchase (Theorem 2) vs. the paper's §3
@@ -139,16 +300,9 @@ fn e1_projdept_plan_space() {
             p.catalog.without_semantic_constraints(),
         ),
     ] {
-        let deps = catalog.all_constraints();
-        let u = chase(q, &deps, &ChaseConfig::default()).query;
-        let out = backchase(
-            &u,
-            &deps,
-            &BackchaseConfig {
-                max_visited: 4096,
-                ..Default::default()
-            },
-        );
+        let mut ctx = ChaseContext::new(catalog.all_constraints(), ChaseConfig::default());
+        let u = ctx.chase(q).query;
+        let out = backchase_in(&mut ctx, &u, 4096);
         println!("\nregime: {regime}");
         println!("  universal plan: {} bindings", u.from.len());
         println!("  equivalent subqueries visited: {}", out.visited.len());
@@ -186,7 +340,8 @@ fn e3_universal_plan() {
     banner("E3", "the universal plan U (paper §3)");
     let catalog = cb_catalog::scenarios::projdept::catalog();
     let q = cb_catalog::scenarios::projdept::query();
-    let out = chase(&q, &catalog.all_constraints(), &ChaseConfig::default());
+    let mut ctx = ChaseContext::new(catalog.all_constraints(), ChaseConfig::default());
+    let out = ctx.chase(&q);
     println!("chase steps: {}", out.steps.len());
     for s in &out.steps {
         println!("  [{}]", s.dep);
@@ -269,86 +424,70 @@ fn e6_views_and_indexes() {
 }
 
 /// E7 — Theorem 1: chase size grows polynomially (here: linearly) with
-/// the number of views.
+/// the number of views. The cold/memoized columns attribute the speedup
+/// the `ChaseContext` cache provides to repeated chases.
 fn e7_chase_scaling() {
     banner("E7", "chase size vs. number of views (Theorem 1)");
     let mut rows = Vec::new();
     for k in 1..=8usize {
-        let mut catalog = cb_catalog::Catalog::new();
-        catalog.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int)]);
-        catalog.add_logical_relation("S", [("B", Type::Int), ("C", Type::Int)]);
-        catalog.add_direct_mapping("R");
-        catalog.add_direct_mapping("S");
-        for i in 0..k {
-            catalog
-                .add_materialized_view(
-                    &format!("V{i}"),
-                    parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
-                        .unwrap(),
-                )
-                .unwrap();
-        }
-        let q =
-            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
+        let (catalog, q) = views_scenario(k);
+        let mut ctx = ChaseContext::new(catalog.all_constraints(), ChaseConfig::default());
         let t = Instant::now();
-        let out = chase(&q, &catalog.all_constraints(), &ChaseConfig::default());
-        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let out = ctx.chase(&q);
+        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let _ = ctx.chase(&q);
+        let memo_ms = t.elapsed().as_secs_f64() * 1e3;
+        let s = ctx.stats();
         rows.push(vec![
             k.to_string(),
             out.query.from.len().to_string(),
             out.query.size().to_string(),
             out.steps.len().to_string(),
-            format!("{ms:.1}"),
+            format!("{cold_ms:.1}"),
+            format!("{memo_ms:.3}"),
+            format!("{}h/{}m", s.hits(), s.misses()),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["#views", "U bindings", "U size", "steps", "chase ms"],
+            &[
+                "#views",
+                "U bindings",
+                "U size",
+                "steps",
+                "cold chase ms",
+                "memo chase ms",
+                "cache"
+            ],
             &rows
         )
     );
 }
 
-/// E8 — the exponential backchase (paper §5 complexity discussion).
+/// E8 — the exponential backchase (paper §5 complexity discussion). The
+/// cache columns show how the shared `ChaseContext` absorbs the lattice:
+/// the hit rate is what keeps the exponent affordable.
 fn e8_backchase_scaling() {
     banner("E8", "backchase plan space vs. number of views (paper §5)");
     let mut rows = Vec::new();
     for k in 1..=5usize {
-        let mut catalog = cb_catalog::Catalog::new();
-        catalog.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int)]);
-        catalog.add_logical_relation("S", [("B", Type::Int), ("C", Type::Int)]);
-        catalog.add_direct_mapping("R");
-        catalog.add_direct_mapping("S");
-        for i in 0..k {
-            catalog
-                .add_materialized_view(
-                    &format!("V{i}"),
-                    parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B")
-                        .unwrap(),
-                )
-                .unwrap();
-        }
-        let q =
-            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
-        let deps = catalog.all_constraints();
-        let u = chase(&q, &deps, &ChaseConfig::default()).query;
+        let (catalog, q) = views_scenario(k);
+        let mut ctx = ChaseContext::new(catalog.all_constraints(), ChaseConfig::default());
+        let u = ctx.chase(&q).query;
         let t = Instant::now();
-        let out = backchase(
-            &u,
-            &deps,
-            &BackchaseConfig {
-                max_visited: 0,
-                ..Default::default()
-            },
-        );
+        let out = backchase_in(&mut ctx, &u, 0);
         let ms = t.elapsed().as_secs_f64() * 1e3;
+        let s = ctx.stats();
         rows.push(vec![
             k.to_string(),
             u.from.len().to_string(),
             out.visited.len().to_string(),
             out.normal_forms.len().to_string(),
             format!("{ms:.1}"),
+            format!("{}h/{}m", s.hits(), s.misses()),
+            format!("{:.0}%", s.hit_rate() * 100.0),
         ]);
     }
     println!(
@@ -359,7 +498,9 @@ fn e8_backchase_scaling() {
                 "U bindings",
                 "visited",
                 "minimal plans",
-                "backchase ms"
+                "backchase ms",
+                "cache",
+                "hit rate"
             ],
             &rows
         )
@@ -395,27 +536,21 @@ fn e9_completeness() {
          where r.B = s.B and s.C = t.C",
     )
     .unwrap();
-    let deps = catalog.all_constraints();
-    let u = chase(&q, &deps, &ChaseConfig::default()).query;
-    let out = backchase(
-        &u,
-        &deps,
-        &BackchaseConfig {
-            max_visited: 0,
-            ..Default::default()
-        },
-    );
+    let mut ctx = ChaseContext::new(catalog.all_constraints(), ChaseConfig::default());
+    let u = ctx.chase(&q).query;
+    let out = backchase_in(&mut ctx, &u, 0);
 
-    // Brute force over all removal subsets.
+    // Brute force over all removal subsets — one shared context and one
+    // canonical database across all 2^n judgements.
     let vars: Vec<String> = u.from.iter().map(|b| b.var.clone()).collect();
+    let mut graph = QueryGraph::of_query(&u);
     let mut equivalents: Vec<(BTreeSet<String>, pcql::Query)> = Vec::new();
     for mask in 0..(1u32 << vars.len()) {
         let removed: BTreeSet<String> = (0..vars.len())
             .filter(|i| mask & (1 << i) != 0)
             .map(|i| vars[i].clone())
             .collect();
-        if let RemovalJudgement::Valid(qq) =
-            examine_removal(&u, &deps, &removed, &ChaseConfig::default())
+        if let RemovalJudgement::Valid(qq) = examine_removal_in(&mut ctx, &u, &mut graph, &removed)
         {
             equivalents.push((removed, qq));
         }

@@ -1,9 +1,10 @@
 //! # cb-bench — experiment harness and benchmarks
 //!
 //! Shared setup code for the criterion benches and the `experiments`
-//! binary that regenerates every example/figure of the paper (see
-//! DESIGN.md's experiment index E1–E12 and EXPERIMENTS.md for the
-//! paper-vs-measured record).
+//! binary that regenerates every example/figure of the paper. The
+//! experiment index E1–E13 and the paper-vs-measured record live in
+//! `crates/cb-bench/EXPERIMENTS.md`; machine-readable records come from
+//! `experiments --json BENCH_experiments.json`.
 
 use std::time::Instant;
 

@@ -47,9 +47,10 @@ use pcql::Dependency;
 
 use crate::canon::QueryGraph;
 use crate::chase::ChaseConfig;
-use crate::containment::{contained_in, contained_in_pre_chased, equivalent};
+use crate::containment::{contained_in_pre_chased, output_matching_hom};
+use crate::context::ChaseContext;
 use crate::egraph::EGraph;
-use crate::implication::implies;
+use crate::hom::Assignment;
 
 /// Budgets for backchase enumeration.
 #[derive(Debug, Clone, Default)]
@@ -160,13 +161,19 @@ pub fn backchase_step(
     seed: &str,
     cfg: &ChaseConfig,
 ) -> Option<Query> {
+    let mut ctx = ChaseContext::new(deps.to_vec(), cfg.clone());
+    backchase_step_in(&mut ctx, q, seed)
+}
+
+/// [`backchase_step`] against a shared [`ChaseContext`].
+pub fn backchase_step_in(ctx: &mut ChaseContext, q: &Query, seed: &str) -> Option<Query> {
     if !q.from.iter().any(|b| b.var == seed) {
         return None;
     }
     let mut graph = QueryGraph::of_query(q);
     let removed = dependent_closure(q, &mut graph, [seed.to_string()].into());
     let q_prime = subquery_for(q, &mut graph, &removed)?;
-    let q_prime = prune_unsafe_conditions(&q_prime, deps, cfg)?;
+    let q_prime = prune_unsafe_conditions(ctx, &q_prime)?;
     // Condition (3): forall(remaining) C' -> exists(removed) C.
     let removed_bindings: Vec<Binding> = q
         .from
@@ -181,7 +188,7 @@ pub fn backchase_step(
         removed_bindings,
         q.where_.clone(),
     );
-    if !implies(deps, &sigma, cfg) {
+    if !ctx.implies(&sigma) {
         return None;
     }
     Some(q_prime)
@@ -276,10 +283,10 @@ fn implied_conditions(graph: &QueryGraph, removed: &BTreeSet<String>) -> Vec<Equ
 /// pruned subquery anyway. (Without pruning, the maximal `C'` could smuggle
 /// an index equation like `p = I[s]` into a plan whose own bindings cannot
 /// guarantee `s ∈ dom(I)`.)
-fn prune_unsafe_conditions(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> Option<Query> {
+fn prune_unsafe_conditions(ctx: &mut ChaseContext, q: &Query) -> Option<Query> {
     let mut q = q.clone();
     loop {
-        match first_unsafe(&q, deps, cfg) {
+        match first_unsafe(ctx, &q) {
             None => return Some(q),
             Some((lookup, fatal)) => {
                 if fatal {
@@ -299,9 +306,13 @@ fn prune_unsafe_conditions(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) ->
 }
 
 /// The first not-provably-safe failing lookup of `q`, tagged with whether
-/// it is fatal (binding source / output) or condition-level.
-fn first_unsafe(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> Option<(Path, bool)> {
+/// it is fatal (binding source / output) or condition-level. Safety
+/// proofs go through the context's memoized implication prover; the
+/// congruence graph for guardedness is built once per call (lazily), not
+/// once per obligation.
+fn first_unsafe(ctx: &mut ChaseContext, q: &Query) -> Option<(Path, bool)> {
     let mut checked: BTreeSet<Path> = BTreeSet::new();
+    let mut guard_graph: Option<QueryGraph> = None;
     // (lookup, bindings in scope, assumable premise, fatal)
     let mut obligations: Vec<(Path, usize, bool, bool)> = Vec::new();
     for (i, b) in q.from.iter().enumerate() {
@@ -340,14 +351,23 @@ fn first_unsafe(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> Option<(Pa
         // the key under the query's conditions. Without assumable
         // conditions we only accept a literally identical key.
         let in_scope = &q.from[..scope];
-        let guarded = in_scope.iter().any(|b| {
-            b.src == Path::Dom(Box::new(m.clone()))
-                && (Path::Var(b.var.clone()) == k
-                    || (with_conditions && {
-                        let mut g = QueryGraph::of_query(q);
-                        g.egraph.paths_equal(&Path::Var(b.var.clone()), &k)
-                    }))
-        });
+        let mut guarded = false;
+        for b in in_scope {
+            if b.src != Path::Dom(Box::new(m.clone())) {
+                continue;
+            }
+            if Path::Var(b.var.clone()) == k {
+                guarded = true;
+                break;
+            }
+            if with_conditions {
+                let g = guard_graph.get_or_insert_with(|| QueryGraph::of_query(q));
+                if g.egraph.paths_equal(&Path::Var(b.var.clone()), &k) {
+                    guarded = true;
+                    break;
+                }
+            }
+        }
         if guarded {
             continue;
         }
@@ -371,7 +391,7 @@ fn first_unsafe(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> Option<(Pa
                 vec![Binding::iter(g.clone(), Path::Dom(Box::new(m.clone())))],
                 vec![Equality(Path::Var(g), k.clone())],
             );
-            implies(deps, &sigma, cfg)
+            ctx.implies(&sigma)
         };
         if !safe {
             return Some((lookup, fatal));
@@ -387,18 +407,38 @@ fn first_unsafe(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> Option<(Pa
 /// already be chased (Algorithm 1 passes the universal plan), so
 /// equivalence to `u` is equivalence to the original query.
 pub fn backchase(u: &Query, deps: &[Dependency], cfg: &BackchaseConfig) -> BackchaseOutcome {
+    let mut ctx = ChaseContext::new(deps.to_vec(), cfg.chase.clone());
+    backchase_in(&mut ctx, u, cfg.max_visited)
+}
+
+/// [`backchase`] against a shared [`ChaseContext`]: one `QueryGraph` per
+/// lattice (not per node), memoized chase/containment/implication, and
+/// child containment checks seeded from the parent's witness
+/// homomorphism.
+pub fn backchase_in(ctx: &mut ChaseContext, u: &Query, max_visited: usize) -> BackchaseOutcome {
+    // The lattice-construction graph (dependent closures, re-expression,
+    // implied conditions) and the homomorphism graph for `u ⊑ q'` checks.
+    // They are kept separate because hom searches intern candidate paths
+    // wholesale, and `implied_conditions` must only see paths that come
+    // from `u` itself.
     let mut graph = QueryGraph::of_query(u);
+    let mut hom_graph = graph.clone();
+    let identity: Assignment = u
+        .from
+        .iter()
+        .map(|b| (b.var.clone(), Path::Var(b.var.clone())))
+        .collect();
     // Removal set -> was the resulting subquery a valid equivalent plan?
     let mut seen: std::collections::BTreeMap<BTreeSet<String>, bool> =
         std::collections::BTreeMap::new();
-    let mut queue: VecDeque<(BTreeSet<String>, Query)> = VecDeque::new();
+    let mut queue: VecDeque<(BTreeSet<String>, Query, Assignment)> = VecDeque::new();
     seen.insert(BTreeSet::new(), true);
-    queue.push_back((BTreeSet::new(), u.clone()));
+    queue.push_back((BTreeSet::new(), u.clone(), identity));
     let mut normal_forms: Vec<Query> = Vec::new();
     let mut visited: Vec<Query> = Vec::new();
     let mut complete = true;
-    while let Some((removed, q)) = queue.pop_front() {
-        if cfg.max_visited > 0 && visited.len() >= cfg.max_visited {
+    while let Some((removed, q, hom)) = queue.pop_front() {
+        if max_visited > 0 && visited.len() >= max_visited {
             complete = false;
             break;
         }
@@ -418,18 +458,39 @@ pub fn backchase(u: &Query, deps: &[Dependency], cfg: &BackchaseConfig) -> Backc
                 continue;
             }
             let child = subquery_for(u, &mut graph, &grown)
-                .and_then(|q2| prune_unsafe_conditions(&q2, deps, &cfg.chase))
-                .filter(|q2| {
+                .and_then(|q2| prune_unsafe_conditions(ctx, &q2))
+                .and_then(|q2| {
                     // u ⊑ q2: containment mapping from q2 into u itself
-                    // (u is already chased, so no re-chase is needed)…
-                    contained_in_pre_chased(&graph, &u.output, q2, &cfg.chase)
-                    // …and q2 ⊑ u: chase q2, map u into it.
-                        && contained_in(q2, u, deps, &cfg.chase)
+                    // (u is already chased, so no re-chase is needed).
+                    // The parent's witness restricted to the surviving
+                    // variables is almost always already one; validate
+                    // it before searching.
+                    let seed: Assignment = hom
+                        .iter()
+                        .filter(|&(v, _)| q2.from.iter().any(|b2| b2.var == *v))
+                        .map(|(v, p)| (v.clone(), p.clone()))
+                        .collect();
+                    let h2 = output_matching_hom(
+                        &mut hom_graph,
+                        &u.output,
+                        &q2,
+                        ctx.cfg(),
+                        Some(&seed),
+                    )?;
+                    if h2 == seed {
+                        ctx.note_seeded_hom();
+                    }
+                    // …and q2 ⊑ u: chase q2 (lazily, memoized), map u in.
+                    if ctx.contained_in(&q2, u) {
+                        Some((q2, h2))
+                    } else {
+                        None
+                    }
                 });
             seen.insert(grown.clone(), child.is_some());
-            if let Some(q2) = child {
+            if let Some((q2, h2)) = child {
                 reduced = true;
-                queue.push_back((grown, q2));
+                queue.push_back((grown, q2, h2));
             }
         }
         if !reduced {
@@ -458,8 +519,31 @@ pub fn backchase_greedy(
     prefer_removing: &BTreeSet<String>,
     cfg: &ChaseConfig,
 ) -> Query {
+    let mut ctx = ChaseContext::new(deps.to_vec(), cfg.clone());
+    backchase_greedy_in(&mut ctx, u, prefer_removing)
+}
+
+/// [`backchase_greedy`] against a shared [`ChaseContext`].
+pub fn backchase_greedy_in(
+    ctx: &mut ChaseContext,
+    u: &Query,
+    prefer_removing: &BTreeSet<String>,
+) -> Query {
     let mut graph = QueryGraph::of_query(u);
+    let mut hom_graph = graph.clone();
     let mut removed: BTreeSet<String> = BTreeSet::new();
+    // The equivalence check for a candidate removal: the identity over
+    // the surviving variables always witnesses u ⊑ q2 (see the
+    // enumeration), so only validate it, then test q2 ⊑ u memoized.
+    let valid = |ctx: &mut ChaseContext, hom_graph: &mut QueryGraph, q2: &Query| -> bool {
+        let seed: Assignment = q2
+            .from
+            .iter()
+            .map(|b| (b.var.clone(), Path::Var(b.var.clone())))
+            .collect();
+        output_matching_hom(hom_graph, &u.output, q2, ctx.cfg(), Some(&seed)).is_some()
+            && ctx.contained_in(q2, u)
+    };
     // First move, per the paper: attempt to drop *everything* over the
     // preferred (logical-only) roots in one step — redundant logical
     // bindings usually justify each other, so they must go together.
@@ -472,12 +556,10 @@ pub fn backchase_greedy(
             .collect();
         if !seed.is_empty() {
             let grown = dependent_closure(u, &mut graph, seed);
-            if let Some(q2) = subquery_for(u, &mut graph, &grown)
-                .and_then(|q2| prune_unsafe_conditions(&q2, deps, cfg))
+            if let Some(q2) =
+                subquery_for(u, &mut graph, &grown).and_then(|q2| prune_unsafe_conditions(ctx, &q2))
             {
-                if contained_in_pre_chased(&graph, &u.output, &q2, cfg)
-                    && contained_in(&q2, u, deps, cfg)
-                {
+                if valid(ctx, &mut hom_graph, &q2) {
                     removed = grown;
                 }
             }
@@ -501,13 +583,11 @@ pub fn backchase_greedy(
             grown.insert(b.var.clone());
             let grown = dependent_closure(u, &mut graph, grown);
             let Some(q2) = subquery_for(u, &mut graph, &grown)
-                .and_then(|q2| prune_unsafe_conditions(&q2, deps, cfg))
+                .and_then(|q2| prune_unsafe_conditions(ctx, &q2))
             else {
                 continue;
             };
-            if contained_in_pre_chased(&graph, &u.output, &q2, cfg)
-                && contained_in(&q2, u, deps, cfg)
-            {
+            if valid(ctx, &mut hom_graph, &q2) {
                 removed = grown;
                 advanced = true;
                 break;
@@ -515,7 +595,7 @@ pub fn backchase_greedy(
         }
         if !advanced {
             return subquery_for(u, &mut graph, &removed)
-                .and_then(|q2| prune_unsafe_conditions(&q2, deps, cfg))
+                .and_then(|q2| prune_unsafe_conditions(ctx, &q2))
                 .unwrap_or_else(|| u.clone());
         }
     }
@@ -543,15 +623,29 @@ pub fn examine_removal(
     removed: &BTreeSet<String>,
     cfg: &ChaseConfig,
 ) -> RemovalJudgement {
+    let mut ctx = ChaseContext::new(deps.to_vec(), cfg.clone());
     let mut graph = QueryGraph::of_query(u);
-    let removed = dependent_closure(u, &mut graph, removed.clone());
-    let Some(q2) = subquery_for(u, &mut graph, &removed) else {
+    examine_removal_in(&mut ctx, u, &mut graph, removed)
+}
+
+/// [`examine_removal`] against a shared [`ChaseContext`] and a caller-held
+/// `graph` (the canonical database of `u`), so judging many removal sets
+/// — the E9 brute-force sweep judges all `2^n` — does not rebuild the
+/// graph per call.
+pub fn examine_removal_in(
+    ctx: &mut ChaseContext,
+    u: &Query,
+    graph: &mut QueryGraph,
+    removed: &BTreeSet<String>,
+) -> RemovalJudgement {
+    let removed = dependent_closure(u, graph, removed.clone());
+    let Some(q2) = subquery_for(u, graph, &removed) else {
         return RemovalJudgement::NotASubquery;
     };
-    let Some(q2) = prune_unsafe_conditions(&q2, deps, cfg) else {
+    let Some(q2) = prune_unsafe_conditions(ctx, &q2) else {
         return RemovalJudgement::UnsafeLookup(q2);
     };
-    if !contained_in_pre_chased(&graph, &u.output, &q2, cfg) || !contained_in(&q2, u, deps, cfg) {
+    if !contained_in_pre_chased(graph, &u.output, &q2, ctx.cfg()) || !ctx.contained_in(&q2, u) {
         return RemovalJudgement::NotEquivalent(q2);
     }
     RemovalJudgement::Valid(q2)
@@ -559,14 +653,22 @@ pub fn examine_removal(
 
 /// Is `q` minimal (no equivalent, well-defined subquery below it)?
 pub fn is_minimal(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
+    let mut ctx = ChaseContext::new(deps.to_vec(), cfg.clone());
+    is_minimal_in(&mut ctx, q)
+}
+
+/// [`is_minimal`] against a shared [`ChaseContext`]. The canonical
+/// database of `q` is built once, not once per binding, and the
+/// equivalence checks share the context's chase memo (`q` itself is
+/// chased at most once across all bindings).
+pub fn is_minimal_in(ctx: &mut ChaseContext, q: &Query) -> bool {
+    let mut graph = QueryGraph::of_query(q);
     q.from.iter().all(|b| {
-        let mut graph = QueryGraph::of_query(q);
         let removed = dependent_closure(q, &mut graph, [b.var.clone()].into());
-        match subquery_for(q, &mut graph, &removed)
-            .and_then(|q2| prune_unsafe_conditions(&q2, deps, cfg))
+        match subquery_for(q, &mut graph, &removed).and_then(|q2| prune_unsafe_conditions(ctx, &q2))
         {
             None => true,
-            Some(q2) => !equivalent(&q2, q, deps, cfg),
+            Some(q2) => !ctx.equivalent(&q2, q),
         }
     })
 }

@@ -66,6 +66,33 @@ impl QueryGraph {
         }
     }
 
+    /// Records one more binding's facts — the incremental counterpart of
+    /// the `from`-clause loop in [`QueryGraph::of_query`]. The chase
+    /// maintains one graph across all of its steps this way instead of
+    /// rebuilding the canonical database from scratch per step.
+    pub fn add_binding(&mut self, b: &pcql::query::Binding) {
+        let var_class = self.egraph.add_path(&Path::Var(b.var.clone()));
+        let src_class = self.egraph.add_path(&b.src);
+        match b.kind {
+            BindKind::Iter => self.members.push(MemberFact {
+                var: b.var.clone(),
+                var_class,
+                src_class,
+            }),
+            BindKind::Let => {
+                self.egraph.union(var_class, src_class);
+                self.refresh();
+            }
+        }
+    }
+
+    /// Records one more equality, refreshing the membership facts after
+    /// the union.
+    pub fn add_equality(&mut self, eq: &pcql::query::Equality) {
+        self.egraph.union_paths(&eq.0, &eq.1);
+        self.refresh();
+    }
+
     /// Is there a membership fact `v ∈ src` with `src` congruent to
     /// `class` and `v` congruent to `key_class`? Used for guardedness.
     pub fn has_member(&mut self, src: &Path, key: &Path) -> bool {

@@ -26,7 +26,7 @@ use pcql::query::{Binding, Equality, Query};
 use pcql::Dependency;
 
 use crate::canon::QueryGraph;
-use crate::hom::{extension_exists, find_homomorphisms, Assignment};
+use crate::hom::{extension_exists, find_matching_hom, Assignment};
 
 /// Budgets for the chase (and for the implication checks that reuse it).
 #[derive(Debug, Clone)]
@@ -75,50 +75,107 @@ pub struct ChaseOutcome {
     pub complete: bool,
 }
 
-/// Chases `q` with `deps` to a fixpoint (or until the budget runs out).
-pub fn chase(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> ChaseOutcome {
-    let mut query = q.clone();
-    let mut steps: Vec<ChaseStepTrace> = Vec::new();
-    loop {
-        if steps.len() >= cfg.max_steps || query.from.len() >= cfg.max_bindings {
-            // Budget exhausted: complete only if no trigger is applicable.
-            let complete = find_applicable(&query, deps, cfg).is_none();
-            if cfg.coalesce {
-                query = coalesce_duplicates(&query);
-            }
-            return ChaseOutcome {
-                query,
-                steps,
-                complete,
-            };
+/// A resumable chase: the query chased so far, its incrementally
+/// maintained canonical database, and the applied steps.
+///
+/// Because the chase is sound at every prefix ("we can stop this
+/// rewriting anytime"), callers may interleave their own tests with
+/// [`ChaseState::step`] and stop as soon as the test succeeds — the
+/// containment and implication provers exit the moment a witness
+/// homomorphism appears instead of confirming the full fixpoint. The
+/// [`ChaseContext`](crate::ChaseContext) keeps one `ChaseState` per
+/// alpha-normalized query so later checks resume where earlier ones
+/// stopped.
+#[derive(Debug, Clone)]
+pub(crate) struct ChaseState {
+    pub query: Query,
+    pub graph: QueryGraph,
+    pub steps: Vec<ChaseStepTrace>,
+    /// Confirmed: no applicable trigger remains.
+    pub fixpoint: bool,
+}
+
+impl ChaseState {
+    pub fn new(q: &Query) -> ChaseState {
+        ChaseState {
+            query: q.clone(),
+            graph: QueryGraph::of_query(q),
+            steps: Vec::new(),
+            fixpoint: false,
         }
-        match find_applicable(&query, deps, cfg) {
+    }
+
+    /// Applies one more chase step. Returns `false` once a fixpoint is
+    /// confirmed or the budget is exhausted.
+    pub fn step(&mut self, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
+        if self.fixpoint
+            || self.steps.len() >= cfg.max_steps
+            || self.query.from.len() >= cfg.max_bindings
+        {
+            return false;
+        }
+        match find_applicable_in(&mut self.graph, deps, cfg) {
             None => {
-                if cfg.coalesce {
-                    query = coalesce_duplicates(&query);
-                }
-                return ChaseOutcome {
-                    query,
-                    steps,
-                    complete: true,
-                };
+                self.fixpoint = true;
+                false
             }
             Some((dep_idx, h)) => {
-                let trace = apply_step(&mut query, &deps[dep_idx], &h);
-                steps.push(trace);
+                let trace = apply_step_in(&mut self.query, &mut self.graph, &deps[dep_idx], &h);
+                self.steps.push(trace);
+                true
             }
         }
     }
+
+    /// Was a fixpoint reached (directly, or because the budget ran out
+    /// with no trigger left applicable)?
+    pub fn confirm_complete(&mut self, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
+        if self.fixpoint {
+            return true;
+        }
+        if find_applicable_in(&mut self.graph, deps, cfg).is_none() {
+            self.fixpoint = true;
+        }
+        self.fixpoint
+    }
+
+    /// Finalizes into a [`ChaseOutcome`] (coalescing per `cfg`).
+    pub fn finalize(&mut self, deps: &[Dependency], cfg: &ChaseConfig) -> ChaseOutcome {
+        let complete = self.confirm_complete(deps, cfg);
+        let query = if cfg.coalesce {
+            coalesce_duplicates(&self.query)
+        } else {
+            self.query.clone()
+        };
+        ChaseOutcome {
+            query,
+            steps: self.steps.clone(),
+            complete,
+        }
+    }
+}
+
+/// Chases `q` with `deps` to a fixpoint (or until the budget runs out).
+///
+/// This is the standalone entry point; code that chases many related
+/// queries (containment checks, the backchase lattice, the optimizer)
+/// should go through [`ChaseContext`](crate::ChaseContext), which
+/// memoizes outcomes across calls.
+pub fn chase(q: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> ChaseOutcome {
+    let mut st = ChaseState::new(q);
+    while st.step(deps, cfg) {}
+    st.finalize(deps, cfg)
 }
 
 /// A single chase step with one dependency, if applicable (used by the
 /// paper-example tests that chase with `c_JI` alone).
 pub fn chase_step(q: &Query, dep: &Dependency, cfg: &ChaseConfig) -> Option<Query> {
     let deps = [dep.clone()];
-    let (idx, h) = find_applicable(q, &deps, cfg)?;
+    let mut graph = QueryGraph::of_query(q);
+    let (idx, h) = find_applicable_in(&mut graph, &deps, cfg)?;
     debug_assert_eq!(idx, 0);
     let mut query = q.clone();
-    apply_step(&mut query, dep, &h);
+    apply_step_in(&mut query, &mut graph, dep, &h);
     Some(query)
 }
 
@@ -126,30 +183,31 @@ pub fn chase_step(q: &Query, dep: &Dependency, cfg: &ChaseConfig) -> Option<Quer
 /// order: EGDs before TGDs (equalities never grow the query and often
 /// satisfy pending TGD triggers, keeping the universal plan close to the
 /// paper's hand-derived one), then dependencies in their given order,
-/// triggers in membership-fact order.
-fn find_applicable(
-    q: &Query,
+/// triggers in membership-fact order. `graph` must be the canonical
+/// database of the current query; triggers are searched directly on it
+/// (extra interned paths from earlier searches are harmless — they never
+/// introduce unions).
+pub(crate) fn find_applicable_in(
+    graph: &mut QueryGraph,
     deps: &[Dependency],
     cfg: &ChaseConfig,
 ) -> Option<(usize, Assignment)> {
-    let mut graph = QueryGraph::of_query(q);
     let ordered = deps
         .iter()
         .enumerate()
         .filter(|(_, d)| d.is_egd())
         .chain(deps.iter().enumerate().filter(|(_, d)| !d.is_egd()));
     for (i, dep) in ordered {
-        let homs = find_homomorphisms(
-            &mut graph,
+        let found = find_matching_hom(
+            graph,
             &dep.forall,
             &dep.premise,
             &BTreeMap::new(),
             cfg.max_homs,
+            &mut |g, h| !extension_exists(g, &dep.exists, &dep.conclusion, h),
         );
-        for h in homs {
-            if !extension_exists(&mut graph, &dep.exists, &dep.conclusion, &h) {
-                return Some((i, h));
-            }
+        if let Some(h) = found {
+            return Some((i, h));
         }
     }
     None
@@ -209,13 +267,18 @@ fn cleanup_conditions(mut q: Query) -> Query {
     q
 }
 
-/// Applies the step for trigger `h` of `dep` to `query`.
-fn apply_step(query: &mut Query, dep: &Dependency, h: &Assignment) -> ChaseStepTrace {
+/// Applies the step for trigger `h` of `dep` to `query`, keeping `graph`
+/// (the query's canonical database) in sync incrementally.
+pub(crate) fn apply_step_in(
+    query: &mut Query,
+    graph: &mut QueryGraph,
+    dep: &Dependency,
+    h: &Assignment,
+) -> ChaseStepTrace {
     let trigger: Vec<(String, String)> =
         h.iter().map(|(k, v)| (k.clone(), v.to_string())).collect();
     let mut h = h.clone();
     let mut gen = VarGen::avoiding(query.from.iter().map(|b| b.var.clone()));
-    let mut graph = QueryGraph::of_query(query);
 
     let mut added_bindings = Vec::new();
     for b in &dep.exists {
@@ -224,6 +287,7 @@ fn apply_step(query: &mut Query, dep: &Dependency, h: &Assignment) -> ChaseStepT
         h.insert(b.var.clone(), Path::Var(fresh.clone()));
         let binding = Binding::iter(fresh, src);
         query.from.push(binding.clone());
+        graph.add_binding(&binding);
         added_bindings.push(binding);
     }
     let mut added_eqs = Vec::new();
@@ -234,7 +298,7 @@ fn apply_step(query: &mut Query, dep: &Dependency, h: &Assignment) -> ChaseStepT
         if graph.egraph.paths_equal(&inst.0, &inst.1) {
             continue;
         }
-        graph.egraph.union_paths(&inst.0, &inst.1);
+        graph.add_equality(&inst);
         query.where_.push(inst.clone());
         added_eqs.push(inst);
     }

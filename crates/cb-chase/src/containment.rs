@@ -12,16 +12,17 @@ use pcql::query::{Output, Query};
 use pcql::Dependency;
 
 use crate::canon::QueryGraph;
-use crate::chase::{chase, ChaseConfig};
-use crate::hom::{find_homomorphisms, Assignment};
+use crate::chase::ChaseConfig;
+use crate::context::ChaseContext;
+use crate::hom::{find_matching_hom, hom_is_valid, Assignment};
 
 /// Is `q1 ⊑ q2` under `deps` (set semantics)?
+///
+/// Thin wrapper allocating a throwaway [`ChaseContext`]; callers asking
+/// several containment questions of the same dependency set should hold
+/// a context instead.
 pub fn contained_in(q1: &Query, q2: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
-    let chased = chase(q1, deps, cfg).query;
-    let graph = QueryGraph::of_query(&chased);
-    // Use the chased query's output: coalescing may have renamed q1's
-    // variables, and the chased output is the consistently renamed one.
-    contained_in_pre_chased(&graph, &chased.output, q2, cfg)
+    ChaseContext::new(deps.to_vec(), cfg.clone()).contained_in(q1, q2)
 }
 
 /// `q1 ⊑ q2` where `graph` is the canonical database of the *already
@@ -34,20 +35,45 @@ pub fn contained_in_pre_chased(
     cfg: &ChaseConfig,
 ) -> bool {
     let mut graph = graph.clone();
-    let homs = find_homomorphisms(
-        &mut graph,
+    output_matching_hom(&mut graph, q1_output, q2, cfg, None).is_some()
+}
+
+/// Finds a containment mapping from `q2` into `graph` (the canonical
+/// database of an already-chased query with output `q1_output`): a body
+/// homomorphism whose image makes the outputs congruent.
+///
+/// A `seed` candidate, when given, is validated first without any search
+/// — the backchase seeds a child lattice node's check from its parent's
+/// witness. The hom search only interns paths (it never unions classes),
+/// so one mutable graph is safely shared across many calls.
+pub(crate) fn output_matching_hom(
+    graph: &mut QueryGraph,
+    q1_output: &Output,
+    q2: &Query,
+    cfg: &ChaseConfig,
+    seed: Option<&Assignment>,
+) -> Option<Assignment> {
+    if let Some(h) = seed {
+        if hom_is_valid(graph, &q2.from, &q2.where_, h)
+            && outputs_match(graph, q1_output, &q2.output, h)
+        {
+            return Some(h.clone());
+        }
+    }
+    find_matching_hom(
+        graph,
         &q2.from,
         &q2.where_,
         &BTreeMap::new(),
         cfg.max_homs,
-    );
-    homs.iter()
-        .any(|h| outputs_match(&mut graph, q1_output, &q2.output, h))
+        &mut |g, h| outputs_match(g, q1_output, &q2.output, h),
+    )
 }
 
-/// Are the queries equivalent under `deps`?
+/// Are the queries equivalent under `deps`? (Throwaway-context wrapper;
+/// the two directions at least share one context's chase memo.)
 pub fn equivalent(q1: &Query, q2: &Query, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
-    contained_in(q1, q2, deps, cfg) && contained_in(q2, q1, deps, cfg)
+    ChaseContext::new(deps.to_vec(), cfg.clone()).equivalent(q1, q2)
 }
 
 fn outputs_match(graph: &mut QueryGraph, o1: &Output, o2: &Output, h: &Assignment) -> bool {

@@ -1,0 +1,333 @@
+//! The shared, memoized chase core.
+//!
+//! Every phase of chase & backchase bottoms out in the same three
+//! questions — *what does `q` chase to?*, *is `q1 ⊑ q2`?*, *does `D ⊨ σ`
+//! hold?* — and the backchase asks them once per node of an exponential
+//! removal lattice. A [`ChaseContext`] owns one dependency set and one
+//! [`ChaseConfig`] and memoizes all three:
+//!
+//! * **chase outcomes**, keyed by the alpha-normalized query. Entries
+//!   hold a *resumable* [`ChaseState`](crate::chase::ChaseState) rather
+//!   than a finished result: a containment check stops chasing the
+//!   moment a witness homomorphism appears (sound, because every chase
+//!   prefix is equivalent to the input), and the next check against the
+//!   same query resumes from where the last one stopped;
+//! * **containment verdicts**, keyed by the alpha-normalized pair;
+//! * **implication verdicts** `D ⊨ σ`, keyed by a canonicalized `σ`
+//!   (bound variables renamed, conditions normalized and sorted) —
+//!   lookup-safety and condition-pruning proofs repeat heavily across
+//!   the lattice.
+//!
+//! [`CacheStats`] counts hits and misses so benchmarks (E7/E8) can
+//! attribute speedups; [`ChaseContext::without_memo`] disables the
+//! caches for differential testing — a memoized and a cache-disabled run
+//! must produce byte-identical results.
+//!
+//! The free functions [`chase`](crate::chase()), [`contained_in`],
+//! [`equivalent`], [`implies`], [`backchase`](crate::backchase()) …
+//! remain available as thin wrappers that allocate a throwaway context;
+//! use the context API whenever more than one question will be asked of
+//! the same dependency set.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pcql::query::{Binding, Equality, Query};
+use pcql::Dependency;
+
+use crate::chase::{ChaseConfig, ChaseOutcome, ChaseState};
+use crate::containment::output_matching_hom;
+use crate::implication::implies_uncached;
+
+/// Cache hit/miss counters of a [`ChaseContext`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Chase states reused (including partial states resumed by a later
+    /// containment check).
+    pub chase_hits: u64,
+    /// Chase states built from scratch.
+    pub chase_misses: u64,
+    /// Containment verdicts answered from the memo.
+    pub containment_hits: u64,
+    /// Containment verdicts computed.
+    pub containment_misses: u64,
+    /// Implication verdicts answered from the memo.
+    pub implication_hits: u64,
+    /// Implication verdicts computed.
+    pub implication_misses: u64,
+    /// Containment checks discharged by validating a homomorphism seeded
+    /// from the parent lattice node instead of searching.
+    pub seeded_hom_hits: u64,
+}
+
+impl CacheStats {
+    /// Total memo hits across all three caches.
+    pub fn hits(&self) -> u64 {
+        self.chase_hits + self.containment_hits + self.implication_hits
+    }
+
+    /// Total memo misses across all three caches.
+    pub fn misses(&self) -> u64 {
+        self.chase_misses + self.containment_misses + self.implication_misses
+    }
+
+    /// Fraction of lookups answered from a cache (0.0 when nothing was
+    /// asked).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// A chase entry: the resumable state plus, once someone asked for the
+/// full result, the finalized (coalesced) outcome.
+#[derive(Debug, Clone)]
+struct ChasedEntry {
+    state: ChaseState,
+    outcome: Option<ChaseOutcome>,
+}
+
+/// The shared, memoized chase core: one dependency set, one budget, and
+/// caches for chase outcomes, containment and implication. See the
+/// module docs for the architecture.
+#[derive(Debug, Clone)]
+pub struct ChaseContext {
+    deps: Vec<Dependency>,
+    cfg: ChaseConfig,
+    caching: bool,
+    chased: HashMap<Query, ChasedEntry>,
+    containment: HashMap<(Query, Query), bool>,
+    implication: HashMap<Dependency, bool>,
+    stats: CacheStats,
+}
+
+impl ChaseContext {
+    /// A context over `deps` with the given chase budgets.
+    pub fn new(deps: Vec<Dependency>, cfg: ChaseConfig) -> ChaseContext {
+        ChaseContext {
+            deps,
+            cfg,
+            caching: true,
+            chased: HashMap::new(),
+            containment: HashMap::new(),
+            implication: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A context whose caches are disabled: every question is recomputed
+    /// from scratch. Exists so differential tests can assert that
+    /// memoization never changes an answer.
+    pub fn without_memo(deps: Vec<Dependency>, cfg: ChaseConfig) -> ChaseContext {
+        ChaseContext {
+            caching: false,
+            ..ChaseContext::new(deps, cfg)
+        }
+    }
+
+    /// The dependency set this context reasons over.
+    pub fn deps(&self) -> &[Dependency] {
+        &self.deps
+    }
+
+    /// The chase budgets in force.
+    pub fn cfg(&self) -> &ChaseConfig {
+        &self.cfg
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub(crate) fn note_seeded_hom(&mut self) {
+        self.stats.seeded_hom_hits += 1;
+    }
+
+    /// Ensures a chase entry for `q` exists under its alpha key; returns
+    /// the key and whether existing state was reused.
+    fn ensure_entry(&mut self, q: &Query) -> (Query, bool) {
+        let key = q.alpha_normalized();
+        let reused = self.caching && self.chased.contains_key(&key);
+        if reused {
+            self.stats.chase_hits += 1;
+        } else {
+            self.stats.chase_misses += 1;
+            self.chased.insert(
+                key.clone(),
+                ChasedEntry {
+                    state: ChaseState::new(q),
+                    outcome: None,
+                },
+            );
+        }
+        (key, reused)
+    }
+
+    /// Chases `q` to a fixpoint (or budget), memoized.
+    ///
+    /// On a cache hit for an *alpha-equivalent but differently named*
+    /// query, the returned outcome carries the variable names of the
+    /// first query chased under this key; all derived judgements
+    /// (containment, equivalence, implication) are invariant under that
+    /// renaming.
+    pub fn chase(&mut self, q: &Query) -> ChaseOutcome {
+        let (key, _) = self.ensure_entry(q);
+        let entry = self.chased.get_mut(&key).expect("entry just ensured");
+        if entry.outcome.is_none() {
+            while entry.state.step(&self.deps, &self.cfg) {}
+            entry.outcome = Some(entry.state.finalize(&self.deps, &self.cfg));
+        }
+        entry.outcome.clone().expect("outcome just finalized")
+    }
+
+    /// Is `q1 ⊑ q2` under this context's dependencies (set semantics)?
+    ///
+    /// Chases `q1` *lazily*: after every step the containment mapping
+    /// from `q2` is retried, and the chase stops at the first witness —
+    /// a sound early exit, since each chase prefix is equivalent to
+    /// `q1`. A verdict of `false` still requires the fixpoint (or the
+    /// budget), exactly like the eager test.
+    pub fn contained_in(&mut self, q1: &Query, q2: &Query) -> bool {
+        let key = (q1.alpha_normalized(), q2.alpha_normalized());
+        if self.caching {
+            if let Some(&v) = self.containment.get(&key) {
+                self.stats.containment_hits += 1;
+                return v;
+            }
+        }
+        self.stats.containment_misses += 1;
+        let (chase_key, _) = self.ensure_entry(q1);
+        let entry = self.chased.get_mut(&chase_key).expect("entry just ensured");
+        let result = loop {
+            let output = entry.state.query.output.clone();
+            if output_matching_hom(&mut entry.state.graph, &output, q2, &self.cfg, None).is_some() {
+                break true;
+            }
+            if !entry.state.step(&self.deps, &self.cfg) {
+                break false;
+            }
+        };
+        if self.caching {
+            self.containment.insert(key, result);
+        }
+        result
+    }
+
+    /// Are the queries equivalent under this context's dependencies?
+    pub fn equivalent(&mut self, q1: &Query, q2: &Query) -> bool {
+        self.contained_in(q1, q2) && self.contained_in(q2, q1)
+    }
+
+    /// Does the dependency set imply `sigma` (as far as the bounded chase
+    /// can tell)? Memoized on a canonicalized `sigma`; the underlying
+    /// prover also early-exits the moment the conclusion is witnessed.
+    pub fn implies(&mut self, sigma: &Dependency) -> bool {
+        let key = canonical_dependency(sigma);
+        if self.caching {
+            if let Some(&v) = self.implication.get(&key) {
+                self.stats.implication_hits += 1;
+                return v;
+            }
+        }
+        self.stats.implication_misses += 1;
+        let v = implies_uncached(&self.deps, sigma, &self.cfg);
+        if self.caching {
+            self.implication.insert(key, v);
+        }
+        v
+    }
+}
+
+/// Canonical memo key for a dependency: bound variables renamed to
+/// `c0, c1, …` in (forall, exists) order, name cleared, conditions
+/// normalized, sorted and deduplicated. Two dependencies that differ
+/// only in variable names or condition order share a key.
+fn canonical_dependency(sigma: &Dependency) -> Dependency {
+    let map: BTreeMap<String, String> = sigma
+        .forall
+        .iter()
+        .chain(sigma.exists.iter())
+        .enumerate()
+        .map(|(i, b)| (b.var.clone(), format!("c{i}")))
+        .collect();
+    let rename_binding = |b: &Binding| Binding {
+        var: map.get(&b.var).cloned().unwrap_or_else(|| b.var.clone()),
+        src: b.src.rename(&map),
+        kind: b.kind,
+    };
+    let rename_eqs = |eqs: &[Equality]| -> Vec<Equality> {
+        let mut out: Vec<Equality> = eqs.iter().map(|e| e.rename(&map).normalized()).collect();
+        out.sort();
+        out.dedup();
+        out
+    };
+    Dependency {
+        name: String::new(),
+        forall: sigma.forall.iter().map(rename_binding).collect(),
+        premise: rename_eqs(&sigma.premise),
+        exists: sigma.exists.iter().map(rename_binding).collect(),
+        conclusion: rename_eqs(&sigma.conclusion),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcql::parser::{parse_dependency, parse_query};
+
+    #[test]
+    fn chase_memo_hits_on_alpha_equivalent_queries() {
+        let d =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.B = s.B").unwrap();
+        let mut ctx = ChaseContext::new(vec![d], ChaseConfig::default());
+        let q1 = parse_query("select struct(A = r.A) from R r").unwrap();
+        let q2 = parse_query("select struct(A = x.A) from R x").unwrap();
+        let o1 = ctx.chase(&q1);
+        let o2 = ctx.chase(&q2);
+        assert_eq!(o1.query.alpha_normalized(), o2.query.alpha_normalized());
+        assert_eq!(ctx.stats().chase_hits, 1);
+        assert_eq!(ctx.stats().chase_misses, 1);
+    }
+
+    #[test]
+    fn containment_memo_and_disabled_context_agree() {
+        let ric =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.A = s.A").unwrap();
+        let narrower = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A").unwrap();
+        let wider = parse_query("select struct(A = r.A) from R r").unwrap();
+        let mut on = ChaseContext::new(vec![ric.clone()], ChaseConfig::default());
+        let mut off = ChaseContext::without_memo(vec![ric], ChaseConfig::default());
+        for _ in 0..3 {
+            assert!(on.equivalent(&narrower, &wider));
+            assert!(off.equivalent(&narrower, &wider));
+        }
+        assert!(on.stats().containment_hits > 0);
+        assert_eq!(off.stats().containment_hits, 0);
+        assert_eq!(off.stats().containment_misses, 6);
+    }
+
+    #[test]
+    fn implication_memo_ignores_names_and_condition_order() {
+        let key =
+            parse_dependency("key", "forall (p in R) (q in R) where p.K = q.K -> p = q").unwrap();
+        let g1 = parse_dependency(
+            "g1",
+            "forall (p in R) (q in R) where p.K = q.K -> p.B = q.B",
+        )
+        .unwrap();
+        let g2 = parse_dependency(
+            "g2",
+            "forall (x in R) (y in R) where y.K = x.K -> x.B = y.B",
+        )
+        .unwrap();
+        let mut ctx = ChaseContext::new(vec![key], ChaseConfig::default());
+        assert!(ctx.implies(&g1));
+        assert!(ctx.implies(&g2));
+        assert_eq!(ctx.stats().implication_misses, 1);
+        assert_eq!(ctx.stats().implication_hits, 1);
+    }
+}

@@ -49,6 +49,111 @@ pub fn extension_exists(
     !find_homomorphisms(graph, bindings, eqs, init, 1).is_empty()
 }
 
+/// Finds the first homomorphism extending `init` that `accept` approves,
+/// testing at most `limit` complete assignments.
+///
+/// This is the streaming counterpart of [`find_homomorphisms`]: the
+/// containment and chase-applicability tests need *one* witness
+/// satisfying an extra condition (matching outputs, missing extension),
+/// and materializing the full — worst-case exponential — homomorphism
+/// set first just to scan it afterwards dominated the backchase profile.
+pub fn find_matching_hom(
+    graph: &mut QueryGraph,
+    bindings: &[Binding],
+    eqs: &[Equality],
+    init: &Assignment,
+    limit: usize,
+    accept: &mut dyn FnMut(&mut QueryGraph, &Assignment) -> bool,
+) -> Option<Assignment> {
+    let mut h = init.clone();
+    let mut tested = 0usize;
+    search_first(graph, bindings, eqs, &mut h, 0, limit, &mut tested, accept)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_first(
+    graph: &mut QueryGraph,
+    bindings: &[Binding],
+    eqs: &[Equality],
+    h: &mut Assignment,
+    depth: usize,
+    limit: usize,
+    tested: &mut usize,
+    accept: &mut dyn FnMut(&mut QueryGraph, &Assignment) -> bool,
+) -> Option<Assignment> {
+    if *tested >= limit {
+        return None;
+    }
+    if depth == bindings.len() {
+        *tested += 1;
+        if eqs_hold(graph, eqs, h, true) && accept(graph, h) {
+            return Some(h.clone());
+        }
+        return None;
+    }
+    let b = &bindings[depth];
+    if !b.src.free_vars().iter().all(|v| h.contains_key(v)) {
+        debug_assert!(
+            false,
+            "unassigned pattern variables in {} (ill-scoped)",
+            b.src
+        );
+        return None;
+    }
+    let src = b.src.subst(h);
+    let src_class = graph.egraph.add_path(&src);
+    let src_class = graph.egraph.find(src_class);
+    let candidates: Vec<String> = graph
+        .members
+        .iter()
+        .filter(|m| graph.egraph.find(m.src_class) == src_class)
+        .map(|m| m.var.clone())
+        .collect();
+    for var in candidates {
+        h.insert(b.var.clone(), Path::Var(var));
+        if eqs_hold(graph, eqs, h, false) {
+            if let Some(found) =
+                search_first(graph, bindings, eqs, h, depth + 1, limit, tested, accept)
+            {
+                h.remove(&b.var);
+                return Some(found);
+            }
+        }
+        h.remove(&b.var);
+        if *tested >= limit {
+            return None;
+        }
+    }
+    None
+}
+
+/// Validates a *total* candidate assignment as a homomorphism without
+/// searching: every binding variable must map into a membership fact over
+/// a congruent source, and every equality must hold. Lets the backchase
+/// seed a child subquery's containment check from its parent's witness
+/// (the child's surviving variables are a subset of the parent's) and
+/// skip the backtracking search entirely on success.
+pub fn hom_is_valid(
+    graph: &mut QueryGraph,
+    bindings: &[Binding],
+    eqs: &[Equality],
+    h: &Assignment,
+) -> bool {
+    for b in bindings {
+        let Some(image) = h.get(&b.var) else {
+            return false;
+        };
+        if !b.src.free_vars().iter().all(|v| h.contains_key(v)) {
+            return false;
+        }
+        let src = b.src.subst(h);
+        if !graph.has_member(&src, image) {
+            return false;
+        }
+    }
+    eqs_hold(graph, eqs, h, true)
+}
+
 fn search(
     graph: &mut QueryGraph,
     bindings: &[Binding],

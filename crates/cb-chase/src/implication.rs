@@ -17,34 +17,49 @@ use pcql::path::Path;
 use pcql::query::{Output, Query};
 use pcql::Dependency;
 
-use crate::canon::QueryGraph;
-use crate::chase::{chase, ChaseConfig};
+use crate::chase::{ChaseConfig, ChaseState};
+use crate::context::ChaseContext;
 use crate::hom::extension_exists;
 
 /// Does `deps ⊨ sigma` (as far as the bounded chase can tell)?
+///
+/// Thin wrapper allocating a throwaway [`ChaseContext`]; the backchase
+/// and the optimizer route their (heavily repetitive) proof obligations
+/// through a shared context, which memoizes verdicts on a canonicalized
+/// `sigma`.
 pub fn implies(deps: &[Dependency], sigma: &Dependency, cfg: &ChaseConfig) -> bool {
+    ChaseContext::new(deps.to_vec(), cfg.clone()).implies(sigma)
+}
+
+/// The uncached prover: freeze σ's universal side as a canonical query,
+/// chase it with `deps`, and look for a homomorphic witness of the
+/// conclusion — testing after *every* step, because the chase only ever
+/// adds facts (no coalescing happens mid-chase), so a witness found
+/// early persists to the fixpoint and the remaining steps are moot.
+pub(crate) fn implies_uncached(deps: &[Dependency], sigma: &Dependency, cfg: &ChaseConfig) -> bool {
     // The premise of σ, frozen as a query ("viewed as a boolean query").
     let premise = Query::new(
         Output::record(Vec::<(String, Path)>::new()),
         sigma.forall.clone(),
         sigma.premise.clone(),
     );
-    // No coalescing here: the conclusion check below pins σ's universal
-    // variables by name, so the chase must only add, never rename.
-    let cfg = ChaseConfig {
-        coalesce: false,
-        ..cfg.clone()
-    };
-    let chased = chase(&premise, deps, &cfg);
-    let mut graph = QueryGraph::of_query(&chased.query);
-    // The universal variables are mapped to themselves (the chase only
-    // ever adds to the query, it never renames).
+    // The universal variables are mapped to themselves: the conclusion
+    // check pins them by name, which is sound because the step-wise
+    // chase only adds, never renames.
     let init: BTreeMap<String, Path> = sigma
         .forall
         .iter()
         .map(|b| (b.var.clone(), Path::Var(b.var.clone())))
         .collect();
-    extension_exists(&mut graph, &sigma.exists, &sigma.conclusion, &init)
+    let mut st = ChaseState::new(&premise);
+    loop {
+        if extension_exists(&mut st.graph, &sigma.exists, &sigma.conclusion, &init) {
+            return true;
+        }
+        if !st.step(deps, cfg) {
+            return false;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -19,10 +19,34 @@
 //!
 //! Everything is built on one structure: the congruence-closure e-graph
 //! of a query's body ([`canon::QueryGraph`] over [`egraph::EGraph`]).
+//!
+//! ## The two API layers
+//!
+//! All of the above exist twice:
+//!
+//! 1. **Free functions** — `chase(q, deps, cfg)`, `contained_in(q1, q2,
+//!    deps, cfg)`, `backchase(u, deps, cfg)`, … Stateless and
+//!    convenient; each call allocates a throwaway [`ChaseContext`].
+//!    Right for one-off questions, examples and tests.
+//! 2. **The context API** — [`ChaseContext`] owns a dependency set and a
+//!    budget and memoizes chase outcomes (keyed by alpha-normalized
+//!    query, held as *resumable* states), containment verdicts and
+//!    implication verdicts across calls: [`ChaseContext::chase`],
+//!    [`ChaseContext::contained_in`], [`ChaseContext::implies`],
+//!    [`backchase_in`], [`backchase_greedy_in`], [`examine_removal_in`],
+//!    [`is_minimal_in`]. The backchase explores an exponential removal
+//!    lattice whose nodes keep asking the same questions — the context
+//!    is what makes that affordable, and the optimizer runs one context
+//!    per optimization so its chase, backchase and cleanup phases reuse
+//!    each other's work. [`CacheStats`] exposes hit/miss counters.
+//!
+//! Use the free functions until you ask two questions of the same
+//! dependency set; then hold a context.
 
 pub mod backchase;
 pub mod canon;
 pub mod chase;
+pub mod context;
 pub mod egraph;
 pub mod hom;
 pub mod implication;
@@ -31,7 +55,8 @@ pub mod termination;
 mod containment;
 
 pub use backchase::{
-    backchase, backchase_greedy, backchase_step, examine_removal, is_minimal, minimize,
+    backchase, backchase_greedy, backchase_greedy_in, backchase_in, backchase_step,
+    backchase_step_in, examine_removal, examine_removal_in, is_minimal, is_minimal_in, minimize,
     BackchaseConfig, BackchaseOutcome, RemovalJudgement,
 };
 pub use canon::QueryGraph;
@@ -39,6 +64,7 @@ pub use chase::{
     chase, chase_step, coalesce_duplicates, ChaseConfig, ChaseOutcome, ChaseStepTrace,
 };
 pub use containment::{contained_in, contained_in_pre_chased, equivalent};
+pub use context::{CacheStats, ChaseContext};
 pub use egraph::EGraph;
 pub use implication::implies;
 pub use termination::{analyze_termination, is_weakly_acyclic, TerminationVerdict};

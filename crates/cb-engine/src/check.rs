@@ -34,12 +34,18 @@ fn all_universal(
         }
         Some((b, tail)) => {
             let src = ev.eval_path(env, &b.src)?;
-            let items = src
-                .as_set()
-                .cloned()
-                .ok_or_else(|| EvalError::NotASet(b.src.to_string()))?;
+            let Value::Set(items) = src else {
+                return Err(EvalError::NotASet(b.src.to_string()));
+            };
             for item in items {
                 env.insert(b.var.clone(), item);
+                // A premise equality whose variables are all bound and
+                // which already fails makes every extension vacuously
+                // satisfied — prune the subtree instead of enumerating
+                // the remaining cross product.
+                if !bound_eqs_hold(ev, &dep.premise, env)? {
+                    continue;
+                }
                 if !all_universal(ev, dep, tail, env)? {
                     env.remove(&b.var);
                     return Ok(false);
@@ -61,12 +67,16 @@ fn some_existential(
         None => eqs_hold(ev, &dep.conclusion, env),
         Some((b, tail)) => {
             let src = ev.eval_path(env, &b.src)?;
-            let items = src
-                .as_set()
-                .cloned()
-                .ok_or_else(|| EvalError::NotASet(b.src.to_string()))?;
+            let Value::Set(items) = src else {
+                return Err(EvalError::NotASet(b.src.to_string()));
+            };
             for item in items {
                 env.insert(b.var.clone(), item);
+                // A conclusion equality whose variables are all bound and
+                // fails rules this witness candidate out immediately.
+                if !bound_eqs_hold(ev, &dep.conclusion, env)? {
+                    continue;
+                }
                 if some_existential(ev, dep, tail, env)? {
                     env.remove(&b.var);
                     return Ok(true);
@@ -84,6 +94,25 @@ fn eqs_hold(
     env: &BTreeMap<String, Value>,
 ) -> Result<bool, EvalError> {
     for Equality(l, r) in eqs {
+        if ev.eval_path(env, l)? != ev.eval_path(env, r)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// [`eqs_hold`] restricted to the equalities whose variables are all in
+/// `env`; unbound equalities are deferred, not failed. Early checking
+/// turns the naive full-cross-product descent into a join-like search.
+fn bound_eqs_hold(
+    ev: &Evaluator<'_>,
+    eqs: &[Equality],
+    env: &BTreeMap<String, Value>,
+) -> Result<bool, EvalError> {
+    for eq @ Equality(l, r) in eqs {
+        if eq.free_vars().iter().any(|v| !env.contains_key(v)) {
+            continue;
+        }
         if ev.eval_path(env, l)? != ev.eval_path(env, r)? {
             return Ok(false);
         }

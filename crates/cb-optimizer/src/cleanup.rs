@@ -46,7 +46,15 @@ pub fn prune_implied_conditions(
     q: &Query,
     cfg: &cb_chase::ChaseConfig,
 ) -> Query {
-    let deps = catalog.all_constraints();
+    let mut ctx = cb_chase::ChaseContext::new(catalog.all_constraints(), cfg.clone());
+    prune_implied_conditions_in(&mut ctx, q)
+}
+
+/// [`prune_implied_conditions`] against a shared [`cb_chase::ChaseContext`]
+/// (the optimizer prunes every candidate plan through the one context of
+/// its optimization run, so proof obligations repeated across plans are
+/// answered from the implication memo).
+pub fn prune_implied_conditions_in(ctx: &mut cb_chase::ChaseContext, q: &Query) -> Query {
     let mut out = q.clone();
     let mut i = 0;
     while i < out.where_.len() {
@@ -59,7 +67,7 @@ pub fn prune_implied_conditions(
             vec![],
             vec![conclusion],
         );
-        if cb_chase::implies(&deps, &sigma, cfg) {
+        if ctx.implies(&sigma) {
             out.where_ = premise;
         } else {
             i += 1;

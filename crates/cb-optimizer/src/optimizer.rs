@@ -25,7 +25,10 @@
 use std::fmt;
 
 use cb_catalog::Catalog;
-use cb_chase::{backchase, chase, BackchaseConfig, ChaseConfig, ChaseStepTrace};
+use cb_chase::{
+    backchase_greedy_in, backchase_in, BackchaseConfig, BackchaseOutcome, CacheStats, ChaseConfig,
+    ChaseContext, ChaseStepTrace,
+};
 use pcql::query::Query;
 use pcql::typecheck::{check_query, TypeError};
 
@@ -46,6 +49,12 @@ pub enum SearchStrategy {
 }
 
 /// Optimizer configuration.
+///
+/// One [`ChaseContext`] built from `chase` runs the whole optimization
+/// (universal plan, backchase, condition pruning), so `backchase.chase`
+/// is not consulted by [`Optimizer::optimize`] — only
+/// `backchase.max_visited` is. The nested config remains for callers
+/// that drive `cb_chase::backchase` directly.
 #[derive(Debug, Clone, Default)]
 pub struct OptimizerConfig {
     pub chase: ChaseConfig,
@@ -84,6 +93,9 @@ pub struct OptimizeOutcome {
     pub best: PlanChoice,
     /// Whether both phases ran to completion within budgets.
     pub complete: bool,
+    /// Cache counters of the [`ChaseContext`] that ran this optimization
+    /// (chase/containment/implication memo hits and misses).
+    pub cache: CacheStats,
 }
 
 /// Optimization errors.
@@ -141,19 +153,41 @@ impl<'a> Optimizer<'a> {
         Optimizer { catalog, config }
     }
 
-    /// Runs Algorithm 1 on `q`.
+    /// Runs Algorithm 1 on `q`. One [`ChaseContext`] is allocated per
+    /// optimization, so the chase, backchase and plan-cleanup phases all
+    /// reuse the same memoized chases, containment verdicts and
+    /// implication proofs.
     pub fn optimize(&self, q: &Query) -> Result<OptimizeOutcome, OptimizeError> {
+        let mut ctx = ChaseContext::new(self.catalog.all_constraints(), self.config.chase.clone());
+        self.optimize_in(&mut ctx, q)
+    }
+
+    /// [`Optimizer::optimize`] against a caller-held [`ChaseContext`].
+    ///
+    /// Phases 1–3 are cost-independent, so repeated optimizations over
+    /// the same constraint set (re-optimizing after a statistics refresh,
+    /// sweeping data scales, differential testing across seeds) can share
+    /// one context and answer the entire chase/backchase from its memos.
+    /// The context must have been built from this catalog's
+    /// `all_constraints()` (and the same chase budget); verdicts cached
+    /// under other dependency sets would be unsound here.
+    pub fn optimize_in(
+        &self,
+        ctx: &mut ChaseContext,
+        q: &Query,
+    ) -> Result<OptimizeOutcome, OptimizeError> {
         let schema = self.catalog.combined_schema();
         check_query(&schema, q)?;
-        let deps = self.catalog.all_constraints();
 
         // Phase 1: chase to the universal plan.
-        let chased = chase(q, &deps, &self.config.chase);
+        let chased = ctx.chase(q);
         let universal = chased.query.clone();
 
         // Phase 2: backchase enumeration of minimal plans.
         let bc = match self.config.strategy {
-            SearchStrategy::Exhaustive => backchase(&universal, &deps, &self.config.backchase),
+            SearchStrategy::Exhaustive => {
+                backchase_in(ctx, &universal, self.config.backchase.max_visited)
+            }
             SearchStrategy::Greedy => {
                 // Prefer removing what is logical-only, per the paper's
                 // "obvious strategy".
@@ -165,9 +199,8 @@ impl<'a> Optimizer<'a> {
                     .filter(|r| !self.catalog.is_physical_root(r))
                     .cloned()
                     .collect();
-                let plan =
-                    cb_chase::backchase_greedy(&universal, &deps, &prefer, &self.config.chase);
-                cb_chase::BackchaseOutcome {
+                let plan = backchase_greedy_in(ctx, &universal, &prefer);
+                BackchaseOutcome {
                     normal_forms: vec![plan],
                     visited: vec![universal.clone()],
                     complete: true,
@@ -179,12 +212,14 @@ impl<'a> Optimizer<'a> {
         // plan.
         let model = CostModel::for_catalog(self.catalog);
         let mut candidates: Vec<PlanChoice> = Vec::new();
-        let consider = |raw: &Query, minimal: bool, candidates: &mut Vec<PlanChoice>| {
+        let consider = |ctx: &mut ChaseContext,
+                        raw: &Query,
+                        minimal: bool,
+                        candidates: &mut Vec<PlanChoice>| {
             if !self.catalog.is_physical_query(raw) {
                 return;
             }
-            let pruned =
-                crate::cleanup::prune_implied_conditions(self.catalog, raw, &self.config.chase);
+            let pruned = crate::cleanup::prune_implied_conditions_in(ctx, raw);
             let cleaned = cleanup_plan(self.catalog, &pruned);
             let ordered = reorder_bindings(&cleaned, &model);
             let cost = model.plan_cost(&ordered);
@@ -196,7 +231,7 @@ impl<'a> Optimizer<'a> {
             });
         };
         for nf in &bc.normal_forms {
-            consider(nf, true, &mut candidates);
+            consider(ctx, nf, true, &mut candidates);
         }
         if self.config.cost_visited {
             let nf_set: std::collections::BTreeSet<Query> = bc
@@ -206,7 +241,7 @@ impl<'a> Optimizer<'a> {
                 .collect();
             for v in &bc.visited {
                 if !nf_set.contains(&v.alpha_normalized()) {
-                    consider(v, false, &mut candidates);
+                    consider(ctx, v, false, &mut candidates);
                 }
             }
         }
@@ -235,6 +270,7 @@ impl<'a> Optimizer<'a> {
             candidates,
             best,
             complete: chased.complete && bc.complete,
+            cache: ctx.stats(),
         })
     }
 }

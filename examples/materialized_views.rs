@@ -22,9 +22,12 @@ fn main() {
         println!("=== {label} ===");
         let mut catalog = cb_catalog::scenarios::relational_views::catalog();
         let q = cb_catalog::scenarios::relational_views::query();
+        // 2500×2500 keeps the base join visibly painful (≈6M pairs, whole
+        // seconds) while the navigation join stays sub-millisecond; the
+        // old 5000×5000 spent ~25 s proving the same point.
         let params = cb_engine::JoinParams {
-            n_r: 5_000,
-            n_s: 5_000,
+            n_r: 2_500,
+            n_s: 2_500,
             match_fraction,
             seed: 11,
         };

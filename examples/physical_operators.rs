@@ -22,7 +22,9 @@ fn main() {
     catalog.add_direct_mapping("S");
 
     let mut instance = Instance::new();
-    let n = 3000i64;
+    // 2000 rows ≈ 4M nested-loop pairs: enough for the hash join to win
+    // by orders of magnitude without dominating the examples smoke test.
+    let n = 2000i64;
     instance.set(
         "R",
         Value::set(
@@ -62,8 +64,8 @@ fn main() {
     // navigation join of §4.
     let mut view_cat = cb_catalog::scenarios::relational_views::catalog();
     let mut view_inst = cb_engine::join_instance(&cb_engine::JoinParams {
-        n_r: 2000,
-        n_s: 2000,
+        n_r: 1500,
+        n_s: 1500,
         match_fraction: 0.05,
         seed: 11,
     });

@@ -6,9 +6,22 @@
 //! pipeline (constraint generation, chase, backchase, cleanup, reorder,
 //! evaluation) against ground truth.
 
+use universal_plans::chase::ChaseContext;
 use universal_plans::prelude::*;
 
-fn check_all_plans(catalog: &Catalog, q: &pcql::Query, instance: &Instance) {
+/// A context shared across the seeds/scales of one scenario: the chase
+/// and backchase are cost-independent, so re-optimizing the same query
+/// under refreshed statistics answers phase 1–2 from the memos.
+fn context_for(catalog: &Catalog) -> ChaseContext {
+    ChaseContext::new(catalog.all_constraints(), Default::default())
+}
+
+fn check_all_plans(
+    catalog: &Catalog,
+    q: &pcql::Query,
+    instance: &Instance,
+    ctx: &mut ChaseContext,
+) {
     let ev = Evaluator::for_catalog(catalog, instance);
     let reference = ev.eval_query(q).unwrap();
     // A bounded enumeration keeps the suite fast; an incomplete backchase
@@ -21,7 +34,9 @@ fn check_all_plans(catalog: &Catalog, q: &pcql::Query, instance: &Instance) {
         cost_visited: true,
         ..Default::default()
     };
-    let outcome = Optimizer::with_config(catalog, config).optimize(q).unwrap();
+    let outcome = Optimizer::with_config(catalog, config)
+        .optimize_in(ctx, q)
+        .unwrap();
     assert!(!outcome.candidates.is_empty());
     for (i, c) in outcome.candidates.iter().enumerate() {
         let rows = ev
@@ -37,6 +52,7 @@ fn check_all_plans(catalog: &Catalog, q: &pcql::Query, instance: &Instance) {
 
 #[test]
 fn projdept_plans_agree_across_seeds() {
+    let mut ctx = context_for(&cb_catalog::scenarios::projdept::catalog());
     for seed in [1, 1234] {
         let mut catalog = cb_catalog::scenarios::projdept::catalog();
         let q = cb_catalog::scenarios::projdept::query();
@@ -50,7 +66,7 @@ fn projdept_plans_agree_across_seeds() {
             .materialize(&mut instance)
             .unwrap();
         *catalog.stats_mut() = cb_engine::collect_stats(&instance);
-        check_all_plans(&catalog, &q, &instance);
+        check_all_plans(&catalog, &q, &instance, &mut ctx);
     }
 }
 
@@ -90,11 +106,12 @@ fn projdept_plans_agree_when_citibank_absent() {
 
     let ev = Evaluator::for_catalog(&catalog, &instance);
     assert!(ev.eval_query(&q).unwrap().is_empty());
-    check_all_plans(&catalog, &q, &instance);
+    check_all_plans(&catalog, &q, &instance, &mut context_for(&catalog));
 }
 
 #[test]
 fn relational_indexes_plans_agree() {
+    let mut ctx = context_for(&cb_catalog::scenarios::relational_indexes::catalog());
     for (n, da, db, seed) in [(200, 20, 10, 1), (500, 8, 40, 9)] {
         let mut catalog = cb_catalog::scenarios::relational_indexes::catalog();
         let q = cb_catalog::scenarios::relational_indexes::query();
@@ -108,12 +125,13 @@ fn relational_indexes_plans_agree() {
             .materialize(&mut instance)
             .unwrap();
         *catalog.stats_mut() = cb_engine::collect_stats(&instance);
-        check_all_plans(&catalog, &q, &instance);
+        check_all_plans(&catalog, &q, &instance, &mut ctx);
     }
 }
 
 #[test]
 fn relational_views_plans_agree() {
+    let mut ctx = context_for(&cb_catalog::scenarios::relational_views::catalog());
     for (frac, seed) in [(0.05, 2), (0.5, 5), (1.0, 8)] {
         let mut catalog = cb_catalog::scenarios::relational_views::catalog();
         let q = cb_catalog::scenarios::relational_views::query();
@@ -127,7 +145,7 @@ fn relational_views_plans_agree() {
             .materialize(&mut instance)
             .unwrap();
         *catalog.stats_mut() = cb_engine::collect_stats(&instance);
-        check_all_plans(&catalog, &q, &instance);
+        check_all_plans(&catalog, &q, &instance, &mut ctx);
     }
 }
 
@@ -159,10 +177,11 @@ fn gmap_backed_plans_agree() {
         .materialize(&mut instance)
         .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
-    check_all_plans(&catalog, &q, &instance);
+    let mut ctx = context_for(&catalog);
+    check_all_plans(&catalog, &q, &instance, &mut ctx);
 
     // The gmap plan is actually among the candidates.
-    let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();
+    let outcome = Optimizer::new(&catalog).optimize_in(&mut ctx, &q).unwrap();
     assert!(
         outcome
             .candidates
@@ -190,8 +209,9 @@ fn asr_backed_plans_agree() {
         .materialize(&mut instance)
         .unwrap();
     *catalog.stats_mut() = cb_engine::collect_stats(&instance);
-    check_all_plans(&catalog, &q, &instance);
-    let outcome = Optimizer::new(&catalog).optimize(&q).unwrap();
+    let mut ctx = context_for(&catalog);
+    check_all_plans(&catalog, &q, &instance, &mut ctx);
+    let outcome = Optimizer::new(&catalog).optimize_in(&mut ctx, &q).unwrap();
     assert!(
         outcome
             .candidates
