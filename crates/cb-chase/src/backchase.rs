@@ -37,8 +37,15 @@
 //!
 //! With an empty dependency set the backchase is exactly generalized
 //! tableau minimization.
+//!
+//! The enumeration itself is factored into [`PlanSearch`], a streaming
+//! driver that hands each equivalence-verified subquery to a visitor
+//! which steers the walk ([`Visit::Explore`] / [`Visit::Prune`] /
+//! [`Visit::Accept`]); [`backchase`] and [`backchase_in`] are its
+//! collect-everything instantiations, and the optimizer's cost-guided
+//! branch-and-bound strategy is another.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use pcql::idgen::VarGen;
 use pcql::path::Path;
@@ -400,6 +407,358 @@ fn first_unsafe(ctx: &mut ChaseContext, q: &Query) -> Option<(Path, bool)> {
     None
 }
 
+/// What a [`PlanSearch`] visitor tells the driver about one
+/// equivalence-verified lattice node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Visit {
+    /// Examine the node's children — the exhaustive behaviour.
+    #[default]
+    Explore,
+    /// Skip this node: neither cost nor descend below it. Sound for
+    /// *search* whenever the visitor knows the node and its descendants
+    /// cannot be of interest (e.g. an admissible cost lower bound already
+    /// exceeds the incumbent best); the node's minimality then remains
+    /// undetermined, so it is not reported as a normal form.
+    Prune,
+    /// Stop the whole search, keeping everything found so far.
+    Accept,
+}
+
+/// A caller-supplied steering policy for [`PlanSearch`]: which verified
+/// nodes to expand ([`SearchVisitor::visit`]), which candidates are worth
+/// verifying at all ([`SearchVisitor::admit`]), and in what order the
+/// frontier is explored ([`SearchVisitor::priority`]). The defaults
+/// reproduce the exhaustive breadth-first enumeration exactly.
+pub trait SearchVisitor {
+    /// Called once per equivalence-verified node, in exploration order
+    /// (the search root first). The node is a sound plan; the verdict
+    /// steers the search. The [`ChaseContext`] is handed back so the
+    /// visitor can run its own memoized proofs (e.g. condition pruning
+    /// while costing a plan).
+    fn visit(&mut self, _ctx: &mut ChaseContext, _q: &Query, _removed: &BTreeSet<String>) -> Visit {
+        Visit::Explore
+    }
+
+    /// A cheap gate on each candidate subquery *before* the expensive
+    /// equivalence verification; returning `false` skips the candidate
+    /// (it is never verified, visited or costed) and counts it as
+    /// pruned. A branch-and-bound caller returns `false` when an
+    /// admissible lower bound for the candidate (and hence, by
+    /// monotonicity, for its whole sublattice) already exceeds its
+    /// incumbent. Default: admit everything.
+    fn admit(&mut self, _q: &Query, _removed: &BTreeSet<String>) -> bool {
+        true
+    }
+
+    /// Exploration priority of a verified node — lower pops first, ties
+    /// pop in discovery order. The default (a constant) makes the search
+    /// breadth-first; a cost-guided caller returns a cost estimate so
+    /// cheap regions are explored first and the incumbent drops early.
+    fn priority(&mut self, _q: &Query, _removed: &BTreeSet<String>) -> f64 {
+        0.0
+    }
+}
+
+/// The always-explore visitor: exhaustive breadth-first enumeration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreAll;
+
+impl SearchVisitor for ExploreAll {}
+
+/// Outcome of a [`PlanSearch`] run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Nodes that were explored, had no valid child and no gated
+    /// candidate child: minimal plans. With a pruning visitor this is a
+    /// subset of the true normal forms — anything touched by pruning is
+    /// never claimed minimal.
+    pub normal_forms: Vec<Query>,
+    /// Every equivalence-verified node streamed to the visitor, in visit
+    /// order (the input `u` first). Each is a sound plan. Empty when the
+    /// run opted out via [`PlanSearch::with_collect_visited`] — use
+    /// `visited_count` then.
+    pub visited: Vec<Query>,
+    /// Number of nodes streamed to the visitor (equals `visited.len()`
+    /// unless collection was disabled).
+    pub visited_count: usize,
+    /// False if `max_visited` was hit.
+    pub complete: bool,
+    /// Verified nodes the visitor pruned at [`SearchVisitor::visit`].
+    pub pruned_at_visit: usize,
+    /// Candidate subqueries skipped by [`SearchVisitor::admit`] before
+    /// any verification work was spent on them.
+    pub pruned_at_gate: usize,
+    /// True if the visitor ended the search with [`Visit::Accept`].
+    pub accepted: bool,
+}
+
+impl SearchOutcome {
+    /// Total sublattices cut by the visitor (gate + visit).
+    pub fn pruned(&self) -> usize {
+        self.pruned_at_visit + self.pruned_at_gate
+    }
+}
+
+/// A frontier entry ordered by (priority, discovery sequence) — a
+/// min-heap pop order that degrades to exactly the old FIFO walk when
+/// every priority is equal.
+struct Frontier {
+    prio: f64,
+    seq: usize,
+    removed: BTreeSet<String>,
+    query: Query,
+    hom: Assignment,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the lowest
+        // (priority, seq) first.
+        other
+            .prio
+            .total_cmp(&self.prio)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The backchase lattice walk as a streaming driver (Theorem 2's complete
+/// enumeration, inverted): instead of materializing every equivalent
+/// subquery up front, each equivalence-verified node is handed to a
+/// caller-supplied visitor *as it is reached*, and the visitor steers the
+/// search — [`Visit::Explore`] descends (exhaustive enumeration),
+/// [`Visit::Prune`] cuts the node's sublattice (branch-and-bound: the
+/// optimizer's cost-guided strategy carries its incumbent best cost into
+/// the visitor and prunes branches whose admissible lower bound already
+/// exceeds it), [`Visit::Accept`] stops the search (anytime planning —
+/// every visited subquery is a sound plan, "we can stop this rewriting
+/// anytime").
+///
+/// The walk itself is the one [`backchase_in`] always performed: one
+/// lattice-wide `QueryGraph`, dependent-closure removal sets, equivalence
+/// pruning of sublattices under non-equivalent subqueries, child
+/// containment checks seeded from the parent's witness homomorphism, all
+/// through the shared [`ChaseContext`] memos. The visitor receives the
+/// context back (mutably) so it can run its own memoized proofs — e.g.
+/// condition pruning — while costing a node.
+#[derive(Debug, Clone)]
+pub struct PlanSearch<'a> {
+    u: &'a Query,
+    max_visited: usize,
+    collect_visited: bool,
+}
+
+impl<'a> PlanSearch<'a> {
+    /// A search over the subquery lattice of `u`, which should already be
+    /// chased (Algorithm 1 passes the universal plan), so equivalence to
+    /// `u` is equivalence to the original query. Unlimited by default.
+    pub fn new(u: &'a Query) -> PlanSearch<'a> {
+        PlanSearch {
+            u,
+            max_visited: 0,
+            collect_visited: true,
+        }
+    }
+
+    /// Bounds the number of visited nodes (0 = unlimited).
+    pub fn with_max_visited(mut self, max_visited: usize) -> PlanSearch<'a> {
+        self.max_visited = max_visited;
+        self
+    }
+
+    /// Disables cloning each visited node into `SearchOutcome::visited`.
+    /// A streaming visitor already receives every node as it is reached,
+    /// so a caller that accumulates its own results (like the cost-guided
+    /// strategy) only needs `visited_count`.
+    pub fn with_collect_visited(mut self, collect: bool) -> PlanSearch<'a> {
+        self.collect_visited = collect;
+        self
+    }
+
+    /// Runs the search, streaming each equivalence-verified subquery (and
+    /// its removal set over `u`) to `visitor`.
+    pub fn run(&self, ctx: &mut ChaseContext, visitor: &mut dyn SearchVisitor) -> SearchOutcome {
+        /// What became of a removal set that was examined via some route.
+        #[derive(Clone, Copy, PartialEq)]
+        enum ChildState {
+            /// A verified equivalent subquery (enqueued once).
+            Valid,
+            /// Not a subquery / unsafe / not equivalent.
+            Invalid,
+            /// Skipped by the visitor's gate before verification.
+            Gated,
+        }
+        let u = self.u;
+        // The lattice-construction graph (dependent closures,
+        // re-expression, implied conditions) and the homomorphism graph
+        // for `u ⊑ q'` checks. They are kept separate because hom
+        // searches intern candidate paths wholesale, and
+        // `implied_conditions` must only see paths that come from `u`
+        // itself.
+        let mut graph = QueryGraph::of_query(u);
+        let mut hom_graph = graph.clone();
+        let identity: Assignment = u
+            .from
+            .iter()
+            .map(|b| (b.var.clone(), Path::Var(b.var.clone())))
+            .collect();
+        let mut seen: std::collections::BTreeMap<BTreeSet<String>, ChildState> =
+            std::collections::BTreeMap::new();
+        let mut queue: BinaryHeap<Frontier> = BinaryHeap::new();
+        let mut seq = 0usize;
+        seen.insert(BTreeSet::new(), ChildState::Valid);
+        queue.push(Frontier {
+            prio: visitor.priority(u, &BTreeSet::new()),
+            seq,
+            removed: BTreeSet::new(),
+            query: u.clone(),
+            hom: identity,
+        });
+        let mut normal_forms: Vec<Query> = Vec::new();
+        let mut visited: Vec<Query> = Vec::new();
+        let mut visited_count = 0usize;
+        let mut complete = true;
+        let mut pruned_at_visit = 0usize;
+        let mut pruned_at_gate = 0usize;
+        let mut accepted = false;
+        while let Some(Frontier {
+            removed,
+            query: q,
+            hom,
+            ..
+        }) = queue.pop()
+        {
+            if self.max_visited > 0 && visited_count >= self.max_visited {
+                complete = false;
+                break;
+            }
+            match visitor.visit(ctx, &q, &removed) {
+                Visit::Explore => {
+                    visited_count += 1;
+                    if self.collect_visited {
+                        visited.push(q.clone());
+                    }
+                }
+                Visit::Prune => {
+                    // Neither costed nor descended: the node does not
+                    // count as visited.
+                    pruned_at_visit += 1;
+                    continue;
+                }
+                Visit::Accept => {
+                    visited_count += 1;
+                    if self.collect_visited {
+                        visited.push(q.clone());
+                    }
+                    accepted = true;
+                    break;
+                }
+            }
+            let mut reduced = false;
+            let mut any_gated = false;
+            for b in &u.from {
+                if removed.contains(&b.var) {
+                    continue;
+                }
+                let mut grown = removed.clone();
+                grown.insert(b.var.clone());
+                let grown = dependent_closure(u, &mut graph, grown);
+                if let Some(&state) = seen.get(&grown) {
+                    // Already examined via another route; a valid child
+                    // still means this node is not a normal form, a gated
+                    // one leaves its minimality undetermined.
+                    reduced |= state == ChildState::Valid;
+                    any_gated |= state == ChildState::Gated;
+                    continue;
+                }
+                let mut gated = false;
+                let child = subquery_for(u, &mut graph, &grown)
+                    .and_then(|q2| prune_unsafe_conditions(ctx, &q2))
+                    .and_then(|q2| {
+                        // Branch-and-bound gate: skip the expensive
+                        // equivalence verification when the visitor
+                        // already knows the candidate's sublattice cannot
+                        // matter.
+                        if !visitor.admit(&q2, &grown) {
+                            gated = true;
+                            return None;
+                        }
+                        // u ⊑ q2: containment mapping from q2 into u
+                        // itself (u is already chased, so no re-chase is
+                        // needed). The parent's witness restricted to the
+                        // surviving variables is almost always already
+                        // one; validate it before searching.
+                        let seed: Assignment = hom
+                            .iter()
+                            .filter(|&(v, _)| q2.from.iter().any(|b2| b2.var == *v))
+                            .map(|(v, p)| (v.clone(), p.clone()))
+                            .collect();
+                        let h2 = output_matching_hom(
+                            &mut hom_graph,
+                            &u.output,
+                            &q2,
+                            ctx.cfg(),
+                            Some(&seed),
+                        )?;
+                        if h2 == seed {
+                            ctx.note_seeded_hom();
+                        }
+                        // …and q2 ⊑ u: chase q2 (lazily, memoized), map
+                        // u in.
+                        if ctx.contained_in(&q2, u) {
+                            Some((q2, h2))
+                        } else {
+                            None
+                        }
+                    });
+                let state = match (&child, gated) {
+                    (Some(_), _) => ChildState::Valid,
+                    (None, true) => ChildState::Gated,
+                    (None, false) => ChildState::Invalid,
+                };
+                if gated {
+                    pruned_at_gate += 1;
+                    any_gated = true;
+                }
+                seen.insert(grown.clone(), state);
+                if let Some((q2, h2)) = child {
+                    reduced = true;
+                    seq += 1;
+                    queue.push(Frontier {
+                        prio: visitor.priority(&q2, &grown),
+                        seq,
+                        removed: grown,
+                        query: q2,
+                        hom: h2,
+                    });
+                }
+            }
+            if !reduced && !any_gated {
+                normal_forms.push(q);
+            }
+        }
+        SearchOutcome {
+            normal_forms,
+            visited,
+            visited_count,
+            complete,
+            pruned_at_visit,
+            pruned_at_gate,
+            accepted,
+        }
+    }
+}
+
 /// Enumerates all minimal equivalent subqueries of `u` (Theorem 2), by
 /// descending the lattice of removal sets over `u`'s canonical database
 /// with equivalence pruning ("whenever a subquery of chase(Q) is not
@@ -411,96 +770,18 @@ pub fn backchase(u: &Query, deps: &[Dependency], cfg: &BackchaseConfig) -> Backc
     backchase_in(&mut ctx, u, cfg.max_visited)
 }
 
-/// [`backchase`] against a shared [`ChaseContext`]: one `QueryGraph` per
-/// lattice (not per node), memoized chase/containment/implication, and
-/// child containment checks seeded from the parent's witness
-/// homomorphism.
+/// [`backchase`] against a shared [`ChaseContext`]: the collect-everything
+/// instantiation of [`PlanSearch`] — a visitor that always explores, with
+/// the streamed nodes and normal forms gathered into a
+/// [`BackchaseOutcome`].
 pub fn backchase_in(ctx: &mut ChaseContext, u: &Query, max_visited: usize) -> BackchaseOutcome {
-    // The lattice-construction graph (dependent closures, re-expression,
-    // implied conditions) and the homomorphism graph for `u ⊑ q'` checks.
-    // They are kept separate because hom searches intern candidate paths
-    // wholesale, and `implied_conditions` must only see paths that come
-    // from `u` itself.
-    let mut graph = QueryGraph::of_query(u);
-    let mut hom_graph = graph.clone();
-    let identity: Assignment = u
-        .from
-        .iter()
-        .map(|b| (b.var.clone(), Path::Var(b.var.clone())))
-        .collect();
-    // Removal set -> was the resulting subquery a valid equivalent plan?
-    let mut seen: std::collections::BTreeMap<BTreeSet<String>, bool> =
-        std::collections::BTreeMap::new();
-    let mut queue: VecDeque<(BTreeSet<String>, Query, Assignment)> = VecDeque::new();
-    seen.insert(BTreeSet::new(), true);
-    queue.push_back((BTreeSet::new(), u.clone(), identity));
-    let mut normal_forms: Vec<Query> = Vec::new();
-    let mut visited: Vec<Query> = Vec::new();
-    let mut complete = true;
-    while let Some((removed, q, hom)) = queue.pop_front() {
-        if max_visited > 0 && visited.len() >= max_visited {
-            complete = false;
-            break;
-        }
-        visited.push(q.clone());
-        let mut reduced = false;
-        for b in &u.from {
-            if removed.contains(&b.var) {
-                continue;
-            }
-            let mut grown = removed.clone();
-            grown.insert(b.var.clone());
-            let grown = dependent_closure(u, &mut graph, grown);
-            if let Some(&valid) = seen.get(&grown) {
-                // Already examined via another route; a valid child still
-                // means this node is not a normal form.
-                reduced |= valid;
-                continue;
-            }
-            let child = subquery_for(u, &mut graph, &grown)
-                .and_then(|q2| prune_unsafe_conditions(ctx, &q2))
-                .and_then(|q2| {
-                    // u ⊑ q2: containment mapping from q2 into u itself
-                    // (u is already chased, so no re-chase is needed).
-                    // The parent's witness restricted to the surviving
-                    // variables is almost always already one; validate
-                    // it before searching.
-                    let seed: Assignment = hom
-                        .iter()
-                        .filter(|&(v, _)| q2.from.iter().any(|b2| b2.var == *v))
-                        .map(|(v, p)| (v.clone(), p.clone()))
-                        .collect();
-                    let h2 = output_matching_hom(
-                        &mut hom_graph,
-                        &u.output,
-                        &q2,
-                        ctx.cfg(),
-                        Some(&seed),
-                    )?;
-                    if h2 == seed {
-                        ctx.note_seeded_hom();
-                    }
-                    // …and q2 ⊑ u: chase q2 (lazily, memoized), map u in.
-                    if ctx.contained_in(&q2, u) {
-                        Some((q2, h2))
-                    } else {
-                        None
-                    }
-                });
-            seen.insert(grown.clone(), child.is_some());
-            if let Some((q2, h2)) = child {
-                reduced = true;
-                queue.push_back((grown, q2, h2));
-            }
-        }
-        if !reduced {
-            normal_forms.push(q);
-        }
-    }
+    let out = PlanSearch::new(u)
+        .with_max_visited(max_visited)
+        .run(ctx, &mut ExploreAll);
     BackchaseOutcome {
-        normal_forms,
-        visited,
-        complete,
+        normal_forms: out.normal_forms,
+        visited: out.visited,
+        complete: out.complete,
     }
 }
 
@@ -945,6 +1226,102 @@ mod tests {
             parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
         let plan = backchase_greedy(&q, &[], &BTreeSet::new(), &ccfg());
         assert_eq!(plan.from.len(), 2);
+    }
+
+    fn view_scenario() -> (Query, Vec<Dependency>) {
+        let u = parse_query(
+            "select struct(A = r.A) from R r, S s, V v \
+             where r.B = s.B and v.A = r.A",
+        )
+        .unwrap();
+        let deps = vec![
+            parse_dependency(
+                "c_V",
+                "forall (r in R) (s in S) where r.B = s.B -> exists (v in V) where v.A = r.A",
+            )
+            .unwrap(),
+            parse_dependency(
+                "c'_V",
+                "forall (v in V) -> exists (r in R) (s in S) where r.B = s.B and v.A = r.A",
+            )
+            .unwrap(),
+        ];
+        (u, deps)
+    }
+
+    #[test]
+    fn plan_search_accept_stops_the_walk() {
+        struct AcceptSmall;
+        impl SearchVisitor for AcceptSmall {
+            fn visit(&mut self, _: &mut ChaseContext, q: &Query, _: &BTreeSet<String>) -> Visit {
+                if q.from.len() <= 2 {
+                    Visit::Accept
+                } else {
+                    Visit::Explore
+                }
+            }
+        }
+        let (u, deps) = view_scenario();
+        let mut ctx = ChaseContext::new(deps, ChaseConfig::default());
+        let out = PlanSearch::new(&u).run(&mut ctx, &mut AcceptSmall);
+        assert!(out.accepted);
+        // The accepted plan is the last node visited, and the walk
+        // stopped there (an exhaustive run visits more).
+        assert_eq!(out.visited.last().unwrap().from.len(), 2);
+        let mut ctx = ChaseContext::new(ctx.deps().to_vec(), ChaseConfig::default());
+        let full = PlanSearch::new(&u).run(&mut ctx, &mut ExploreAll);
+        assert!(!full.accepted);
+        assert!(out.visited.len() < full.visited.len());
+    }
+
+    #[test]
+    fn plan_search_gate_cuts_candidates_before_verification() {
+        // Admit nothing below the root: only the root is visited, every
+        // direct candidate is counted as gate-pruned, and nothing —
+        // including the root, whose minimality the gate left
+        // undetermined — is claimed a normal form.
+        struct RootOnly;
+        impl SearchVisitor for RootOnly {
+            fn admit(&mut self, _: &Query, _: &BTreeSet<String>) -> bool {
+                false
+            }
+        }
+        let (u, deps) = view_scenario();
+        let mut ctx = ChaseContext::new(deps, ChaseConfig::default());
+        let out = PlanSearch::new(&u).run(&mut ctx, &mut RootOnly);
+        assert_eq!(out.visited.len(), 1);
+        assert!(out.pruned_at_gate > 0);
+        assert_eq!(out.pruned(), out.pruned_at_gate);
+        assert!(out.normal_forms.is_empty());
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn plan_search_priority_orders_the_frontier() {
+        // Exploring small subqueries first must still visit the same set
+        // of nodes as the FIFO walk — order is a policy, coverage is not.
+        struct SmallFirst;
+        impl SearchVisitor for SmallFirst {
+            fn priority(&mut self, q: &Query, _: &BTreeSet<String>) -> f64 {
+                q.from.len() as f64
+            }
+        }
+        let (u, deps) = view_scenario();
+        let mut ctx = ChaseContext::new(deps.clone(), ChaseConfig::default());
+        let prioritized = PlanSearch::new(&u).run(&mut ctx, &mut SmallFirst);
+        let mut ctx = ChaseContext::new(deps, ChaseConfig::default());
+        let fifo = PlanSearch::new(&u).run(&mut ctx, &mut ExploreAll);
+        let norm = |qs: &[Query]| {
+            let mut v: Vec<Query> = qs.iter().map(Query::alpha_normalized).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(norm(&prioritized.visited), norm(&fifo.visited));
+        assert_eq!(norm(&prioritized.normal_forms), norm(&fifo.normal_forms));
+        // The prioritized walk reaches a 1-binding plan before the FIFO
+        // walk does.
+        let first_small = |qs: &[Query]| qs.iter().position(|q| q.from.len() == 1).unwrap();
+        assert!(first_small(&prioritized.visited) <= first_small(&fifo.visited));
     }
 
     #[test]

@@ -29,7 +29,12 @@ use crate::canon::QueryGraph;
 use crate::hom::{extension_exists, find_matching_hom, Assignment};
 
 /// Budgets for the chase (and for the implication checks that reuse it).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Hash` matter: a [`ChaseContext`](crate::ChaseContext)
+/// fingerprints its budget together with its dependency set, so a memo
+/// computed under one budget is never served under another (a tighter
+/// budget can flip a verdict from `true` to `false`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ChaseConfig {
     /// Maximum number of chase steps before giving up.
     pub max_steps: usize,

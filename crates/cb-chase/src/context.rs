@@ -23,13 +23,24 @@
 //! caches for differential testing — a memoized and a cache-disabled run
 //! must produce byte-identical results.
 //!
+//! Two guards make long-lived contexts safe to hold: the context
+//! fingerprints its `(dependency set, budget)` and
+//! [`ChaseContext::ensure_deps`] drops every memo when asked to reason
+//! over a different theory (the optimizer calls it per optimization, so
+//! reusing one context across catalogs can no longer serve unsound
+//! memos), and [`ChaseContext::with_memo_cap`] bounds each memo table,
+//! evicting oldest-first, so a context embedded in a service cannot grow
+//! without bound. Both are counted in [`CacheStats`]
+//! (`deps_resets`/`evictions`).
+//!
 //! The free functions [`chase`](crate::chase()), [`contained_in`],
 //! [`equivalent`], [`implies`], [`backchase`](crate::backchase()) …
 //! remain available as thin wrappers that allocate a throwaway context;
 //! use the context API whenever more than one question will be asked of
 //! the same dependency set.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 
 use pcql::query::{Binding, Equality, Query};
 use pcql::Dependency;
@@ -57,6 +68,15 @@ pub struct CacheStats {
     /// Containment checks discharged by validating a homomorphism seeded
     /// from the parent lattice node instead of searching.
     pub seeded_hom_hits: u64,
+    /// Automatic cache resets because the context was asked to reason
+    /// over a different dependency set (or chase budget) than the one it
+    /// was built for — see [`ChaseContext::ensure_deps`]. Memos computed
+    /// under other constraints would be unsound, so the caches are
+    /// dropped rather than served.
+    pub deps_resets: u64,
+    /// Memo entries dropped by the entry cap (oldest first) — see
+    /// [`ChaseContext::with_memo_cap`].
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -98,22 +118,36 @@ pub struct ChaseContext {
     deps: Vec<Dependency>,
     cfg: ChaseConfig,
     caching: bool,
+    /// Fingerprint of `(deps, cfg)` — the identity of the theory this
+    /// context's memos are sound under.
+    fingerprint: u64,
+    /// Per-table entry cap (0 = unbounded); oldest entries evicted first.
+    memo_cap: usize,
     chased: HashMap<Query, ChasedEntry>,
+    chase_order: VecDeque<Query>,
     containment: HashMap<(Query, Query), bool>,
+    containment_order: VecDeque<(Query, Query)>,
     implication: HashMap<Dependency, bool>,
+    implication_order: VecDeque<Dependency>,
     stats: CacheStats,
 }
 
 impl ChaseContext {
     /// A context over `deps` with the given chase budgets.
     pub fn new(deps: Vec<Dependency>, cfg: ChaseConfig) -> ChaseContext {
+        let fingerprint = ChaseContext::fingerprint_of(&deps, &cfg);
         ChaseContext {
             deps,
             cfg,
             caching: true,
+            fingerprint,
+            memo_cap: 0,
             chased: HashMap::new(),
+            chase_order: VecDeque::new(),
             containment: HashMap::new(),
+            containment_order: VecDeque::new(),
             implication: HashMap::new(),
+            implication_order: VecDeque::new(),
             stats: CacheStats::default(),
         }
     }
@@ -126,6 +160,70 @@ impl ChaseContext {
             caching: false,
             ..ChaseContext::new(deps, cfg)
         }
+    }
+
+    /// Caps each memo table (chase states, containment, implication) at
+    /// `cap` entries, evicting the oldest entry first when the cap is
+    /// exceeded (0 = unbounded, the default). An evicted answer is simply
+    /// recomputed on the next ask — eviction can never change a verdict —
+    /// so a context held by a long-running service stays bounded.
+    /// Evictions are counted in [`CacheStats::evictions`].
+    pub fn with_memo_cap(mut self, cap: usize) -> ChaseContext {
+        self.memo_cap = cap;
+        self
+    }
+
+    /// The per-table memo entry cap (0 = unbounded).
+    pub fn memo_cap(&self) -> usize {
+        self.memo_cap
+    }
+
+    /// Fingerprint of a dependency set + chase budget: a cheap first
+    /// check on the identity of the theory a context's memos are sound
+    /// under. Order-sensitive on purpose — two orderings of the same set
+    /// fingerprint differently and trigger a spurious but sound reset;
+    /// catalogs emit constraints in a stable order. A fingerprint match
+    /// is only a hint: [`ChaseContext::ensure_deps`] confirms with exact
+    /// comparison, so a hash collision can never keep stale memos alive.
+    pub fn fingerprint_of(deps: &[Dependency], cfg: &ChaseConfig) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        deps.hash(&mut h);
+        cfg.hash(&mut h);
+        h.finish()
+    }
+
+    /// The fingerprint of this context's `(deps, cfg)`.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Guards against the context-reuse footgun: if this context was
+    /// built for a *different* dependency set or chase budget than
+    /// `(deps, cfg)`, re-point it and drop every memo — verdicts cached
+    /// under other constraints would be silently unsound here. Returns
+    /// whether a reset happened (also counted in
+    /// [`CacheStats::deps_resets`]); on a match (fingerprint, confirmed
+    /// by exact comparison so collisions cannot smuggle stale memos
+    /// through) this is a cheap no-op and all memos are kept.
+    /// `Optimizer::optimize_in` calls this on every optimization, so
+    /// callers can hold one context across catalogs without tracking
+    /// constraint identity themselves.
+    pub fn ensure_deps(&mut self, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
+        let fp = ChaseContext::fingerprint_of(deps, cfg);
+        if fp == self.fingerprint && deps == self.deps && cfg == &self.cfg {
+            return false;
+        }
+        self.deps = deps.to_vec();
+        self.cfg = cfg.clone();
+        self.fingerprint = fp;
+        self.chased.clear();
+        self.chase_order.clear();
+        self.containment.clear();
+        self.containment_order.clear();
+        self.implication.clear();
+        self.implication_order.clear();
+        self.stats.deps_resets += 1;
+        true
     }
 
     /// The dependency set this context reasons over.
@@ -156,7 +254,11 @@ impl ChaseContext {
             self.stats.chase_hits += 1;
         } else {
             self.stats.chase_misses += 1;
-            self.chased.insert(
+            insert_bounded(
+                &mut self.chased,
+                &mut self.chase_order,
+                self.memo_cap,
+                &mut self.stats.evictions,
                 key.clone(),
                 ChasedEntry {
                     state: ChaseState::new(q),
@@ -212,7 +314,14 @@ impl ChaseContext {
             }
         };
         if self.caching {
-            self.containment.insert(key, result);
+            insert_bounded(
+                &mut self.containment,
+                &mut self.containment_order,
+                self.memo_cap,
+                &mut self.stats.evictions,
+                key,
+                result,
+            );
         }
         result
     }
@@ -236,9 +345,41 @@ impl ChaseContext {
         self.stats.implication_misses += 1;
         let v = implies_uncached(&self.deps, sigma, &self.cfg);
         if self.caching {
-            self.implication.insert(key, v);
+            insert_bounded(
+                &mut self.implication,
+                &mut self.implication_order,
+                self.memo_cap,
+                &mut self.stats.evictions,
+                key,
+                v,
+            );
         }
         v
+    }
+}
+
+/// Inserts into a memo table whose insertion order is tracked by `order`,
+/// evicting the oldest entry (and counting it) once `cap` is exceeded
+/// (0 = unbounded). Overwrites of an existing key leave the order
+/// untouched, so `order` always holds each key exactly once. The freshly
+/// inserted key sits at the back, so with a cap >= 1 it is never the one
+/// evicted.
+fn insert_bounded<K: Eq + Hash + Clone, V>(
+    map: &mut HashMap<K, V>,
+    order: &mut VecDeque<K>,
+    cap: usize,
+    evictions: &mut u64,
+    key: K,
+    value: V,
+) {
+    if map.insert(key.clone(), value).is_none() {
+        order.push_back(key);
+        if cap > 0 && map.len() > cap {
+            if let Some(old) = order.pop_front() {
+                map.remove(&old);
+                *evictions += 1;
+            }
+        }
     }
 }
 
@@ -308,6 +449,63 @@ mod tests {
         assert!(on.stats().containment_hits > 0);
         assert_eq!(off.stats().containment_hits, 0);
         assert_eq!(off.stats().containment_misses, 6);
+    }
+
+    #[test]
+    fn ensure_deps_resets_stale_contexts() {
+        // A memo computed under `ric` must not survive a switch to the
+        // empty theory: the containment verdict genuinely flips.
+        let ric =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.A = s.A").unwrap();
+        let narrower = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A").unwrap();
+        let wider = parse_query("select struct(A = r.A) from R r").unwrap();
+        let cfg = ChaseConfig::default();
+        let mut ctx = ChaseContext::new(vec![ric.clone()], cfg.clone());
+        assert!(ctx.contained_in(&wider, &narrower));
+        // Same theory: no-op, memos kept.
+        assert!(!ctx.ensure_deps(std::slice::from_ref(&ric), &cfg));
+        assert!(ctx.contained_in(&wider, &narrower));
+        assert!(ctx.stats().containment_hits > 0);
+        // Different theory: reset, and the answer is recomputed soundly.
+        assert!(ctx.ensure_deps(&[], &cfg));
+        assert_eq!(ctx.stats().deps_resets, 1);
+        assert!(!ctx.contained_in(&wider, &narrower));
+        // A different budget also forces a reset.
+        let tighter = ChaseConfig {
+            max_steps: 1,
+            ..ChaseConfig::default()
+        };
+        assert!(ctx.ensure_deps(&[], &tighter));
+        assert_eq!(ctx.stats().deps_resets, 2);
+    }
+
+    #[test]
+    fn memo_cap_evicts_oldest_and_stays_sound() {
+        let d =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.B = s.B").unwrap();
+        let cfg = ChaseConfig::default();
+        let mut capped = ChaseContext::new(vec![d.clone()], cfg.clone()).with_memo_cap(2);
+        assert_eq!(capped.memo_cap(), 2);
+        let queries: Vec<_> = ["R", "S", "T", "R"]
+            .iter()
+            .map(|root| parse_query(&format!("select struct(A = x.A) from {root} x")).unwrap())
+            .collect();
+        let mut unbounded = ChaseContext::new(vec![d], cfg);
+        for q in &queries {
+            // Evicted entries are recomputed, never served stale: every
+            // outcome matches the unbounded context's.
+            assert_eq!(
+                capped.chase(q).query.alpha_normalized(),
+                unbounded.chase(q).query.alpha_normalized()
+            );
+        }
+        // Three distinct queries through a cap of two: the oldest (R) was
+        // evicted and its re-chase was a miss, not a hit.
+        assert!(capped.stats().evictions >= 1, "{:?}", capped.stats());
+        assert_eq!(capped.stats().chase_hits, 0);
+        assert_eq!(capped.stats().chase_misses, 4);
+        // The unbounded context served the repeat from the memo.
+        assert_eq!(unbounded.stats().chase_hits, 1);
     }
 
     #[test]

@@ -41,7 +41,19 @@
 //!    each other's work. [`CacheStats`] exposes hit/miss counters.
 //!
 //! Use the free functions until you ask two questions of the same
-//! dependency set; then hold a context.
+//! dependency set; then hold a context. A held context is safe to keep:
+//! it fingerprints its dependency set ([`ChaseContext::ensure_deps`]
+//! resets it automatically when asked about a different theory) and its
+//! memo tables can be bounded ([`ChaseContext::with_memo_cap`]).
+//!
+//! The backchase enumeration itself is exposed as [`PlanSearch`]: a
+//! streaming driver that hands each equivalence-verified subquery to a
+//! [`SearchVisitor`] which steers the walk — explore, prune a
+//! sublattice, or accept and stop — with an admission gate that can cut
+//! candidates *before* their equivalence checks and a priority hook
+//! that orders the frontier. The optimizer's cost-guided
+//! branch-and-bound strategy is one such visitor; [`backchase_in`] is
+//! the collect-everything one.
 
 pub mod backchase;
 pub mod canon;
@@ -57,7 +69,8 @@ mod containment;
 pub use backchase::{
     backchase, backchase_greedy, backchase_greedy_in, backchase_in, backchase_step,
     backchase_step_in, examine_removal, examine_removal_in, is_minimal, is_minimal_in, minimize,
-    BackchaseConfig, BackchaseOutcome, RemovalJudgement,
+    BackchaseConfig, BackchaseOutcome, ExploreAll, PlanSearch, RemovalJudgement, SearchOutcome,
+    SearchVisitor, Visit,
 };
 pub use canon::QueryGraph;
 pub use chase::{

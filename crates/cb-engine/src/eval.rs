@@ -11,6 +11,14 @@
 //! Failing lookups `M[k]` raise [`EvalError::LookupFailed`]; non-failing
 //! lookups `M{k}` produce the empty set. ODMG implicit dereferencing on
 //! OIDs resolves through the registered class dictionaries.
+//!
+//! The loop's environment is Cow-valued: rows iterated out of
+//! instance-owned collections (base scans, index entry sets) are bound
+//! *by reference*, so the nested loops clone nothing per iteration —
+//! only genuinely computed values (`dom` sets, items of collections
+//! reached through owned bindings) are owned. The cost-model narrative
+//! is untouched: plan shape still decides the operation count, each
+//! operation just stopped paying an accidental deep copy.
 
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
@@ -67,6 +75,32 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+/// Read-only view of a variable environment, so one path evaluator
+/// serves both plain owned environments (the public [`Evaluator::eval_path`]
+/// entry point, pipelines, the constraint checker) and the Cow-valued
+/// environment of the query loop.
+pub trait EnvRead {
+    fn lookup(&self, var: &str) -> Option<&Value>;
+}
+
+impl EnvRead for BTreeMap<String, Value> {
+    fn lookup(&self, var: &str) -> Option<&Value> {
+        self.get(var)
+    }
+}
+
+impl EnvRead for BTreeMap<String, Cow<'_, Value>> {
+    fn lookup(&self, var: &str) -> Option<&Value> {
+        self.get(var).map(|c| c.as_ref())
+    }
+}
+
+/// The query loop's environment: values iterated out of instance-owned
+/// collections are *borrowed* into the bindings, not cloned per
+/// iteration — only values that genuinely had to be computed (constants,
+/// `dom` sets, items of derived collections) are owned.
+type Env<'a> = BTreeMap<String, Cow<'a, Value>>;
+
 /// The query/plan interpreter.
 #[derive(Debug, Clone)]
 pub struct Evaluator<'a> {
@@ -106,8 +140,8 @@ impl<'a> Evaluator<'a> {
         e
     }
 
-    /// Evaluates a path under an environment.
-    pub fn eval_path(&self, env: &BTreeMap<String, Value>, p: &Path) -> Result<Value, EvalError> {
+    /// Evaluates a path under an environment (any [`EnvRead`] map).
+    pub fn eval_path<E: EnvRead>(&self, env: &E, p: &Path) -> Result<Value, EvalError> {
         Ok(self.eval_ref(env, p)?.into_owned())
     }
 
@@ -115,14 +149,14 @@ impl<'a> Evaluator<'a> {
     /// record fields are *borrowed*, not cloned. This is what keeps
     /// lookup-heavy plans (P3, P4, navigation joins) from accidentally
     /// copying whole dictionaries per row.
-    fn eval_ref<'v>(
+    fn eval_ref<'v, E: EnvRead>(
         &'v self,
-        env: &'v BTreeMap<String, Value>,
+        env: &'v E,
         p: &Path,
     ) -> Result<Cow<'v, Value>, EvalError> {
         match p {
             Path::Var(v) => env
-                .get(v)
+                .lookup(v)
                 .map(Cow::Borrowed)
                 .ok_or_else(|| EvalError::UnknownVar(v.clone())),
             Path::Const(c) => Ok(Cow::Owned(Value::from(c))),
@@ -236,6 +270,47 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Resolves `p` to a value owned by the *instance* when the path
+    /// never passes through a computed (owned) environment value: roots,
+    /// fields and dictionary entries of instance values, OID
+    /// dereferences, and variables bound by reference. Returns `None`
+    /// both when the value is not instance-anchored (constants, `dom`
+    /// sets, owned bindings, absent lookups) *and* whenever resolution
+    /// would fail — the caller falls back to the [`Self::eval_ref`]
+    /// route, which computes the value or produces the error with its
+    /// canonical operand order, so this fast path can never change what
+    /// a query returns or reports.
+    fn instance_value(&self, env: &Env<'a>, p: &Path) -> Option<&'a Value> {
+        match p {
+            Path::Var(v) => match env.get(v)? {
+                Cow::Borrowed(r) => Some(*r),
+                Cow::Owned(_) => None,
+            },
+            Path::Const(_) | Path::Dom(_) => None,
+            Path::Root(r) => self.instance.get(r),
+            Path::Field(base, name) => match self.instance_value(env, base)? {
+                Value::Struct(fields) => fields.get(name),
+                // ODMG implicit dereferencing, all instance-anchored.
+                oid @ Value::Oid(class, _) => self
+                    .class_dicts
+                    .get(class)
+                    .and_then(|dict_root| self.instance.get(dict_root))
+                    .and_then(|dict| dict.as_dict())
+                    .and_then(|map| map.get(oid))
+                    .and_then(|entry| entry.field(name)),
+                _ => None,
+            },
+            Path::Get(m, k) | Path::GetOrEmpty(m, k) => {
+                // Resolve the dictionary first: if it is not anchored,
+                // the key must not be evaluated here (the fallback would
+                // evaluate it a second time).
+                let map = self.instance_value(env, m)?.as_dict()?;
+                let key = self.eval_ref(env, k).ok()?.into_owned();
+                map.get(&key)
+            }
+        }
+    }
+
     /// Evaluates a query or plan, returning its (set-semantics) result.
     pub fn eval_query(&self, q: &Query) -> Result<BTreeSet<Value>, EvalError> {
         // Assign each condition to the earliest loop level at which all
@@ -256,7 +331,7 @@ impl<'a> Evaluator<'a> {
         }
 
         let mut out = BTreeSet::new();
-        let mut env: BTreeMap<String, Value> = BTreeMap::new();
+        let mut env: Env<'a> = BTreeMap::new();
         self.loop_level(q, &conds_at, 0, &mut env, &mut out)?;
         Ok(out)
     }
@@ -266,7 +341,7 @@ impl<'a> Evaluator<'a> {
         q: &Query,
         conds_at: &[Vec<&pcql::Equality>],
         level: usize,
-        env: &mut BTreeMap<String, Value>,
+        env: &mut Env<'a>,
         out: &mut BTreeSet<Value>,
     ) -> Result<(), EvalError> {
         for eq in &conds_at[level] {
@@ -293,29 +368,45 @@ impl<'a> Evaluator<'a> {
         let b = &q.from[level];
         match b.kind {
             BindKind::Iter => {
-                // Borrowing the collection while the environment is
-                // mutated below would alias; clone only the *items*, one
-                // at a time, never the whole collection when it is a
-                // borrowed root.
-                let items: Vec<Value> = match self.eval_ref(env, &b.src)? {
-                    Cow::Borrowed(Value::Set(items)) => items.iter().cloned().collect(),
-                    Cow::Owned(Value::Set(items)) => items.into_iter().collect(),
-                    other => {
-                        return Err(EvalError::NotASet(format!(
-                            "{} = {}",
-                            b.src,
-                            other.as_ref()
-                        )))
+                // Items of an instance-owned collection outlive the
+                // environment, so they are borrowed straight into the
+                // binding — no per-item clone per outer row (this is what
+                // keeps the deliberately-naive nested-loop joins from
+                // copying every scanned row once per iteration).
+                if let Some(items) = self.instance_value(env, &b.src).and_then(|v| v.as_set()) {
+                    for item in items {
+                        env.insert(b.var.clone(), Cow::Borrowed(item));
+                        self.loop_level(q, conds_at, level + 1, env, out)?;
                     }
-                };
-                for item in items {
-                    env.insert(b.var.clone(), item);
-                    self.loop_level(q, conds_at, level + 1, env, out)?;
+                    env.remove(&b.var);
+                } else {
+                    // Derived collection (dom sets, collections reached
+                    // through owned bindings): borrowing it while the
+                    // environment is mutated below would alias, so clone
+                    // the items, one at a time.
+                    let items: Vec<Value> = match self.eval_ref(env, &b.src)? {
+                        Cow::Borrowed(Value::Set(items)) => items.iter().cloned().collect(),
+                        Cow::Owned(Value::Set(items)) => items.into_iter().collect(),
+                        other => {
+                            return Err(EvalError::NotASet(format!(
+                                "{} = {}",
+                                b.src,
+                                other.as_ref()
+                            )))
+                        }
+                    };
+                    for item in items {
+                        env.insert(b.var.clone(), Cow::Owned(item));
+                        self.loop_level(q, conds_at, level + 1, env, out)?;
+                    }
+                    env.remove(&b.var);
                 }
-                env.remove(&b.var);
             }
             BindKind::Let => {
-                let v = self.eval_path(env, &b.src)?;
+                let v = match self.instance_value(env, &b.src) {
+                    Some(v) => Cow::Borrowed(v),
+                    None => Cow::Owned(self.eval_path(env, &b.src)?),
+                };
                 env.insert(b.var.clone(), v);
                 self.loop_level(q, conds_at, level + 1, env, out)?;
                 env.remove(&b.var);

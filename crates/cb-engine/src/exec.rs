@@ -203,7 +203,7 @@ pub fn execute(
 ) -> Result<std::collections::BTreeSet<Value>, EvalError> {
     // Pre-build hash tables (one pass over each joined root).
     let mut tables: Vec<BTreeMap<Value, Vec<Value>>> = Vec::new();
-    let empty_env = BTreeMap::new();
+    let empty_env: BTreeMap<String, Value> = BTreeMap::new();
     for op in &pipeline.ops {
         if let Operator::HashJoin {
             row_var,

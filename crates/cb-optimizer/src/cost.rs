@@ -85,6 +85,71 @@ impl<'a> CostModel<'a> {
         cost + rows * out_cost
     }
 
+    /// An admissible lower bound on [`CostModel::plan_cost`] — for `q`
+    /// itself *and* for every plan the backchase can derive from `q` by
+    /// further removals (then cleanup and reordering). This is what lets
+    /// the optimizer's cost-guided strategy prune a lattice branch the
+    /// moment the bound exceeds its incumbent best.
+    ///
+    /// The bound is the cheapest access floor among `q`'s bindings:
+    /// whatever the final plan looks like, its first binding contributes
+    /// at least its own collection cardinality (at least 1), that binding
+    /// survives from `q` (removals only drop bindings, reordering only
+    /// permutes), and each surviving binding's floor can never shrink
+    /// along descent:
+    ///
+    /// * a *closed* source (no free variables — base scans `R`, guard
+    ///   loops `dom(M)`, constant-key lookups `M[c]`) is never rewritten
+    ///   by subquery re-expression, and guard-elimination cleanup either
+    ///   drops it (covered by the minimum) or turns `M[c]` into `M{c}`
+    ///   with the identical entry-fanout estimate — so its own estimate
+    ///   is stable and used exactly;
+    /// * an *open* source (mentions variables) can be re-expressed to a
+    ///   congruent path whose estimate differs (a condition may equate
+    ///   `x.F` with a cheaper `y.G`), so it gets the catalog-wide
+    ///   minimum access estimate — a floor no re-expressed or cleaned
+    ///   form can undercut.
+    ///
+    /// The minimum over `q`'s bindings therefore under-estimates every
+    /// descendant, and is monotone (non-decreasing) along lattice
+    /// descent: a subset of bindings can only have a larger minimum.
+    pub fn lower_bound(&self, q: &Query) -> f64 {
+        let global = self.global_access_floor();
+        let no_hints = BTreeMap::new();
+        let bound = q
+            .from
+            .iter()
+            .map(|b| match b.kind {
+                BindKind::Let => 1.0,
+                BindKind::Iter if b.src.free_vars().is_empty() => {
+                    self.collection_cardinality(&b.src, &no_hints).max(1.0)
+                }
+                BindKind::Iter => global,
+            })
+            .fold(f64::INFINITY, f64::min);
+        if bound.is_finite() {
+            bound
+        } else {
+            1.0
+        }
+    }
+
+    /// The smallest collection-cardinality estimate this model can assign
+    /// to *any* access path: the minimum over every recorded root
+    /// cardinality and fanout, and the defaults used for unrecorded ones
+    /// (clamped to 1, matching the `mult.max(1.0)` a first binding pays
+    /// in [`CostModel::plan_cost`]).
+    fn global_access_floor(&self) -> f64 {
+        let mut floor = DEFAULT_FANOUT.min(cb_catalog::stats::DEFAULT_CARDINALITY);
+        for s in self.stats.roots.values() {
+            floor = floor.min(s.cardinality as f64);
+            for &f in s.avg_fanout.values() {
+                floor = floor.min(f);
+            }
+        }
+        floor.max(1.0)
+    }
+
     /// Estimated result cardinality.
     pub fn result_cardinality(&self, q: &Query) -> f64 {
         let hints = self.var_hints(q);
@@ -264,6 +329,39 @@ mod tests {
             parse_query(r#"select struct(T = t.PName) from Proj t where t.CustName = "CitiBank""#)
                 .unwrap();
         assert!(m.plan_cost(&by_lookup) < m.plan_cost(&by_scan));
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_on_paper_plans() {
+        let c = model_catalog();
+        let m = CostModel::for_catalog(&c);
+        for p in projdept::paper_plans() {
+            assert!(
+                m.lower_bound(&p) <= m.plan_cost(&p) + 1e-9,
+                "lower_bound({}) = {} > plan_cost = {}",
+                p,
+                m.lower_bound(&p),
+                m.plan_cost(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_monotone_under_binding_removal() {
+        let c = model_catalog();
+        let m = CostModel::for_catalog(&c);
+        let parent = parse_query(
+            r#"select struct(PN = t.PName) from Proj p, SI{"CitiBank"} t where p.PName = t.PName"#,
+        )
+        .unwrap();
+        // Removing either binding can only raise the cheapest access floor.
+        let keep_scan = parse_query("select struct(PN = p.PName) from Proj p").unwrap();
+        let keep_lookup =
+            parse_query(r#"select struct(PN = t.PName) from SI{"CitiBank"} t"#).unwrap();
+        assert!(m.lower_bound(&keep_scan) >= m.lower_bound(&parent));
+        assert!(m.lower_bound(&keep_lookup) >= m.lower_bound(&parent));
+        // The bound discriminates: a lone scan's floor is the scan.
+        assert!(m.lower_bound(&keep_scan) > m.lower_bound(&keep_lookup));
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
         "\n== backchase (phase 2): {} physical plan(s), cheapest first ==",
         outcome.candidates.len()
     );
+    let _ = writeln!(
+        s,
+        "  (search: {} lattice node(s) visited, {} sublattice(s) cost-pruned)",
+        outcome.nodes_visited, outcome.nodes_pruned_by_cost
+    );
     for (i, c) in outcome.candidates.iter().enumerate() {
         let _ = writeln!(
             s,
@@ -81,8 +86,32 @@ mod tests {
             "== backchase (phase 2)",
             "== chosen plan",
             "[minimal]",
+            "lattice node(s) visited",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn explain_reports_cost_pruning() {
+        use crate::optimizer::{OptimizerConfig, SearchStrategy};
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let config = OptimizerConfig {
+            strategy: SearchStrategy::CostGuided,
+            ..Default::default()
+        };
+        let out = Optimizer::with_config(&cat, config)
+            .optimize(&projdept::query())
+            .unwrap();
+        assert!(out.nodes_pruned_by_cost > 0, "no pruning on ProjDept");
+        let text = explain(&out);
+        assert!(
+            text.contains(&format!(
+                "{} sublattice(s) cost-pruned",
+                out.nodes_pruned_by_cost
+            )),
+            "{text}"
+        );
     }
 }

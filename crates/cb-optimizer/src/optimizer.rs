@@ -27,10 +27,11 @@ use std::fmt;
 use cb_catalog::Catalog;
 use cb_chase::{
     backchase_greedy_in, backchase_in, BackchaseConfig, BackchaseOutcome, CacheStats, ChaseConfig,
-    ChaseContext, ChaseStepTrace,
+    ChaseContext, ChaseStepTrace, PlanSearch, SearchVisitor, Visit,
 };
 use pcql::query::Query;
 use pcql::typecheck::{check_query, TypeError};
+use std::collections::BTreeSet;
 
 use crate::cleanup::cleanup_plan;
 use crate::cost::CostModel;
@@ -46,6 +47,18 @@ pub enum SearchStrategy {
     /// The paper's §3 heuristic: one greedy descent that removes
     /// logical-only bindings first — linear, finds *one* minimal plan.
     Greedy,
+    /// Branch-and-bound over the same lattice as `Exhaustive`: each
+    /// equivalence-verified subquery is costed *as it is reached* (the
+    /// paper's "used in conjunction with good cost models"), and a
+    /// sublattice is pruned the moment its admissible cost lower bound
+    /// ([`CostModel::lower_bound`]) exceeds the incumbent best. Finds a
+    /// plan with the same best cost as `Exhaustive` while costing
+    /// strictly fewer subqueries whenever the bound bites; the pruning is
+    /// reported in [`OptimizeOutcome::nodes_pruned_by_cost`]. Every
+    /// visited physical subquery is costed (this strategy implies
+    /// `cost_visited`); normal forms under pruned branches are not
+    /// enumerated, so `candidates` may mark fewer plans `minimal`.
+    CostGuided,
 }
 
 /// Optimizer configuration.
@@ -96,6 +109,17 @@ pub struct OptimizeOutcome {
     /// Cache counters of the [`ChaseContext`] that ran this optimization
     /// (chase/containment/implication memo hits and misses).
     pub cache: CacheStats,
+    /// Equivalence-verified lattice nodes the phase-2 search examined
+    /// (each one passed the two-way containment check; for `CostGuided`,
+    /// strictly fewer than `Exhaustive` whenever pruning bites).
+    pub nodes_visited: usize,
+    /// Sublattices cut because their admissible cost lower bound already
+    /// exceeded the incumbent best (`CostGuided` only; 0 for the other
+    /// strategies). Counts both kinds of cut: candidates rejected at the
+    /// admission gate (skipped before any equivalence verification) and
+    /// already-verified nodes pruned at visit (skipped before costing
+    /// and descent).
+    pub nodes_pruned_by_cost: usize,
 }
 
 /// Optimization errors.
@@ -168,9 +192,11 @@ impl<'a> Optimizer<'a> {
     /// the same constraint set (re-optimizing after a statistics refresh,
     /// sweeping data scales, differential testing across seeds) can share
     /// one context and answer the entire chase/backchase from its memos.
-    /// The context must have been built from this catalog's
-    /// `all_constraints()` (and the same chase budget); verdicts cached
-    /// under other dependency sets would be unsound here.
+    /// The context is checked against this catalog's `all_constraints()`
+    /// (and this config's chase budget) on entry and automatically reset
+    /// when they differ — verdicts cached under other dependency sets
+    /// would be unsound here; the reset is counted in
+    /// [`CacheStats::deps_resets`].
     pub fn optimize_in(
         &self,
         ctx: &mut ChaseContext,
@@ -179,19 +205,31 @@ impl<'a> Optimizer<'a> {
         let schema = self.catalog.combined_schema();
         check_query(&schema, q)?;
 
+        // Guard the context-reuse footgun before asking it anything.
+        ctx.ensure_deps(&self.catalog.all_constraints(), &self.config.chase);
+
         // Phase 1: chase to the universal plan.
         let chased = ctx.chase(q);
         let universal = chased.query.clone();
 
-        // Phase 2: backchase enumeration of minimal plans.
-        let bc = match self.config.strategy {
+        // Phase 2: search the subquery lattice — enumerate-then-cost for
+        // the phased strategies, a single interleaved branch-and-bound
+        // for `CostGuided`.
+        let model = CostModel::for_catalog(self.catalog);
+        let mut candidates: Vec<PlanChoice> = Vec::new();
+        let nodes_visited;
+        let mut nodes_pruned_by_cost = 0usize;
+        let search_complete = match self.config.strategy {
             SearchStrategy::Exhaustive => {
-                backchase_in(ctx, &universal, self.config.backchase.max_visited)
+                let bc = backchase_in(ctx, &universal, self.config.backchase.max_visited);
+                nodes_visited = bc.visited.len();
+                self.cost_phased(ctx, &model, &bc, &mut candidates);
+                bc.complete
             }
             SearchStrategy::Greedy => {
                 // Prefer removing what is logical-only, per the paper's
                 // "obvious strategy".
-                let prefer: std::collections::BTreeSet<String> = self
+                let prefer: BTreeSet<String> = self
                     .catalog
                     .logical()
                     .roots
@@ -200,51 +238,54 @@ impl<'a> Optimizer<'a> {
                     .cloned()
                     .collect();
                 let plan = backchase_greedy_in(ctx, &universal, &prefer);
-                BackchaseOutcome {
+                let bc = BackchaseOutcome {
                     normal_forms: vec![plan],
                     visited: vec![universal.clone()],
                     complete: true,
+                };
+                nodes_visited = bc.visited.len();
+                self.cost_phased(ctx, &model, &bc, &mut candidates);
+                bc.complete
+            }
+            SearchStrategy::CostGuided => {
+                // Branch-and-bound: cost each equivalence-verified node
+                // as it streams in, explore cheap regions first so the
+                // incumbent best drops early, and cut any branch whose
+                // admissible lower bound already exceeds the incumbent
+                // (the bound is monotone along descent, so nothing below
+                // a cut can be cheaper) — candidates under a cut are
+                // skipped *before* the equivalence checks, so they are
+                // never verified or costed at all.
+                let mut guide = CostGuide {
+                    catalog: self.catalog,
+                    model: &model,
+                    candidates: &mut candidates,
+                    incumbent: f64::INFINITY,
+                };
+                let out = PlanSearch::new(&universal)
+                    .with_max_visited(self.config.backchase.max_visited)
+                    // The guide accumulates its own candidates as nodes
+                    // stream in; no need to clone each visited query.
+                    .with_collect_visited(false)
+                    .run(ctx, &mut guide);
+                nodes_visited = out.visited_count;
+                nodes_pruned_by_cost = out.pruned();
+                // Flag the minimality the search did determine (anything
+                // touched by pruning leaves it undetermined).
+                let nf_set: BTreeSet<Query> = out
+                    .normal_forms
+                    .iter()
+                    .map(|p| p.alpha_normalized())
+                    .collect();
+                for c in &mut candidates {
+                    if nf_set.contains(&c.raw.alpha_normalized()) {
+                        c.minimal = true;
+                    }
                 }
+                out.complete
             }
         };
 
-        // Step 3: conventional optimization + costing of each physical
-        // plan.
-        let model = CostModel::for_catalog(self.catalog);
-        let mut candidates: Vec<PlanChoice> = Vec::new();
-        let consider = |ctx: &mut ChaseContext,
-                        raw: &Query,
-                        minimal: bool,
-                        candidates: &mut Vec<PlanChoice>| {
-            if !self.catalog.is_physical_query(raw) {
-                return;
-            }
-            let pruned = crate::cleanup::prune_implied_conditions_in(ctx, raw);
-            let cleaned = cleanup_plan(self.catalog, &pruned);
-            let ordered = reorder_bindings(&cleaned, &model);
-            let cost = model.plan_cost(&ordered);
-            candidates.push(PlanChoice {
-                query: ordered,
-                raw: raw.clone(),
-                cost,
-                minimal,
-            });
-        };
-        for nf in &bc.normal_forms {
-            consider(ctx, nf, true, &mut candidates);
-        }
-        if self.config.cost_visited {
-            let nf_set: std::collections::BTreeSet<Query> = bc
-                .normal_forms
-                .iter()
-                .map(|p| p.alpha_normalized())
-                .collect();
-            for v in &bc.visited {
-                if !nf_set.contains(&v.alpha_normalized()) {
-                    consider(ctx, v, false, &mut candidates);
-                }
-            }
-        }
         // Deduplicate by final plan, cheapest first; deterministic ties.
         candidates.sort_by(|a, b| {
             a.cost
@@ -269,9 +310,110 @@ impl<'a> Optimizer<'a> {
             chase_steps: chased.steps,
             candidates,
             best,
-            complete: chased.complete && bc.complete,
+            complete: chased.complete && search_complete,
             cache: ctx.stats(),
+            nodes_visited,
+            nodes_pruned_by_cost,
         })
+    }
+
+    /// The phased "enumerate, then cost" step 3 shared by `Exhaustive`
+    /// and `Greedy`: normal forms first (flagged minimal), then — under
+    /// `cost_visited` — every other visited physical subquery.
+    fn cost_phased(
+        &self,
+        ctx: &mut ChaseContext,
+        model: &CostModel<'_>,
+        bc: &BackchaseOutcome,
+        candidates: &mut Vec<PlanChoice>,
+    ) {
+        for nf in &bc.normal_forms {
+            if let Some(choice) = cost_one(self.catalog, model, ctx, nf, true) {
+                candidates.push(choice);
+            }
+        }
+        if self.config.cost_visited {
+            let nf_set: BTreeSet<Query> = bc
+                .normal_forms
+                .iter()
+                .map(|p| p.alpha_normalized())
+                .collect();
+            for v in &bc.visited {
+                if !nf_set.contains(&v.alpha_normalized()) {
+                    if let Some(choice) = cost_one(self.catalog, model, ctx, v, false) {
+                        candidates.push(choice);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Step 3 for one plan: conventional optimization (condition pruning,
+/// guard-elimination cleanup, binding reordering) + costing. `None` for
+/// non-physical subqueries, which cannot execute.
+fn cost_one(
+    catalog: &Catalog,
+    model: &CostModel<'_>,
+    ctx: &mut ChaseContext,
+    raw: &Query,
+    minimal: bool,
+) -> Option<PlanChoice> {
+    if !catalog.is_physical_query(raw) {
+        return None;
+    }
+    let pruned = crate::cleanup::prune_implied_conditions_in(ctx, raw);
+    let cleaned = cleanup_plan(catalog, &pruned);
+    let ordered = reorder_bindings(&cleaned, model);
+    let cost = model.plan_cost(&ordered);
+    Some(PlanChoice {
+        query: ordered,
+        raw: raw.clone(),
+        cost,
+        minimal,
+    })
+}
+
+/// The branch-and-bound steering of [`SearchStrategy::CostGuided`]:
+/// best-first exploration by estimated plan cost, each verified physical
+/// node costed on arrival (updating the incumbent), and both the
+/// pre-verification gate and the visit verdict cut anything whose
+/// admissible lower bound exceeds the incumbent.
+struct CostGuide<'a, 'b> {
+    catalog: &'a Catalog,
+    model: &'b CostModel<'a>,
+    candidates: &'b mut Vec<PlanChoice>,
+    incumbent: f64,
+}
+
+impl SearchVisitor for CostGuide<'_, '_> {
+    fn visit(&mut self, ctx: &mut ChaseContext, q: &Query, _removed: &BTreeSet<String>) -> Visit {
+        // An admissible bound under-estimates `q` itself too: nothing to
+        // gain from costing or descending once it exceeds the incumbent.
+        if self.model.lower_bound(q) > self.incumbent {
+            return Visit::Prune;
+        }
+        if let Some(choice) = cost_one(self.catalog, self.model, ctx, q, false) {
+            if choice.cost < self.incumbent {
+                self.incumbent = choice.cost;
+            }
+            self.candidates.push(choice);
+        }
+        Visit::Explore
+    }
+
+    fn admit(&mut self, q: &Query, _removed: &BTreeSet<String>) -> bool {
+        // The bound is monotone along lattice descent, so exceeding the
+        // incumbent here rules out the candidate's whole sublattice —
+        // skip the equivalence checks entirely.
+        self.model.lower_bound(q) <= self.incumbent
+    }
+
+    fn priority(&mut self, q: &Query, _removed: &BTreeSet<String>) -> f64 {
+        // Best-first by the estimated cost of the raw subquery (plans and
+        // logical subqueries alike): cheap regions are explored first, so
+        // the incumbent drops early and the bound starts biting.
+        self.model.plan_cost(q)
     }
 }
 
@@ -382,6 +524,55 @@ mod tests {
         // The exhaustive strategy can only be equal or better on cost.
         let full = Optimizer::new(&cat).optimize(&projdept::query()).unwrap();
         assert!(full.best.cost <= out.best.cost + 1e-9);
+    }
+
+    #[test]
+    fn cost_guided_matches_exhaustive_best_cost_with_fewer_nodes() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let q = projdept::query();
+        let full = Optimizer::new(&cat).optimize(&q).unwrap();
+        let config = OptimizerConfig {
+            strategy: SearchStrategy::CostGuided,
+            ..Default::default()
+        };
+        let guided = Optimizer::with_config(&cat, config).optimize(&q).unwrap();
+        assert!(
+            (guided.best.cost - full.best.cost).abs() < 1e-9,
+            "guided {} vs exhaustive {}",
+            guided.best.cost,
+            full.best.cost
+        );
+        assert!(guided.complete);
+        // Strictly fewer subqueries costed, and the savings are reported.
+        assert!(
+            guided.nodes_visited < full.nodes_visited,
+            "guided visited {} vs exhaustive {}",
+            guided.nodes_visited,
+            full.nodes_visited
+        );
+        assert!(guided.nodes_pruned_by_cost > 0);
+        assert_eq!(full.nodes_pruned_by_cost, 0);
+    }
+
+    #[test]
+    fn stale_context_is_reset_not_reused() {
+        // Reusing one context across catalogs with different constraint
+        // sets must reset it (and say so), not serve unsound memos.
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let q = projdept::query();
+        let mut ctx = ChaseContext::new(cat.all_constraints(), ChaseConfig::default());
+        let first = Optimizer::new(&cat).optimize_in(&mut ctx, &q).unwrap();
+        assert_eq!(first.cache.deps_resets, 0);
+
+        let bare = cat.without_semantic_constraints();
+        let reused = Optimizer::new(&bare).optimize_in(&mut ctx, &q).unwrap();
+        assert_eq!(reused.cache.deps_resets, 1);
+        // Identical to a fresh-context optimization under the bare catalog.
+        let fresh = Optimizer::new(&bare).optimize(&q).unwrap();
+        assert_eq!(reused.best.query, fresh.best.query);
+        assert_eq!(reused.candidates.len(), fresh.candidates.len());
     }
 
     #[test]

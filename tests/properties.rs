@@ -210,6 +210,33 @@ proptest! {
         }
     }
 
+    /// The cost-guided pruning bound never overshoots: for random
+    /// queries and random statistics, `lower_bound(q') <= plan_cost(q')`
+    /// holds for every subquery the backchase visits (the per-node half
+    /// of the branch-and-bound's admissibility; monotonicity along the
+    /// lattice supplies the rest).
+    #[test]
+    fn lower_bound_admissible_across_backchase_lattice(
+        q in arb_cq(),
+        card in 0u64..5_000,
+        distinct_a in 1u64..100,
+    ) {
+        let mut stats = universal_plans::catalog::Stats::new();
+        let mut r = universal_plans::catalog::RootStats::with_cardinality(card);
+        r.distinct.insert("A".into(), distinct_a);
+        stats.set("R", r);
+        let model = CostModel::new(&stats);
+        let out = backchase(&q, &[], &BackchaseConfig::default());
+        prop_assert!(out.complete);
+        for v in &out.visited {
+            prop_assert!(
+                model.lower_bound(v) <= model.plan_cost(v) + 1e-9,
+                "lower_bound = {} > plan_cost = {} for {}",
+                model.lower_bound(v), model.plan_cost(v), v
+            );
+        }
+    }
+
     /// Containment agrees with evaluation: if Q1 ⊑ Q2 is claimed, then on
     /// every instance eval(Q1) ⊆ eval(Q2).
     #[test]
