@@ -1,0 +1,39 @@
+//! E15 — the slot-compiled pipeline executor: compile-then-execute,
+//! nested-loop vs hash-join pipelines, against the tree-walking
+//! interpreter as the reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cb_bench::prepared_views;
+use cb_engine::exec::{compile, execute, CompileOptions};
+
+fn compile_then_execute(c: &mut Criterion) {
+    let p = prepared_views(400, 400, 0.05);
+    let ev = p.evaluator();
+    let nested = compile(&p.query, CompileOptions { hash_joins: false });
+    let hashed = compile(&p.query, CompileOptions { hash_joins: true });
+    assert_eq!(
+        execute(&ev, &hashed).unwrap(),
+        ev.eval_query(&p.query).unwrap()
+    );
+
+    let mut group = c.benchmark_group("e15/pipeline");
+    group.sample_size(10);
+    group.bench_function("compile", |b| {
+        b.iter(|| compile(black_box(&p.query), CompileOptions { hash_joins: true }))
+    });
+    group.bench_function("execute/nested_loop", |b| {
+        b.iter(|| execute(&ev, black_box(&nested)).unwrap())
+    });
+    group.bench_function("execute/hash_join", |b| {
+        b.iter(|| execute(&ev, black_box(&hashed)).unwrap())
+    });
+    group.bench_function("evaluator/reference", |b| {
+        b.iter(|| ev.eval_query(black_box(&p.query)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compile_then_execute);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Regenerates every example, figure and claim of the paper's evaluation
-//! (experiment index E1–E14 and the paper-vs-measured record live in
+//! (experiment index E1–E15 and the paper-vs-measured record live in
 //! `crates/cb-bench/EXPERIMENTS.md`).
 //!
 //! ```sh
@@ -81,6 +81,9 @@ fn main() {
     }
     if want("e14") {
         e14_cost_guided_pruning();
+    }
+    if want("e15") {
+        e15_pipeline_execution();
     }
 }
 
@@ -219,6 +222,39 @@ fn run_json(path: &str, selection: &[String]) {
             ("nodes_visited", guided.0),
             ("nodes_pruned_by_cost", guided.1),
             ("exhaustive_nodes_visited", full.nodes_visited as u64),
+        ];
+        records.push(rec);
+    }
+
+    if want("e15") {
+        use cb_engine::exec::{compile, execute, execute_with_stats, CompileOptions};
+        let p = prepared_views(1_000, 1_000, 0.05);
+        let ev = p.evaluator();
+        let nested = compile(&p.query, CompileOptions { hash_joins: false });
+        let hashed = compile(&p.query, CompileOptions { hash_joins: true });
+        let r_eval = measure("e15_evaluator", ITERS, || {
+            ev.eval_query(&p.query).unwrap();
+            None
+        });
+        let r_nested = measure("e15_nested_pipeline", ITERS, || {
+            execute(&ev, &nested).unwrap();
+            None
+        });
+        let mut rec = measure("e15_pipeline_execution", ITERS, || {
+            execute(&ev, &hashed).unwrap();
+            None
+        });
+        let (rows, stats) = execute_with_stats(&ev, &hashed).unwrap();
+        assert_eq!(rows, ev.eval_query(&p.query).unwrap());
+        let rows_per_s = stats.rows_processed() as f64 / (rec.median_ns as f64 / 1e9);
+        rec.extra = vec![
+            ("evaluator_median_ns", r_eval.median_ns as u64),
+            ("nested_pipeline_median_ns", r_nested.median_ns as u64),
+            ("result_rows", rows.len() as u64),
+            ("rows_processed", stats.rows_processed()),
+            ("rows_per_s", rows_per_s as u64),
+            ("tables_built", stats.tables_built),
+            ("tables_skipped", stats.tables_skipped),
         ];
         records.push(rec);
     }
@@ -388,6 +424,96 @@ fn e14_cost_guided_pruning() {
          pruned counts sublattices cut before being costed — gate cuts also\n\
          skip the equivalence checks entirely)"
     );
+}
+
+/// E15 — the slot-compiled pipeline executor vs. the tree-walking
+/// interpreter: wall-clock and operator-rows/s on the §4 scenarios (plus
+/// ProjDept) at the E13 scales, where the rows go per operator, and the
+/// lazy-build guarantee.
+fn e15_pipeline_execution() {
+    banner("E15", "slot-compiled pipeline executor vs. the interpreter");
+    use cb_engine::exec::{compile, execute_with_stats, CompileOptions};
+    let mut rows = Vec::new();
+    let mut views_report: Option<String> = None;
+    for (name, mk) in [("projdept", 0usize), ("§4 indexes", 1), ("§4 views", 2)] {
+        let p = match mk {
+            0 => prepared_projdept(50, 10, 25),
+            1 => prepared_indexes(5_000, 100, 50),
+            _ => prepared_views(1_000, 1_000, 0.05),
+        };
+        let ev = p.evaluator();
+        let t0 = Instant::now();
+        let reference = ev.eval_query(&p.query).unwrap();
+        let eval_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let nested = compile(&p.query, CompileOptions { hash_joins: false });
+        let hashed = compile(&p.query, CompileOptions { hash_joins: true });
+        let t1 = Instant::now();
+        let (nl_rows, _) = execute_with_stats(&ev, &nested).unwrap();
+        let nl_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let t2 = Instant::now();
+        let (hj_rows, stats) = execute_with_stats(&ev, &hashed).unwrap();
+        let hj_ms = t2.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(nl_rows, reference);
+        assert_eq!(hj_rows, reference);
+        let rows_per_s = stats.rows_processed() as f64 / (hj_ms / 1e3).max(1e-9);
+        rows.push(vec![
+            name.to_string(),
+            format!("{eval_ms:.2}"),
+            format!("{nl_ms:.2}"),
+            format!("{hj_ms:.2}"),
+            format!("{:.1}x", eval_ms / hj_ms.max(1e-9)),
+            format!("{:.0}k", rows_per_s / 1e3),
+            format!("{}/{}", stats.tables_built, stats.tables_skipped),
+        ]);
+        if mk == 2 {
+            views_report = Some(format!("pipeline: {hashed}\n{}", stats.render(&hashed)));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "interp ms",
+                "pipeline ms",
+                "hash pipe ms",
+                "speedup",
+                "op-rows/s",
+                "tables b/s"
+            ],
+            &rows
+        )
+    );
+    println!("\nwhere the §4-views rows went (hash pipeline):");
+    print!("{}", views_report.unwrap());
+
+    // The lazy-build guarantee: a hash join below an empty outer stream
+    // never pays for its table.
+    let mut inst = cb_engine::Instance::new();
+    inst.set("R", cb_engine::Value::Set(BTreeSet::new()));
+    inst.set(
+        "S",
+        cb_engine::Value::set((0..100_000).map(|k| {
+            cb_engine::Value::record([
+                ("B", cb_engine::Value::Int(k % 100)),
+                ("C", cb_engine::Value::Int(k)),
+            ])
+        })),
+    );
+    let q = parse_query("select struct(C = s.C) from R r, S s where r.B = s.B").unwrap();
+    let hashed = compile(&q, CompileOptions { hash_joins: true });
+    let ev = cb_engine::Evaluator::new(&inst);
+    let t = Instant::now();
+    let (out, stats) = execute_with_stats(&ev, &hashed).unwrap();
+    println!(
+        "\nempty outer stream over |S| = 100000: {} rows in {:.3} ms, \
+         tables built {} / skipped {} (the eager executor built the 100k-row table anyway)",
+        out.len(),
+        t.elapsed().as_secs_f64() * 1e3,
+        stats.tables_built,
+        stats.tables_skipped
+    );
+    assert_eq!(stats.tables_built, 0);
 }
 
 fn banner(id: &str, title: &str) {

@@ -2,7 +2,7 @@
 //!
 //! Shared setup code for the criterion benches and the `experiments`
 //! binary that regenerates every example/figure of the paper. The
-//! experiment index E1–E14 and the paper-vs-measured record live in
+//! experiment index E1–E15 and the paper-vs-measured record live in
 //! `crates/cb-bench/EXPERIMENTS.md`; machine-readable records come from
 //! `experiments --json BENCH_experiments.json`.
 

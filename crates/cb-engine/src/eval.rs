@@ -145,6 +145,44 @@ impl<'a> Evaluator<'a> {
         Ok(self.eval_ref(env, p)?.into_owned())
     }
 
+    /// The instance this evaluator reads. The returned reference carries
+    /// the full instance lifetime, so callers (the pipeline executor) can
+    /// hold rows across their own environment mutations.
+    pub(crate) fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// ODMG implicit dereferencing, shared between the interpreter and
+    /// the compiled pipeline: resolve `oid.name` through the registered
+    /// class dictionary to an instance-anchored value. Non-OID inputs
+    /// report the same `NoSuchField` the direct field access would.
+    pub(crate) fn oid_field(&self, oid_val: &Value, name: &str) -> Result<&'a Value, EvalError> {
+        let Value::Oid(class, _) = oid_val else {
+            return Err(EvalError::NoSuchField {
+                value: oid_val.to_string(),
+                field: name.to_string(),
+            });
+        };
+        let dict_root = self
+            .class_dicts
+            .get(class)
+            .ok_or_else(|| EvalError::NoClassDict(class.clone()))?;
+        let dict = self
+            .instance
+            .get(dict_root)
+            .ok_or_else(|| EvalError::UnknownRoot(dict_root.clone()))?;
+        let map = dict
+            .as_dict()
+            .ok_or_else(|| EvalError::NotADict(dict_root.clone()))?;
+        let entry = map
+            .get(oid_val)
+            .ok_or_else(|| EvalError::DanglingOid(oid_val.to_string()))?;
+        entry.field(name).ok_or_else(|| EvalError::NoSuchField {
+            value: entry.to_string(),
+            field: name.to_string(),
+        })
+    }
+
     /// Reference-preserving evaluation: roots, dictionary entries and
     /// record fields are *borrowed*, not cloned. This is what keeps
     /// lookup-heavy plans (P3, P4, navigation joins) from accidentally
@@ -182,90 +220,24 @@ impl<'a> Evaluator<'a> {
                             value: format!("{q}"),
                             field: name.clone(),
                         }),
-                    base => {
-                        let oid = match base.as_ref() {
-                            Value::Oid(class, _) => (class.clone(), base.as_ref().clone()),
-                            other => {
-                                return Err(EvalError::NoSuchField {
-                                    value: other.to_string(),
-                                    field: name.clone(),
-                                })
-                            }
-                        };
-                        // ODMG implicit dereferencing.
-                        let (class, oid_val) = oid;
-                        let dict_root = self
-                            .class_dicts
-                            .get(&class)
-                            .ok_or_else(|| EvalError::NoClassDict(class.clone()))?;
-                        let dict = self
-                            .instance
-                            .get(dict_root)
-                            .ok_or_else(|| EvalError::UnknownRoot(dict_root.clone()))?;
-                        let map = dict
-                            .as_dict()
-                            .ok_or_else(|| EvalError::NotADict(dict_root.clone()))?;
-                        let entry = map
-                            .get(&oid_val)
-                            .ok_or_else(|| EvalError::DanglingOid(oid_val.to_string()))?;
-                        entry
-                            .field(name)
-                            .map(Cow::Borrowed)
-                            .ok_or_else(|| EvalError::NoSuchField {
-                                value: entry.to_string(),
-                                field: name.clone(),
-                            })
-                    }
+                    // ODMG implicit dereferencing (or a NoSuchField error
+                    // when the base is neither a struct nor an OID).
+                    base => self.oid_field(base.as_ref(), name).map(Cow::Borrowed),
                 }
             }
             Path::Dom(q) => {
                 let base = self.eval_ref(env, q)?;
-                let map = base
-                    .as_dict()
-                    .ok_or_else(|| EvalError::NotADict(q.to_string()))?;
-                Ok(Cow::Owned(Value::Set(map.keys().cloned().collect())))
+                dict_dom(base.as_ref(), || q.to_string()).map(Cow::Owned)
             }
             Path::Get(m, k) => {
                 let key = self.eval_ref(env, k)?.into_owned();
                 let dict = self.eval_ref(env, m)?;
-                match dict {
-                    Cow::Borrowed(d) => {
-                        let map = d
-                            .as_dict()
-                            .ok_or_else(|| EvalError::NotADict(m.to_string()))?;
-                        map.get(&key)
-                            .map(Cow::Borrowed)
-                            .ok_or_else(|| EvalError::LookupFailed {
-                                dict: m.to_string(),
-                                key: key.to_string(),
-                            })
-                    }
-                    Cow::Owned(Value::Dict(mut map)) => map
-                        .remove(&key)
-                        .map(Cow::Owned)
-                        .ok_or_else(|| EvalError::LookupFailed {
-                            dict: m.to_string(),
-                            key: key.to_string(),
-                        }),
-                    _ => Err(EvalError::NotADict(m.to_string())),
-                }
+                dict_get(dict, &key, || m.to_string())
             }
             Path::GetOrEmpty(m, k) => {
                 let key = self.eval_ref(env, k)?.into_owned();
                 let dict = self.eval_ref(env, m)?;
-                let empty = || Cow::Owned(Value::Set(BTreeSet::new()));
-                match dict {
-                    Cow::Borrowed(d) => {
-                        let map = d
-                            .as_dict()
-                            .ok_or_else(|| EvalError::NotADict(m.to_string()))?;
-                        Ok(map.get(&key).map(Cow::Borrowed).unwrap_or_else(empty))
-                    }
-                    Cow::Owned(Value::Dict(mut map)) => {
-                        Ok(map.remove(&key).map(Cow::Owned).unwrap_or_else(empty))
-                    }
-                    _ => Err(EvalError::NotADict(m.to_string())),
-                }
+                dict_get_or_empty(dict, &key, || m.to_string())
             }
         }
     }
@@ -291,13 +263,7 @@ impl<'a> Evaluator<'a> {
             Path::Field(base, name) => match self.instance_value(env, base)? {
                 Value::Struct(fields) => fields.get(name),
                 // ODMG implicit dereferencing, all instance-anchored.
-                oid @ Value::Oid(class, _) => self
-                    .class_dicts
-                    .get(class)
-                    .and_then(|dict_root| self.instance.get(dict_root))
-                    .and_then(|dict| dict.as_dict())
-                    .and_then(|map| map.get(oid))
-                    .and_then(|entry| entry.field(name)),
+                oid @ Value::Oid(..) => self.oid_field(oid, name).ok(),
                 _ => None,
             },
             Path::Get(m, k) | Path::GetOrEmpty(m, k) => {
@@ -413,6 +379,63 @@ impl<'a> Evaluator<'a> {
             }
         }
         Ok(())
+    }
+}
+
+/// Shared core of `dom(M)`. Both engines — the interpreter's `eval_ref`
+/// and the pipeline's compiled accessors — evaluate the dictionary
+/// expression themselves and defer here, so results and error text
+/// cannot drift apart (`display` renders the dictionary's source path).
+pub(crate) fn dict_dom(dict: &Value, display: impl Fn() -> String) -> Result<Value, EvalError> {
+    let map = dict
+        .as_dict()
+        .ok_or_else(|| EvalError::NotADict(display()))?;
+    Ok(Value::Set(map.keys().cloned().collect()))
+}
+
+/// Shared core of the failing lookup `M[k]`: reference-preserving on
+/// borrowed dictionaries, consuming on owned ones.
+pub(crate) fn dict_get<'v>(
+    dict: Cow<'v, Value>,
+    key: &Value,
+    display: impl Fn() -> String,
+) -> Result<Cow<'v, Value>, EvalError> {
+    let fail = |display: &dyn Fn() -> String| EvalError::LookupFailed {
+        dict: display(),
+        key: key.to_string(),
+    };
+    match dict {
+        Cow::Borrowed(d) => {
+            let map = d.as_dict().ok_or_else(|| EvalError::NotADict(display()))?;
+            map.get(key)
+                .map(Cow::Borrowed)
+                .ok_or_else(|| fail(&display))
+        }
+        Cow::Owned(Value::Dict(mut map)) => map
+            .remove(key)
+            .map(Cow::Owned)
+            .ok_or_else(|| fail(&display)),
+        _ => Err(EvalError::NotADict(display())),
+    }
+}
+
+/// Shared core of the non-failing lookup `M{k}`: the empty set on an
+/// absent key, an error only when `M` is not a dictionary.
+pub(crate) fn dict_get_or_empty<'v>(
+    dict: Cow<'v, Value>,
+    key: &Value,
+    display: impl Fn() -> String,
+) -> Result<Cow<'v, Value>, EvalError> {
+    let empty = || Cow::Owned(Value::Set(BTreeSet::new()));
+    match dict {
+        Cow::Borrowed(d) => {
+            let map = d.as_dict().ok_or_else(|| EvalError::NotADict(display()))?;
+            Ok(map.get(key).map(Cow::Borrowed).unwrap_or_else(empty))
+        }
+        Cow::Owned(Value::Dict(mut map)) => {
+            Ok(map.remove(key).map(Cow::Owned).unwrap_or_else(empty))
+        }
+        _ => Err(EvalError::NotADict(display())),
     }
 }
 

@@ -1,96 +1,245 @@
-//! Physical operator pipelines.
+//! Slot-compiled physical operator pipelines.
 //!
 //! Algorithm 1's step 3 includes "mapping into physical operators
 //! different than those (index-based)". The [`Evaluator`] interprets plan
-//! *syntax* directly; this module compiles a plan into an explicit
-//! operator pipeline and adds the one operator family the syntax cannot
-//! express: **hash joins**, which realize the paper's §2 remark that "a
-//! hash-join algorithm would have to compute [the hash table] on the fly
-//! … we can rewrite join queries into queries that correspond to
-//! hash-join plans".
+//! *syntax* directly; this module **compiles** a plan once and then runs
+//! it against a flat register file:
 //!
-//! A pipeline is a sequence of operators threading a stream of variable
-//! environments:
+//! * every variable is resolved to a fixed `usize` **slot** at compile
+//!   time — `execute` never touches a string-keyed environment;
+//! * every path is pre-resolved to an [`Access`]: a base (slot, interned
+//!   root, constant, or lookup) plus a flattened field chain, so the
+//!   per-row work is an array index and a few map lookups;
+//! * the register file is a `Vec<CowValue<'a>>` — rows iterated out of
+//!   instance-owned collections bind as `Cow::Borrowed(&'a Value)`
+//!   (the same anchoring discipline as the interpreter's Cow
+//!   environment), so instance-anchored bindings cost **zero clones
+//!   per row**;
+//! * ground (environment-independent) `where` conjuncts are hoisted out
+//!   of the row loop entirely: they run once, before the pipeline, and
+//!   short-circuit to the empty result;
+//! * hash-join tables key `CowValue<'a>` to `Vec<&'a Value>` — borrowed
+//!   keys over borrowed rows — and are built **lazily** on first probe,
+//!   so a join below an empty outer stream never pays its build.
+//!
+//! The operator family threads a stream of register bindings:
 //!
 //! ```text
-//! Scan{var, root}          emit one env per element of a root set
-//! IterDependent{var, src}  nested iteration over a path (index entries,
+//! Scan{slot, root}         emit one binding per element of a root set
+//! IterDependent{slot, src} nested iteration over a path (index entries,
 //!                          set-valued fields, non-failing lookups)
-//! Bind{var, src}           scalar (let) binding
-//! Filter{l, r}             keep envs where the paths evaluate equal
-//! HashBuild{...}/HashProbe reorder an equi-join through an on-the-fly
-//!                          hash table
+//! Bind{slot, src}          scalar (let) binding
+//! Filter{l, r}             keep rows where the accessors evaluate equal
+//! HashJoin{...}            equi-join through an on-the-fly hash table,
+//!                          realizing §2's "a hash-join algorithm would
+//!                          have to compute [the table] on the fly"
 //! ```
+//!
+//! [`execute_with_stats`] additionally returns [`PipelineStats`]: rows
+//! in/out per operator, rows emitted, and hash tables built vs skipped —
+//! the observability layer EXPLAIN and experiment E15 report from.
+//!
+//! Without hash joins the pipeline is *fully* identical to the
+//! interpreter — same rows, and the same `EvalError` at the same point
+//! (the proptest corpus asserts `Result` equality). With hash joins on,
+//! results are still identical, but the join applies its equality before
+//! the other same-level conjuncts (that is what a hash join *is*), so on
+//! erroring queries a different conjunct's error — or none, if the join
+//! filters the offending rows away — may surface, exactly as condition
+//! reordering implies.
 
-use std::collections::BTreeMap;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use pcql::path::Path;
 use pcql::query::{BindKind, Equality, Output, Query};
 
 use crate::eval::{EvalError, Evaluator};
-use crate::value::Value;
+use crate::value::{CowValue, Value};
 
-/// One pipeline operator.
+/// The base of a pre-resolved accessor: where evaluation starts before
+/// the flattened field chain is applied.
+#[derive(Debug, Clone, PartialEq)]
+enum AccessBase {
+    /// A register of the pipeline's register file.
+    Slot(usize),
+    /// A variable the query never binds — evaluates to `UnknownVar`,
+    /// exactly like the interpreter.
+    UnknownVar(String),
+    /// An interned schema root (index into [`Pipeline::roots`]).
+    Root { id: usize, name: String },
+    /// A constant, pre-converted to a runtime value.
+    Const(Value),
+    /// `dom(P)` — computed per evaluation (owned).
+    Dom(Box<Access>),
+    /// `P[k]` — failing dictionary lookup.
+    Get(Box<Access>, Box<Access>),
+    /// `P{k}` — non-failing dictionary lookup (empty set when absent).
+    GetOrEmpty(Box<Access>, Box<Access>),
+}
+
+/// A compiled path: a base plus a pre-resolved field chain. Evaluating
+/// one never consults variable names — slots index straight into the
+/// register file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    base: AccessBase,
+    /// Trailing field projections, applied in order (ODMG implicit
+    /// dereferencing included, as in the interpreter).
+    fields: Vec<String>,
+    /// Display of the source path's base, for diagnostics that must
+    /// match the interpreter's byte for byte.
+    base_display: String,
+}
+
+impl Access {
+    /// The register this accessor reads, when it is a plain (possibly
+    /// field-projected) variable reference.
+    pub fn slot(&self) -> Option<usize> {
+        match self.base {
+            AccessBase::Slot(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Display of the path prefix before field step `idx` — the
+    /// interpreter reports `NoSuchField` against exactly this prefix.
+    fn prefix_display(&self, idx: usize) -> String {
+        let mut s = self.base_display.clone();
+        for f in &self.fields[..idx] {
+            s.push('.');
+            s.push_str(f);
+        }
+        s
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.prefix_display(self.fields.len()))
+    }
+}
+
+/// One pipeline operator, slot-annotated.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Operator {
-    /// Iterate a schema root (a set).
-    Scan { var: String, root: String },
-    /// Iterate a dependent collection (set-valued path under the current
-    /// environment).
-    IterDependent { var: String, src: Path },
+    /// Iterate a schema root (a set) into a register.
+    Scan {
+        var: String,
+        slot: usize,
+        root: String,
+        root_id: usize,
+    },
+    /// Iterate a dependent collection (set-valued accessor under the
+    /// current registers).
+    IterDependent {
+        var: String,
+        slot: usize,
+        src: Access,
+    },
     /// Scalar binding.
-    Bind { var: String, src: Path },
+    Bind {
+        var: String,
+        slot: usize,
+        src: Access,
+    },
     /// Equality filter.
-    Filter { left: Path, right: Path },
-    /// On-the-fly hash join: build a table over `root` keyed by
-    /// `build_key` (a path over the root's row bound to `row_var`), then
-    /// emit one env per row matching `probe_key` evaluated in the current
-    /// environment.
+    Filter { left: Access, right: Access },
+    /// On-the-fly hash join: lazily build a table over `root` keyed by
+    /// `build_key` (evaluated with the root's row in `slot`), then emit
+    /// one binding per row matching `probe_key` under the current
+    /// registers.
     HashJoin {
         row_var: String,
+        slot: usize,
         root: String,
-        build_key: Path,
-        probe_key: Path,
+        root_id: usize,
+        build_key: Access,
+        probe_key: Access,
+        /// Index into the executor's table arena.
+        table: usize,
     },
 }
 
 impl fmt::Display for Operator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Operator::Scan { var, root } => write!(f, "Scan({root} as {var})"),
-            Operator::IterDependent { var, src } => write!(f, "Iter({src} as {var})"),
-            Operator::Bind { var, src } => write!(f, "Bind({var} := {src})"),
+            Operator::Scan {
+                var, slot, root, ..
+            } => write!(f, "Scan({root} as {var}@{slot})"),
+            Operator::IterDependent { var, slot, src } => {
+                write!(f, "Iter({src} as {var}@{slot})")
+            }
+            Operator::Bind { var, slot, src } => write!(f, "Bind({var}@{slot} := {src})"),
             Operator::Filter { left, right } => write!(f, "Filter({left} = {right})"),
             Operator::HashJoin {
                 row_var,
+                slot,
                 root,
                 build_key,
                 probe_key,
+                ..
             } => write!(
                 f,
-                "HashJoin({root} as {row_var} on {build_key} = {probe_key})"
+                "HashJoin({root} as {row_var}@{slot} on {build_key} = {probe_key})"
             ),
         }
     }
 }
 
-/// A compiled plan: a pipeline plus the final projection.
+/// A hoisted ground filter: both sides are environment-independent, so
+/// it is evaluated once, before the pipeline runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundFilter {
+    pub left: Access,
+    pub right: Access,
+}
+
+/// The compiled projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledOutput {
+    /// `select struct(...)` — field name plus accessor, sorted by name.
+    Struct(Vec<(String, Access)>),
+    /// `select P`.
+    Path(Access),
+}
+
+/// A compiled plan: hoisted ground filters, the operator pipeline, the
+/// final projection, and the register/table/root layout.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Pipeline {
+    /// Environment-independent filters, evaluated once up front.
+    pub ground: Vec<GroundFilter>,
     pub ops: Vec<Operator>,
-    pub output: Output,
+    pub output: CompiledOutput,
+    /// Register-file size (one slot per `from` binding, shadowed names
+    /// included — each binding owns a distinct slot).
+    pub n_slots: usize,
+    /// Number of hash-join tables.
+    pub n_tables: usize,
+    /// Interned schema roots, resolved once per execution.
+    pub roots: Vec<String>,
 }
 
 impl fmt::Display for Pipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, op) in self.ops.iter().enumerate() {
+        for (i, g) in self.ground.iter().enumerate() {
             if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "Ground({} = {})", g.left, g.right)?;
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 || !self.ground.is_empty() {
                 write!(f, " -> ")?;
             }
             write!(f, "{op}")?;
         }
-        write!(f, " -> Project")
+        if !self.ops.is_empty() || !self.ground.is_empty() {
+            write!(f, " -> ")?;
+        }
+        write!(f, "Project")
     }
 }
 
@@ -101,212 +250,593 @@ pub struct CompileOptions {
     pub hash_joins: bool,
 }
 
-/// Compiles a plan into a pipeline: bindings become scans/iterations,
-/// each condition becomes a filter at the earliest point where its
-/// variables are bound, and (optionally) root scans joined by equality to
-/// earlier variables become hash joins.
-pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
-    let mut ops: Vec<Operator> = Vec::new();
-    let mut bound: Vec<String> = Vec::new();
-    // Conditions not yet emitted.
-    let mut pending: Vec<Equality> = q.where_.clone();
+/// Per-operator row counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Rows arriving at the operator: invocations for scans/iterations/
+    /// binds, rows tested for filters, probes for hash joins.
+    pub input: u64,
+    /// Rows the operator passed downstream.
+    pub output: u64,
+}
 
-    let flush_filters = |bound: &[String], ops: &mut Vec<Operator>, pending: &mut Vec<Equality>| {
-        let mut i = 0;
-        while i < pending.len() {
-            let ready = pending[i]
-                .free_vars()
+/// Execution counters for one pipeline run — the "where did the rows
+/// go" record EXPLAIN-style reporting and experiment E15 print.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Parallel to [`Pipeline::ops`].
+    pub per_op: Vec<OpStats>,
+    /// Rows reaching the final projection (before set-semantics dedup).
+    pub rows_emitted: u64,
+    /// Hoisted ground filters evaluated.
+    pub ground_filters: u64,
+    /// A ground filter was false: the pipeline never ran.
+    pub short_circuited: bool,
+    /// Hash-join tables actually built (on first probe).
+    pub tables_built: u64,
+    /// Hash-join tables never built because no probe reached them.
+    pub tables_skipped: u64,
+}
+
+impl PipelineStats {
+    fn for_pipeline(p: &Pipeline) -> PipelineStats {
+        PipelineStats {
+            per_op: vec![OpStats::default(); p.ops.len()],
+            ..Default::default()
+        }
+    }
+
+    /// Total rows that flowed between operators (sum of per-operator
+    /// outputs plus emitted rows) — the throughput numerator E15 uses.
+    pub fn rows_processed(&self) -> u64 {
+        self.per_op.iter().map(|o| o.output).sum::<u64>() + self.rows_emitted
+    }
+
+    /// Renders the per-operator counters next to the pipeline.
+    pub fn render(&self, pipeline: &Pipeline) -> String {
+        let mut s = String::new();
+        if self.ground_filters > 0 {
+            s.push_str(&format!(
+                "ground filters: {} evaluated once{}\n",
+                self.ground_filters,
+                if self.short_circuited {
+                    " (short-circuited: empty result)"
+                } else {
+                    ""
+                }
+            ));
+        }
+        let ops: Vec<String> = pipeline.ops.iter().map(|op| op.to_string()).collect();
+        let width = ops.iter().map(|o| o.len()).max().unwrap_or(0);
+        for (op, st) in ops.iter().zip(&self.per_op) {
+            s.push_str(&format!(
+                "{op:<width$}  in {:>9}  out {:>9}\n",
+                st.input, st.output
+            ));
+        }
+        s.push_str(&format!(
+            "{:<width$}  in {:>9}\n",
+            "Project", self.rows_emitted
+        ));
+        s.push_str(&format!(
+            "hash tables: {} built, {} skipped (lazy)\n",
+            self.tables_built, self.tables_skipped
+        ));
+        s
+    }
+}
+
+fn intern_root(roots: &mut Vec<String>, name: &str) -> usize {
+    match roots.iter().position(|r| r == name) {
+        Some(i) => i,
+        None => {
+            roots.push(name.to_string());
+            roots.len() - 1
+        }
+    }
+}
+
+/// Resolves a path to an [`Access`] under the current variable→slot map.
+fn compile_access(p: &Path, slots: &BTreeMap<String, usize>, roots: &mut Vec<String>) -> Access {
+    let (base_path, fields) = p.split_fields();
+    let base = match base_path {
+        Path::Var(v) => match slots.get(v) {
+            Some(&i) => AccessBase::Slot(i),
+            None => AccessBase::UnknownVar(v.clone()),
+        },
+        Path::Root(r) => AccessBase::Root {
+            id: intern_root(roots, r),
+            name: r.clone(),
+        },
+        Path::Const(c) => AccessBase::Const(Value::from(c)),
+        Path::Dom(q) => AccessBase::Dom(Box::new(compile_access(q, slots, roots))),
+        Path::Get(m, k) => AccessBase::Get(
+            Box::new(compile_access(m, slots, roots)),
+            Box::new(compile_access(k, slots, roots)),
+        ),
+        Path::GetOrEmpty(m, k) => AccessBase::GetOrEmpty(
+            Box::new(compile_access(m, slots, roots)),
+            Box::new(compile_access(k, slots, roots)),
+        ),
+        // `split_fields` peeled every trailing projection.
+        Path::Field(..) => unreachable!("split_fields returned a Field base"),
+    };
+    Access {
+        base,
+        fields: fields.into_iter().map(str::to_string).collect(),
+        base_display: base_path.to_string(),
+    }
+}
+
+/// Compiles a plan into a slot-resolved pipeline: bindings become
+/// scans/iterations over fixed registers, each condition is placed at
+/// the earliest point where all its variables hold their final binding
+/// (the interpreter's placement, so results and error behavior agree),
+/// ground conditions are hoisted ahead of the row loop, and (optionally)
+/// root scans joined by equality to earlier registers become lazy hash
+/// joins.
+pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
+    // The *last* binding level of each variable: conditions attach after
+    // it, exactly as in `Evaluator::eval_query`.
+    let mut last_level: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, b) in q.from.iter().enumerate() {
+        last_level.insert(&b.var, i);
+    }
+    // Condition indices per level, in `where` order. Level 0 = ground.
+    let mut conds_at: Vec<Vec<usize>> = vec![Vec::new(); q.from.len() + 1];
+    for (ci, eq) in q.where_.iter().enumerate() {
+        let level = eq
+            .free_vars()
+            .iter()
+            .map(|v| last_level.get(v.as_str()).map_or(0, |i| i + 1))
+            .max()
+            .unwrap_or(0);
+        conds_at[level].push(ci);
+    }
+
+    let mut slots: BTreeMap<String, usize> = BTreeMap::new();
+    let mut roots: Vec<String> = Vec::new();
+    let mut ops: Vec<Operator> = Vec::new();
+    let mut n_tables = 0usize;
+
+    let ground: Vec<GroundFilter> = conds_at[0]
+        .iter()
+        .map(|&ci| {
+            let eq = &q.where_[ci];
+            GroundFilter {
+                left: compile_access(&eq.0, &slots, &mut roots),
+                right: compile_access(&eq.1, &slots, &mut roots),
+            }
+        })
+        .collect();
+
+    for (i, b) in q.from.iter().enumerate() {
+        let slot = i;
+        let mut level_conds: Vec<usize> = conds_at[i + 1].clone();
+
+        // Hash-join candidacy: an Iter over a root, some earlier binding
+        // to probe from, and an equi-join condition at this level linking
+        // this binding's rows (alone on one side) to earlier registers.
+        let mut hash: Option<Equality> = None;
+        if options.hash_joins
+            && i > 0
+            && b.kind == BindKind::Iter
+            && matches!(b.src, Path::Root(_))
+            && last_level.get(b.var.as_str()) == Some(&i)
+        {
+            let is_candidate = |eq: &Equality| {
+                let lv = eq.0.free_vars();
+                let rv = eq.1.free_vars();
+                let this = |vs: &BTreeSet<String>| vs.len() == 1 && vs.contains(&b.var);
+                let other = |vs: &BTreeSet<String>| !vs.contains(&b.var);
+                (this(&lv) && other(&rv)) || (this(&rv) && other(&lv))
+            };
+            if let Some(pos) = level_conds
                 .iter()
-                .all(|v| bound.iter().any(|b| b == v));
-            if ready {
-                let eq = pending.remove(i);
-                ops.push(Operator::Filter {
-                    left: eq.0,
-                    right: eq.1,
+                .position(|&ci| is_candidate(&q.where_[ci]))
+            {
+                let ci = level_conds.remove(pos);
+                let eq = &q.where_[ci];
+                hash = Some(if eq.0.mentions_var(&b.var) {
+                    eq.clone()
+                } else {
+                    Equality(eq.1.clone(), eq.0.clone())
                 });
-            } else {
-                i += 1;
             }
         }
+
+        match hash {
+            Some(Equality(build, probe)) => {
+                let Path::Root(root) = &b.src else {
+                    unreachable!("hash-join candidacy requires a root scan")
+                };
+                // Probe side resolves against the *outer* registers; the
+                // build side sees this binding's fresh slot.
+                let probe_key = compile_access(&probe, &slots, &mut roots);
+                slots.insert(b.var.clone(), slot);
+                let build_key = compile_access(&build, &slots, &mut roots);
+                let root_id = intern_root(&mut roots, root);
+                ops.push(Operator::HashJoin {
+                    row_var: b.var.clone(),
+                    slot,
+                    root: root.clone(),
+                    root_id,
+                    build_key,
+                    probe_key,
+                    table: n_tables,
+                });
+                n_tables += 1;
+            }
+            None => {
+                let op = match (&b.kind, &b.src) {
+                    (BindKind::Iter, Path::Root(root)) => Operator::Scan {
+                        var: b.var.clone(),
+                        slot,
+                        root: root.clone(),
+                        root_id: intern_root(&mut roots, root),
+                    },
+                    (BindKind::Iter, src) => Operator::IterDependent {
+                        var: b.var.clone(),
+                        slot,
+                        src: compile_access(src, &slots, &mut roots),
+                    },
+                    (BindKind::Let, src) => Operator::Bind {
+                        var: b.var.clone(),
+                        slot,
+                        src: compile_access(src, &slots, &mut roots),
+                    },
+                };
+                slots.insert(b.var.clone(), slot);
+                ops.push(op);
+            }
+        }
+
+        for &ci in &level_conds {
+            let eq = &q.where_[ci];
+            ops.push(Operator::Filter {
+                left: compile_access(&eq.0, &slots, &mut roots),
+                right: compile_access(&eq.1, &slots, &mut roots),
+            });
+        }
+    }
+
+    let output = match &q.output {
+        Output::Struct(fields) => CompiledOutput::Struct(
+            fields
+                .iter()
+                .map(|(name, p)| (name.clone(), compile_access(p, &slots, &mut roots)))
+                .collect(),
+        ),
+        Output::Path(p) => CompiledOutput::Path(compile_access(p, &slots, &mut roots)),
     };
 
-    for b in &q.from {
-        match (&b.kind, &b.src) {
-            (BindKind::Iter, Path::Root(root)) => {
-                // Hash-join candidacy: an equi-join condition linking this
-                // root's rows to already-bound variables.
-                let candidate = if options.hash_joins && !bound.is_empty() {
-                    pending.iter().position(|eq| {
-                        let lv = eq.0.free_vars();
-                        let rv = eq.1.free_vars();
-                        let this = |vs: &std::collections::BTreeSet<String>| {
-                            vs.len() == 1 && vs.contains(&b.var)
-                        };
-                        let earlier = |vs: &std::collections::BTreeSet<String>| {
-                            !vs.contains(&b.var) && vs.iter().all(|v| bound.iter().any(|x| x == v))
-                        };
-                        (this(&lv) && earlier(&rv)) || (this(&rv) && earlier(&lv))
-                    })
-                } else {
-                    None
-                };
-                match candidate {
-                    Some(pos) => {
-                        let eq = pending.remove(pos);
-                        let (build_key, probe_key) = if eq.0.mentions_var(&b.var) {
-                            (eq.0, eq.1)
-                        } else {
-                            (eq.1, eq.0)
-                        };
-                        ops.push(Operator::HashJoin {
-                            row_var: b.var.clone(),
-                            root: root.clone(),
-                            build_key,
-                            probe_key,
-                        });
-                    }
-                    None => ops.push(Operator::Scan {
-                        var: b.var.clone(),
-                        root: root.clone(),
-                    }),
+    Pipeline {
+        ground,
+        ops,
+        output,
+        n_slots: q.from.len(),
+        n_tables,
+        roots,
+    }
+}
+
+/// A lazily built hash-join table: borrowed keys over borrowed rows.
+type JoinTable<'a> = BTreeMap<CowValue<'a>, Vec<&'a Value>>;
+
+/// The executor state: the register file, lazily resolved roots, lazily
+/// built join tables, counters, and the result accumulator.
+struct Machine<'a, 'p> {
+    ev: &'p Evaluator<'a>,
+    pipeline: &'p Pipeline,
+    /// Interned roots resolved once per execution (`None` = absent root;
+    /// the error only surfaces if an operator actually reads it).
+    root_vals: Vec<Option<&'a Value>>,
+    regs: Vec<CowValue<'a>>,
+    tables: Vec<Option<JoinTable<'a>>>,
+    stats: PipelineStats,
+    out: BTreeSet<Value>,
+}
+
+impl<'a> Machine<'a, '_> {
+    fn root(&self, id: usize, name: &str) -> Result<&'a Value, EvalError> {
+        self.root_vals[id].ok_or_else(|| EvalError::UnknownRoot(name.to_string()))
+    }
+
+    /// Resolves an accessor to a value owned by the *instance* when it
+    /// never passes through a computed (owned) register: the compiled
+    /// mirror of the interpreter's `instance_value`. `None` both when
+    /// the value is not instance-anchored and when resolution would
+    /// fail — the caller falls back to [`Self::eval_access`], which
+    /// computes the value or produces the canonical error.
+    fn anchored(&self, a: &Access) -> Option<&'a Value> {
+        let mut cur: &'a Value = match &a.base {
+            AccessBase::Slot(i) => match &self.regs[*i] {
+                Cow::Borrowed(v) => v,
+                Cow::Owned(_) => return None,
+            },
+            AccessBase::Root { id, .. } => self.root_vals[*id]?,
+            AccessBase::Const(_) | AccessBase::Dom(_) | AccessBase::UnknownVar(_) => return None,
+            AccessBase::Get(m, k) | AccessBase::GetOrEmpty(m, k) => {
+                // Resolve the dictionary first: if it is not anchored,
+                // the key must not be evaluated here (the fallback would
+                // evaluate it a second time).
+                let map = self.anchored(m)?.as_dict()?;
+                let key = self.eval_access(k).ok()?;
+                map.get(key.as_ref())?
+            }
+        };
+        for name in &a.fields {
+            cur = match cur {
+                Value::Struct(fields) => fields.get(name)?,
+                oid @ Value::Oid(..) => self.ev.oid_field(oid, name).ok()?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Anchored-or-owned evaluation: a borrow with the full instance
+    /// lifetime when the accessor is instance-anchored, an owned value
+    /// (or the canonical error) otherwise. This is what binds registers
+    /// and join keys.
+    fn eval_detached(&self, a: &Access) -> Result<CowValue<'a>, EvalError> {
+        match self.anchored(a) {
+            Some(v) => Ok(Cow::Borrowed(v)),
+            None => Ok(Cow::Owned(self.eval_access(a)?.into_owned())),
+        }
+    }
+
+    /// Reference-preserving accessor evaluation — the compiled mirror of
+    /// the interpreter's `eval_ref`, producing identical values and
+    /// identical errors.
+    fn eval_access<'r>(&'r self, a: &'r Access) -> Result<Cow<'r, Value>, EvalError> {
+        let mut cur = self.eval_base(a)?;
+        for (idx, name) in a.fields.iter().enumerate() {
+            cur = match cur {
+                Cow::Borrowed(Value::Struct(fields)) => fields
+                    .get(name)
+                    .map(Cow::Borrowed)
+                    .ok_or_else(|| EvalError::NoSuchField {
+                        value: a.prefix_display(idx),
+                        field: name.clone(),
+                    })?,
+                Cow::Owned(Value::Struct(mut fields)) => fields
+                    .remove(name)
+                    .map(Cow::Owned)
+                    .ok_or_else(|| EvalError::NoSuchField {
+                        value: a.prefix_display(idx),
+                        field: name.clone(),
+                    })?,
+                // ODMG implicit dereferencing (or NoSuchField).
+                base => self.ev.oid_field(base.as_ref(), name).map(Cow::Borrowed)?,
+            };
+        }
+        Ok(cur)
+    }
+
+    fn eval_base<'r>(&'r self, a: &'r Access) -> Result<Cow<'r, Value>, EvalError> {
+        match &a.base {
+            AccessBase::Slot(i) => Ok(Cow::Borrowed(self.regs[*i].as_ref())),
+            AccessBase::UnknownVar(v) => Err(EvalError::UnknownVar(v.clone())),
+            AccessBase::Root { id, name } => self.root(*id, name).map(Cow::Borrowed),
+            AccessBase::Const(v) => Ok(Cow::Borrowed(v)),
+            // The dom/lookup cores are shared with the interpreter's
+            // `eval_ref` (eval.rs), so results and error text cannot
+            // drift apart between the two engines.
+            AccessBase::Dom(inner) => {
+                let base = self.eval_access(inner)?;
+                crate::eval::dict_dom(base.as_ref(), || inner.to_string()).map(Cow::Owned)
+            }
+            AccessBase::Get(m, k) => {
+                let key = self.eval_access(k)?.into_owned();
+                let dict = self.eval_access(m)?;
+                crate::eval::dict_get(dict, &key, || m.to_string())
+            }
+            AccessBase::GetOrEmpty(m, k) => {
+                let key = self.eval_access(k)?.into_owned();
+                let dict = self.eval_access(m)?;
+                crate::eval::dict_get_or_empty(dict, &key, || m.to_string())
+            }
+        }
+    }
+
+    /// Builds the hash table of the `HashJoin` at `op_idx` if this is
+    /// its first probe. One pass over the root: rows bind by reference
+    /// into the join's own slot, keys stay borrowed whenever the key
+    /// path is instance-anchored.
+    fn ensure_table(&mut self, op_idx: usize) -> Result<(), EvalError> {
+        let pipeline = self.pipeline;
+        let Operator::HashJoin {
+            slot,
+            root,
+            root_id,
+            build_key,
+            table,
+            ..
+        } = &pipeline.ops[op_idx]
+        else {
+            unreachable!("ensure_table on a non-join operator")
+        };
+        if self.tables[*table].is_some() {
+            return Ok(());
+        }
+        let set = self.root(*root_id, root)?;
+        let rows = set
+            .as_set()
+            .ok_or_else(|| EvalError::NotASet(format!("{root} = {set}")))?;
+        let mut t: JoinTable<'a> = BTreeMap::new();
+        for row in rows {
+            self.regs[*slot] = Cow::Borrowed(row);
+            let key = self.eval_detached(build_key)?;
+            t.entry(key).or_default().push(row);
+        }
+        self.stats.tables_built += 1;
+        self.tables[*table] = Some(t);
+        Ok(())
+    }
+
+    fn emit(&mut self) -> Result<(), EvalError> {
+        let pipeline = self.pipeline;
+        let row = match &pipeline.output {
+            CompiledOutput::Struct(fields) => {
+                let mut m = BTreeMap::new();
+                for (name, a) in fields {
+                    m.insert(name.clone(), self.eval_access(a)?.into_owned());
+                }
+                Value::Struct(m)
+            }
+            CompiledOutput::Path(a) => self.eval_access(a)?.into_owned(),
+        };
+        self.stats.rows_emitted += 1;
+        self.out.insert(row);
+        Ok(())
+    }
+
+    fn run(&mut self, op_idx: usize) -> Result<(), EvalError> {
+        let pipeline = self.pipeline;
+        if op_idx == pipeline.ops.len() {
+            return self.emit();
+        }
+        self.stats.per_op[op_idx].input += 1;
+        match &pipeline.ops[op_idx] {
+            Operator::Scan {
+                slot,
+                root,
+                root_id,
+                ..
+            } => {
+                let set = self.root(*root_id, root)?;
+                let items = set
+                    .as_set()
+                    .ok_or_else(|| EvalError::NotASet(format!("{root} = {set}")))?;
+                for item in items {
+                    self.regs[*slot] = Cow::Borrowed(item);
+                    self.stats.per_op[op_idx].output += 1;
+                    self.run(op_idx + 1)?;
                 }
             }
-            (BindKind::Iter, src) => ops.push(Operator::IterDependent {
-                var: b.var.clone(),
-                src: src.clone(),
-            }),
-            (BindKind::Let, src) => ops.push(Operator::Bind {
-                var: b.var.clone(),
-                src: src.clone(),
-            }),
+            Operator::IterDependent { slot, src, .. } => {
+                // Items of an instance-owned collection outlive the
+                // register file, so they bind by reference — zero clones
+                // per row. Derived collections (dom sets, collections
+                // reached through owned registers) clone their items,
+                // one at a time, exactly like the interpreter.
+                if let Some(items) = self.anchored(src).and_then(|v| v.as_set()) {
+                    for item in items {
+                        self.regs[*slot] = Cow::Borrowed(item);
+                        self.stats.per_op[op_idx].output += 1;
+                        self.run(op_idx + 1)?;
+                    }
+                } else {
+                    let items: Vec<Value> = match self.eval_access(src)? {
+                        Cow::Borrowed(Value::Set(items)) => items.iter().cloned().collect(),
+                        Cow::Owned(Value::Set(items)) => items.into_iter().collect(),
+                        other => {
+                            return Err(EvalError::NotASet(format!("{} = {}", src, other.as_ref())))
+                        }
+                    };
+                    for item in items {
+                        self.regs[*slot] = Cow::Owned(item);
+                        self.stats.per_op[op_idx].output += 1;
+                        self.run(op_idx + 1)?;
+                    }
+                }
+            }
+            Operator::Bind { slot, src, .. } => {
+                self.regs[*slot] = self.eval_detached(src)?;
+                self.stats.per_op[op_idx].output += 1;
+                self.run(op_idx + 1)?;
+            }
+            Operator::Filter { left, right } => {
+                let pass = {
+                    let l = self.eval_access(left)?;
+                    let r = self.eval_access(right)?;
+                    l.as_ref() == r.as_ref()
+                };
+                if pass {
+                    self.stats.per_op[op_idx].output += 1;
+                    self.run(op_idx + 1)?;
+                }
+            }
+            Operator::HashJoin {
+                slot,
+                probe_key,
+                table,
+                ..
+            } => {
+                // Build (or reuse) the table first: when the joined root
+                // is empty the interpreter's inner loop never evaluates
+                // the join condition, so the probe key must not be
+                // evaluated against an empty table either.
+                self.ensure_table(op_idx)?;
+                // Move the table out while descending so the registers
+                // stay mutable; each join owns a distinct table index,
+                // so no downstream operator can observe the gap.
+                let t = self.tables[*table].take().expect("table built");
+                let mut result = Ok(());
+                if !t.is_empty() {
+                    match self.eval_detached(probe_key) {
+                        Err(e) => result = Err(e),
+                        Ok(key) => {
+                            if let Some(matches) = t.get(key.as_ref()) {
+                                for &row in matches {
+                                    self.regs[*slot] = Cow::Borrowed(row);
+                                    self.stats.per_op[op_idx].output += 1;
+                                    result = self.run(op_idx + 1);
+                                    if result.is_err() {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                self.tables[*table] = Some(t);
+                result?;
+            }
         }
-        bound.push(b.var.clone());
-        flush_filters(&bound, &mut ops, &mut pending);
-    }
-    // Anything left (e.g. ground conditions) becomes trailing filters.
-    for eq in pending {
-        ops.push(Operator::Filter {
-            left: eq.0,
-            right: eq.1,
-        });
-    }
-    Pipeline {
-        ops,
-        output: q.output.clone(),
+        Ok(())
     }
 }
 
 /// Executes a pipeline against the evaluator's instance.
-pub fn execute(
-    ev: &Evaluator<'_>,
-    pipeline: &Pipeline,
-) -> Result<std::collections::BTreeSet<Value>, EvalError> {
-    // Pre-build hash tables (one pass over each joined root).
-    let mut tables: Vec<BTreeMap<Value, Vec<Value>>> = Vec::new();
-    let empty_env: BTreeMap<String, Value> = BTreeMap::new();
-    for op in &pipeline.ops {
-        if let Operator::HashJoin {
-            row_var,
-            root,
-            build_key,
-            ..
-        } = op
-        {
-            let rows = ev.eval_path(&empty_env, &Path::Root(root.clone()))?;
-            let rows = rows
-                .as_set()
-                .ok_or_else(|| EvalError::NotASet(root.clone()))?;
-            let mut table: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
-            let mut env = BTreeMap::new();
-            for row in rows {
-                env.insert(row_var.clone(), row.clone());
-                let key = ev.eval_path(&env, build_key)?;
-                table.entry(key).or_default().push(row.clone());
-            }
-            tables.push(table);
-        }
-    }
-
-    let mut out = std::collections::BTreeSet::new();
-    let mut env: BTreeMap<String, Value> = BTreeMap::new();
-    run_level(ev, pipeline, &tables, 0, 0, &mut env, &mut out)?;
-    Ok(out)
+pub fn execute(ev: &Evaluator<'_>, pipeline: &Pipeline) -> Result<BTreeSet<Value>, EvalError> {
+    execute_with_stats(ev, pipeline).map(|(rows, _)| rows)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_level(
+/// Executes a pipeline and reports per-operator row counters alongside
+/// the result.
+pub fn execute_with_stats(
     ev: &Evaluator<'_>,
     pipeline: &Pipeline,
-    tables: &[BTreeMap<Value, Vec<Value>>],
-    op_idx: usize,
-    table_idx: usize,
-    env: &mut BTreeMap<String, Value>,
-    out: &mut std::collections::BTreeSet<Value>,
-) -> Result<(), EvalError> {
-    if op_idx == pipeline.ops.len() {
-        let row = match &pipeline.output {
-            Output::Struct(fields) => {
-                let mut m = BTreeMap::new();
-                for (name, p) in fields {
-                    m.insert(name.clone(), ev.eval_path(env, p)?);
-                }
-                Value::Struct(m)
-            }
-            Output::Path(p) => ev.eval_path(env, p)?,
+) -> Result<(BTreeSet<Value>, PipelineStats), EvalError> {
+    let instance = ev.instance();
+    let mut m = Machine {
+        ev,
+        pipeline,
+        root_vals: pipeline.roots.iter().map(|r| instance.get(r)).collect(),
+        regs: vec![Cow::Owned(Value::Bool(false)); pipeline.n_slots],
+        tables: (0..pipeline.n_tables).map(|_| None).collect(),
+        stats: PipelineStats::for_pipeline(pipeline),
+        out: BTreeSet::new(),
+    };
+    // Hoisted ground filters: once, before any row is touched.
+    for g in &pipeline.ground {
+        m.stats.ground_filters += 1;
+        let pass = {
+            let l = m.eval_access(&g.left)?;
+            let r = m.eval_access(&g.right)?;
+            l.as_ref() == r.as_ref()
         };
-        out.insert(row);
-        return Ok(());
-    }
-    match &pipeline.ops[op_idx] {
-        Operator::Scan { var, root } => {
-            let set = ev.eval_path(env, &Path::Root(root.clone()))?;
-            let items = set
-                .as_set()
-                .cloned()
-                .ok_or_else(|| EvalError::NotASet(root.clone()))?;
-            for item in items {
-                env.insert(var.clone(), item);
-                run_level(ev, pipeline, tables, op_idx + 1, table_idx, env, out)?;
-            }
-            env.remove(var);
-        }
-        Operator::IterDependent { var, src } => {
-            let set = ev.eval_path(env, src)?;
-            let items = set
-                .as_set()
-                .cloned()
-                .ok_or_else(|| EvalError::NotASet(src.to_string()))?;
-            for item in items {
-                env.insert(var.clone(), item);
-                run_level(ev, pipeline, tables, op_idx + 1, table_idx, env, out)?;
-            }
-            env.remove(var);
-        }
-        Operator::Bind { var, src } => {
-            let v = ev.eval_path(env, src)?;
-            env.insert(var.clone(), v);
-            run_level(ev, pipeline, tables, op_idx + 1, table_idx, env, out)?;
-            env.remove(var);
-        }
-        Operator::Filter { left, right } => {
-            if ev.eval_path(env, left)? == ev.eval_path(env, right)? {
-                run_level(ev, pipeline, tables, op_idx + 1, table_idx, env, out)?;
-            }
-        }
-        Operator::HashJoin {
-            row_var, probe_key, ..
-        } => {
-            let key = ev.eval_path(env, probe_key)?;
-            if let Some(matches) = tables[table_idx].get(&key) {
-                for row in matches.clone() {
-                    env.insert(row_var.clone(), row);
-                    run_level(ev, pipeline, tables, op_idx + 1, table_idx + 1, env, out)?;
-                }
-                env.remove(row_var);
-            }
+        if !pass {
+            m.stats.short_circuited = true;
+            m.stats.tables_skipped = pipeline.n_tables as u64;
+            return Ok((m.out, m.stats));
         }
     }
-    Ok(())
+    m.run(0)?;
+    m.stats.tables_skipped = pipeline.n_tables as u64 - m.stats.tables_built;
+    Ok((m.out, m.stats))
 }
 
 #[cfg(test)]
@@ -314,6 +844,7 @@ mod tests {
     use super::*;
     use crate::instance::Instance;
     use pcql::parser::parse_query;
+    use pcql::Binding;
 
     fn rs_instance(n: i64) -> Instance {
         let mut i = Instance::new();
@@ -396,6 +927,188 @@ mod tests {
     }
 
     #[test]
+    fn ground_filters_are_hoisted_and_short_circuit() {
+        let inst = rs_instance(20);
+        let ev = Evaluator::new(&inst);
+        // `1 = 2` is ground: it must run once, before the scan, and
+        // short-circuit the whole pipeline.
+        let q = parse_query("select struct(A = r.A) from R r where 1 = 2").unwrap();
+        let p = compile(&q, CompileOptions::default());
+        assert_eq!(p.ground.len(), 1, "pipeline: {p}");
+        assert!(p
+            .ops
+            .iter()
+            .all(|op| !matches!(op, Operator::Filter { .. })));
+        let (rows, stats) = execute_with_stats(&ev, &p).unwrap();
+        assert!(rows.is_empty());
+        assert!(stats.short_circuited);
+        assert_eq!(stats.per_op[0].input, 0, "scan ran despite ground false");
+        assert_eq!(ev.eval_query(&q).unwrap(), rows);
+
+        // A true ground filter evaluates once and lets the rows through.
+        let q = parse_query("select struct(A = r.A) from R r where 2 = 2").unwrap();
+        let p = compile(&q, CompileOptions::default());
+        let (rows, stats) = execute_with_stats(&ev, &p).unwrap();
+        assert_eq!(rows, ev.eval_query(&q).unwrap());
+        assert_eq!(stats.ground_filters, 1);
+        assert!(!stats.short_circuited);
+    }
+
+    #[test]
+    fn hash_tables_build_lazily() {
+        let mut inst = rs_instance(10);
+        inst.set("Empty", Value::Set(BTreeSet::new()));
+        let ev = Evaluator::new(&inst);
+        // The outer stream is empty: the join table must never be built.
+        let q = Query::new(
+            Output::record([("C", pcql::Path::var("s").field("C"))]),
+            vec![
+                Binding::iter("e", pcql::Path::root("Empty")),
+                Binding::iter("s", pcql::Path::root("S")),
+            ],
+            vec![pcql::Equality(
+                pcql::Path::var("e").field("B"),
+                pcql::Path::var("s").field("B"),
+            )],
+        );
+        let p = compile(&q, CompileOptions { hash_joins: true });
+        assert_eq!(p.n_tables, 1, "pipeline: {p}");
+        let (rows, stats) = execute_with_stats(&ev, &p).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(stats.tables_built, 0);
+        assert_eq!(stats.tables_skipped, 1);
+
+        // With a non-empty outer stream the same pipeline builds once.
+        let q2 =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
+        let p2 = compile(&q2, CompileOptions { hash_joins: true });
+        let (rows2, stats2) = execute_with_stats(&ev, &p2).unwrap();
+        assert_eq!(rows2, ev.eval_query(&q2).unwrap());
+        assert_eq!(stats2.tables_built, 1);
+        assert_eq!(stats2.tables_skipped, 0);
+    }
+
+    #[test]
+    fn probe_key_errors_do_not_surface_when_join_is_empty() {
+        // S is empty, so the interpreter's inner loop never evaluates
+        // the join condition — the bad probe path r.MISSING must not
+        // error in the pipeline either.
+        let mut inst = Instance::new();
+        inst.set("R", Value::set([Value::record([("A", Value::Int(1))])]));
+        inst.set("S", Value::Set(BTreeSet::new()));
+        let ev = Evaluator::new(&inst);
+        let q = parse_query("select struct(X = r.A) from R r, S s where r.MISSING = s.B").unwrap();
+        assert_eq!(ev.eval_query(&q), Ok(BTreeSet::new()));
+        for options in [
+            CompileOptions { hash_joins: false },
+            CompileOptions { hash_joins: true },
+        ] {
+            let p = compile(&q, options);
+            assert_eq!(execute(&ev, &p), Ok(BTreeSet::new()), "pipeline: {p}");
+        }
+    }
+
+    #[test]
+    fn not_a_set_error_matches_the_interpreter() {
+        // Scanning a dictionary root must report the interpreter's
+        // `NotASet("<root> = <value>")`, not a bare root name.
+        let mut inst = Instance::new();
+        inst.set("D", Value::dict([(Value::Int(1), Value::Int(2))]));
+        let ev = Evaluator::new(&inst);
+        let q = parse_query("select struct(X = d.A) from D d").unwrap();
+        let want = ev.eval_query(&q).unwrap_err();
+        let p = compile(&q, CompileOptions::default());
+        assert_eq!(execute(&ev, &p).unwrap_err(), want);
+    }
+
+    #[test]
+    fn slot_layout_gives_every_binding_its_own_register() {
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
+        let p = compile(&q, CompileOptions::default());
+        assert_eq!(p.n_slots, 2);
+        let slots: Vec<usize> = p
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Operator::Scan { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(slots, vec![0, 1]);
+        // The filter reads both registers.
+        let Some(Operator::Filter { left, right }) = p
+            .ops
+            .iter()
+            .find(|op| matches!(op, Operator::Filter { .. }))
+        else {
+            panic!("no filter in {p}")
+        };
+        assert_eq!(left.slot(), Some(0));
+        assert_eq!(right.slot(), Some(1));
+    }
+
+    #[test]
+    fn shadowed_variable_names_get_fresh_slots() {
+        // `from R x, S x`: the inner binding shadows the outer; the
+        // output must read the *inner* register, as the interpreter does.
+        let inst = rs_instance(12);
+        let ev = Evaluator::new(&inst);
+        let q = Query::new(
+            Output::record([("C", pcql::Path::var("x").field("C"))]),
+            vec![
+                Binding::iter("x", pcql::Path::root("R")),
+                Binding::iter("x", pcql::Path::root("S")),
+            ],
+            vec![],
+        );
+        let p = compile(&q, CompileOptions::default());
+        assert_eq!(p.n_slots, 2);
+        let CompiledOutput::Struct(fields) = &p.output else {
+            panic!("struct output expected")
+        };
+        assert_eq!(fields[0].1.slot(), Some(1), "output must read the inner x");
+        assert_eq!(execute(&ev, &p).unwrap(), ev.eval_query(&q).unwrap());
+    }
+
+    #[test]
+    fn conditions_on_shadowed_names_follow_the_last_binding() {
+        let inst = rs_instance(12);
+        let ev = Evaluator::new(&inst);
+        // `x.B = 1` mentions the re-bound x: like the interpreter, it
+        // must be placed after the *last* binding of x and read slot 1.
+        let q = Query::new(
+            Output::record([("C", pcql::Path::var("x").field("C"))]),
+            vec![
+                Binding::iter("x", pcql::Path::root("R")),
+                Binding::iter("x", pcql::Path::root("S")),
+            ],
+            vec![pcql::Equality(
+                pcql::Path::var("x").field("B"),
+                pcql::Path::int(1),
+            )],
+        );
+        for options in [
+            CompileOptions { hash_joins: false },
+            CompileOptions { hash_joins: true },
+        ] {
+            let p = compile(&q, options);
+            if let Some(Operator::Filter { left, .. }) = p
+                .ops
+                .iter()
+                .find(|op| matches!(op, Operator::Filter { .. }))
+            {
+                assert_eq!(left.slot(), Some(1), "filter reads the outer x: {p}");
+            }
+            assert_eq!(
+                execute(&ev, &p).unwrap(),
+                ev.eval_query(&q).unwrap(),
+                "pipeline: {p}"
+            );
+        }
+    }
+
+    #[test]
     fn dependent_iterations_and_lookups() {
         let mut inst = Instance::new();
         inst.set(
@@ -452,7 +1165,34 @@ mod tests {
             .filter(|op| matches!(op, Operator::HashJoin { .. }))
             .count();
         assert_eq!(n_hash, 2, "pipeline: {p}");
-        assert_eq!(execute(&ev, &p).unwrap(), ev.eval_query(&q).unwrap());
+        assert_eq!(p.n_tables, 2);
+        let (rows, stats) = execute_with_stats(&ev, &p).unwrap();
+        assert_eq!(rows, ev.eval_query(&q).unwrap());
+        assert_eq!(stats.tables_built, 2);
+    }
+
+    #[test]
+    fn stats_count_rows_per_operator() {
+        let inst = rs_instance(10);
+        let ev = Evaluator::new(&inst);
+        let q = parse_query("select struct(A = r.A) from R r where r.B = 2").unwrap();
+        let p = compile(&q, CompileOptions::default());
+        let (rows, stats) = execute_with_stats(&ev, &p).unwrap();
+        // Scan: one invocation, 10 rows out; filter: 10 in, 2 out (B = 2
+        // hits k = 2, 7); project: 2 rows.
+        assert_eq!(
+            stats.per_op[0],
+            OpStats {
+                input: 1,
+                output: 10
+            }
+        );
+        assert_eq!(stats.per_op[1].input, 10);
+        assert_eq!(stats.per_op[1].output, stats.rows_emitted);
+        assert_eq!(stats.rows_emitted as usize, rows.len());
+        let rendered = stats.render(&p);
+        assert!(rendered.contains("Scan(R as r@0)"), "{rendered}");
+        assert!(rendered.contains("Project"), "{rendered}");
     }
 
     #[test]
@@ -461,8 +1201,8 @@ mod tests {
             parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
         let p = compile(&q, CompileOptions { hash_joins: true });
         let text = p.to_string();
-        assert!(text.contains("Scan(R as r)"));
-        assert!(text.contains("HashJoin(S as s"));
+        assert!(text.contains("Scan(R as r@0)"), "{text}");
+        assert!(text.contains("HashJoin(S as s@1"), "{text}");
         assert!(text.ends_with("Project"));
     }
 }

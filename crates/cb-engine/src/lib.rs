@@ -27,11 +27,14 @@ pub mod value;
 
 pub use check::{satisfies, violations};
 pub use eval::{EvalError, Evaluator};
-pub use exec::{compile, execute, CompileOptions, Operator, Pipeline};
+pub use exec::{
+    compile, execute, execute_with_stats, Access, CompileOptions, CompiledOutput, GroundFilter,
+    OpStats, Operator, Pipeline, PipelineStats,
+};
 pub use generator::{
     join_instance, projdept_instance, rabc_instance, JoinParams, ProjDeptParams, RabcParams,
 };
 pub use instance::Instance;
 pub use materialize::{MaterializeError, Materializer};
 pub use stats::collect_stats;
-pub use value::Value;
+pub use value::{CowValue, Value};

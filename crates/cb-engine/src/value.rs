@@ -1,10 +1,22 @@
 //! Runtime values of the complex-object data model.
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use pcql::path::Constant;
 use pcql::types::Type;
+
+/// A maybe-borrowed value: the currency of the zero-clone execution
+/// paths. Rows iterated out of instance-owned collections travel as
+/// `Cow::Borrowed(&'a Value)` (the pipeline executor's register file is
+/// a `Vec<CowValue<'a>>`); only genuinely computed values are `Owned`.
+///
+/// Because `Cow<'a, Value>: Borrow<Value>` and [`Value`] is totally
+/// ordered, maps keyed by `CowValue` (the on-the-fly hash-join tables)
+/// can be probed with a plain `&Value` — borrowed build keys and
+/// borrowed probe keys compare without a single clone.
+pub type CowValue<'a> = Cow<'a, Value>;
 
 /// A runtime value. `BTreeMap`/`BTreeSet` keep everything totally ordered,
 /// which gives us set semantics, deterministic iteration and hashable

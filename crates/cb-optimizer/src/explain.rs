@@ -58,6 +58,28 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
     }
     let _ = writeln!(s, "\n== chosen plan (cost {:.1}) ==", outcome.best.cost);
     let _ = writeln!(s, "{}", outcome.best.query);
+    // The plan as the engine will actually run it: the slot-compiled
+    // pipeline (hash joins on), with its register/table/ground layout.
+    // `execute_with_stats` reports rows per operator against this shape.
+    let pipeline = cb_engine::compile(
+        &outcome.best.query,
+        cb_engine::CompileOptions { hash_joins: true },
+    );
+    let _ = writeln!(s, "\n== slot-compiled pipeline (hash joins on) ==");
+    let _ = writeln!(
+        s,
+        "  registers: {}   hash tables: {}   hoisted ground filters: {}",
+        pipeline.n_slots,
+        pipeline.n_tables,
+        pipeline.ground.len()
+    );
+    for g in &pipeline.ground {
+        let _ = writeln!(s, "  Ground({} = {})", g.left, g.right);
+    }
+    for op in &pipeline.ops {
+        let _ = writeln!(s, "  {op}");
+    }
+    let _ = writeln!(s, "  Project");
     if !outcome.complete {
         let _ = writeln!(
             s,
@@ -85,6 +107,8 @@ mod tests {
             "== universal plan ==",
             "== backchase (phase 2)",
             "== chosen plan",
+            "== slot-compiled pipeline",
+            "registers:",
             "[minimal]",
             "lattice node(s) visited",
         ] {

@@ -238,6 +238,22 @@ impl Path {
         }
     }
 
+    /// Splits the trailing field projections off a path: `x.A.B` yields
+    /// the base `x` and the chain `["A", "B"]` (applied left to right).
+    /// This is the pre-resolution hook for compiled executors that turn a
+    /// path into a `(slot, field chain)` accessor at plan-compile time
+    /// instead of re-walking the AST per row.
+    pub fn split_fields(&self) -> (&Path, Vec<&str>) {
+        match self {
+            Path::Field(p, name) => {
+                let (base, mut chain) = p.split_fields();
+                chain.push(name);
+                (base, chain)
+            }
+            _ => (self, Vec::new()),
+        }
+    }
+
     /// True if the path contains a non-failing lookup (`P{k}`); such paths
     /// are plan-level only and are rejected by the PC well-formedness check.
     pub fn has_nonfailing_lookup(&self) -> bool {
@@ -311,6 +327,23 @@ mod tests {
         assert_eq!(p.size(), 4);
         let subs: Vec<String> = p.subpaths().iter().map(|s| s.to_string()).collect();
         assert_eq!(subs, vec!["M[k].A", "M[k]", "M", "k"]);
+    }
+
+    #[test]
+    fn split_fields_peels_trailing_projections() {
+        let p = Path::var("x").field("A").field("B");
+        let (base, chain) = p.split_fields();
+        assert_eq!(base, &Path::var("x"));
+        assert_eq!(chain, vec!["A", "B"]);
+        // Fields inside a lookup are not trailing: only the outer chain peels.
+        let q = Path::root("M").get(Path::var("k").field("A")).field("C");
+        let (base, chain) = q.split_fields();
+        assert_eq!(base.to_string(), "M[k.A]");
+        assert_eq!(chain, vec!["C"]);
+        let three = Path::int(3);
+        let (base, chain) = three.split_fields();
+        assert_eq!(base, &three);
+        assert!(chain.is_empty());
     }
 
     #[test]

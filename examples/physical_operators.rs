@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use universal_plans::engine::exec::{compile, execute, CompileOptions};
+use universal_plans::engine::exec::{compile, execute, execute_with_stats, CompileOptions};
 use universal_plans::prelude::*;
 
 fn main() {
@@ -51,7 +51,7 @@ fn main() {
     let a = execute(&ev, &nested).unwrap();
     let t_nested = t0.elapsed();
     let t1 = Instant::now();
-    let b = execute(&ev, &hashed).unwrap();
+    let (b, stats) = execute_with_stats(&ev, &hashed).unwrap();
     let t_hash = t1.elapsed();
     assert_eq!(a, b);
     println!(
@@ -59,6 +59,8 @@ fn main() {
         a.len(),
         t_nested.as_secs_f64() / t_hash.as_secs_f64().max(1e-9)
     );
+    println!("\nwhere the hash pipeline's rows went:");
+    print!("{}", stats.render(&hashed));
 
     // The same machinery executes the optimizer's chosen plans, e.g. the
     // navigation join of §4.

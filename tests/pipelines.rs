@@ -2,7 +2,7 @@
 //! interpreter on every optimizer-produced plan, with and without hash
 //! joins.
 
-use universal_plans::engine::exec::{compile, execute, CompileOptions};
+use universal_plans::engine::exec::{compile, execute_with_stats, CompileOptions};
 use universal_plans::prelude::*;
 
 fn check_pipelines(catalog: &Catalog, q: &pcql::Query, instance: &Instance) {
@@ -23,13 +23,25 @@ fn check_pipelines(catalog: &Catalog, q: &pcql::Query, instance: &Instance) {
             CompileOptions { hash_joins: true },
         ] {
             let pipeline = compile(&c.query, options);
-            let rows = execute(&ev, &pipeline).unwrap_or_else(|e| {
+            let (rows, stats) = execute_with_stats(&ev, &pipeline).unwrap_or_else(|e| {
                 panic!(
                     "pipeline failed: {e}\nplan: {}\npipeline: {pipeline}",
                     c.query
                 )
             });
             assert_eq!(rows, reference, "plan {} via {pipeline}", c.query);
+            // The counters must account for every emitted row and table.
+            assert!(
+                stats.rows_emitted as usize >= rows.len(),
+                "emitted {} < {} distinct rows via {pipeline}",
+                stats.rows_emitted,
+                rows.len()
+            );
+            assert_eq!(
+                stats.tables_built + stats.tables_skipped,
+                pipeline.n_tables as u64,
+                "table accounting off via {pipeline}"
+            );
         }
     }
 }

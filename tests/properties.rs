@@ -73,6 +73,89 @@ fn arb_cq() -> impl Strategy<Value = pcql::Query> {
         })
 }
 
+/// Random queries for the pipeline executor: 1–3 `iter` bindings over
+/// roots R/S with variable names drawn from a *small* pool (so shadowed
+/// and reused names occur), and conditions that mix equi-joins (the
+/// hash-join trigger), selections against constants, and ground
+/// constant comparisons (the hoisting trigger). Error paths are
+/// represented too: root `T` is absent from the instances, root `D` is
+/// a dictionary (not a set), and field `C` is missing from every row —
+/// the executor must fail exactly where the interpreter fails.
+fn arb_pipeline_query() -> impl Strategy<Value = pcql::Query> {
+    let binding = (
+        prop::sample::select(vec!["R", "S", "R", "S", "R", "S", "T", "D"]),
+        prop::sample::select(vec!["u", "v", "w"]),
+    );
+    // (kind, l, lf, r, rf, c): kind 0 = vl.lf = vr.rf (equi-join, the
+    // hash-join trigger), kind 1 = vl.lf = c (selection), kind 2 =
+    // (c % 2) = (l % 2) (ground, the hoisting trigger). Fields include
+    // the absent `C` occasionally, so conditions can error.
+    let cond_field =
+        || prop::sample::select(vec!["A", "B", "A", "B", "C"]).prop_map(str::to_string);
+    let cond = (
+        0..3u8,
+        0..3usize,
+        cond_field(),
+        0..3usize,
+        cond_field(),
+        0..4i64,
+    );
+    (
+        prop::collection::vec(binding, 1..4),
+        prop::collection::vec(cond, 0..4),
+        (0..3usize, field_name()),
+    )
+        .prop_map(|(binds, conds, (ov, of))| {
+            let names: Vec<String> = binds.iter().map(|(_, v)| v.to_string()).collect();
+            let from: Vec<pcql::Binding> = binds
+                .iter()
+                .map(|(root, var)| pcql::Binding::iter(*var, pcql::Path::root(*root)))
+                .collect();
+            let where_: Vec<pcql::Equality> = conds
+                .into_iter()
+                .map(|(kind, l, lf, r, rf, c)| match kind {
+                    0 => pcql::Equality(
+                        pcql::Path::var(&names[l % names.len()]).field(lf),
+                        pcql::Path::var(&names[r % names.len()]).field(rf),
+                    ),
+                    1 => pcql::Equality(
+                        pcql::Path::var(&names[l % names.len()]).field(lf),
+                        pcql::Path::int(c),
+                    ),
+                    _ => pcql::Equality(pcql::Path::int(c % 2), pcql::Path::int(l as i64 % 2)),
+                })
+                .collect();
+            pcql::Query::new(
+                pcql::Output::record([(
+                    "O".to_string(),
+                    pcql::Path::var(&names[ov % names.len()]).field(of),
+                )]),
+                from,
+                where_,
+            )
+        })
+}
+
+/// A small random instance with both R(A,B) and S(A,B) (plus the
+/// dictionary root `D` the error-path queries scan; `T` stays absent).
+fn arb_rs_instance() -> impl Strategy<Value = Instance> {
+    let rows = || {
+        prop::collection::vec((0..4i64, 0..4i64), 0..10).prop_map(|rows| {
+            Value::set(
+                rows.into_iter()
+                    .map(|(a, b)| Value::record([("A", Value::Int(a)), ("B", Value::Int(b))])),
+            )
+        })
+    };
+    (rows(), rows()).prop_map(|(r, s)| {
+        let mut i = Instance::new();
+        i.set("R", r);
+        i.set("S", s);
+        i.set("D", Value::dict([(Value::Int(0), Value::Int(0))]));
+        i
+    })
+}
+
 /// A small random R(A,B) instance.
 fn arb_instance() -> impl Strategy<Value = Instance> {
     prop::collection::vec((0..4i64, 0..4i64), 0..12).prop_map(|rows| {
@@ -234,6 +317,47 @@ proptest! {
                 "lower_bound = {} > plan_cost = {} for {}",
                 model.lower_bound(v), model.plan_cost(v), v
             );
+        }
+    }
+
+    /// The slot-compiled pipeline executor matches the tree-walking
+    /// interpreter on random queries and instances (shadowed variable
+    /// names, hoisted ground filters, lazy table builds, and error
+    /// paths — absent roots, non-set roots, missing fields — included).
+    /// Without hash joins the whole `Result` must be identical, errors
+    /// and all; with hash joins on, the join applies its equality ahead
+    /// of the other same-level conjuncts, so on erroring queries only
+    /// Ok-results are required to agree (see the exec.rs module doc).
+    #[test]
+    fn pipeline_executor_matches_evaluator(
+        q in arb_pipeline_query(),
+        inst in arb_rs_instance(),
+    ) {
+        use universal_plans::engine::exec::{compile, execute_with_stats, CompileOptions};
+        let ev = Evaluator::new(&inst);
+        let reference = ev.eval_query(&q);
+
+        let nested = compile(&q, CompileOptions { hash_joins: false });
+        let got = execute_with_stats(&ev, &nested).map(|(rows, _)| rows);
+        prop_assert_eq!(&reference, &got, "q = {} pipeline = {}", q, nested);
+
+        let hashed = compile(&q, CompileOptions { hash_joins: true });
+        match (&reference, execute_with_stats(&ev, &hashed)) {
+            (Ok(want), Ok((got, stats))) => {
+                prop_assert_eq!(
+                    want, &got,
+                    "q = {} pipeline = {}", q, hashed
+                );
+                prop_assert!(
+                    stats.tables_built + stats.tables_skipped
+                        == hashed.n_tables as u64,
+                    "table accounting off: {:?} for {}", stats, hashed
+                );
+            }
+            // Hash-join condition reordering may change which error
+            // surfaces, or filter the offending rows away entirely —
+            // but it must never conjure rows the interpreter rejects.
+            (Err(_), _) | (_, Err(_)) => {}
         }
     }
 
