@@ -1,5 +1,5 @@
 //! Regenerates every example, figure and claim of the paper's evaluation
-//! (experiment index E1–E15 and the paper-vs-measured record live in
+//! (experiment index E1–E16 and the paper-vs-measured record live in
 //! `crates/cb-bench/EXPERIMENTS.md`).
 //!
 //! ```sh
@@ -84,6 +84,9 @@ fn main() {
     }
     if want("e15") {
         e15_pipeline_execution();
+    }
+    if want("e16") {
+        e16_must_remain_bound();
     }
 }
 
@@ -222,6 +225,63 @@ fn run_json(path: &str, selection: &[String]) {
             ("nodes_visited", guided.0),
             ("nodes_pruned_by_cost", guided.1),
             ("exhaustive_nodes_visited", full.nodes_visited as u64),
+        ];
+        records.push(rec);
+    }
+
+    if want("e16") {
+        use cb_optimizer::{CostBound, OptimizerConfig, SearchStrategy};
+        let p = prepared_projdept(50, 10, 25);
+        let must_cfg = OptimizerConfig {
+            strategy: SearchStrategy::CostGuided,
+            ..Default::default()
+        };
+        let floor_cfg = OptimizerConfig {
+            bound: CostBound::AccessFloor,
+            ..must_cfg.clone()
+        };
+        let mut counters = (0u64, 0u64, 0u64, 0u64, f64::NAN);
+        let mut rec = measure("e16_must_remain_bound", ITERS, || {
+            let out = Optimizer::with_config(&p.catalog, must_cfg.clone())
+                .optimize(&p.query)
+                .ok()?;
+            counters = (
+                out.nodes_visited as u64,
+                out.nodes_pruned_by_cost as u64,
+                out.nodes_pruned_at_gate as u64,
+                out.nodes_pruned_at_visit as u64,
+                out.best.cost,
+            );
+            Some(out.cache)
+        });
+        let floor = Optimizer::with_config(&p.catalog, floor_cfg)
+            .optimize(&p.query)
+            .unwrap();
+        let full = p.optimizer().optimize(&p.query).unwrap();
+        assert!((counters.4 - full.best.cost).abs() < 1e-9);
+        assert!((floor.best.cost - full.best.cost).abs() < 1e-9);
+        // The acceptance bar of the must-remain bound, enforced wherever
+        // the record is produced (CI runs this on every push): at least
+        // 3x the single-access-floor pruning on ProjDept.
+        assert!(
+            counters.1 >= 3 * (floor.nodes_pruned_by_cost as u64).max(1),
+            "must-remain pruned {} < 3x access-floor pruned {}",
+            counters.1,
+            floor.nodes_pruned_by_cost
+        );
+        rec.extra = vec![
+            ("nodes_visited", counters.0),
+            ("nodes_pruned_by_cost", counters.1),
+            ("nodes_pruned_at_gate", counters.2),
+            ("nodes_pruned_at_visit", counters.3),
+            ("access_floor_pruned", floor.nodes_pruned_by_cost as u64),
+            ("exhaustive_nodes_visited", full.nodes_visited as u64),
+            (
+                // The CI regression guard reads this: pruned / visited,
+                // in thousandths (the pre-must-remain baseline was ~21).
+                "pruned_ratio_x1000",
+                (1000.0 * counters.1 as f64 / counters.0.max(1) as f64) as u64,
+            ),
         ];
         records.push(rec);
     }
@@ -514,6 +574,103 @@ fn e15_pipeline_execution() {
         stats.tables_skipped
     );
     assert_eq!(stats.tables_built, 0);
+}
+
+/// E16 — the must-remain cost bound: summing the access floors of the
+/// bindings every output-preserving removal set keeps vs. the single
+/// cheapest access floor (the PR-3 bound, kept as
+/// `CostBound::AccessFloor`). Same best cost — both bounds are
+/// admissible — with a multiplied pruning ratio.
+fn e16_must_remain_bound() {
+    banner(
+        "E16",
+        "must-remain cost bound: summed floors vs the single access floor",
+    );
+    use cb_optimizer::{CostBound, OptimizerConfig, SearchStrategy};
+    let mut rows = Vec::new();
+    let mut projdept_pruned = (0usize, 0usize);
+    for (name, mk) in [("projdept", 0usize), ("§4 indexes", 1), ("§4 views", 2)] {
+        let p = match mk {
+            0 => prepared_projdept(50, 10, 25),
+            1 => prepared_indexes(5_000, 100, 50),
+            _ => prepared_views(1_000, 1_000, 0.05),
+        };
+        let full = Optimizer::new(&p.catalog).optimize(&p.query).unwrap();
+        let must_cfg = OptimizerConfig {
+            strategy: SearchStrategy::CostGuided,
+            ..Default::default()
+        };
+        let floor_cfg = OptimizerConfig {
+            bound: CostBound::AccessFloor,
+            ..must_cfg.clone()
+        };
+        let floor = Optimizer::with_config(&p.catalog, floor_cfg)
+            .optimize(&p.query)
+            .unwrap();
+        let must = Optimizer::with_config(&p.catalog, must_cfg)
+            .optimize(&p.query)
+            .unwrap();
+        for (label, out) in [("access-floor", &floor), ("must-remain", &must)] {
+            assert!(
+                (out.best.cost - full.best.cost).abs() < 1e-9,
+                "{name}: {label} best {} != exhaustive best {}",
+                out.best.cost,
+                full.best.cost
+            );
+        }
+        if mk == 0 {
+            projdept_pruned = (floor.nodes_pruned_by_cost, must.nodes_pruned_by_cost);
+        }
+        let ratio = |o: &cb_optimizer::OptimizeOutcome| {
+            100.0 * o.nodes_pruned_by_cost as f64 / full.nodes_visited.max(1) as f64
+        };
+        rows.push(vec![
+            name.to_string(),
+            full.nodes_visited.to_string(),
+            format!("{} ({:.0}%)", floor.nodes_pruned_by_cost, ratio(&floor)),
+            format!("{} ({:.0}%)", must.nodes_pruned_by_cost, ratio(&must)),
+            format!(
+                "{}g+{}v",
+                must.nodes_pruned_at_gate, must.nodes_pruned_at_visit
+            ),
+            format!(
+                "{:.1}x",
+                must.nodes_pruned_by_cost as f64 / floor.nodes_pruned_by_cost.max(1) as f64
+            ),
+            if must.must_remain.is_empty() {
+                "-".to_string()
+            } else {
+                must.must_remain.join(",")
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "exhaustive nodes",
+                "floor pruned",
+                "must-remain pruned",
+                "gate+visit",
+                "improvement",
+                "root must-remain"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "(best costs asserted identical across exhaustive / access-floor /\n\
+         must-remain — both bounds are admissible; the must-remain bound sums\n\
+         the floors of every binding no output-preserving removal set can\n\
+         drop, so cones forced through an expensive access are cut wholesale)"
+    );
+    assert!(
+        projdept_pruned.1 >= 3 * projdept_pruned.0.max(1),
+        "projdept: must-remain pruned {} < 3x access-floor pruned {}",
+        projdept_pruned.1,
+        projdept_pruned.0
+    );
 }
 
 fn banner(id: &str, title: &str) {

@@ -82,7 +82,10 @@ pub struct BackchaseOutcome {
 
 /// Extends a removal set with the bindings that (transitively) depend on
 /// it and cannot be re-expressed without it (footnote 7 of the paper).
-fn dependent_closure(
+/// Monotone in the seed set: a larger seed only forbids more
+/// re-expressions, so anything dragged along by a subset is dragged along
+/// by the superset too (the must-remain analysis leans on this).
+pub(crate) fn dependent_closure(
     q: &Query,
     graph: &mut QueryGraph,
     seed_set: BTreeSet<String>,
@@ -217,7 +220,13 @@ fn topo_order(bindings: Vec<Binding>) -> Option<Vec<Binding>> {
     Some(out)
 }
 
-fn rewrite_output(
+/// Re-expresses every output path avoiding the removed variables
+/// (condition 2 of a backchase step). `None` exactly when some output
+/// class has no realizable term outside `removed` — a verdict that can
+/// only flip from `Some` to `None` as `removed` grows (extraction is
+/// monotone in the forbidden set), which is what lets the must-remain
+/// analysis treat a failure here as final for the whole sublattice.
+pub(crate) fn rewrite_output(
     graph: &mut QueryGraph,
     output: &Output,
     removed: &BTreeSet<String>,

@@ -53,7 +53,11 @@
 //! candidates *before* their equivalence checks and a priority hook
 //! that orders the frontier. The optimizer's cost-guided
 //! branch-and-bound strategy is one such visitor; [`backchase_in`] is
-//! the collect-everything one.
+//! the collect-everything one. [`MustRemainAnalysis`] reads the same
+//! lattice structure statically: which bindings every
+//! equivalence-preserving removal set keeps (and which source paths a
+//! binding can be re-expressed to) — the ingredient of the optimizer's
+//! summed cost lower bound.
 
 pub mod backchase;
 pub mod canon;
@@ -62,6 +66,7 @@ pub mod context;
 pub mod egraph;
 pub mod hom;
 pub mod implication;
+pub mod must_remain;
 pub mod termination;
 
 mod containment;
@@ -80,4 +85,5 @@ pub use containment::{contained_in, contained_in_pre_chased, equivalent};
 pub use context::{CacheStats, ChaseContext};
 pub use egraph::EGraph;
 pub use implication::implies;
+pub use must_remain::MustRemainAnalysis;
 pub use termination::{analyze_termination, is_weakly_acyclic, TerminationVerdict};

@@ -10,11 +10,23 @@
 //! Costs are abstract "operations": iterating a collection costs its
 //! (estimated) cardinality, evaluating a path costs one per dictionary
 //! lookup it contains, producing a row costs one.
+//!
+//! Intermediate row estimates are **clamped at one row** before each
+//! nested-loop level (the classic `clamp_row_est` discipline): however
+//! selective the conditions above it, an inner loop is never charged
+//! less than one full pass of its collection. Besides being the usual
+//! guard against compounding selectivity underestimates, the clamp is
+//! what makes per-binding access floors *summable* — every binding of a
+//! plan contributes at least its own floor to [`CostModel::plan_cost`],
+//! so the branch-and-bound lower bound can add the floors of all
+//! must-remain bindings ([`CostModel::lattice_lower_bound`]) instead of
+//! taking the single cheapest one ([`CostModel::lower_bound`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cb_catalog::stats::{DEFAULT_EQ_SELECTIVITY, DEFAULT_FANOUT};
 use cb_catalog::{Catalog, Stats};
+use cb_chase::MustRemainAnalysis;
 use pcql::path::Path;
 use pcql::query::{BindKind, Equality, Query};
 
@@ -22,17 +34,22 @@ use pcql::query::{BindKind, Equality, Query};
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel<'a> {
     stats: &'a Stats,
+    /// [`CostModel::global_access_floor`], computed once — the bound
+    /// consults it per open binding on the search's hottest path, and
+    /// the statistics are immutable for the model's lifetime.
+    global_floor: f64,
 }
 
 impl<'a> CostModel<'a> {
     pub fn new(stats: &'a Stats) -> CostModel<'a> {
-        CostModel { stats }
+        CostModel {
+            stats,
+            global_floor: global_access_floor_of(stats),
+        }
     }
 
     pub fn for_catalog(catalog: &'a Catalog) -> CostModel<'a> {
-        CostModel {
-            stats: catalog.stats(),
-        }
+        CostModel::new(catalog.stats())
     }
 
     /// Estimated total operations to execute `q` with the engine's
@@ -67,8 +84,10 @@ impl<'a> CostModel<'a> {
                 BindKind::Let => 1.0,
             };
             // Iterating costs the collection size (plus the lookups needed
-            // to reach it), once per outer row.
-            cost += rows * (mult.max(1.0) + path_eval_cost(&b.src));
+            // to reach it), once per outer row — and at least once: the
+            // row estimate is clamped so a binding is never charged below
+            // its own access floor (see the module docs).
+            cost += rows.max(1.0) * (mult.max(1.0) + path_eval_cost(&b.src));
             rows *= mult;
             for eq in &conds_at[i + 1] {
                 cost += rows * (path_eval_cost(&eq.0) + path_eval_cost(&eq.1) + 1.0);
@@ -113,18 +132,17 @@ impl<'a> CostModel<'a> {
     /// The minimum over `q`'s bindings therefore under-estimates every
     /// descendant, and is monotone (non-decreasing) along lattice
     /// descent: a subset of bindings can only have a larger minimum.
+    ///
+    /// This bound needs no lattice context; when the caller knows the
+    /// removal set and holds a [`MustRemainAnalysis`],
+    /// [`CostModel::lattice_lower_bound`] dominates it.
     pub fn lower_bound(&self, q: &Query) -> f64 {
-        let global = self.global_access_floor();
-        let no_hints = BTreeMap::new();
         let bound = q
             .from
             .iter()
             .map(|b| match b.kind {
                 BindKind::Let => 1.0,
-                BindKind::Iter if b.src.free_vars().is_empty() => {
-                    self.collection_cardinality(&b.src, &no_hints).max(1.0)
-                }
-                BindKind::Iter => global,
+                BindKind::Iter => self.path_floor(&b.src),
             })
             .fold(f64::INFINITY, f64::min);
         if bound.is_finite() {
@@ -134,20 +152,97 @@ impl<'a> CostModel<'a> {
         }
     }
 
-    /// The smallest collection-cardinality estimate this model can assign
-    /// to *any* access path: the minimum over every recorded root
-    /// cardinality and fanout, and the defaults used for unrecorded ones
-    /// (clamped to 1, matching the `mult.max(1.0)` a first binding pays
-    /// in [`CostModel::plan_cost`]).
-    fn global_access_floor(&self) -> f64 {
-        let mut floor = DEFAULT_FANOUT.min(cb_catalog::stats::DEFAULT_CARDINALITY);
-        for s in self.stats.roots.values() {
-            floor = floor.min(s.cardinality as f64);
-            for &f in s.avg_fanout.values() {
-                floor = floor.min(f);
+    /// The tighter, lattice-aware admissible bound behind
+    /// `SearchStrategy::CostGuided`: instead of the single cheapest
+    /// access floor of [`CostModel::lower_bound`], it **sums** the floors
+    /// of every binding the [`MustRemainAnalysis`] proves present in all
+    /// equivalence-preserving descendants of the lattice node `removed`
+    /// (of which `q` is the subquery), and takes the old bound as a floor
+    /// for the rest — a node forced to keep both a base scan and an index
+    /// walk is bounded by scan + walk, not by whichever is cheaper.
+    ///
+    /// Why this under-estimates every derivable plan `p`:
+    ///
+    /// * `p` contains all must-remain bindings (that is the analysis's
+    ///   contract, and it under-approximates on any doubt);
+    /// * [`CostModel::plan_cost`] clamps row estimates at one before each
+    ///   nested-loop level, so each binding of `p` contributes at least
+    ///   `max(1, cardinality-of-its-source)` wherever reordering puts it;
+    /// * a binding's floor is taken over *every* source its congruence
+    ///   class can re-express it to: closed (variable-free) paths have
+    ///   hint-independent estimates and are priced exactly, open paths
+    ///   fall to the catalog-wide minimum no estimate can undercut;
+    /// * a `dom(M)` guard loop can be eliminated wholesale by the plan
+    ///   cleanup's non-failing-lookup rewrite, so any binding whose class
+    ///   contains a `dom` form contributes nothing to the sum.
+    ///
+    /// Monotone along lattice descent: the must-remain set only grows
+    /// (descendants of a descendant are descendants), per-binding floors
+    /// are fixed by the class structure of the universal plan, and the
+    /// fallback [`CostModel::lower_bound`] is itself monotone.
+    pub fn lattice_lower_bound(
+        &self,
+        q: &Query,
+        removed: &BTreeSet<String>,
+        analysis: &mut MustRemainAnalysis,
+    ) -> f64 {
+        let base = self.lower_bound(q);
+        let must = analysis.must_remain(removed);
+        let mut sum = 0.0;
+        for b in &q.from {
+            if !must.contains(&b.var) {
+                continue;
             }
+            sum += match b.kind {
+                BindKind::Let => 1.0,
+                BindKind::Iter => {
+                    let sources = analysis.possible_sources(&b.var);
+                    if sources.iter().any(|p| matches!(p, Path::Dom(_))) {
+                        // Guard-elimination cleanup may drop the loop
+                        // entirely; the costed plan would not pay for it.
+                        0.0
+                    } else {
+                        self.sources_floor(sources)
+                    }
+                }
+            };
         }
-        floor.max(1.0)
+        base.max(sum)
+    }
+
+    /// The guaranteed minimum a binding pays for iterating one of
+    /// `sources` (whichever re-expression a descendant picks).
+    fn sources_floor(&self, sources: &[Path]) -> f64 {
+        sources
+            .iter()
+            .map(|p| self.path_floor(p))
+            .fold(f64::INFINITY, f64::min)
+            // An unknown binding (no recorded sources) still iterates
+            // *something*: the catalog-wide floor covers it.
+            .min(if sources.is_empty() {
+                self.global_access_floor()
+            } else {
+                f64::INFINITY
+            })
+    }
+
+    /// The floor of one access path: closed paths are priced by their own
+    /// (hint-independent) cardinality estimate, open paths by the
+    /// catalog-wide minimum — the same split [`CostModel::lower_bound`]
+    /// applies per binding.
+    fn path_floor(&self, p: &Path) -> f64 {
+        if p.free_vars().is_empty() {
+            let no_hints = BTreeMap::new();
+            self.collection_cardinality(p, &no_hints).max(1.0)
+        } else {
+            self.global_access_floor()
+        }
+    }
+
+    /// The smallest collection-cardinality estimate this model can assign
+    /// to *any* access path (precomputed; see [`global_access_floor_of`]).
+    fn global_access_floor(&self) -> f64 {
+        self.global_floor
     }
 
     /// Estimated result cardinality.
@@ -241,6 +336,22 @@ impl<'a> CostModel<'a> {
     }
 }
 
+/// The smallest collection-cardinality estimate assignable to *any*
+/// access path under `stats`: the minimum over every recorded root
+/// cardinality and fanout, and the defaults used for unrecorded ones
+/// (clamped to 1, matching the `mult.max(1.0)` a binding pays in
+/// [`CostModel::plan_cost`]).
+fn global_access_floor_of(stats: &Stats) -> f64 {
+    let mut floor = DEFAULT_FANOUT.min(cb_catalog::stats::DEFAULT_CARDINALITY);
+    for s in stats.roots.values() {
+        floor = floor.min(s.cardinality as f64);
+        for &f in s.avg_fanout.values() {
+            floor = floor.min(f);
+        }
+    }
+    floor.max(1.0)
+}
+
 /// Which schema root's elements does this path's value come from?
 fn root_hint(p: &Path, hints: &BTreeMap<String, String>) -> Option<String> {
     match p {
@@ -265,6 +376,7 @@ fn path_eval_cost(p: &Path) -> f64 {
 mod tests {
     use super::*;
     use cb_catalog::scenarios::projdept;
+    use cb_catalog::RootStats;
     use pcql::parser::parse_query;
 
     fn model_catalog() -> Catalog {
@@ -370,5 +482,205 @@ mod tests {
         let m = CostModel::new(&stats);
         let q = parse_query("select struct(A = x.A) from Mystery x").unwrap();
         assert!(m.plan_cost(&q) >= cb_catalog::stats::DEFAULT_CARDINALITY);
+    }
+
+    /// The statistics grid the generated cases below sweep: deliberately
+    /// includes empty collections, distinct counts exceeding the
+    /// cardinality (inconsistent inputs must not break admissibility) and
+    /// sub-row fanouts.
+    fn stats_grid() -> Vec<Stats> {
+        let mut out = Vec::new();
+        for &card_r in &[0u64, 1, 7, 100, 5_000] {
+            for &card_s in &[0u64, 3, 2_000] {
+                for &distinct in &[1u64, 2, 100, 10_000] {
+                    for &fanout in &[0.25f64, 3.0] {
+                        let mut stats = Stats::new();
+                        let mut r = RootStats::with_cardinality(card_r);
+                        r.distinct.insert("A".into(), distinct);
+                        r.distinct.insert("B".into(), distinct);
+                        r.avg_fanout.insert("Kids".into(), fanout);
+                        stats.set("R", r);
+                        let mut s = RootStats::with_cardinality(card_s);
+                        s.distinct.insert("B".into(), distinct);
+                        stats.set("S", s);
+                        out.push(stats);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn grid_queries() -> Vec<Query> {
+        [
+            "select struct(A = r.A) from R r",
+            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+            // Two selective conditions ahead of a second scan: the regime
+            // where unclamped row estimates drop below one row.
+            "select struct(C = s.C) from R r, S s where r.A = 1 and r.B = 2",
+            "select struct(K = k) from R r, r.Kids k where r.A = 1",
+            "select struct(A = r.A, A2 = q.A) from R r, R q, S s \
+             where r.A = 1 and r.B = 2 and q.B = s.B",
+        ]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn lower_bound_admissible_on_generated_statistics() {
+        // The hand-picked admissibility case above, generated: at the
+        // lattice root, the bound (both variants) never overshoots the
+        // plan cost across the stats grid, and the lattice variant
+        // dominates the access floor. (Descents are covered by the
+        // monotonicity sweep below and by the random-lattice harness in
+        // tests/generated_scenarios.rs.)
+        for stats in stats_grid() {
+            let m = CostModel::new(&stats);
+            for q in grid_queries() {
+                let mut analysis = cb_chase::MustRemainAnalysis::new(&q);
+                let removed = BTreeSet::new();
+                let cost = m.plan_cost(&q);
+                assert!(
+                    m.lower_bound(&q) <= cost + 1e-9,
+                    "lower_bound {} > plan_cost {} for {q} under {stats:?}",
+                    m.lower_bound(&q),
+                    cost
+                );
+                let lattice = m.lattice_lower_bound(&q, &removed, &mut analysis);
+                assert!(
+                    lattice <= cost + 1e-9,
+                    "lattice bound {lattice} > plan_cost {cost} for {q} under {stats:?}"
+                );
+                assert!(
+                    lattice >= m.lower_bound(&q),
+                    "lattice bound {lattice} weaker than access floor for {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clamped_rows_make_binding_floors_summable() {
+        // Two highly selective conditions push the unclamped row estimate
+        // to 7/10000² « 1 before the S scan; the clamp still charges the
+        // scan in full, so the summed bound stays admissible even when a
+        // cheap filtered prefix precedes an expensive must-remain scan.
+        let mut stats = Stats::new();
+        let mut r = RootStats::with_cardinality(7);
+        r.distinct.insert("A".into(), 10_000);
+        r.distinct.insert("B".into(), 10_000);
+        stats.set("R", r);
+        stats.set("S", RootStats::with_cardinality(100_000));
+        let m = CostModel::new(&stats);
+        // The output reads r.C, which no condition equates to anything
+        // else — both bindings are pinned, so the lattice bound is the
+        // sum. (An output of r.A would *not* pin r: the condition puts
+        // the constant 1 in r.A's congruence class.)
+        let q =
+            parse_query("select struct(A = r.C, C = s.C) from R r, S s where r.A = 1 and r.B = 2")
+                .unwrap();
+        let mut analysis = cb_chase::MustRemainAnalysis::new(&q);
+        let bound = m.lattice_lower_bound(&q, &BTreeSet::new(), &mut analysis);
+        assert!((bound - (7.0 + 100_000.0)).abs() < 1e-9, "bound {bound}");
+        assert!(bound <= m.plan_cost(&q) + 1e-9, "cost {}", m.plan_cost(&q));
+        // And it genuinely dominates the single-floor bound.
+        assert!(m.lower_bound(&q) <= 7.0 + 1e-9);
+    }
+
+    #[test]
+    fn lattice_bound_excludes_guard_droppable_bindings() {
+        // A dom(SI) guard loop can be eliminated by the non-failing
+        // lookup cleanup; its cardinality must not be summed even when
+        // the lattice cannot remove it.
+        let c = model_catalog();
+        let m = CostModel::for_catalog(&c);
+        let raw = parse_query(
+            r#"select struct(PN = t.PName) from dom(SI) k, SI[k] t where k = "CitiBank""#,
+        )
+        .unwrap();
+        let mut analysis = cb_chase::MustRemainAnalysis::new(&raw);
+        // Only t is pinned: k ≡ "CitiBank" lets SI[k] re-express to the
+        // constant-key lookup, so the analysis does not pin the guard
+        // (the *safety* obstacle to that removal is deliberately not
+        // must-remain evidence — it is not monotone along descent).
+        assert_eq!(
+            analysis.must_remain(&BTreeSet::new()),
+            ["t".to_string()].into(),
+        );
+        let bound = m.lattice_lower_bound(&raw, &BTreeSet::new(), &mut analysis);
+        // The costed plan is the cleaned one-binding form, whose cost the
+        // bound must still under-estimate.
+        let cleaned = crate::cleanup::cleanup_plan(&c, &raw);
+        assert_eq!(cleaned.from.len(), 1);
+        assert!(
+            bound <= m.plan_cost(&cleaned) + 1e-9,
+            "bound {bound} > cleaned cost {}",
+            m.plan_cost(&cleaned)
+        );
+
+        // When the guard *is* pinned (its key is a genuine iteration
+        // variable the output reads), its dom loop still contributes
+        // nothing to the sum — cleanup could eliminate it in other
+        // contexts, so only the entry binding's floor is counted.
+        let pinned_guard =
+            parse_query("select struct(K = k, PN = t.PName) from dom(SI) k, SI[k] t").unwrap();
+        let mut analysis = cb_chase::MustRemainAnalysis::new(&pinned_guard);
+        assert_eq!(
+            analysis.must_remain(&BTreeSet::new()),
+            ["k".to_string(), "t".to_string()].into(),
+        );
+        let bound = m.lattice_lower_bound(&pinned_guard, &BTreeSet::new(), &mut analysis);
+        // dom(SI) has cardinality 20; summing it would give ≥ 20 + the
+        // global floor. The dom exclusion keeps the bound at the floor of
+        // the (open) entry lookup alone.
+        assert!(bound < 20.0, "dom guard was summed: bound {bound}");
+    }
+
+    #[test]
+    fn lattice_bound_monotone_under_generated_removals() {
+        // The generated counterpart of the hand-picked monotonicity case:
+        // along every single-binding descent of the grid queries, the
+        // lattice bound never decreases.
+        for stats in stats_grid().into_iter().step_by(7) {
+            let m = CostModel::new(&stats);
+            for q in grid_queries() {
+                let mut analysis = cb_chase::MustRemainAnalysis::new(&q);
+                let root = m.lattice_lower_bound(&q, &BTreeSet::new(), &mut analysis);
+                let pinned = analysis.must_remain(&BTreeSet::new());
+                for b in &q.from {
+                    // A must-remain binding has no valid removal below the
+                    // root — the search never descends there, so the
+                    // monotonicity contract does not cover it.
+                    if pinned.contains(&b.var) {
+                        continue;
+                    }
+                    let removed: BTreeSet<String> = [b.var.clone()].into();
+                    let keep: Vec<_> = q.from.iter().filter(|x| x.var != b.var).cloned().collect();
+                    if keep.is_empty()
+                        || keep
+                            .iter()
+                            .any(|x| x.src.free_vars().iter().any(|v| removed.contains(v)))
+                    {
+                        continue;
+                    }
+                    let child = Query::new(
+                        pcql::Output::record(Vec::<(String, Path)>::new()),
+                        keep,
+                        q.where_
+                            .iter()
+                            .filter(|e| e.free_vars().iter().all(|v| !removed.contains(v)))
+                            .cloned()
+                            .collect(),
+                    );
+                    let below = m.lattice_lower_bound(&child, &removed, &mut analysis);
+                    assert!(
+                        below >= root - 1e-9,
+                        "bound fell from {root} to {below} removing {} from {q}",
+                        b.var
+                    );
+                }
+            }
+        }
     }
 }

@@ -43,8 +43,20 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
     );
     let _ = writeln!(
         s,
-        "  (search: {} lattice node(s) visited, {} sublattice(s) cost-pruned)",
-        outcome.nodes_visited, outcome.nodes_pruned_by_cost
+        "  (search: {} lattice node(s) visited, {} sublattice(s) cost-pruned: {} at the gate, {} at visit)",
+        outcome.nodes_visited,
+        outcome.nodes_pruned_by_cost,
+        outcome.nodes_pruned_at_gate,
+        outcome.nodes_pruned_at_visit
+    );
+    let _ = writeln!(
+        s,
+        "  (must-remain bindings of the universal plan: {})",
+        if outcome.must_remain.is_empty() {
+            "none".to_string()
+        } else {
+            outcome.must_remain.join(", ")
+        }
     );
     for (i, c) in outcome.candidates.iter().enumerate() {
         let _ = writeln!(
@@ -111,6 +123,7 @@ mod tests {
             "registers:",
             "[minimal]",
             "lattice node(s) visited",
+            "must-remain bindings",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -21,6 +21,7 @@ pub use cleanup::{cleanup_plan, prune_implied_conditions};
 pub use cost::CostModel;
 pub use explain::explain;
 pub use optimizer::{
-    OptimizeError, OptimizeOutcome, Optimizer, OptimizerConfig, PlanChoice, SearchStrategy,
+    CostBound, OptimizeError, OptimizeOutcome, Optimizer, OptimizerConfig, PlanChoice,
+    SearchStrategy,
 };
 pub use reorder::reorder_bindings;

@@ -27,7 +27,7 @@ use std::fmt;
 use cb_catalog::Catalog;
 use cb_chase::{
     backchase_greedy_in, backchase_in, BackchaseConfig, BackchaseOutcome, CacheStats, ChaseConfig,
-    ChaseContext, ChaseStepTrace, PlanSearch, SearchVisitor, Visit,
+    ChaseContext, ChaseStepTrace, MustRemainAnalysis, PlanSearch, SearchVisitor, Visit,
 };
 use pcql::query::Query;
 use pcql::typecheck::{check_query, TypeError};
@@ -61,6 +61,23 @@ pub enum SearchStrategy {
     CostGuided,
 }
 
+/// Which admissible lower bound [`SearchStrategy::CostGuided`] prunes
+/// with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CostBound {
+    /// [`CostModel::lattice_lower_bound`]: the **sum** of the access
+    /// floors of every binding the must-remain analysis proves present in
+    /// all descendants of a lattice node, with the single-floor bound as
+    /// a fallback. Strictly dominates `AccessFloor`, multiplying the
+    /// pruning ratio on the catalog scenarios (E16).
+    #[default]
+    MustRemain,
+    /// [`CostModel::lower_bound`]: the single cheapest access floor among
+    /// the subquery's bindings — the pre-must-remain bound, kept for the
+    /// E16 ablation and as a no-analysis baseline.
+    AccessFloor,
+}
+
 /// Optimizer configuration.
 ///
 /// One [`ChaseContext`] built from `chase` runs the whole optimization
@@ -68,7 +85,7 @@ pub enum SearchStrategy {
 /// is not consulted by [`Optimizer::optimize`] — only
 /// `backchase.max_visited` is. The nested config remains for callers
 /// that drive `cb_chase::backchase` directly.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct OptimizerConfig {
     pub chase: ChaseConfig,
     pub backchase: BackchaseConfig,
@@ -76,6 +93,29 @@ pub struct OptimizerConfig {
     /// backchase (they are sound plans; the paper's P1 is one).
     pub cost_visited: bool,
     pub strategy: SearchStrategy,
+    /// The lower bound `CostGuided` prunes with (ignored by the other
+    /// strategies).
+    pub bound: CostBound,
+    /// Test-only hook: every lower bound is multiplied by this factor
+    /// before it is compared against the incumbent. `1.0` (the default)
+    /// is the real bound; a factor above one makes the bound deliberately
+    /// **inadmissible** so the differential harness can prove it would
+    /// catch an overshooting bound. Not part of the public contract.
+    #[doc(hidden)]
+    pub bound_scale: f64,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> OptimizerConfig {
+        OptimizerConfig {
+            chase: ChaseConfig::default(),
+            backchase: BackchaseConfig::default(),
+            cost_visited: false,
+            strategy: SearchStrategy::default(),
+            bound: CostBound::default(),
+            bound_scale: 1.0,
+        }
+    }
 }
 
 /// One costed plan.
@@ -118,8 +158,20 @@ pub struct OptimizeOutcome {
     /// strategies). Counts both kinds of cut: candidates rejected at the
     /// admission gate (skipped before any equivalence verification) and
     /// already-verified nodes pruned at visit (skipped before costing
-    /// and descent).
+    /// and descent) — split in [`OptimizeOutcome::nodes_pruned_at_gate`]
+    /// / [`OptimizeOutcome::nodes_pruned_at_visit`].
     pub nodes_pruned_by_cost: usize,
+    /// Of [`OptimizeOutcome::nodes_pruned_by_cost`], the candidates cut
+    /// at the admission gate, before any chase or containment work.
+    pub nodes_pruned_at_gate: usize,
+    /// Of [`OptimizeOutcome::nodes_pruned_by_cost`], the verified nodes
+    /// cut at visit, before costing and descent.
+    pub nodes_pruned_at_visit: usize,
+    /// The bindings of the universal plan that the must-remain analysis
+    /// proves present in every equivalence-preserving plan — the
+    /// structural core no removal set can touch (sorted; computed for
+    /// every strategy, EXPLAIN reports it).
+    pub must_remain: Vec<String>,
 }
 
 /// Optimization errors.
@@ -216,9 +268,16 @@ impl<'a> Optimizer<'a> {
         // the phased strategies, a single interleaved branch-and-bound
         // for `CostGuided`.
         let model = CostModel::for_catalog(self.catalog);
+        // The lattice's structural core: which bindings every
+        // output-preserving removal set keeps. `CostGuided` prunes with
+        // it; every strategy reports it (EXPLAIN shows the set) — a
+        // deliberate choice: the root set costs one e-graph pass over the
+        // universal plan, noise next to the chase that produced it.
+        let mut analysis = MustRemainAnalysis::new(&universal);
         let mut candidates: Vec<PlanChoice> = Vec::new();
         let nodes_visited;
-        let mut nodes_pruned_by_cost = 0usize;
+        let mut nodes_pruned_at_gate = 0usize;
+        let mut nodes_pruned_at_visit = 0usize;
         let search_complete = match self.config.strategy {
             SearchStrategy::Exhaustive => {
                 let bc = backchase_in(ctx, &universal, self.config.backchase.max_visited);
@@ -259,6 +318,9 @@ impl<'a> Optimizer<'a> {
                 let mut guide = CostGuide {
                     catalog: self.catalog,
                     model: &model,
+                    analysis: &mut analysis,
+                    bound: self.config.bound,
+                    bound_scale: self.config.bound_scale,
                     candidates: &mut candidates,
                     incumbent: f64::INFINITY,
                 };
@@ -269,7 +331,8 @@ impl<'a> Optimizer<'a> {
                     .with_collect_visited(false)
                     .run(ctx, &mut guide);
                 nodes_visited = out.visited_count;
-                nodes_pruned_by_cost = out.pruned();
+                nodes_pruned_at_gate = out.pruned_at_gate;
+                nodes_pruned_at_visit = out.pruned_at_visit;
                 // Flag the minimality the search did determine (anything
                 // touched by pruning leaves it undetermined).
                 let nf_set: BTreeSet<Query> = out
@@ -304,6 +367,8 @@ impl<'a> Optimizer<'a> {
                 universal: universal.to_string(),
             })?;
 
+        let must_remain: Vec<String> = analysis.must_remain(&BTreeSet::new()).into_iter().collect();
+
         Ok(OptimizeOutcome {
             input: q.clone(),
             universal,
@@ -313,7 +378,10 @@ impl<'a> Optimizer<'a> {
             complete: chased.complete && search_complete,
             cache: ctx.stats(),
             nodes_visited,
-            nodes_pruned_by_cost,
+            nodes_pruned_by_cost: nodes_pruned_at_gate + nodes_pruned_at_visit,
+            nodes_pruned_at_gate,
+            nodes_pruned_at_visit,
+            must_remain,
         })
     }
 
@@ -378,19 +446,34 @@ fn cost_one(
 /// best-first exploration by estimated plan cost, each verified physical
 /// node costed on arrival (updating the incumbent), and both the
 /// pre-verification gate and the visit verdict cut anything whose
-/// admissible lower bound exceeds the incumbent.
+/// admissible lower bound exceeds the incumbent — by default the summed
+/// must-remain bound ([`CostModel::lattice_lower_bound`] over the shared
+/// [`MustRemainAnalysis`]), selectable via [`OptimizerConfig::bound`].
 struct CostGuide<'a, 'b> {
     catalog: &'a Catalog,
     model: &'b CostModel<'a>,
+    analysis: &'b mut MustRemainAnalysis,
+    bound: CostBound,
+    bound_scale: f64,
     candidates: &'b mut Vec<PlanChoice>,
     incumbent: f64,
 }
 
+impl CostGuide<'_, '_> {
+    fn bound_of(&mut self, q: &Query, removed: &BTreeSet<String>) -> f64 {
+        let b = match self.bound {
+            CostBound::MustRemain => self.model.lattice_lower_bound(q, removed, self.analysis),
+            CostBound::AccessFloor => self.model.lower_bound(q),
+        };
+        b * self.bound_scale
+    }
+}
+
 impl SearchVisitor for CostGuide<'_, '_> {
-    fn visit(&mut self, ctx: &mut ChaseContext, q: &Query, _removed: &BTreeSet<String>) -> Visit {
+    fn visit(&mut self, ctx: &mut ChaseContext, q: &Query, removed: &BTreeSet<String>) -> Visit {
         // An admissible bound under-estimates `q` itself too: nothing to
         // gain from costing or descending once it exceeds the incumbent.
-        if self.model.lower_bound(q) > self.incumbent {
+        if self.bound_of(q, removed) > self.incumbent {
             return Visit::Prune;
         }
         if let Some(choice) = cost_one(self.catalog, self.model, ctx, q, false) {
@@ -402,11 +485,11 @@ impl SearchVisitor for CostGuide<'_, '_> {
         Visit::Explore
     }
 
-    fn admit(&mut self, q: &Query, _removed: &BTreeSet<String>) -> bool {
+    fn admit(&mut self, q: &Query, removed: &BTreeSet<String>) -> bool {
         // The bound is monotone along lattice descent, so exceeding the
         // incumbent here rules out the candidate's whole sublattice —
         // skip the equivalence checks entirely.
-        self.model.lower_bound(q) <= self.incumbent
+        self.bound_of(q, removed) <= self.incumbent
     }
 
     fn priority(&mut self, q: &Query, _removed: &BTreeSet<String>) -> f64 {

@@ -5,8 +5,8 @@
 //! bites — and the bound itself must under-estimate the cost of every
 //! subquery the backchase visits.
 
-use cb_optimizer::{CostModel, Optimizer, OptimizerConfig, SearchStrategy};
-use universal_plans::chase::{backchase_in, ChaseContext};
+use cb_optimizer::{CostBound, CostModel, Optimizer, OptimizerConfig, SearchStrategy};
+use universal_plans::chase::{backchase_in, ChaseContext, MustRemainAnalysis};
 use universal_plans::prelude::*;
 
 /// Scenario catalogs with statistics, plus their logical query — every
@@ -151,6 +151,81 @@ fn lower_bound_is_admissible_for_every_visited_subquery() {
                 lb <= cost + 1e-9,
                 "{name}: lower_bound = {lb} > plan_cost = {cost} for {v}"
             );
+        }
+    }
+}
+
+#[test]
+fn must_remain_bound_multiplies_pruning_over_the_access_floor() {
+    // The acceptance bar of the must-remain bound (ISSUE 5 / E16): on
+    // ProjDept, the summed bound must prune at least 3x what the single
+    // cheapest access floor pruned — at identical best cost on *every*
+    // scenario, since both bounds are admissible.
+    let mut projdept_pruned = (0usize, 0usize);
+    for (name, catalog, q) in scenarios() {
+        let full = Optimizer::new(&catalog).optimize(&q).unwrap();
+        let must_cfg = OptimizerConfig {
+            strategy: SearchStrategy::CostGuided,
+            ..Default::default()
+        };
+        let floor_cfg = OptimizerConfig {
+            bound: CostBound::AccessFloor,
+            ..must_cfg.clone()
+        };
+        let floor = Optimizer::with_config(&catalog, floor_cfg)
+            .optimize(&q)
+            .unwrap();
+        let must = Optimizer::with_config(&catalog, must_cfg)
+            .optimize(&q)
+            .unwrap();
+        for (label, out) in [("access-floor", &floor), ("must-remain", &must)] {
+            assert!(
+                (out.best.cost - full.best.cost).abs() < 1e-9,
+                "{name}: {label} best {} != exhaustive best {}",
+                out.best.cost,
+                full.best.cost
+            );
+        }
+        assert!(
+            must.nodes_pruned_by_cost >= floor.nodes_pruned_by_cost,
+            "{name}: must-remain pruned {} < access-floor {}",
+            must.nodes_pruned_by_cost,
+            floor.nodes_pruned_by_cost
+        );
+        if name == "projdept" {
+            projdept_pruned = (floor.nodes_pruned_by_cost, must.nodes_pruned_by_cost);
+        }
+    }
+    assert!(
+        projdept_pruned.1 >= 3 * projdept_pruned.0.max(1),
+        "projdept: must-remain pruned {} < 3x access-floor pruned {}",
+        projdept_pruned.1,
+        projdept_pruned.0
+    );
+}
+
+#[test]
+fn must_remain_core_survives_into_every_plan() {
+    // What the analysis claims ("these bindings appear in every
+    // equivalence-preserving plan") checked against what the exhaustive
+    // enumeration actually produces, on every scenario.
+    for (name, catalog, q) in scenarios() {
+        let full = Optimizer::new(&catalog).optimize(&q).unwrap();
+        let mut analysis = MustRemainAnalysis::new(&full.universal);
+        let pinned = analysis.must_remain(&Default::default());
+        assert_eq!(
+            full.must_remain,
+            pinned.iter().cloned().collect::<Vec<_>>(),
+            "{name}: outcome does not report the analysis's set"
+        );
+        for c in &full.candidates {
+            for var in &pinned {
+                assert!(
+                    c.raw.from.iter().any(|b| &b.var == var),
+                    "{name}: must-remain binding {var} missing from {}",
+                    c.raw
+                );
+            }
         }
     }
 }
