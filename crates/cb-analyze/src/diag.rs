@@ -1,0 +1,304 @@
+//! The diagnostics framework: codes, severities, anchors, and the report
+//! they accumulate into.
+//!
+//! Every finding of every pass is a [`Diagnostic`] with a stable `CB0xx`
+//! code (the [`codes`] registry), a [`Severity`], and an [`Anchor`]
+//! pointing at the construct it is about — a binding index, a condition
+//! index, a named dependency, or a pipeline operator. A [`Report`] is the
+//! machine-readable list plus a rendered text form; CI and the optimizer's
+//! deny mode key off error severity only.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Only `Error` findings describe constructs that are definitely wrong
+/// (they would misbehave or fail at run time); `Warning` marks constructs
+/// that are legal but suspicious; `Info` records facts a human or a later
+/// pass may want (e.g. a lookup whose safety is deferred to the chase
+/// prover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Anchor {
+    /// The query as a whole.
+    Query,
+    /// The `i`-th `from` binding.
+    Binding(usize),
+    /// The `i`-th `where` condition.
+    Condition(usize),
+    /// The `select` clause.
+    Output,
+    /// A named dependency of the catalog's constraint set.
+    Dependency(String),
+    /// The `i`-th operator of a compiled pipeline.
+    PipelineOp(usize),
+    /// The `i`-th hoisted ground filter of a compiled pipeline.
+    GroundFilter(usize),
+    /// The catalog (or pipeline layout) as a whole.
+    Catalog,
+}
+
+impl fmt::Display for Anchor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anchor::Query => write!(f, "query"),
+            Anchor::Binding(i) => write!(f, "binding #{i}"),
+            Anchor::Condition(i) => write!(f, "condition #{i}"),
+            Anchor::Output => write!(f, "select"),
+            Anchor::Dependency(name) => write!(f, "dependency [{name}]"),
+            Anchor::PipelineOp(i) => write!(f, "pipeline op #{i}"),
+            Anchor::GroundFilter(i) => write!(f, "ground filter #{i}"),
+            Anchor::Catalog => write!(f, "catalog"),
+        }
+    }
+}
+
+/// The stable diagnostic-code registry. Codes are grouped by pass:
+/// `CB00x` well-formedness, `CB01x` lookup safety, `CB02x` dependency-set
+/// analysis, `CB03x` pipeline dataflow.
+pub mod codes {
+    /// Query scoping violation (unbound variable in a binding, condition
+    /// or output).
+    pub const QUERY_SCOPE: &str = "CB001";
+    /// Two `from` bindings introduce the same variable.
+    pub const DUPLICATE_VAR: &str = "CB002";
+    /// A bound variable is never read; it only contributes existence.
+    pub const DEAD_VAR: &str = "CB003";
+    /// The query mentions a root the catalog does not declare.
+    pub const UNKNOWN_ROOT: &str = "CB004";
+    /// A field access, lookup or equality is inconsistent with the
+    /// catalog's types.
+    pub const TYPE_MISMATCH: &str = "CB005";
+    /// A catalog constraint fails [`pcql::Dependency::check_scopes`].
+    pub const DEP_SCOPE: &str = "CB006";
+    /// A catalog constraint fails type checking against the combined
+    /// schema.
+    pub const DEP_TYPE: &str = "CB007";
+    /// A failing lookup is not syntactically guarded; its safety is
+    /// deferred to the backchase's chase-based prover.
+    pub const LOOKUP_DEFERRED: &str = "CB010";
+    /// A failing lookup has no binding in scope at all: no guard can
+    /// exist, and the prover will reject it too.
+    pub const LOOKUP_UNGUARDABLE: &str = "CB011";
+    /// The dependency set has no static termination guarantee; the
+    /// message carries the position-graph cycle witness.
+    pub const CHASE_TERMINATION: &str = "CB020";
+    /// A pipeline accessor reads a register before any operator writes
+    /// it.
+    pub const READ_BEFORE_WRITE: &str = "CB030";
+    /// Register layout broken: out-of-range slot, double write, or a
+    /// slot no operator ever writes.
+    pub const SLOT_LAYOUT: &str = "CB031";
+    /// A pipeline accessor references a variable the compiler could not
+    /// resolve to any slot.
+    pub const UNRESOLVED_VAR: &str = "CB032";
+    /// A register is written but never read by a later operator or the
+    /// output.
+    pub const DEAD_SLOT: &str = "CB033";
+    /// Hash-table arena layout broken: duplicate, out-of-range, or
+    /// unused table index.
+    pub const TABLE_LAYOUT: &str = "CB034";
+    /// A hoisted ground filter is not environment-independent.
+    pub const GROUND_NOT_GROUND: &str = "CB035";
+    /// An interned root id is out of range or disagrees with the
+    /// operator's root name.
+    pub const ROOT_INTERN: &str = "CB036";
+}
+
+/// One finding of one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// A stable `CB0xx` code from [`codes`].
+    pub code: &'static str,
+    pub severity: Severity,
+    pub message: String,
+    pub anchor: Anchor,
+}
+
+impl Diagnostic {
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        anchor: Anchor,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            anchor,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {}] {}: {}",
+            self.code, self.severity, self.anchor, self.message
+        )
+    }
+}
+
+/// The machine-readable result of an analysis: every diagnostic, in pass
+/// order, with severity queries and a rendered text form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends another report's findings.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Appends another report's findings with a context label prefixed to
+    /// each message (e.g. which candidate plan a pipeline finding is
+    /// about).
+    pub fn merge_labeled(&mut self, label: &str, other: Report) {
+        for mut d in other.diagnostics {
+            d.message = format!("[{label}] {}", d.message);
+            self.diagnostics.push(d);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// The findings at exactly `severity`.
+    pub fn at(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.at(Severity::Error)
+    }
+
+    /// Does any finding have error severity? This is the deny-mode /
+    /// CI-failure criterion.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// `(errors, warnings, infos)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.at(Severity::Error).count(),
+            self.at(Severity::Warning).count(),
+            self.at(Severity::Info).count(),
+        )
+    }
+
+    /// The rendered text report: one line per diagnostic plus a summary
+    /// line, or a single "clean" line.
+    pub fn render(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "no diagnostics\n".to_string();
+        }
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            s.push_str(&d.to_string());
+            s.push('\n');
+        }
+        let (e, w, i) = self.counts();
+        s.push_str(&format!("{e} error(s), {w} warning(s), {i} info\n"));
+        s
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_error_detection() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        let mut r = Report::new();
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(
+            codes::DEAD_VAR,
+            Severity::Warning,
+            Anchor::Binding(2),
+            "variable `x` is never read",
+        ));
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(
+            codes::QUERY_SCOPE,
+            Severity::Error,
+            Anchor::Query,
+            "unbound variable `y`",
+        ));
+        assert!(r.has_errors());
+        assert_eq!(r.counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn render_mentions_code_anchor_and_summary() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            codes::READ_BEFORE_WRITE,
+            Severity::Error,
+            Anchor::PipelineOp(3),
+            "reads register 5 before any write",
+        ));
+        let text = r.render();
+        assert!(text.contains("[CB030 error] pipeline op #3"), "{text}");
+        assert!(text.contains("1 error(s)"), "{text}");
+        assert_eq!(Report::new().render(), "no diagnostics\n");
+    }
+
+    #[test]
+    fn labeled_merge_prefixes_messages() {
+        let mut inner = Report::new();
+        inner.push(Diagnostic::new(
+            codes::DEAD_SLOT,
+            Severity::Warning,
+            Anchor::PipelineOp(0),
+            "slot 0 never read",
+        ));
+        let mut outer = Report::new();
+        outer.merge_labeled("plan #2", inner);
+        assert!(outer.diagnostics[0].message.starts_with("[plan #2] "));
+    }
+}

@@ -1,0 +1,279 @@
+//! Pass 2: static lookup-safety.
+//!
+//! A failing lookup `M[k]` is safe only when `k ∈ dom(M)` is guaranteed
+//! at its evaluation point. The backchase proves this dynamically with
+//! the chase-based implication prover
+//! ([`cb_chase::first_unsafe`]); this pass is the *syntactic* pre-pass:
+//! it accepts exactly the lookups a `dom` binding in scope guards — a
+//! binding `(g in dom(M))` whose variable is the key literally, or (where
+//! the query's conditions are assumable) congruent to the key in the
+//! query's e-graph. The obligation discipline is the prover's, verbatim:
+//!
+//! * a lookup in the `i`-th binding source sees only earlier bindings and
+//!   no conditions;
+//! * a lookup in a `where` condition sees all bindings, no conditions;
+//! * a lookup in the output sees all bindings and all conditions.
+//!
+//! Static-safe therefore implies prover-safe by construction (the prover
+//! runs the same syntactic guard before consulting implication), and the
+//! test suite checks that differentially. Lookups this pass cannot
+//! discharge are *deferred*, not condemned: they get an info-level
+//! [`codes::LOOKUP_DEFERRED`] diagnostic and the prover has the last
+//! word. The one statically-condemnable shape — a failing lookup with no
+//! binding in scope at all — warns with [`codes::LOOKUP_UNGUARDABLE`].
+
+use cb_chase::QueryGraph;
+use pcql::path::Path;
+use pcql::query::Query;
+
+use crate::diag::{codes, Anchor, Diagnostic, Report, Severity};
+
+/// Where one lookup obligation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Site {
+    Binding(usize),
+    Output,
+    Condition(usize),
+}
+
+impl Site {
+    fn anchor(self) -> Anchor {
+        match self {
+            Site::Binding(i) => Anchor::Binding(i),
+            Site::Output => Anchor::Output,
+            Site::Condition(i) => Anchor::Condition(i),
+        }
+    }
+}
+
+/// The verdict for a single failing lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupVerdict {
+    /// A `dom` guard in scope discharges the obligation syntactically.
+    StaticSafe,
+    /// No syntactic guard; the chase-based prover decides.
+    Deferred,
+    /// No binding in scope: no guard can exist, the prover will reject
+    /// it too.
+    Unguardable,
+}
+
+/// One analyzed lookup obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupFinding {
+    pub lookup: Path,
+    pub verdict: LookupVerdict,
+}
+
+/// Counters for the E17 record: how much of the lookup-safety work the
+/// static pass discharges without the chase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LookupSummary {
+    /// Distinct failing lookups examined.
+    pub total: usize,
+    /// Proven safe syntactically (no chase needed).
+    pub static_safe: usize,
+    /// Left to the chase-based prover.
+    pub deferred: usize,
+    /// Provably unguardable (empty scope).
+    pub unguardable: usize,
+    /// Every finding, for differential checks against the prover.
+    pub findings: Vec<LookupFinding>,
+}
+
+impl LookupSummary {
+    /// The lookups the static pass declared safe — the set that must
+    /// never contradict the prover.
+    pub fn statically_safe(&self) -> Vec<&Path> {
+        self.findings
+            .iter()
+            .filter(|f| f.verdict == LookupVerdict::StaticSafe)
+            .map(|f| &f.lookup)
+            .collect()
+    }
+
+    /// All obligations discharged without the prover?
+    pub fn all_static(&self) -> bool {
+        self.deferred == 0 && self.unguardable == 0
+    }
+
+    /// Folds another summary into this one (aggregation across queries,
+    /// e.g. every candidate plan of an optimization).
+    pub fn absorb(&mut self, other: LookupSummary) {
+        self.total += other.total;
+        self.static_safe += other.static_safe;
+        self.deferred += other.deferred;
+        self.unguardable += other.unguardable;
+        self.findings.extend(other.findings);
+    }
+}
+
+/// Runs the static lookup-safety pass over one query.
+pub fn check_lookups(q: &Query) -> (Report, LookupSummary) {
+    let mut report = Report::new();
+    let mut summary = LookupSummary::default();
+    let mut checked: std::collections::BTreeSet<Path> = std::collections::BTreeSet::new();
+    let mut guard_graph: Option<QueryGraph> = None;
+
+    // (lookup, bindings in scope, conditions assumable, site) — the
+    // prover's obligation list, in the prover's order, deduplicated the
+    // prover's way (first site wins).
+    let mut obligations: Vec<(Path, usize, bool, Site)> = Vec::new();
+    for (i, b) in q.from.iter().enumerate() {
+        for sub in b.src.subpaths() {
+            if matches!(sub, Path::Get(_, _)) {
+                obligations.push((sub.clone(), i, false, Site::Binding(i)));
+            }
+        }
+    }
+    for (_, p) in q.output.paths() {
+        for sub in p.subpaths() {
+            if matches!(sub, Path::Get(_, _)) {
+                obligations.push((sub.clone(), q.from.len(), true, Site::Output));
+            }
+        }
+    }
+    for (ci, eq) in q.where_.iter().enumerate() {
+        for p in [&eq.0, &eq.1] {
+            for sub in p.subpaths() {
+                if matches!(sub, Path::Get(_, _)) {
+                    obligations.push((sub.clone(), q.from.len(), false, Site::Condition(ci)));
+                }
+            }
+        }
+    }
+
+    for (lookup, scope, with_conditions, site) in obligations {
+        if !checked.insert(lookup.clone()) {
+            continue;
+        }
+        summary.total += 1;
+        let (m, k) = match &lookup {
+            Path::Get(m, k) => (m.as_ref().clone(), k.as_ref().clone()),
+            _ => unreachable!("obligations only collect Get paths"),
+        };
+        let in_scope = &q.from[..scope];
+        let mut guarded = false;
+        for b in in_scope {
+            if b.src != Path::Dom(Box::new(m.clone())) {
+                continue;
+            }
+            if Path::Var(b.var.clone()) == k {
+                guarded = true;
+                break;
+            }
+            if with_conditions {
+                let g = guard_graph.get_or_insert_with(|| QueryGraph::of_query(q));
+                if g.egraph.paths_equal(&Path::Var(b.var.clone()), &k) {
+                    guarded = true;
+                    break;
+                }
+            }
+        }
+        let verdict = if guarded {
+            summary.static_safe += 1;
+            LookupVerdict::StaticSafe
+        } else if in_scope.is_empty() {
+            summary.unguardable += 1;
+            report.push(Diagnostic::new(
+                codes::LOOKUP_UNGUARDABLE,
+                Severity::Warning,
+                site.anchor(),
+                format!("failing lookup `{lookup}` has no binding in scope; no guard can exist"),
+            ));
+            LookupVerdict::Unguardable
+        } else {
+            summary.deferred += 1;
+            report.push(Diagnostic::new(
+                codes::LOOKUP_DEFERRED,
+                Severity::Info,
+                site.anchor(),
+                format!(
+                    "failing lookup `{lookup}` is not syntactically guarded; \
+                     safety deferred to the chase-based prover"
+                ),
+            ));
+            LookupVerdict::Deferred
+        };
+        summary.findings.push(LookupFinding { lookup, verdict });
+    }
+    (report, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcql::parser::parse_query;
+
+    #[test]
+    fn guarded_dom_lookup_is_static_safe() {
+        // The paper's P3 shape: `from dom(SI) k, SI[k] t`.
+        let q = parse_query(
+            "select struct(N = t.PName) from dom(SI) k, SI[k] t where k = \"CitiBank\"",
+        )
+        .unwrap();
+        let (report, summary) = check_lookups(&q);
+        assert!(report.is_empty(), "{report}");
+        assert_eq!(summary.total, 1);
+        assert_eq!(summary.static_safe, 1);
+        assert!(summary.all_static());
+    }
+
+    #[test]
+    fn congruent_key_in_output_is_static_safe() {
+        // The output lookup key equals the guard variable only through a
+        // condition — assumable at output position.
+        let q = parse_query("select I[r.A] from dom(I) k, R r where k = r.A").unwrap();
+        let (report, summary) = check_lookups(&q);
+        assert!(report.is_empty(), "{report}");
+        assert_eq!(summary.static_safe, 1);
+    }
+
+    #[test]
+    fn unguarded_lookup_defers_to_the_prover() {
+        // The paper's P4 shape: lookups guarded only semantically.
+        let q = parse_query(
+            "select struct(D = Dept[j.DOID].DName) from JI j, I[j.PN] p \
+             where p.CustName = \"CitiBank\"",
+        )
+        .unwrap();
+        let (report, summary) = check_lookups(&q);
+        assert!(!report.has_errors(), "{report}");
+        assert!(summary.static_safe == 0);
+        assert!(summary.deferred >= 1);
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == codes::LOOKUP_DEFERRED));
+    }
+
+    #[test]
+    fn empty_scope_lookup_is_unguardable() {
+        let q = parse_query("select struct(X = t.X) from I[\"k\"] t").unwrap();
+        let (report, summary) = check_lookups(&q);
+        assert_eq!(summary.unguardable, 1);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::LOOKUP_UNGUARDABLE && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn lookup_free_queries_have_empty_summaries() {
+        let q = parse_query("select struct(A = r.A) from R r where r.A = 5").unwrap();
+        let (report, summary) = check_lookups(&q);
+        assert!(report.is_empty());
+        assert_eq!(summary.total, 0);
+        assert!(summary.all_static());
+    }
+
+    #[test]
+    fn condition_site_lookups_do_not_assume_conditions() {
+        // In a condition, `k = r.A` itself cannot justify the lookup
+        // (conjunct order is engine-defined) — deferred, not safe.
+        let q = parse_query("select struct(A = r.A) from dom(I) k, R r where I[r.A] = r").unwrap();
+        let (_, summary) = check_lookups(&q);
+        assert_eq!(summary.static_safe, 0);
+        assert_eq!(summary.deferred, 1);
+    }
+}

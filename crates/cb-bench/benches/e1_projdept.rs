@@ -13,7 +13,7 @@ fn optimizer_phases(c: &mut Criterion) {
     let q = &p.query;
 
     c.bench_function("e1/chase_to_universal_plan", |b| {
-        b.iter(|| chase(black_box(q), &deps, &ChaseConfig::default()))
+        b.iter(|| chase(black_box(q), &deps, &ChaseConfig::default()));
     });
 
     let u = chase(q, &deps, &ChaseConfig::default()).query;
@@ -29,14 +29,14 @@ fn optimizer_phases(c: &mut Criterion) {
                     ..Default::default()
                 },
             )
-        })
+        });
     });
     group.finish();
 
     let mut group = c.benchmark_group("e1/optimize_end_to_end");
     group.sample_size(10);
     group.bench_function("algorithm1", |b| {
-        b.iter(|| p.optimizer().optimize(black_box(q)).unwrap())
+        b.iter(|| p.optimizer().optimize(black_box(q)).unwrap());
     });
     group.finish();
 }

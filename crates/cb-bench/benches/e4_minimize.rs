@@ -38,7 +38,7 @@ fn minimization(c: &mut Criterion) {
                 let m = minimize(black_box(q), &BackchaseConfig::default());
                 assert_eq!(m.from.len(), 2);
                 m
-            })
+            });
         });
     }
     group.finish();

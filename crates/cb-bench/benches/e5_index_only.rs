@@ -14,7 +14,7 @@ fn index_vs_scan(c: &mut Criterion) {
         let outcome = p.optimizer().optimize(&p.query).unwrap();
         let ev = p.evaluator();
         group.bench_with_input(BenchmarkId::new("base_scan", n), &p.query, |b, q| {
-            b.iter(|| ev.eval_query(black_box(q)).unwrap())
+            b.iter(|| ev.eval_query(black_box(q)).unwrap());
         });
         group.bench_with_input(
             BenchmarkId::new("index_plan", n),
@@ -30,7 +30,7 @@ fn optimization_itself(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5/optimize");
     group.sample_size(10);
     group.bench_function("algorithm1", |b| {
-        b.iter(|| p.optimizer().optimize(black_box(&p.query)).unwrap())
+        b.iter(|| p.optimizer().optimize(black_box(&p.query)).unwrap());
     });
     group.finish();
 }

@@ -37,7 +37,7 @@ fn chase_scaling(c: &mut Criterion) {
                 let out = chase(black_box(&q), deps, &ChaseConfig::default());
                 assert_eq!(out.query.from.len(), 2 + k);
                 out
-            })
+            });
         });
     }
     group.finish();

@@ -48,7 +48,7 @@ fn backchase_scaling(c: &mut Criterion) {
                 );
                 assert_eq!(out.normal_forms.len(), k + 1);
                 out
-            })
+            });
         });
     }
     group.finish();

@@ -21,16 +21,16 @@ fn compile_then_execute(c: &mut Criterion) {
     let mut group = c.benchmark_group("e15/pipeline");
     group.sample_size(10);
     group.bench_function("compile", |b| {
-        b.iter(|| compile(black_box(&p.query), CompileOptions { hash_joins: true }))
+        b.iter(|| compile(black_box(&p.query), CompileOptions { hash_joins: true }));
     });
     group.bench_function("execute/nested_loop", |b| {
-        b.iter(|| execute(&ev, black_box(&nested)).unwrap())
+        b.iter(|| execute(&ev, black_box(&nested)).unwrap());
     });
     group.bench_function("execute/hash_join", |b| {
-        b.iter(|| execute(&ev, black_box(&hashed)).unwrap())
+        b.iter(|| execute(&ev, black_box(&hashed)).unwrap());
     });
     group.bench_function("evaluator/reference", |b| {
-        b.iter(|| ev.eval_query(black_box(&p.query)).unwrap())
+        b.iter(|| ev.eval_query(black_box(&p.query)).unwrap());
     });
     group.finish();
 }

@@ -1,0 +1,34 @@
+//! Scenario linter: runs cb-analyze over every builtin scenario — the
+//! catalog's constraints, the scenario query, and every candidate plan's
+//! compiled pipeline — and exits non-zero if any finding has error
+//! severity. CI runs this as the static-analysis gate.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut failed = false;
+    for lint in cb_bench::lint_builtin_scenarios() {
+        let (e, w, i) = lint.report.counts();
+        println!("== {} ==", lint.name);
+        print!("{}", lint.report.render());
+        println!(
+            "lookups: {} total, {} static-safe, {} deferred to prover, {} unguardable",
+            lint.lookups.total,
+            lint.lookups.static_safe,
+            lint.lookups.deferred,
+            lint.lookups.unguardable
+        );
+        println!();
+        let _ = (w, i);
+        if e > 0 {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("lint failed: error-severity diagnostics found");
+        ExitCode::FAILURE
+    } else {
+        println!("all builtin scenarios lint clean (no error-severity diagnostics)");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,9 +1,11 @@
 //! # cb-bench — experiment harness and benchmarks
 //!
-//! Shared setup code for the criterion benches and the `experiments`
-//! binary that regenerates every example/figure of the paper. The
-//! experiment index E1–E15 and the paper-vs-measured record live in
-//! `crates/cb-bench/EXPERIMENTS.md`; machine-readable records come from
+//! Shared setup code for the criterion benches, the `experiments` binary
+//! that regenerates every example/figure of the paper, and the `lint`
+//! binary that runs cb-analyze over every builtin scenario (CI fails on
+//! error-severity findings). The experiment index E1–E17 and the
+//! paper-vs-measured record live in `crates/cb-bench/EXPERIMENTS.md`;
+//! machine-readable records come from
 //! `experiments --json BENCH_experiments.json`.
 
 use std::time::Instant;
@@ -99,6 +101,67 @@ impl Prepared {
     }
 }
 
+/// One builtin scenario's full static-analysis result: the catalog +
+/// query lint, the optimizer's own diagnostics (including the dataflow
+/// verification of every candidate plan's compiled pipeline), and the
+/// lookup-safety counters aggregated over the input query and every
+/// candidate plan.
+pub struct ScenarioLint {
+    pub name: &'static str,
+    pub report: cb_analyze::Report,
+    pub lookups: cb_analyze::LookupSummary,
+}
+
+/// Lints every builtin scenario end to end: catalog well-formedness,
+/// termination, query scoping/typing/lookups, then a full optimization
+/// whose candidate pipelines are all dataflow-verified (the optimizer's
+/// default warn-mode pre-flight). The scenario linter binary and CI fail
+/// on any error-severity finding.
+pub fn lint_builtin_scenarios() -> Vec<ScenarioLint> {
+    let scenarios: Vec<(&'static str, Prepared)> = vec![
+        ("projdept", prepared_projdept(20, 5, 8)),
+        ("relational_indexes", prepared_indexes(200, 20, 10)),
+        ("relational_views", prepared_views(100, 100, 0.3)),
+    ];
+    scenarios
+        .into_iter()
+        .map(|(name, p)| {
+            let analyzer = cb_analyze::Analyzer::new(&p.catalog);
+            let mut report = analyzer.lint(&p.query);
+            let mut lookups = analyzer.lookup_summary(&p.query);
+            // The optimizer's own pre-flight covers the same catalog and
+            // query passes; run it with the lint off and verify the
+            // candidate pipelines here, so each finding appears once.
+            let config = cb_optimizer::OptimizerConfig {
+                preflight: cb_optimizer::PreflightMode::Off,
+                cost_visited: true,
+                ..Default::default()
+            };
+            let out = Optimizer::with_config(&p.catalog, config)
+                .optimize(&p.query)
+                .expect("scenario optimizes");
+            for (rank, c) in out.candidates.iter().enumerate() {
+                for hash_joins in [false, true] {
+                    let pipeline =
+                        cb_engine::compile(&c.query, cb_engine::CompileOptions { hash_joins });
+                    let label = format!(
+                        "plan #{}{}",
+                        rank + 1,
+                        if hash_joins { ", hash joins" } else { "" }
+                    );
+                    report.merge_labeled(&label, analyzer.check_pipeline(&pipeline));
+                }
+                lookups.absorb(analyzer.lookup_summary(&c.query));
+            }
+            ScenarioLint {
+                name,
+                report,
+                lookups,
+            }
+        })
+        .collect()
+}
+
 /// Formats a simple aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -117,7 +180,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     line(
-        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &headers.iter().map(ToString::to_string).collect::<Vec<_>>(),
         &widths,
         &mut out,
     );
@@ -144,6 +207,20 @@ mod tests {
         assert_eq!(p.instance.cardinality("R"), Some(50));
         let p = prepared_views(30, 30, 0.5);
         assert!(p.instance.cardinality("V").unwrap() > 0);
+    }
+
+    #[test]
+    fn builtin_scenarios_lint_clean() {
+        for lint in lint_builtin_scenarios() {
+            assert!(!lint.report.has_errors(), "{}: {}", lint.name, lint.report);
+            // Every scenario exercises the lookup passes somewhere in its
+            // plan space except the pure-relational ones; the counters
+            // must at least be consistent.
+            assert_eq!(
+                lint.lookups.total,
+                lint.lookups.static_safe + lint.lookups.deferred + lint.lookups.unguardable
+            );
+        }
     }
 
     #[test]

@@ -6,9 +6,19 @@ use pcql::path::Path;
 use pcql::query::{Binding, Equality};
 use pcql::Dependency;
 
+/// Every builder validates its constraint's variable scoping at
+/// construction — a malformed constraint is a bug in the builder itself,
+/// and must surface here rather than deep inside a chase.
+fn scope_checked(d: Dependency) -> Dependency {
+    if let Err(e) = d.check_scopes() {
+        panic!("constraint builder produced malformed [{}]: {e}", d.name);
+    }
+    d
+}
+
 /// `KEY`: `forall (p in R) (q in R) where p.F = q.F -> p = q`.
 pub fn key_constraint(name: impl Into<String>, relation: &str, field: &str) -> Dependency {
-    Dependency::new(
+    scope_checked(Dependency::new(
         name,
         vec![
             Binding::iter("p", Path::root(relation)),
@@ -20,7 +30,7 @@ pub fn key_constraint(name: impl Into<String>, relation: &str, field: &str) -> D
         )],
         vec![],
         vec![Equality(Path::var("p"), Path::var("q"))],
-    )
+    ))
 }
 
 /// `RIC` (row-to-row): `forall (p in R) -> exists (q in S) where p.F = q.G`.
@@ -31,7 +41,7 @@ pub fn foreign_key(
     target: &str,
     target_field: &str,
 ) -> Dependency {
-    Dependency::new(
+    scope_checked(Dependency::new(
         name,
         vec![Binding::iter("p", Path::root(relation))],
         vec![],
@@ -40,7 +50,7 @@ pub fn foreign_key(
             Path::var("p").field(field),
             Path::var("q").field(target_field),
         )],
-    )
+    ))
 }
 
 /// `RIC` (member-to-row): every member of the set-valued attribute `attr`
@@ -54,7 +64,7 @@ pub fn member_foreign_key(
     target: &str,
     target_field: &str,
 ) -> Dependency {
-    Dependency::new(
+    scope_checked(Dependency::new(
         name,
         vec![
             Binding::iter("d", Path::root(extent)),
@@ -63,7 +73,7 @@ pub fn member_foreign_key(
         vec![],
         vec![Binding::iter("p", Path::root(target))],
         vec![Equality(Path::var("s"), Path::var("p").field(target_field))],
-    )
+    ))
 }
 
 /// One direction of an inverse relationship between a set-valued attribute
@@ -79,7 +89,7 @@ pub fn inverse_forward(
     target_back: &str,
     class_name_field: &str,
 ) -> Dependency {
-    Dependency::new(
+    scope_checked(Dependency::new(
         name,
         vec![
             Binding::iter("d", Path::root(extent)),
@@ -92,7 +102,7 @@ pub fn inverse_forward(
             Path::var("p").field(target_back),
             Path::var("d").field(class_name_field),
         )],
-    )
+    ))
 }
 
 /// The other direction (paper's `INV2`):
@@ -107,7 +117,7 @@ pub fn inverse_backward(
     target_back: &str,
     class_name_field: &str,
 ) -> Dependency {
-    Dependency::new(
+    scope_checked(Dependency::new(
         name,
         vec![
             Binding::iter("p", Path::root(target)),
@@ -119,7 +129,7 @@ pub fn inverse_backward(
         )],
         vec![Binding::iter("s", Path::var("d").field(attr))],
         vec![Equality(Path::var("p").field(target_key), Path::var("s"))],
-    )
+    ))
 }
 
 /// `KEY` over an extent attribute (paper's `KEY1` for `depts`/`DName`):

@@ -26,6 +26,18 @@ use pcql::query::{Binding, Equality, Output, Query};
 use pcql::types::Type;
 use pcql::Dependency;
 
+/// Every emitter validates its constraints' variable scoping at
+/// construction — a malformed characterizing constraint is a bug in the
+/// emitter itself, and must surface here rather than deep inside a chase.
+fn scope_checked(deps: Vec<Dependency>) -> Vec<Dependency> {
+    for d in &deps {
+        if let Err(e) = d.check_scopes() {
+            panic!("structure emitter produced malformed [{}]: {e}", d.name);
+        }
+    }
+    deps
+}
+
 /// What a materialized view is playing the role of (purely informational;
 /// the constraints are identical).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,7 +132,7 @@ pub fn primary_index_constraints(name: &str, relation: &str, key_field: &str) ->
     let i = Path::var("i");
     let p = Path::var("p");
     let lookup = Path::root(name).get(i.clone());
-    vec![
+    scope_checked(vec![
         Dependency::new(
             format!("PI1({name})"),
             vec![Binding::iter("p", Path::root(relation))],
@@ -138,7 +150,7 @@ pub fn primary_index_constraints(name: &str, relation: &str, key_field: &str) ->
             vec![Binding::iter("p", Path::root(relation))],
             vec![Equality(i, p.clone().field(key_field)), Equality(lookup, p)],
         ),
-    ]
+    ])
 }
 
 /// `SI1`, `SI2`, `SI3` for a secondary index `SI` on attribute `A` of `R`:
@@ -155,7 +167,7 @@ pub fn secondary_index_constraints(name: &str, relation: &str, key_field: &str) 
     let t = Path::var("t");
     let p = Path::var("p");
     let entry = Path::root(name).get(k.clone());
-    vec![
+    scope_checked(vec![
         Dependency::new(
             format!("SI1({name})"),
             vec![Binding::iter("p", Path::root(relation))],
@@ -186,7 +198,7 @@ pub fn secondary_index_constraints(name: &str, relation: &str, key_field: &str) 
             vec![Binding::iter("t", entry)],
             vec![],
         ),
-    ]
+    ])
 }
 
 /// Constraints tying class `C`'s extent `E` (a set of OIDs in the logical
@@ -279,7 +291,7 @@ pub fn class_dict_constraints(
         vec![Binding::iter("o", Path::root(extent))],
         vec![Equality(o, o2)],
     ));
-    out
+    scope_checked(out)
 }
 
 /// `c_V`, `c'_V` for a materialized PC view `V` with definition
@@ -302,7 +314,7 @@ pub fn view_constraints(name: &str, def: &Query) -> Vec<Dependency> {
     };
     let mut c_v_prime_conclusion = def.where_.clone();
     c_v_prime_conclusion.extend(out_eqs.iter().cloned());
-    vec![
+    scope_checked(vec![
         Dependency::new(
             format!("c_V({name})"),
             def.from.clone(),
@@ -317,7 +329,7 @@ pub fn view_constraints(name: &str, def: &Query) -> Vec<Dependency> {
             def.from.clone(),
             c_v_prime_conclusion,
         ),
-    ]
+    ])
 }
 
 /// The key path equalities for a gmap: componentwise for record keys,
@@ -356,7 +368,7 @@ pub fn gmap_constraints(name: &str, def: &GmapDef) -> Vec<Dependency> {
     ];
     let mut g2_conclusion = def.where_.clone();
     g2_conclusion.extend(eqs.clone());
-    vec![
+    scope_checked(vec![
         Dependency::new(
             format!("G1({name})"),
             def.from.clone(),
@@ -378,7 +390,7 @@ pub fn gmap_constraints(name: &str, def: &GmapDef) -> Vec<Dependency> {
             vec![Binding::iter(t, Path::root(name).get(kp))],
             vec![],
         ),
-    ]
+    ])
 }
 
 /// The gmap's dictionary type, given the typed key/value output fields.

@@ -326,7 +326,11 @@ fn prune_unsafe_conditions(ctx: &mut ChaseContext, q: &Query) -> Option<Query> {
 /// proofs go through the context's memoized implication prover; the
 /// congruence graph for guardedness is built once per call (lazily), not
 /// once per obligation.
-fn first_unsafe(ctx: &mut ChaseContext, q: &Query) -> Option<(Path, bool)> {
+///
+/// Public so that static analysis (cb-analyze's lookup-safety pass) can be
+/// differentially checked against this prover: a lookup the syntactic
+/// pre-pass declares safe must never be the one returned here.
+pub fn first_unsafe(ctx: &mut ChaseContext, q: &Query) -> Option<(Path, bool)> {
     let mut checked: BTreeSet<Path> = BTreeSet::new();
     let mut guard_graph: Option<QueryGraph> = None;
     // (lookup, bindings in scope, assumable premise, fatal)

@@ -73,9 +73,9 @@ mod containment;
 
 pub use backchase::{
     backchase, backchase_greedy, backchase_greedy_in, backchase_in, backchase_step,
-    backchase_step_in, examine_removal, examine_removal_in, is_minimal, is_minimal_in, minimize,
-    BackchaseConfig, BackchaseOutcome, ExploreAll, PlanSearch, RemovalJudgement, SearchOutcome,
-    SearchVisitor, Visit,
+    backchase_step_in, examine_removal, examine_removal_in, first_unsafe, is_minimal,
+    is_minimal_in, minimize, BackchaseConfig, BackchaseOutcome, ExploreAll, PlanSearch,
+    RemovalJudgement, SearchOutcome, SearchVisitor, Visit,
 };
 pub use canon::QueryGraph;
 pub use chase::{
@@ -86,4 +86,7 @@ pub use context::{CacheStats, ChaseContext};
 pub use egraph::EGraph;
 pub use implication::implies;
 pub use must_remain::MustRemainAnalysis;
-pub use termination::{analyze_termination, is_weakly_acyclic, TerminationVerdict};
+pub use termination::{
+    analyze_termination, analyze_termination_with_witness, is_weakly_acyclic,
+    weak_acyclicity_witness, CycleWitness, TerminationVerdict,
+};

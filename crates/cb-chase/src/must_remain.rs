@@ -152,7 +152,7 @@ mod tests {
     }
 
     fn set(vars: &[&str]) -> BTreeSet<String> {
-        vars.iter().map(|v| v.to_string()).collect()
+        vars.iter().map(ToString::to_string).collect()
     }
 
     #[test]

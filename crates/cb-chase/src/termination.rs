@@ -24,7 +24,7 @@
 //! satisfied in practice). [`ChaseConfig`]'s budgets remain the safety
 //! net, and an incomplete chase is still sound.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use pcql::path::Path;
 use pcql::query::Binding;
@@ -41,14 +41,63 @@ pub enum TerminationVerdict {
     Unknown,
 }
 
+impl std::fmt::Display for TerminationVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TerminationVerdict::Full => write!(f, "full (polynomial chase, Theorem 1)"),
+            TerminationVerdict::WeaklyAcyclic => write!(f, "weakly acyclic (terminating)"),
+            TerminationVerdict::Unknown => write!(f, "unknown (budget-bounded chase)"),
+        }
+    }
+}
+
 /// Statically classifies a dependency set.
 pub fn analyze_termination(deps: &[Dependency]) -> TerminationVerdict {
+    analyze_termination_with_witness(deps).0
+}
+
+/// [`analyze_termination`] plus, when the verdict is
+/// [`TerminationVerdict::Unknown`], the position-graph cycle that defeated
+/// weak acyclicity — the evidence a diagnostic can point at instead of a
+/// bare verdict.
+pub fn analyze_termination_with_witness(
+    deps: &[Dependency],
+) -> (TerminationVerdict, Option<CycleWitness>) {
     if deps.iter().all(Dependency::is_full) {
-        TerminationVerdict::Full
-    } else if is_weakly_acyclic(deps) {
-        TerminationVerdict::WeaklyAcyclic
-    } else {
-        TerminationVerdict::Unknown
+        return (TerminationVerdict::Full, None);
+    }
+    match weak_acyclicity_witness(deps) {
+        None => (TerminationVerdict::WeaklyAcyclic, None),
+        witness => (TerminationVerdict::Unknown, witness),
+    }
+}
+
+/// A special-edge cycle of the position graph: the concrete reason weak
+/// acyclicity fails for a dependency set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleWitness {
+    /// The position shapes along the cycle, in order; the edge from the
+    /// last position back to the first closes the cycle. The first edge
+    /// (`positions[0] -> positions[1]`, or the self-loop when there is a
+    /// single position) is the special, value-inventing one.
+    pub positions: Vec<String>,
+    /// Names of the dependencies contributing edges on the cycle (sorted,
+    /// deduplicated).
+    pub dependencies: Vec<String>,
+}
+
+impl std::fmt::Display for CycleWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut around = self.positions.clone();
+        if let Some(first) = self.positions.first() {
+            around.push(first.clone());
+        }
+        write!(
+            f,
+            "special-edge cycle {} via {{{}}}",
+            around.join(" -> "),
+            self.dependencies.join(", ")
+        )
     }
 }
 
@@ -81,51 +130,106 @@ fn binding_shapes(bindings: &[Binding], var_shapes: &mut BTreeMap<String, String
     out
 }
 
-/// Sufficient termination condition: the position graph has no cycle
-/// through a special (value-inventing) edge.
-pub fn is_weakly_acyclic(deps: &[Dependency]) -> bool {
-    // Edges: (from, to, special).
-    let mut nodes: BTreeSet<String> = BTreeSet::new();
-    let mut edges: Vec<(String, String, bool)> = Vec::new();
+/// One position-graph edge: premise shape to conclusion shape, tagged
+/// with the dependency that draws it and whether the conclusion binding
+/// invents a value.
+struct PositionEdge {
+    from: String,
+    to: String,
+    special: bool,
+    dep: String,
+}
+
+fn position_edges(deps: &[Dependency]) -> Vec<PositionEdge> {
+    let mut edges = Vec::new();
     for d in deps {
         let mut var_shapes = BTreeMap::new();
         let premise = binding_shapes(&d.forall, &mut var_shapes);
         let determined = d.determined_existentials();
         let conclusion = binding_shapes(&d.exists, &mut var_shapes);
-        nodes.extend(premise.iter().cloned());
-        nodes.extend(conclusion.iter().cloned());
         for (b, to) in d.exists.iter().zip(&conclusion) {
             let special = !determined.contains(&b.var);
             for from in &premise {
-                edges.push((from.clone(), to.clone(), special));
+                edges.push(PositionEdge {
+                    from: from.clone(),
+                    to: to.clone(),
+                    special,
+                    dep: d.name.clone(),
+                });
             }
         }
     }
-    // A cycle through a special edge exists iff some special edge (u, v)
-    // has a path v ->* u.
+    edges
+}
+
+/// Sufficient termination condition: the position graph has no cycle
+/// through a special (value-inventing) edge.
+pub fn is_weakly_acyclic(deps: &[Dependency]) -> bool {
+    weak_acyclicity_witness(deps).is_none()
+}
+
+/// The witness when weak acyclicity fails: a cycle through a special edge
+/// exists iff some special edge (u, v) has a path v ->* u, and this
+/// returns that cycle (shortest return path, first offending special edge
+/// in dependency order) with the dependencies drawing its edges.
+pub fn weak_acyclicity_witness(deps: &[Dependency]) -> Option<CycleWitness> {
+    let edges = position_edges(deps);
     let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
-    for (from, to, _) in &edges {
-        adj.entry(from).or_default().push(to);
+    for e in &edges {
+        adj.entry(&e.from).or_default().push(&e.to);
     }
-    let reaches = |start: &str, goal: &str| -> bool {
-        let mut seen = BTreeSet::new();
-        let mut stack = vec![start];
-        while let Some(n) = stack.pop() {
+    // BFS with parent links so the witness path is shortest.
+    let shortest_path = |start: &str, goal: &str| -> Option<Vec<String>> {
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: VecDeque<&str> = VecDeque::from([start]);
+        let mut seen: BTreeSet<&str> = BTreeSet::from([start]);
+        while let Some(n) = queue.pop_front() {
             if n == goal {
-                return true;
+                let mut path = vec![n.to_string()];
+                let mut cur = n;
+                while let Some(&p) = parent.get(cur) {
+                    path.push(p.to_string());
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
             }
-            if seen.insert(n.to_string()) {
-                if let Some(nexts) = adj.get(n) {
-                    stack.extend(nexts.iter().copied());
+            for &next in adj.get(n).into_iter().flatten() {
+                if seen.insert(next) {
+                    parent.insert(next, n);
+                    queue.push_back(next);
                 }
             }
         }
-        false
+        None
     };
-    !edges
-        .iter()
-        .filter(|(_, _, special)| *special)
-        .any(|(from, to, _)| reaches(to, from) || from == to)
+    for e in edges.iter().filter(|e| e.special) {
+        let path = if e.from == e.to {
+            Some(vec![e.to.clone()])
+        } else {
+            shortest_path(&e.to, &e.from)
+        };
+        let Some(path) = path else { continue };
+        // Cycle positions: the special edge's source, then the return
+        // path without its final node (which is that same source again).
+        let mut positions = vec![e.from.clone()];
+        positions.extend(path[..path.len() - 1].iter().cloned());
+        let mut dep_names: BTreeSet<String> = BTreeSet::new();
+        for i in 0..positions.len() {
+            let (a, b) = (&positions[i], &positions[(i + 1) % positions.len()]);
+            dep_names.extend(
+                edges
+                    .iter()
+                    .filter(|e| &e.from == a && &e.to == b)
+                    .map(|e| e.dep.clone()),
+            );
+        }
+        return Some(CycleWitness {
+            positions,
+            dependencies: dep_names.into_iter().collect(),
+        });
+    }
+    None
 }
 
 #[cfg(test)]
@@ -233,6 +337,62 @@ mod tests {
             analyze_termination(&cat.all_constraints()),
             TerminationVerdict::Unknown
         );
+    }
+
+    #[test]
+    fn mutual_ric_witness_names_both_dependencies() {
+        let deps = vec![
+            parse_dependency("rs", "forall (r in R) -> exists (s in S) where r.A = s.A").unwrap(),
+            parse_dependency("sr", "forall (s in S) -> exists (r in R) where s.B = r.B").unwrap(),
+        ];
+        let (verdict, witness) = analyze_termination_with_witness(&deps);
+        assert_eq!(verdict, TerminationVerdict::Unknown);
+        let w = witness.unwrap();
+        assert_eq!(w.positions, vec!["R".to_string(), "S".to_string()]);
+        assert_eq!(w.dependencies, vec!["rs".to_string(), "sr".to_string()]);
+        let shown = w.to_string();
+        assert!(shown.contains("R -> S -> R"), "{shown}");
+    }
+
+    #[test]
+    fn self_growing_witness_is_a_self_loop() {
+        let deps = vec![parse_dependency(
+            "grow",
+            "forall (s in S) -> exists (t in S) where t.Pred = s.A",
+        )
+        .unwrap()];
+        let w = weak_acyclicity_witness(&deps).unwrap();
+        assert_eq!(w.positions, vec!["S".to_string()]);
+        assert_eq!(w.dependencies, vec!["grow".to_string()]);
+    }
+
+    #[test]
+    fn terminating_sets_have_no_witness() {
+        let deps =
+            vec![
+                parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.B = s.B")
+                    .unwrap(),
+            ];
+        assert!(weak_acyclicity_witness(&deps).is_none());
+        let (verdict, witness) = analyze_termination_with_witness(&deps);
+        assert_eq!(verdict, TerminationVerdict::WeaklyAcyclic);
+        assert!(witness.is_none());
+    }
+
+    #[test]
+    fn projdept_witness_blames_the_inventing_constraints() {
+        let cat = cb_catalog::scenarios::projdept::catalog();
+        let w = weak_acyclicity_witness(&cat.all_constraints()).unwrap();
+        assert!(!w.positions.is_empty());
+        // The blamed dependencies really exist in the catalog.
+        let names: BTreeSet<String> = cat
+            .all_constraints()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        for dep in &w.dependencies {
+            assert!(names.contains(dep), "unknown dependency `{dep}` blamed");
+        }
     }
 
     #[test]

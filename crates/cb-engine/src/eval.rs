@@ -91,7 +91,7 @@ impl EnvRead for BTreeMap<String, Value> {
 
 impl EnvRead for BTreeMap<String, Cow<'_, Value>> {
     fn lookup(&self, var: &str) -> Option<&Value> {
-        self.get(var).map(|c| c.as_ref())
+        self.get(var).map(AsRef::as_ref)
     }
 }
 

@@ -93,6 +93,29 @@ pub struct Access {
     base_display: String,
 }
 
+/// A borrowed view of an [`Access`] base for external inspection —
+/// static verifiers (cb-analyze's pipeline dataflow pass) walk compiled
+/// accessors through this without the concrete representation becoming
+/// part of the public surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessKind<'a> {
+    /// Reads a register of the pipeline's register file.
+    Slot(usize),
+    /// A variable the compiler could not resolve to any slot; evaluating
+    /// it is the canonical `UnknownVar` error.
+    UnknownVar(&'a str),
+    /// Reads an interned schema root.
+    Root { id: usize, name: &'a str },
+    /// A pre-converted constant.
+    Const,
+    /// `dom(P)`.
+    Dom(&'a Access),
+    /// `P[k]` — failing dictionary lookup.
+    Get { dict: &'a Access, key: &'a Access },
+    /// `P{k}` — non-failing dictionary lookup.
+    GetOrEmpty { dict: &'a Access, key: &'a Access },
+}
+
 impl Access {
     /// The register this accessor reads, when it is a plain (possibly
     /// field-projected) variable reference.
@@ -101,6 +124,24 @@ impl Access {
             AccessBase::Slot(i) => Some(i),
             _ => None,
         }
+    }
+
+    /// The base this accessor evaluates from, as an inspectable view.
+    pub fn kind(&self) -> AccessKind<'_> {
+        match &self.base {
+            AccessBase::Slot(i) => AccessKind::Slot(*i),
+            AccessBase::UnknownVar(v) => AccessKind::UnknownVar(v),
+            AccessBase::Root { id, name } => AccessKind::Root { id: *id, name },
+            AccessBase::Const(_) => AccessKind::Const,
+            AccessBase::Dom(inner) => AccessKind::Dom(inner),
+            AccessBase::Get(m, k) => AccessKind::Get { dict: m, key: k },
+            AccessBase::GetOrEmpty(m, k) => AccessKind::GetOrEmpty { dict: m, key: k },
+        }
+    }
+
+    /// The trailing field projections applied after the base.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
     }
 
     /// Display of the path prefix before field step `idx` — the
@@ -306,8 +347,8 @@ impl PipelineStats {
                 }
             ));
         }
-        let ops: Vec<String> = pipeline.ops.iter().map(|op| op.to_string()).collect();
-        let width = ops.iter().map(|o| o.len()).max().unwrap_or(0);
+        let ops: Vec<String> = pipeline.ops.iter().map(ToString::to_string).collect();
+        let width = ops.iter().map(String::len).max().unwrap_or(0);
         for (op, st) in ops.iter().zip(&self.per_op) {
             s.push_str(&format!(
                 "{op:<width$}  in {:>9}  out {:>9}\n",
@@ -961,14 +1002,14 @@ mod tests {
         let ev = Evaluator::new(&inst);
         // The outer stream is empty: the join table must never be built.
         let q = Query::new(
-            Output::record([("C", pcql::Path::var("s").field("C"))]),
+            Output::record([("C", Path::var("s").field("C"))]),
             vec![
-                Binding::iter("e", pcql::Path::root("Empty")),
-                Binding::iter("s", pcql::Path::root("S")),
+                Binding::iter("e", Path::root("Empty")),
+                Binding::iter("s", Path::root("S")),
             ],
-            vec![pcql::Equality(
-                pcql::Path::var("e").field("B"),
-                pcql::Path::var("s").field("B"),
+            vec![Equality(
+                Path::var("e").field("B"),
+                Path::var("s").field("B"),
             )],
         );
         let p = compile(&q, CompileOptions { hash_joins: true });
@@ -1055,10 +1096,10 @@ mod tests {
         let inst = rs_instance(12);
         let ev = Evaluator::new(&inst);
         let q = Query::new(
-            Output::record([("C", pcql::Path::var("x").field("C"))]),
+            Output::record([("C", Path::var("x").field("C"))]),
             vec![
-                Binding::iter("x", pcql::Path::root("R")),
-                Binding::iter("x", pcql::Path::root("S")),
+                Binding::iter("x", Path::root("R")),
+                Binding::iter("x", Path::root("S")),
             ],
             vec![],
         );
@@ -1078,15 +1119,12 @@ mod tests {
         // `x.B = 1` mentions the re-bound x: like the interpreter, it
         // must be placed after the *last* binding of x and read slot 1.
         let q = Query::new(
-            Output::record([("C", pcql::Path::var("x").field("C"))]),
+            Output::record([("C", Path::var("x").field("C"))]),
             vec![
-                Binding::iter("x", pcql::Path::root("R")),
-                Binding::iter("x", pcql::Path::root("S")),
+                Binding::iter("x", Path::root("R")),
+                Binding::iter("x", Path::root("S")),
             ],
-            vec![pcql::Equality(
-                pcql::Path::var("x").field("B"),
-                pcql::Path::int(1),
-            )],
+            vec![Equality(Path::var("x").field("B"), Path::int(1))],
         );
         for options in [
             CompileOptions { hash_joins: false },

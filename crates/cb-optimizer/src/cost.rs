@@ -286,7 +286,7 @@ impl<'a> CostModel<'a> {
                     Some(root) => self
                         .stats
                         .get(&root)
-                        .and_then(|s| s.entry_fanout())
+                        .and_then(cb_catalog::RootStats::entry_fanout)
                         .unwrap_or(DEFAULT_FANOUT),
                     None => DEFAULT_FANOUT,
                 }
@@ -538,7 +538,7 @@ mod tests {
         for stats in stats_grid() {
             let m = CostModel::new(&stats);
             for q in grid_queries() {
-                let mut analysis = cb_chase::MustRemainAnalysis::new(&q);
+                let mut analysis = MustRemainAnalysis::new(&q);
                 let removed = BTreeSet::new();
                 let cost = m.plan_cost(&q);
                 assert!(
@@ -580,7 +580,7 @@ mod tests {
         let q =
             parse_query("select struct(A = r.C, C = s.C) from R r, S s where r.A = 1 and r.B = 2")
                 .unwrap();
-        let mut analysis = cb_chase::MustRemainAnalysis::new(&q);
+        let mut analysis = MustRemainAnalysis::new(&q);
         let bound = m.lattice_lower_bound(&q, &BTreeSet::new(), &mut analysis);
         assert!((bound - (7.0 + 100_000.0)).abs() < 1e-9, "bound {bound}");
         assert!(bound <= m.plan_cost(&q) + 1e-9, "cost {}", m.plan_cost(&q));
@@ -599,7 +599,7 @@ mod tests {
             r#"select struct(PN = t.PName) from dom(SI) k, SI[k] t where k = "CitiBank""#,
         )
         .unwrap();
-        let mut analysis = cb_chase::MustRemainAnalysis::new(&raw);
+        let mut analysis = MustRemainAnalysis::new(&raw);
         // Only t is pinned: k ≡ "CitiBank" lets SI[k] re-express to the
         // constant-key lookup, so the analysis does not pin the guard
         // (the *safety* obstacle to that removal is deliberately not
@@ -625,7 +625,7 @@ mod tests {
         // contexts, so only the entry binding's floor is counted.
         let pinned_guard =
             parse_query("select struct(K = k, PN = t.PName) from dom(SI) k, SI[k] t").unwrap();
-        let mut analysis = cb_chase::MustRemainAnalysis::new(&pinned_guard);
+        let mut analysis = MustRemainAnalysis::new(&pinned_guard);
         assert_eq!(
             analysis.must_remain(&BTreeSet::new()),
             ["k".to_string(), "t".to_string()].into(),
@@ -645,7 +645,7 @@ mod tests {
         for stats in stats_grid().into_iter().step_by(7) {
             let m = CostModel::new(&stats);
             for q in grid_queries() {
-                let mut analysis = cb_chase::MustRemainAnalysis::new(&q);
+                let mut analysis = MustRemainAnalysis::new(&q);
                 let root = m.lattice_lower_bound(&q, &BTreeSet::new(), &mut analysis);
                 let pinned = analysis.must_remain(&BTreeSet::new());
                 for b in &q.from {

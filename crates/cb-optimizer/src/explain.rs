@@ -36,6 +36,7 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
     }
     let _ = writeln!(s, "\n== universal plan ==");
     let _ = writeln!(s, "{}", outcome.universal);
+    let _ = writeln!(s, "  (constraint-set termination: {})", outcome.termination);
     let _ = writeln!(
         s,
         "\n== backchase (phase 2): {} physical plan(s), cheapest first ==",
@@ -92,7 +93,20 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
         let _ = writeln!(s, "  {op}");
     }
     let _ = writeln!(s, "  Project");
-    if !outcome.complete {
+    let _ = writeln!(s, "\n== static analysis ==");
+    let (e, w, i) = outcome.diagnostics.counts();
+    if outcome.diagnostics.is_empty() {
+        let _ = writeln!(s, "no diagnostics");
+    } else {
+        for d in &outcome.diagnostics.diagnostics {
+            let _ = writeln!(s, "  {d}");
+        }
+        let _ = writeln!(s, "  {e} error(s), {w} warning(s), {i} info");
+    }
+    // An incomplete search is only worth a caveat when the analyzer could
+    // not certify termination: with a terminating constraint set the
+    // budgets are a formality, not a soundness risk.
+    if !outcome.complete && outcome.termination == cb_chase::TerminationVerdict::Unknown {
         let _ = writeln!(
             s,
             "\n(note: search budgets were hit; the plan space may be larger)"
@@ -124,9 +138,35 @@ mod tests {
             "[minimal]",
             "lattice node(s) visited",
             "must-remain bindings",
+            "constraint-set termination:",
+            "== static analysis ==",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+        // projdept's constraint set has a special-edge cycle: the verdict
+        // and its evidence are surfaced.
+        assert!(text.contains("unknown (budget-bounded chase)"), "{text}");
+        assert!(text.contains("CB020"), "{text}");
+    }
+
+    #[test]
+    fn budget_note_requires_unknown_termination() {
+        // With a terminating constraint set, an incomplete search is not
+        // worth the caveat — the note keys on the termination verdict.
+        let mut cat = cb_catalog::Catalog::new();
+        cat.add_logical_relation("R", [("A", pcql::Type::Int)]);
+        cat.add_direct_mapping("R");
+        let q = pcql::parser::parse_query("select struct(A = r.A) from R r").unwrap();
+        let mut out = Optimizer::new(&cat).optimize(&q).unwrap();
+        assert_ne!(out.termination, cb_chase::TerminationVerdict::Unknown);
+        out.complete = false;
+        let text = explain(&out);
+        assert!(!text.contains("search budgets were hit"), "{text}");
+
+        // An Unknown verdict with the same incomplete search prints it.
+        out.termination = cb_chase::TerminationVerdict::Unknown;
+        let text = explain(&out);
+        assert!(text.contains("search budgets were hit"), "{text}");
     }
 
     #[test]

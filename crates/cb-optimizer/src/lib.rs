@@ -22,6 +22,6 @@ pub use cost::CostModel;
 pub use explain::explain;
 pub use optimizer::{
     CostBound, OptimizeError, OptimizeOutcome, Optimizer, OptimizerConfig, PlanChoice,
-    SearchStrategy,
+    PreflightMode, SearchStrategy,
 };
 pub use reorder::reorder_bindings;

@@ -24,10 +24,12 @@
 
 use std::fmt;
 
+use cb_analyze::{Analyzer, Report};
 use cb_catalog::Catalog;
 use cb_chase::{
     backchase_greedy_in, backchase_in, BackchaseConfig, BackchaseOutcome, CacheStats, ChaseConfig,
-    ChaseContext, ChaseStepTrace, MustRemainAnalysis, PlanSearch, SearchVisitor, Visit,
+    ChaseContext, ChaseStepTrace, MustRemainAnalysis, PlanSearch, SearchVisitor,
+    TerminationVerdict, Visit,
 };
 use pcql::query::Query;
 use pcql::typecheck::{check_query, TypeError};
@@ -78,6 +80,26 @@ pub enum CostBound {
     AccessFloor,
 }
 
+/// What the optimizer does with the static analyzer's pre-flight lint
+/// (cb-analyze's catalog + query + lookup passes, run before phase 1, and
+/// the pipeline dataflow verification of every costed candidate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PreflightMode {
+    /// Skip the lint entirely ([`OptimizeOutcome::diagnostics`] stays
+    /// empty; the termination verdict is still computed).
+    Off,
+    /// Run the lint and carry all findings in
+    /// [`OptimizeOutcome::diagnostics`] (EXPLAIN prints them), but never
+    /// fail the optimization over them.
+    #[default]
+    Warn,
+    /// Like `Warn`, but any error-severity finding aborts with
+    /// [`OptimizeError::Rejected`] before the chase runs — and a
+    /// candidate pipeline failing dataflow verification aborts after the
+    /// search.
+    Deny,
+}
+
 /// Optimizer configuration.
 ///
 /// One [`ChaseContext`] built from `chase` runs the whole optimization
@@ -103,6 +125,9 @@ pub struct OptimizerConfig {
     /// catch an overshooting bound. Not part of the public contract.
     #[doc(hidden)]
     pub bound_scale: f64,
+    /// What to do with the static analyzer's findings (default: run it,
+    /// carry the diagnostics, never fail).
+    pub preflight: PreflightMode,
 }
 
 impl Default for OptimizerConfig {
@@ -114,6 +139,7 @@ impl Default for OptimizerConfig {
             strategy: SearchStrategy::default(),
             bound: CostBound::default(),
             bound_scale: 1.0,
+            preflight: PreflightMode::default(),
         }
     }
 }
@@ -172,6 +198,16 @@ pub struct OptimizeOutcome {
     /// structural core no removal set can touch (sorted; computed for
     /// every strategy, EXPLAIN reports it).
     pub must_remain: Vec<String>,
+    /// The static chase-termination verdict for this catalog's
+    /// constraint set (computed for every optimization, independent of
+    /// [`PreflightMode`]) — EXPLAIN gates its "budgets were hit" caveat
+    /// on it.
+    pub termination: TerminationVerdict,
+    /// Everything the static analyzer found: catalog, query and lookup
+    /// diagnostics from the pre-flight, plus pipeline dataflow findings
+    /// for every costed candidate (labeled by plan rank). Empty under
+    /// [`PreflightMode::Off`].
+    pub diagnostics: Report,
 }
 
 /// Optimization errors.
@@ -182,6 +218,11 @@ pub enum OptimizeError {
     NoPhysicalPlan {
         universal: String,
     },
+    /// [`PreflightMode::Deny`] and the static analyzer reported
+    /// error-severity diagnostics (carried in the report).
+    Rejected {
+        report: Report,
+    },
 }
 
 impl fmt::Display for OptimizeError {
@@ -190,6 +231,9 @@ impl fmt::Display for OptimizeError {
             OptimizeError::Type(e) => write!(f, "{e}"),
             OptimizeError::NoPhysicalPlan { universal } => {
                 write!(f, "no physical plan found; universal plan was: {universal}")
+            }
+            OptimizeError::Rejected { report } => {
+                write!(f, "rejected by static analysis:\n{report}")
             }
         }
     }
@@ -254,6 +298,28 @@ impl<'a> Optimizer<'a> {
         ctx: &mut ChaseContext,
         q: &Query,
     ) -> Result<OptimizeOutcome, OptimizeError> {
+        // Static-analysis pre-flight: lint the catalog and the query
+        // before the type check and any chase work, so deny mode reports
+        // *all* findings as one diagnostic batch instead of stopping at
+        // the first type error. The termination verdict is computed
+        // regardless (EXPLAIN keys off it); the full lint only when the
+        // pre-flight is on.
+        let analyzer = Analyzer::new(self.catalog);
+        let mut diagnostics = Report::new();
+        let termination = if self.config.preflight == PreflightMode::Off {
+            cb_chase::analyze_termination(&self.catalog.all_constraints())
+        } else {
+            let (verdict, catalog_report) = analyzer.check_catalog();
+            diagnostics.merge(catalog_report);
+            diagnostics.merge(analyzer.check_query(q));
+            if self.config.preflight == PreflightMode::Deny && diagnostics.has_errors() {
+                return Err(OptimizeError::Rejected {
+                    report: diagnostics,
+                });
+            }
+            verdict
+        };
+
         let schema = self.catalog.combined_schema();
         check_query(&schema, q)?;
 
@@ -338,7 +404,7 @@ impl<'a> Optimizer<'a> {
                 let nf_set: BTreeSet<Query> = out
                     .normal_forms
                     .iter()
-                    .map(|p| p.alpha_normalized())
+                    .map(Query::alpha_normalized)
                     .collect();
                 for c in &mut candidates {
                     if nf_set.contains(&c.raw.alpha_normalized()) {
@@ -369,6 +435,29 @@ impl<'a> Optimizer<'a> {
 
         let must_remain: Vec<String> = analysis.must_remain(&BTreeSet::new()).into_iter().collect();
 
+        // Verify the dataflow of every plan the optimizer produced, as
+        // the engine will actually run it (both compile modes). A finding
+        // here is a compiler bug surfacing before execution.
+        if self.config.preflight != PreflightMode::Off {
+            for (rank, c) in candidates.iter().enumerate() {
+                for hash_joins in [false, true] {
+                    let pipeline =
+                        cb_engine::compile(&c.query, cb_engine::CompileOptions { hash_joins });
+                    let label = format!(
+                        "plan #{}{}",
+                        rank + 1,
+                        if hash_joins { ", hash joins" } else { "" }
+                    );
+                    diagnostics.merge_labeled(&label, analyzer.check_pipeline(&pipeline));
+                }
+            }
+            if self.config.preflight == PreflightMode::Deny && diagnostics.has_errors() {
+                return Err(OptimizeError::Rejected {
+                    report: diagnostics,
+                });
+            }
+        }
+
         Ok(OptimizeOutcome {
             input: q.clone(),
             universal,
@@ -382,6 +471,8 @@ impl<'a> Optimizer<'a> {
             nodes_pruned_at_gate,
             nodes_pruned_at_visit,
             must_remain,
+            termination,
+            diagnostics,
         })
     }
 
@@ -404,7 +495,7 @@ impl<'a> Optimizer<'a> {
             let nf_set: BTreeSet<Query> = bc
                 .normal_forms
                 .iter()
-                .map(|p| p.alpha_normalized())
+                .map(Query::alpha_normalized)
                 .collect();
             for v in &bc.visited {
                 if !nf_set.contains(&v.alpha_normalized()) {
@@ -659,6 +750,87 @@ mod tests {
     }
 
     #[test]
+    fn preflight_warn_carries_diagnostics_without_failing() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let out = Optimizer::new(&cat).optimize(&projdept::query()).unwrap();
+        // projdept's constraint set is Unknown: the lint carries the
+        // cycle evidence (warnings), but nothing reaches error severity
+        // and the optimization succeeds.
+        assert_eq!(out.termination, TerminationVerdict::Unknown);
+        assert!(!out.diagnostics.is_empty());
+        assert!(!out.diagnostics.has_errors(), "{}", out.diagnostics);
+    }
+
+    #[test]
+    fn preflight_deny_rejects_with_the_full_report() {
+        let cat = projdept::catalog();
+        let config = OptimizerConfig {
+            preflight: PreflightMode::Deny,
+            ..Default::default()
+        };
+        let q = pcql::parser::parse_query("select struct(X = x.X) from Nowhere x").unwrap();
+        match Optimizer::with_config(&cat, config).optimize(&q) {
+            Err(OptimizeError::Rejected { report }) => {
+                assert!(report.has_errors());
+                assert!(report
+                    .errors()
+                    .any(|d| d.code == cb_analyze::codes::UNKNOWN_ROOT));
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // The same malformed query under Warn falls through to the type
+        // checker, as before.
+        let warn = OptimizerConfig::default();
+        assert!(matches!(
+            Optimizer::with_config(&cat, warn).optimize(&q),
+            Err(OptimizeError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn preflight_off_still_reports_termination() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let config = OptimizerConfig {
+            preflight: PreflightMode::Off,
+            ..Default::default()
+        };
+        let out = Optimizer::with_config(&cat, config)
+            .optimize(&projdept::query())
+            .unwrap();
+        assert_eq!(out.termination, TerminationVerdict::Unknown);
+        assert!(out.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn every_candidate_pipeline_verifies_clean() {
+        for (name, mut cat, q) in [
+            ("projdept", projdept::catalog(), projdept::query()),
+            (
+                "relational_indexes",
+                relational_indexes::catalog(),
+                relational_indexes::query(),
+            ),
+            (
+                "relational_views",
+                relational_views::catalog(),
+                relational_views::query(),
+            ),
+        ] {
+            match name {
+                "projdept" => projdept::stats_for(&mut cat, 100, 10, 20),
+                "relational_indexes" => relational_indexes::stats_for(&mut cat, 1000, 100, 100),
+                _ => relational_views::stats_for(&mut cat, 1000, 1000, 50),
+            }
+            let out = Optimizer::new(&cat).optimize(&q).unwrap();
+            // The pre-flight already verified every candidate's compiled
+            // pipeline; no error-severity dataflow finding may survive.
+            assert!(!out.diagnostics.has_errors(), "{name}: {}", out.diagnostics);
+        }
+    }
+
+    #[test]
     fn unknown_query_is_a_type_error() {
         let cat = projdept::catalog();
         let q = pcql::parser::parse_query("select struct(X = x.X) from Nowhere x").unwrap();
@@ -671,7 +843,7 @@ mod tests {
     #[test]
     fn logical_only_catalog_has_no_physical_plan() {
         // A catalog whose physical schema is empty cannot produce plans.
-        let mut cat = cb_catalog::Catalog::new();
+        let mut cat = Catalog::new();
         cat.add_logical_relation("L", [("X", pcql::Type::Int)]);
         let q = pcql::parser::parse_query("select struct(X = l.X) from L l").unwrap();
         assert!(matches!(

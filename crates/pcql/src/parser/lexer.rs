@@ -200,7 +200,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 if bytes.get(i + 1) == Some(&b'>') {
                     i += 2;
                     Tok::Arrow
-                } else if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
                     i += 1;
                     let (n, j) = lex_int(bytes, i, start)?;
                     i = j;

@@ -325,7 +325,7 @@ mod tests {
     fn size_and_subpaths() {
         let p = Path::root("M").get(Path::var("k")).field("A");
         assert_eq!(p.size(), 4);
-        let subs: Vec<String> = p.subpaths().iter().map(|s| s.to_string()).collect();
+        let subs: Vec<String> = p.subpaths().iter().map(ToString::to_string).collect();
         assert_eq!(subs, vec!["M[k].A", "M[k]", "M", "k"]);
     }
 

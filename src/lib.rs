@@ -20,7 +20,11 @@
 //! * [`engine`](cb_engine) — an in-memory set-semantics evaluator, access
 //!   structure materializer, constraint checker and data generators;
 //! * [`optimizer`](cb_optimizer) — Algorithm 1 of the paper: chase to a
-//!   universal plan, enumerate minimal plans by backchase, choose by cost.
+//!   universal plan, enumerate minimal plans by backchase, choose by cost;
+//! * [`analyze`](cb_analyze) — the static verifier and lint layer:
+//!   well-formedness, lookup safety, chase termination, and dataflow
+//!   verification of compiled pipelines, reported as stable `CB0xx`
+//!   diagnostics.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +47,7 @@
 //! assert!(best.best.query.to_string().contains("SA"));
 //! ```
 
+pub use cb_analyze as analyze;
 pub use cb_catalog as catalog;
 pub use cb_chase as chase;
 pub use cb_engine as engine;
@@ -51,6 +56,7 @@ pub use pcql;
 
 /// One-stop imports for examples, tests and downstream users.
 pub mod prelude {
+    pub use cb_analyze::{Analyzer, Report};
     pub use cb_catalog::{AccessStructure, Catalog};
     pub use cb_chase::{
         backchase, chase, contained_in, equivalent, implies, minimize, ChaseConfig,

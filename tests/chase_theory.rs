@@ -71,7 +71,7 @@ fn chase_is_order_insensitive_for_full_dependencies() {
     let b = chase(&q, &deps, &ChaseConfig::default()).query;
     assert_eq!(a.from.len(), b.from.len());
     // Same binding-source multiset and congruent conditions.
-    let srcs = |x: &pcql::Query| {
+    let srcs = |x: &Query| {
         let mut v: Vec<String> = x.from.iter().map(|b| b.src.to_string()).collect();
         v.sort();
         v

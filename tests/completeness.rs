@@ -20,11 +20,11 @@ use universal_plans::prelude::*;
 /// Brute force: for every subset of U's bindings, build the subquery the
 /// same way the backchase does (via the public examine API) and test
 /// equivalence; keep the minimal equivalent ones.
-fn brute_force_minimal(u: &pcql::Query, deps: &[Dependency]) -> Vec<pcql::Query> {
+fn brute_force_minimal(u: &Query, deps: &[Dependency]) -> Vec<Query> {
     let vars: Vec<String> = u.from.iter().map(|b| b.var.clone()).collect();
     let n = vars.len();
     let cfg = ChaseConfig::default();
-    let mut equivalents: Vec<(BTreeSet<String>, pcql::Query)> = Vec::new();
+    let mut equivalents: Vec<(BTreeSet<String>, Query)> = Vec::new();
     for mask in 0..(1u32 << n) {
         let removed: BTreeSet<String> = (0..n)
             .filter(|i| mask & (1 << i) != 0)
@@ -37,7 +37,7 @@ fn brute_force_minimal(u: &pcql::Query, deps: &[Dependency]) -> Vec<pcql::Query>
         }
     }
     // Minimal = no other equivalent subquery removes strictly more.
-    let minimal: Vec<pcql::Query> = equivalents
+    let minimal: Vec<Query> = equivalents
         .iter()
         .filter(|(r1, _)| {
             !equivalents
@@ -49,7 +49,7 @@ fn brute_force_minimal(u: &pcql::Query, deps: &[Dependency]) -> Vec<pcql::Query>
     minimal
 }
 
-fn shapes(plans: &[pcql::Query]) -> BTreeSet<Vec<String>> {
+fn shapes(plans: &[Query]) -> BTreeSet<Vec<String>> {
     plans
         .iter()
         .map(|p| {
@@ -62,7 +62,7 @@ fn shapes(plans: &[pcql::Query]) -> BTreeSet<Vec<String>> {
 
 /// One randomized scenario: a 3-ary join query plus 1–2 views over parts
 /// of it.
-fn scenario(seed: u64) -> (Catalog, pcql::Query) {
+fn scenario(seed: u64) -> (Catalog, Query) {
     let mut catalog = Catalog::new();
     catalog.add_logical_relation("R", [("A", Type::Int), ("B", Type::Int)]);
     catalog.add_logical_relation("S", [("B", Type::Int), ("C", Type::Int)]);
@@ -193,7 +193,7 @@ fn chase_size_is_polynomial_for_view_constraints() {
 
 #[test]
 fn containment_is_a_preorder_on_samples() {
-    let qs: Vec<pcql::Query> = [
+    let qs: Vec<Query> = [
         "select struct(A = r.A) from R r",
         "select struct(A = r.A) from R r, S s where r.B = s.B",
         "select struct(A = r.A) from R r, S s, T t where r.B = s.B and s.C = t.C",

@@ -11,7 +11,7 @@ use universal_plans::prelude::*;
 
 /// Scenario catalogs with statistics, plus their logical query — every
 /// built-in scenario, each under `D ∪ D'` and under `D'` alone.
-fn scenarios() -> Vec<(String, Catalog, pcql::Query)> {
+fn scenarios() -> Vec<(String, Catalog, Query)> {
     use cb_catalog::scenarios::{projdept, relational_indexes, relational_views};
     let mut out = Vec::new();
     let mut c = projdept::catalog();

@@ -16,12 +16,7 @@ fn context_for(catalog: &Catalog) -> ChaseContext {
     ChaseContext::new(catalog.all_constraints(), Default::default())
 }
 
-fn check_all_plans(
-    catalog: &Catalog,
-    q: &pcql::Query,
-    instance: &Instance,
-    ctx: &mut ChaseContext,
-) {
+fn check_all_plans(catalog: &Catalog, q: &Query, instance: &Instance, ctx: &mut ChaseContext) {
     let ev = Evaluator::for_catalog(catalog, instance);
     let reference = ev.eval_query(q).unwrap();
     // A bounded enumeration keeps the suite fast; an incomplete backchase
@@ -159,10 +154,10 @@ fn gmap_backed_plans_agree() {
         .add_gmap(
             "G",
             cb_catalog::GmapDef {
-                from: vec![pcql::Binding::iter("r", pcql::Path::root("R"))],
+                from: vec![Binding::iter("r", Path::root("R"))],
                 where_: vec![],
-                key: vec![("A".into(), pcql::Path::var("r").field("A"))],
-                value: vec![("B".into(), pcql::Path::var("r").field("B"))],
+                key: vec![("A".into(), Path::var("r").field("A"))],
+                value: vec![("B".into(), Path::var("r").field("B"))],
             },
         )
         .unwrap();

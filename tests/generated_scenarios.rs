@@ -29,17 +29,19 @@ use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
 use cb_optimizer::{CostModel, Optimizer, OptimizerConfig, SearchStrategy};
+use universal_plans::analyze::codes;
 use universal_plans::catalog::RootStats;
 use universal_plans::chase::{
-    ChaseConfig, ChaseContext, MustRemainAnalysis, PlanSearch, SearchVisitor, Visit,
+    first_unsafe, ChaseConfig, ChaseContext, MustRemainAnalysis, PlanSearch, SearchVisitor, Visit,
 };
+use universal_plans::engine::{compile, CompileOptions, Operator};
 use universal_plans::prelude::*;
 
 /// One generated catalog + query, with a replayable description.
 #[derive(Debug, Clone)]
 struct Scenario {
     catalog: Catalog,
-    query: pcql::Query,
+    query: Query,
     desc: String,
 }
 
@@ -181,16 +183,11 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
 /// Records every node of the exhaustive walk with its removal set, so
 /// the bound can be evaluated against genuine parent/descendant pairs.
 struct Recorder {
-    nodes: Vec<(BTreeSet<String>, pcql::Query)>,
+    nodes: Vec<(BTreeSet<String>, Query)>,
 }
 
 impl SearchVisitor for Recorder {
-    fn visit(
-        &mut self,
-        _ctx: &mut ChaseContext,
-        q: &pcql::Query,
-        removed: &BTreeSet<String>,
-    ) -> Visit {
+    fn visit(&mut self, _ctx: &mut ChaseContext, q: &Query, removed: &BTreeSet<String>) -> Visit {
         self.nodes.push((removed.clone(), q.clone()));
         Visit::Explore
     }
@@ -263,7 +260,7 @@ proptest! {
         // Final (cleaned, reordered) costs per raw subquery, as the
         // optimizer assigns them.
         let full = Optimizer::new(&s.catalog).optimize(&s.query).unwrap();
-        let final_costs: BTreeMap<pcql::Query, f64> = full
+        let final_costs: BTreeMap<Query, f64> = full
             .candidates
             .iter()
             .map(|c| (c.raw.alpha_normalized(), c.cost))
@@ -379,4 +376,157 @@ fn deflated_bound_stays_admissible_and_exact() {
     .optimize(&q)
     .unwrap();
     assert!((deflated.best.cost - full.best.cost).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The static-analysis differential: every generated scenario lints
+    /// clean (no error-severity diagnostics), every candidate plan the
+    /// optimizer produces compiles to a pipeline the dataflow verifier
+    /// accepts (in both compile modes), and the static lookup-safety
+    /// pass never contradicts the backchase's chase-based prover — a
+    /// lookup declared statically safe is never the one `first_unsafe`
+    /// returns, and when *every* obligation is discharged statically the
+    /// prover has nothing left to reject.
+    #[test]
+    fn random_scenarios_lint_clean_and_plans_verify(s in arb_scenario()) {
+        let analyzer = Analyzer::new(&s.catalog);
+        let lint = analyzer.lint(&s.query);
+        prop_assert!(!lint.has_errors(), "lint errors on {}:\n{}", s.desc, lint);
+
+        // The default warn-mode pre-flight already dataflow-verifies every
+        // candidate pipeline; its merged report must be error-free.
+        let out = Optimizer::new(&s.catalog).optimize(&s.query).unwrap();
+        prop_assert!(
+            !out.diagnostics.has_errors(),
+            "pre-flight errors on {}:\n{}", s.desc, out.diagnostics
+        );
+
+        for c in &out.candidates {
+            for hash_joins in [false, true] {
+                let p = compile(&c.query, CompileOptions { hash_joins });
+                let rep = analyzer.check_pipeline(&p);
+                prop_assert!(
+                    !rep.has_errors(),
+                    "pipeline errors (hash_joins={}) for `{}` on {}:\n{}",
+                    hash_joins, c.query, s.desc, rep
+                );
+            }
+            // Static vs prover, on the raw subquery the backchase judged.
+            let summary = analyzer.lookup_summary(&c.raw);
+            let mut ctx =
+                ChaseContext::new(s.catalog.all_constraints(), ChaseConfig::default());
+            let prover = first_unsafe(&mut ctx, &c.raw);
+            if let Some((lookup, _)) = &prover {
+                prop_assert!(
+                    !summary.statically_safe().contains(&lookup),
+                    "static pass declared `{}` safe but the prover rejected it \
+                     in `{}` on {}",
+                    lookup, c.raw, s.desc
+                );
+            }
+            if summary.all_static() {
+                prop_assert!(
+                    prover.is_none(),
+                    "all lookups static-safe in `{}` but the prover rejected `{}` on {}",
+                    c.raw, prover.unwrap().0, s.desc
+                );
+            }
+        }
+    }
+}
+
+/// A fixed, fully-featured scenario for the mutation canaries below: all
+/// access structures on, both selections, a two-column output.
+fn canary_scenario() -> Scenario {
+    build_scenario(
+        true,
+        true,
+        true,
+        true,
+        true,
+        vec![120, 5, 4_000, 1, 120, 5, 120],
+        vec![3, 3, 3, 3],
+        2.0,
+        3,
+        3,
+        false,
+    )
+}
+
+/// Canary 1: redirecting an operator's slot write must be caught — the
+/// double write is a CB031 layout error and the orphaned register a
+/// CB030 read-before-write.
+#[test]
+fn canary_swapped_slot_write_is_caught() {
+    let s = canary_scenario();
+    let mut p = compile(&s.query, CompileOptions { hash_joins: false });
+    let clean = Analyzer::new(&s.catalog).check_pipeline(&p);
+    assert!(!clean.has_errors(), "canary baseline dirty: {clean}");
+    // Redirect the second writing operator onto the first one's register.
+    let mut writes = p.ops.iter_mut().filter_map(|op| match op {
+        Operator::Scan { slot, .. }
+        | Operator::IterDependent { slot, .. }
+        | Operator::Bind { slot, .. }
+        | Operator::HashJoin { slot, .. } => Some(slot),
+        Operator::Filter { .. } => None,
+    });
+    let first = *writes.next().expect("a writing operator");
+    let second = writes.next().expect("a second writing operator");
+    *second = first;
+    let report = Analyzer::new(&s.catalog).check_pipeline(&p);
+    assert!(
+        report.errors().any(|d| d.code == codes::SLOT_LAYOUT),
+        "no CB031 for the double write: {report}"
+    );
+    assert!(
+        report.errors().any(|d| d.code == codes::READ_BEFORE_WRITE),
+        "no CB030 for the orphaned register: {report}"
+    );
+}
+
+/// Canary 2: dropping a `from` binding must be caught twice over — the
+/// well-formedness pass reports the now-unbound variable (CB001) and the
+/// compiled pipeline's accessors cannot resolve it (CB032).
+#[test]
+fn canary_dropped_binding_is_caught() {
+    let s = canary_scenario();
+    let mut q = s.query.clone();
+    q.from.remove(1);
+    let report = Analyzer::new(&s.catalog).check_query(&q);
+    assert!(
+        report.errors().any(|d| d.code == codes::QUERY_SCOPE),
+        "no CB001 for the dropped binding: {report}"
+    );
+    let p = compile(&q, CompileOptions { hash_joins: false });
+    let report = Analyzer::new(&s.catalog).check_pipeline(&p);
+    assert!(
+        report.errors().any(|d| d.code == codes::UNRESOLVED_VAR),
+        "no CB032 for the unresolved variable: {report}"
+    );
+}
+
+/// Canary 3: breaking a dependency's scope (a premise condition over a
+/// variable no binding introduces) must be caught as CB006, anchored at
+/// the mutated dependency.
+#[test]
+fn canary_broken_dependency_scope_is_caught() {
+    use universal_plans::analyze::check_dependencies;
+
+    let s = canary_scenario();
+    let mut deps = s.catalog.all_constraints();
+    let clean = check_dependencies(&s.catalog.combined_schema(), &deps);
+    assert!(clean.is_empty(), "canary baseline dirty: {clean}");
+    let victim = deps.first_mut().expect("the catalog emits constraints");
+    victim
+        .premise
+        .push(Equality(Path::var("ghost"), Path::int(0)));
+    let name = victim.name.clone();
+    let report = check_dependencies(&s.catalog.combined_schema(), &deps);
+    assert!(
+        report.errors().any(|d| d.code == codes::DEP_SCOPE
+            && d.anchor == universal_plans::analyze::Anchor::Dependency(name.clone())),
+        "no CB006 at [{name}]: {report}"
+    );
 }

@@ -8,7 +8,7 @@ use universal_plans::prelude::*;
 #[test]
 fn chase_step_output_matches_paper_text() {
     let q = cb_catalog::scenarios::projdept::query();
-    let c_ji = pcql::parser::parse_dependency(
+    let c_ji = parse_dependency(
         "c_JI",
         "forall (d in depts) (s in d.DProjs) (p in Proj) where s = p.PName \
          -> exists (j in JI) where j.DOID = d and j.PN = p.PName",
@@ -115,7 +115,7 @@ fn both_index_directions_are_needed() {
     assert!(u_oneway.from.iter().any(|b| b.src.to_string() == "dom(SI)"));
     // …but without the inverse direction the SI-only plan can no longer
     // be *justified*: removing the Proj binding requires SI2.
-    let out_full = universal_plans::chase::backchase(
+    let out_full = backchase(
         &u_full,
         &deps_full,
         &universal_plans::chase::BackchaseConfig {
@@ -123,7 +123,7 @@ fn both_index_directions_are_needed() {
             ..Default::default()
         },
     );
-    let out_oneway = universal_plans::chase::backchase(
+    let out_oneway = backchase(
         &u_oneway,
         &deps_oneway,
         &universal_plans::chase::BackchaseConfig {
@@ -131,7 +131,7 @@ fn both_index_directions_are_needed() {
             ..Default::default()
         },
     );
-    let si_only = |nfs: &[pcql::Query]| {
+    let si_only = |nfs: &[Query]| {
         nfs.iter()
             .any(|p| p.from.len() == 2 && p.from.iter().all(|b| b.src.mentions_root("SI")))
     };

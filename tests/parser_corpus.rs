@@ -3,7 +3,7 @@
 
 use universal_plans::prelude::*;
 
-fn projdept_schema() -> pcql::Schema {
+fn projdept_schema() -> Schema {
     parse_schema(
         r#"
         class Dept { DName: String, DProjs: Set<String>, MgrName: String }

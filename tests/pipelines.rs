@@ -5,7 +5,7 @@
 use universal_plans::engine::exec::{compile, execute_with_stats, CompileOptions};
 use universal_plans::prelude::*;
 
-fn check_pipelines(catalog: &Catalog, q: &pcql::Query, instance: &Instance) {
+fn check_pipelines(catalog: &Catalog, q: &Query, instance: &Instance) {
     let ev = Evaluator::for_catalog(catalog, instance);
     let reference = ev.eval_query(q).unwrap();
     let config = cb_optimizer::OptimizerConfig {

@@ -25,16 +25,16 @@ fn var_name() -> impl Strategy<Value = String> {
 }
 
 /// Random flat paths over variables x, y, z and roots R, S.
-fn arb_path() -> impl Strategy<Value = pcql::Path> {
+fn arb_path() -> impl Strategy<Value = Path> {
     let leaf = prop_oneof![
-        var_name().prop_map(pcql::Path::Var),
-        prop::sample::select(vec!["R", "S"]).prop_map(pcql::Path::root),
-        any::<i64>().prop_map(pcql::Path::int),
+        var_name().prop_map(Path::Var),
+        prop::sample::select(vec!["R", "S"]).prop_map(Path::root),
+        any::<i64>().prop_map(Path::int),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
             (inner.clone(), any_field_name()).prop_map(|(p, f)| p.field(f)),
-            inner.clone().prop_map(|p| p.dom()),
+            inner.clone().prop_map(Path::dom),
             (inner.clone(), inner).prop_map(|(m, k)| m.get(k)),
         ]
     })
@@ -42,7 +42,7 @@ fn arb_path() -> impl Strategy<Value = pcql::Path> {
 
 /// Random conjunctive queries over R(A,B): 1–3 bindings, 0–3 conditions
 /// among variable fields and small constants.
-fn arb_cq() -> impl Strategy<Value = pcql::Query> {
+fn arb_cq() -> impl Strategy<Value = Query> {
     let n_bindings = 1..=3usize;
     (
         n_bindings,
@@ -50,23 +50,20 @@ fn arb_cq() -> impl Strategy<Value = pcql::Query> {
         (0..3usize, field_name()),
     )
         .prop_map(|(n, eqs, (ov, of))| {
-            let from: Vec<pcql::Binding> = (0..n)
-                .map(|i| pcql::Binding::iter(format!("v{i}"), pcql::Path::root("R")))
+            let from: Vec<Binding> = (0..n)
+                .map(|i| Binding::iter(format!("v{i}"), Path::root("R")))
                 .collect();
-            let where_: Vec<pcql::Equality> = eqs
+            let where_: Vec<Equality> = eqs
                 .into_iter()
                 .map(|(l, lf, r, rf)| {
-                    pcql::Equality(
-                        pcql::Path::var(format!("v{}", l % n)).field(lf),
-                        pcql::Path::var(format!("v{}", r % n)).field(rf),
+                    Equality(
+                        Path::var(format!("v{}", l % n)).field(lf),
+                        Path::var(format!("v{}", r % n)).field(rf),
                     )
                 })
                 .collect();
-            pcql::Query::new(
-                pcql::Output::record([(
-                    "O".to_string(),
-                    pcql::Path::var(format!("v{}", ov % n)).field(of),
-                )]),
+            Query::new(
+                Output::record([("O".to_string(), Path::var(format!("v{}", ov % n)).field(of))]),
                 from,
                 where_,
             )
@@ -81,7 +78,7 @@ fn arb_cq() -> impl Strategy<Value = pcql::Query> {
 /// represented too: root `T` is absent from the instances, root `D` is
 /// a dictionary (not a set), and field `C` is missing from every row —
 /// the executor must fail exactly where the interpreter fails.
-fn arb_pipeline_query() -> impl Strategy<Value = pcql::Query> {
+fn arb_pipeline_query() -> impl Strategy<Value = Query> {
     let binding = (
         prop::sample::select(vec!["R", "S", "R", "S", "R", "S", "T", "D"]),
         prop::sample::select(vec!["u", "v", "w"]),
@@ -107,28 +104,25 @@ fn arb_pipeline_query() -> impl Strategy<Value = pcql::Query> {
     )
         .prop_map(|(binds, conds, (ov, of))| {
             let names: Vec<String> = binds.iter().map(|(_, v)| v.to_string()).collect();
-            let from: Vec<pcql::Binding> = binds
+            let from: Vec<Binding> = binds
                 .iter()
-                .map(|(root, var)| pcql::Binding::iter(*var, pcql::Path::root(*root)))
+                .map(|(root, var)| Binding::iter(*var, Path::root(*root)))
                 .collect();
-            let where_: Vec<pcql::Equality> = conds
+            let where_: Vec<Equality> = conds
                 .into_iter()
                 .map(|(kind, l, lf, r, rf, c)| match kind {
-                    0 => pcql::Equality(
-                        pcql::Path::var(&names[l % names.len()]).field(lf),
-                        pcql::Path::var(&names[r % names.len()]).field(rf),
+                    0 => Equality(
+                        Path::var(&names[l % names.len()]).field(lf),
+                        Path::var(&names[r % names.len()]).field(rf),
                     ),
-                    1 => pcql::Equality(
-                        pcql::Path::var(&names[l % names.len()]).field(lf),
-                        pcql::Path::int(c),
-                    ),
-                    _ => pcql::Equality(pcql::Path::int(c % 2), pcql::Path::int(l as i64 % 2)),
+                    1 => Equality(Path::var(&names[l % names.len()]).field(lf), Path::int(c)),
+                    _ => Equality(Path::int(c % 2), Path::int(l as i64 % 2)),
                 })
                 .collect();
-            pcql::Query::new(
-                pcql::Output::record([(
+            Query::new(
+                Output::record([(
                     "O".to_string(),
-                    pcql::Path::var(&names[ov % names.len()]).field(of),
+                    Path::var(&names[ov % names.len()]).field(of),
                 )]),
                 from,
                 where_,
@@ -183,18 +177,18 @@ proptest! {
         let vars: std::collections::BTreeSet<String> = p.free_vars();
         // Reparse: bare identifiers come back as roots; rename variables
         // first so the comparison is faithful.
-        let parsed = pcql::parser::parse_path(&text).unwrap();
+        let parsed = parse_path(&text).unwrap();
         // parse_path resolves all identifiers to roots; map our vars
         // to roots for comparison.
         let as_roots = {
-            fn var_to_root(p: &pcql::Path, vars: &std::collections::BTreeSet<String>) -> pcql::Path {
+            fn var_to_root(p: &Path, vars: &std::collections::BTreeSet<String>) -> Path {
                 match p {
-                    pcql::Path::Var(v) if vars.contains(v) => pcql::Path::Root(v.clone()),
-                    pcql::Path::Var(_) | pcql::Path::Const(_) | pcql::Path::Root(_) => p.clone(),
-                    pcql::Path::Field(q, f) => var_to_root(q, vars).field(f.clone()),
-                    pcql::Path::Dom(q) => var_to_root(q, vars).dom(),
-                    pcql::Path::Get(m, k) => var_to_root(m, vars).get(var_to_root(k, vars)),
-                    pcql::Path::GetOrEmpty(m, k) => {
+                    Path::Var(v) if vars.contains(v) => Path::Root(v.clone()),
+                    Path::Var(_) | Path::Const(_) | Path::Root(_) => p.clone(),
+                    Path::Field(q, f) => var_to_root(q, vars).field(f.clone()),
+                    Path::Dom(q) => var_to_root(q, vars).dom(),
+                    Path::Get(m, k) => var_to_root(m, vars).get(var_to_root(k, vars)),
+                    Path::GetOrEmpty(m, k) => {
                         var_to_root(m, vars).get_or_empty(var_to_root(k, vars))
                     }
                 }
@@ -207,7 +201,7 @@ proptest! {
     /// Queries round-trip through the printer and parser.
     #[test]
     fn query_display_parse_roundtrip(q in arb_cq()) {
-        let reparsed = pcql::parser::parse_query(&q.to_string()).unwrap();
+        let reparsed = parse_query(&q.to_string()).unwrap();
         prop_assert_eq!(q, reparsed);
     }
 
@@ -218,22 +212,22 @@ proptest! {
                    probe in var_name(), f in field_name()) {
         let mut g = EGraph::new();
         for (a, b) in &pairs {
-            g.union_paths(&pcql::Path::var(a.clone()), &pcql::Path::var(b.clone()));
+            g.union_paths(&Path::var(a.clone()), &Path::var(b.clone()));
         }
         // Reflexive.
-        prop_assert!(g.paths_equal(&pcql::Path::var(probe.clone()), &pcql::Path::var(probe.clone())));
+        prop_assert!(g.paths_equal(&Path::var(probe.clone()), &Path::var(probe.clone())));
         // Symmetric + congruent: check every recorded pair.
         for (a, b) in &pairs {
-            prop_assert!(g.paths_equal(&pcql::Path::var(b.clone()), &pcql::Path::var(a.clone())));
+            prop_assert!(g.paths_equal(&Path::var(b.clone()), &Path::var(a.clone())));
             prop_assert!(g.paths_equal(
-                &pcql::Path::var(a.clone()).field(f.clone()),
-                &pcql::Path::var(b.clone()).field(f.clone())
+                &Path::var(a.clone()).field(f.clone()),
+                &Path::var(b.clone()).field(f.clone())
             ));
         }
         // Transitive closure via chained unions.
         if pairs.len() >= 2 {
             let (a0, _) = &pairs[0];
-            let class0 = g.add_path(&pcql::Path::var(a0.clone()));
+            let class0 = g.add_path(&Path::var(a0.clone()));
             let _ = g.extract(class0, &Default::default());
         }
     }
@@ -258,7 +252,7 @@ proptest! {
     fn chase_soundness_on_satisfying_instances(q in arb_cq(), inst in arb_instance()) {
         // The key EGD on A is satisfiable by filtering the instance to
         // one row per A value.
-        let key = pcql::parser::parse_dependency(
+        let key = parse_dependency(
             "key",
             "forall (p in R) (q in R) where p.A = q.A -> p = q",
         ).unwrap();

@@ -104,10 +104,10 @@ fn gmap_and_view_compete() {
         .add_gmap(
             "G",
             cb_catalog::GmapDef {
-                from: vec![pcql::Binding::iter("r", pcql::Path::root("R"))],
+                from: vec![Binding::iter("r", Path::root("R"))],
                 where_: vec![],
-                key: vec![("A".into(), pcql::Path::var("r").field("A"))],
-                value: vec![("B".into(), pcql::Path::var("r").field("B"))],
+                key: vec![("A".into(), Path::var("r").field("A"))],
+                value: vec![("B".into(), Path::var("r").field("B"))],
             },
         )
         .unwrap();

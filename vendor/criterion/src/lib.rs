@@ -71,7 +71,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
-            f(b, input)
+            f(b, input);
         });
         self
     }

@@ -135,7 +135,7 @@ mod tests {
     fn deterministic_per_test_name() {
         let mut a = crate::test_runner::TestRng::for_test("same");
         let mut b = crate::test_runner::TestRng::for_test("same");
-        let s = crate::arbitrary::any::<u64>();
+        let s = any::<u64>();
         for _ in 0..10 {
             assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
         }
