@@ -46,6 +46,7 @@
 //! branch-and-bound strategy is another.
 
 use std::collections::{BTreeSet, BinaryHeap};
+use std::time::{Duration, Instant};
 
 use pcql::idgen::VarGen;
 use pcql::path::Path;
@@ -55,7 +56,7 @@ use pcql::Dependency;
 use crate::canon::QueryGraph;
 use crate::chase::ChaseConfig;
 use crate::containment::{contained_in_pre_chased, output_matching_hom};
-use crate::context::ChaseContext;
+use crate::context::{ChaseContext, ChaseProver};
 use crate::egraph::EGraph;
 use crate::hom::Assignment;
 
@@ -119,7 +120,11 @@ pub(crate) fn dependent_closure(
 /// canonical database: re-expressed bindings, re-expressed output
 /// (condition 2) and the maximal implied conditions `C'` (condition 1).
 /// `None` if the output or a surviving binding cannot be re-expressed.
-fn subquery_for(q: &Query, graph: &mut QueryGraph, removed: &BTreeSet<String>) -> Option<Query> {
+pub(crate) fn subquery_for(
+    q: &Query,
+    graph: &mut QueryGraph,
+    removed: &BTreeSet<String>,
+) -> Option<Query> {
     if removed.len() >= q.from.len() {
         return None;
     }
@@ -299,10 +304,10 @@ fn implied_conditions(graph: &QueryGraph, removed: &BTreeSet<String>) -> Vec<Equ
 /// pruned subquery anyway. (Without pruning, the maximal `C'` could smuggle
 /// an index equation like `p = I[s]` into a plan whose own bindings cannot
 /// guarantee `s ∈ dom(I)`.)
-fn prune_unsafe_conditions(ctx: &mut ChaseContext, q: &Query) -> Option<Query> {
+pub(crate) fn prune_unsafe_conditions<P: ChaseProver>(prover: &mut P, q: &Query) -> Option<Query> {
     let mut q = q.clone();
     loop {
-        match first_unsafe(ctx, &q) {
+        match first_unsafe(prover, &q) {
             None => return Some(q),
             Some((lookup, fatal)) => {
                 if fatal {
@@ -323,14 +328,15 @@ fn prune_unsafe_conditions(ctx: &mut ChaseContext, q: &Query) -> Option<Query> {
 
 /// The first not-provably-safe failing lookup of `q`, tagged with whether
 /// it is fatal (binding source / output) or condition-level. Safety
-/// proofs go through the context's memoized implication prover; the
-/// congruence graph for guardedness is built once per call (lazily), not
-/// once per obligation.
+/// proofs go through the prover's memoized implication memo — any
+/// [`ChaseProver`], so the sequential and the sharded parallel search run
+/// the identical proof discipline; the congruence graph for guardedness
+/// is built once per call (lazily), not once per obligation.
 ///
 /// Public so that static analysis (cb-analyze's lookup-safety pass) can be
 /// differentially checked against this prover: a lookup the syntactic
 /// pre-pass declares safe must never be the one returned here.
-pub fn first_unsafe(ctx: &mut ChaseContext, q: &Query) -> Option<(Path, bool)> {
+pub fn first_unsafe<P: ChaseProver>(prover: &mut P, q: &Query) -> Option<(Path, bool)> {
     let mut checked: BTreeSet<Path> = BTreeSet::new();
     let mut guard_graph: Option<QueryGraph> = None;
     // (lookup, bindings in scope, assumable premise, fatal)
@@ -411,13 +417,49 @@ pub fn first_unsafe(ctx: &mut ChaseContext, q: &Query) -> Option<(Path, bool)> {
                 vec![Binding::iter(g.clone(), Path::Dom(Box::new(m.clone())))],
                 vec![Equality(Path::Var(g), k.clone())],
             );
-            ctx.implies(&sigma)
+            prover.implies(&sigma)
         };
         if !safe {
             return Some((lookup, fatal));
         }
     }
     None
+}
+
+/// An *anytime* budget for a lattice search ([`PlanSearch`] and the
+/// parallel [`ParallelPlanSearch`](crate::ParallelPlanSearch)): the walk
+/// stops the moment either limit is reached and keeps everything found so
+/// far. Every node a search has streamed is a fully equivalence-verified
+/// plan, so expiry only trims how much of the plan space was explored —
+/// a latency SLO, never a correctness change. The root of the lattice
+/// (the universal plan itself) is always visited before a budget is
+/// consulted, so even `nodes: Some(0)` yields one sound plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Stop after this much wall-clock time in the search loop.
+    pub wall_clock: Option<Duration>,
+    /// Stop after this many visited (equivalence-verified) nodes beyond
+    /// the root.
+    pub nodes: Option<usize>,
+}
+
+impl SearchBudget {
+    /// A budget with neither limit set (the default): never expires.
+    pub fn unlimited() -> SearchBudget {
+        SearchBudget::default()
+    }
+
+    /// True if neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_clock.is_none() && self.nodes.is_none()
+    }
+
+    /// Has the budget run out, `visited` nodes after `start`? The caller
+    /// guarantees `visited >= 1` (the root is exempt).
+    pub(crate) fn expired(&self, start: Instant, visited: usize) -> bool {
+        self.nodes.is_some_and(|n| visited >= n)
+            || self.wall_clock.is_some_and(|d| start.elapsed() >= d)
+    }
 }
 
 /// What a [`PlanSearch`] visitor tells the driver about one
@@ -503,6 +545,9 @@ pub struct SearchOutcome {
     pub pruned_at_gate: usize,
     /// True if the visitor ended the search with [`Visit::Accept`].
     pub accepted: bool,
+    /// True if a [`SearchBudget`] limit expired mid-search (the outcome
+    /// still carries every verified plan found up to that point).
+    pub budget_expired: bool,
 }
 
 impl SearchOutcome {
@@ -514,13 +559,14 @@ impl SearchOutcome {
 
 /// A frontier entry ordered by (priority, discovery sequence) — a
 /// min-heap pop order that degrades to exactly the old FIFO walk when
-/// every priority is equal.
-struct Frontier {
-    prio: f64,
-    seq: usize,
-    removed: BTreeSet<String>,
-    query: Query,
-    hom: Assignment,
+/// every priority is equal. Shared with the parallel search, whose
+/// workers pull from one heap of these behind a lock.
+pub(crate) struct Frontier {
+    pub(crate) prio: f64,
+    pub(crate) seq: usize,
+    pub(crate) removed: BTreeSet<String>,
+    pub(crate) query: Query,
+    pub(crate) hom: Assignment,
 }
 
 impl PartialEq for Frontier {
@@ -569,6 +615,7 @@ pub struct PlanSearch<'a> {
     u: &'a Query,
     max_visited: usize,
     collect_visited: bool,
+    budget: SearchBudget,
 }
 
 impl<'a> PlanSearch<'a> {
@@ -580,12 +627,21 @@ impl<'a> PlanSearch<'a> {
             u,
             max_visited: 0,
             collect_visited: true,
+            budget: SearchBudget::default(),
         }
     }
 
     /// Bounds the number of visited nodes (0 = unlimited).
     pub fn with_max_visited(mut self, max_visited: usize) -> PlanSearch<'a> {
         self.max_visited = max_visited;
+        self
+    }
+
+    /// Sets an anytime [`SearchBudget`]; on expiry the walk stops and
+    /// keeps everything verified so far (the root is always visited
+    /// first, so at least one sound plan survives any budget).
+    pub fn with_budget(mut self, budget: SearchBudget) -> PlanSearch<'a> {
+        self.budget = budget;
         self
     }
 
@@ -637,6 +693,7 @@ impl<'a> PlanSearch<'a> {
             query: u.clone(),
             hom: identity,
         });
+        let start = Instant::now();
         let mut normal_forms: Vec<Query> = Vec::new();
         let mut visited: Vec<Query> = Vec::new();
         let mut visited_count = 0usize;
@@ -644,6 +701,7 @@ impl<'a> PlanSearch<'a> {
         let mut pruned_at_visit = 0usize;
         let mut pruned_at_gate = 0usize;
         let mut accepted = false;
+        let mut budget_expired = false;
         while let Some(Frontier {
             removed,
             query: q,
@@ -653,6 +711,13 @@ impl<'a> PlanSearch<'a> {
         {
             if self.max_visited > 0 && visited_count >= self.max_visited {
                 complete = false;
+                break;
+            }
+            // The root (visited_count == 0) is exempt: any budget still
+            // yields at least one verified plan.
+            if visited_count > 0 && self.budget.expired(start, visited_count) {
+                complete = false;
+                budget_expired = true;
                 break;
             }
             match visitor.visit(ctx, &q, &removed) {
@@ -768,6 +833,7 @@ impl<'a> PlanSearch<'a> {
             pruned_at_visit,
             pruned_at_gate,
             accepted,
+            budget_expired,
         }
     }
 }
@@ -1362,5 +1428,59 @@ mod tests {
         };
         let out = backchase(&u, &deps, &tight);
         assert!(!out.complete);
+    }
+
+    #[test]
+    fn anytime_node_budget_keeps_the_root() {
+        let (u, deps) = view_scenario();
+        // nodes = 0: the root is exempt, so exactly the universal plan
+        // itself is visited and the expiry is reported.
+        let mut ctx = ChaseContext::new(deps.clone(), ChaseConfig::default());
+        let out = PlanSearch::new(&u)
+            .with_budget(SearchBudget {
+                nodes: Some(0),
+                ..SearchBudget::default()
+            })
+            .run(&mut ctx, &mut ExploreAll);
+        assert!(out.budget_expired);
+        assert!(!out.complete);
+        assert_eq!(out.visited.len(), 1);
+        assert_eq!(out.visited[0].alpha_normalized(), u.alpha_normalized());
+        // A zero wall-clock budget behaves the same way.
+        let mut ctx = ChaseContext::new(deps.clone(), ChaseConfig::default());
+        let out = PlanSearch::new(&u)
+            .with_budget(SearchBudget {
+                wall_clock: Some(Duration::ZERO),
+                ..SearchBudget::default()
+            })
+            .run(&mut ctx, &mut ExploreAll);
+        assert!(out.budget_expired);
+        assert_eq!(out.visited.len(), 1);
+        // An unlimited budget changes nothing and reports no expiry.
+        let mut ctx = ChaseContext::new(deps, ChaseConfig::default());
+        let out = PlanSearch::new(&u).run(&mut ctx, &mut ExploreAll);
+        assert!(!out.budget_expired);
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn anytime_node_budget_truncates_mid_search() {
+        let (u, deps) = view_scenario();
+        let mut ctx = ChaseContext::new(deps.clone(), ChaseConfig::default());
+        let full = PlanSearch::new(&u).run(&mut ctx, &mut ExploreAll);
+        assert!(full.visited.len() > 2);
+        let mut ctx = ChaseContext::new(deps, ChaseConfig::default());
+        let out = PlanSearch::new(&u)
+            .with_budget(SearchBudget {
+                nodes: Some(2),
+                ..SearchBudget::default()
+            })
+            .run(&mut ctx, &mut ExploreAll);
+        assert!(out.budget_expired);
+        assert_eq!(out.visited.len(), 2);
+        // Everything kept is a verified plan from the full walk's set.
+        let norm =
+            |qs: &[Query]| -> BTreeSet<Query> { qs.iter().map(Query::alpha_normalized).collect() };
+        assert!(norm(&out.visited).is_subset(&norm(&full.visited)));
     }
 }

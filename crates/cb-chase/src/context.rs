@@ -80,6 +80,22 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Field-wise sum — used to aggregate per-shard counters of a
+    /// [`SharedChaseContext`](crate::SharedChaseContext) and to merge the
+    /// counters of the sequential context and the shared search core into
+    /// one optimization-wide snapshot.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.chase_hits += other.chase_hits;
+        self.chase_misses += other.chase_misses;
+        self.containment_hits += other.containment_hits;
+        self.containment_misses += other.containment_misses;
+        self.implication_hits += other.implication_hits;
+        self.implication_misses += other.implication_misses;
+        self.seeded_hom_hits += other.seeded_hom_hits;
+        self.deps_resets += other.deps_resets;
+        self.evictions += other.evictions;
+    }
+
     /// Total memo hits across all three caches.
     pub fn hits(&self) -> u64 {
         self.chase_hits + self.containment_hits + self.implication_hits
@@ -103,11 +119,46 @@ impl CacheStats {
 }
 
 /// A chase entry: the resumable state plus, once someone asked for the
-/// full result, the finalized (coalesced) outcome.
+/// full result, the finalized (coalesced) outcome. Shared with the
+/// sharded [`SharedChaseContext`](crate::SharedChaseContext), whose
+/// shards park the same resumable states.
 #[derive(Debug, Clone)]
-struct ChasedEntry {
-    state: ChaseState,
-    outcome: Option<ChaseOutcome>,
+pub(crate) struct ChasedEntry {
+    pub(crate) state: ChaseState,
+    pub(crate) outcome: Option<ChaseOutcome>,
+}
+
+/// The questions backchase machinery asks of a chase core, abstracted
+/// over *which* core answers them: the single-owner [`ChaseContext`]
+/// (sequential search) or a per-worker handle onto the sharded
+/// [`SharedChaseContext`](crate::SharedChaseContext) (parallel search).
+/// Lookup-safety proofs ([`first_unsafe`](crate::first_unsafe)),
+/// condition pruning and the lattice equivalence checks are generic over
+/// this trait, so both searches run the exact same proof discipline.
+pub trait ChaseProver {
+    /// The chase budgets in force.
+    fn cfg(&self) -> &ChaseConfig;
+    /// Does the dependency set imply `sigma` (bounded-chase prover)?
+    fn implies(&mut self, sigma: &Dependency) -> bool;
+    /// Is `q1 ⊑ q2` under the dependency set (set semantics)?
+    fn contained_in(&mut self, q1: &Query, q2: &Query) -> bool;
+    /// Counts a containment check discharged by a parent-seeded witness.
+    fn note_seeded_hom(&mut self);
+}
+
+impl ChaseProver for ChaseContext {
+    fn cfg(&self) -> &ChaseConfig {
+        ChaseContext::cfg(self)
+    }
+    fn implies(&mut self, sigma: &Dependency) -> bool {
+        ChaseContext::implies(self, sigma)
+    }
+    fn contained_in(&mut self, q1: &Query, q2: &Query) -> bool {
+        ChaseContext::contained_in(self, q1, q2)
+    }
+    fn note_seeded_hom(&mut self) {
+        ChaseContext::note_seeded_hom(self);
+    }
 }
 
 /// The shared, memoized chase core: one dependency set, one budget, and
@@ -364,7 +415,7 @@ impl ChaseContext {
 /// untouched, so `order` always holds each key exactly once. The freshly
 /// inserted key sits at the back, so with a cap >= 1 it is never the one
 /// evicted.
-fn insert_bounded<K: Eq + Hash + Clone, V>(
+pub(crate) fn insert_bounded<K: Eq + Hash + Clone, V>(
     map: &mut HashMap<K, V>,
     order: &mut VecDeque<K>,
     cap: usize,
@@ -387,7 +438,7 @@ fn insert_bounded<K: Eq + Hash + Clone, V>(
 /// `c0, c1, …` in (forall, exists) order, name cleared, conditions
 /// normalized, sorted and deduplicated. Two dependencies that differ
 /// only in variable names or condition order share a key.
-fn canonical_dependency(sigma: &Dependency) -> Dependency {
+pub(crate) fn canonical_dependency(sigma: &Dependency) -> Dependency {
     let map: BTreeMap<String, String> = sigma
         .forall
         .iter()

@@ -67,6 +67,8 @@ pub mod egraph;
 pub mod hom;
 pub mod implication;
 pub mod must_remain;
+pub mod parallel;
+pub mod shared;
 pub mod termination;
 
 mod containment;
@@ -75,17 +77,19 @@ pub use backchase::{
     backchase, backchase_greedy, backchase_greedy_in, backchase_in, backchase_step,
     backchase_step_in, examine_removal, examine_removal_in, first_unsafe, is_minimal,
     is_minimal_in, minimize, BackchaseConfig, BackchaseOutcome, ExploreAll, PlanSearch,
-    RemovalJudgement, SearchOutcome, SearchVisitor, Visit,
+    RemovalJudgement, SearchBudget, SearchOutcome, SearchVisitor, Visit,
 };
 pub use canon::QueryGraph;
 pub use chase::{
     chase, chase_step, coalesce_duplicates, ChaseConfig, ChaseOutcome, ChaseStepTrace,
 };
 pub use containment::{contained_in, contained_in_pre_chased, equivalent};
-pub use context::{CacheStats, ChaseContext};
+pub use context::{CacheStats, ChaseContext, ChaseProver};
 pub use egraph::EGraph;
 pub use implication::implies;
 pub use must_remain::MustRemainAnalysis;
+pub use parallel::{ParallelExploreAll, ParallelPlanSearch, ParallelVisitor};
+pub use shared::{SharedChaseContext, SharedProver};
 pub use termination::{
     analyze_termination, analyze_termination_with_witness, is_weakly_acyclic,
     weak_acyclicity_witness, CycleWitness, TerminationVerdict,

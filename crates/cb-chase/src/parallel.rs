@@ -1,0 +1,591 @@
+//! The parallel backchase: [`PlanSearch`](crate::PlanSearch)'s lattice
+//! walk run by N workers over one shared priority frontier.
+//!
+//! The sequential walk's only serialization point is its `BinaryHeap`
+//! pop; everything in between — the visitor's verdict (costing), the
+//! candidate construction, condition pruning, and the two containment
+//! proofs — is per-node work. So the parallel driver keeps exactly the
+//! sequential node protocol and moves only its bookkeeping behind one
+//! mutex (`Progress`): workers pop the cheapest frontier entry, run the
+//! visit verdict and the child verification *outside* the lock against a
+//! [`SharedChaseContext`], and push verified children back. A condvar
+//! parks idle workers; the search is over when the frontier is empty and
+//! no worker is mid-expansion (`active == 0`).
+//!
+//! Three bits of the sequential walk need care under concurrency:
+//!
+//! * **The `seen` map** gets a fourth state, `Pending`: a worker claims a
+//!   child removal set *before* verifying it, so no candidate is verified
+//!   twice. Because a popped node's normal-form judgement may depend on a
+//!   child another worker is still verifying, judgements are deferred:
+//!   each expansion records its children's keys, and normal forms are
+//!   resolved after the workers join (every claimed child is resolved by
+//!   its claimant before it exits, so no `Pending` survives a completed
+//!   search).
+//! * **Witness-hom seeding** carries the parent's witness in the frontier
+//!   entry (as sequentially), but each worker validates it against its
+//!   own `hom_graph`; chase states live in the shared core, whose
+//!   checkout protocol falls back to a fresh search when another worker
+//!   holds the parent's memo — out-of-order parent/child arrival can cost
+//!   duplicate work, never a wrong verdict.
+//! * **Budgets** ([`SearchBudget`] and `max_visited`) count *committed*
+//!   nodes — visited plus reserved-by-a-worker — so a node budget is
+//!   exact at any worker count, not just approached from below.
+//!
+//! With `threads = 1` the walk degenerates to the sequential one: one
+//! worker, the same (priority, seq) pop order, the same seen-map
+//! transitions, the same counters.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use pcql::path::Path;
+use pcql::query::Query;
+
+use crate::backchase::{
+    dependent_closure, prune_unsafe_conditions, subquery_for, Frontier, SearchBudget,
+    SearchOutcome, Visit,
+};
+use crate::canon::QueryGraph;
+use crate::containment::output_matching_hom;
+use crate::hom::Assignment;
+use crate::shared::{SharedChaseContext, SharedProver};
+
+/// A [`SearchVisitor`](crate::SearchVisitor) for the parallel walk:
+/// shared across workers (`&self`, `Sync`), with the per-worker
+/// [`SharedProver`] handed into [`ParallelVisitor::visit`] so a costing
+/// visitor can still run memoized proofs. The semantics of the three
+/// hooks are identical to the sequential trait's.
+pub trait ParallelVisitor: Sync {
+    /// Called once per equivalence-verified node (by whichever worker
+    /// popped it). The verdict steers the search exactly as in the
+    /// sequential walk; [`Visit::Accept`] stops every worker.
+    fn visit(
+        &self,
+        _prover: &mut SharedProver<'_>,
+        _q: &Query,
+        _removed: &BTreeSet<String>,
+    ) -> Visit {
+        Visit::Explore
+    }
+
+    /// The pre-verification admission gate (see
+    /// [`SearchVisitor::admit`](crate::SearchVisitor::admit)). A
+    /// cost-guided implementation reads the atomically published
+    /// incumbent here, so one worker's improvement prunes every worker's
+    /// candidates.
+    fn admit(&self, _q: &Query, _removed: &BTreeSet<String>) -> bool {
+        true
+    }
+
+    /// Exploration priority — lower pops first, ties in discovery order.
+    fn priority(&self, _q: &Query, _removed: &BTreeSet<String>) -> f64 {
+        0.0
+    }
+}
+
+/// The always-explore parallel visitor (exhaustive enumeration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelExploreAll;
+
+impl ParallelVisitor for ParallelExploreAll {}
+
+/// What became of a removal set in the parallel walk.
+#[derive(Clone, Copy, PartialEq)]
+enum NodeState {
+    /// A verified equivalent subquery (enqueued once).
+    Valid,
+    /// Not a subquery / unsafe / not equivalent.
+    Invalid,
+    /// Skipped by the visitor's gate before verification.
+    Gated,
+    /// Claimed by a worker, verification in flight.
+    Pending,
+}
+
+/// The lock-guarded search state every worker shares.
+struct Progress {
+    queue: BinaryHeap<Frontier>,
+    seen: BTreeMap<BTreeSet<String>, NodeState>,
+    seq: usize,
+    /// Workers between pop and end-of-expansion (termination detection).
+    active: usize,
+    /// Nodes popped but not yet counted visited (exact budget accounting).
+    reserved: usize,
+    visited_count: usize,
+    pruned_at_visit: usize,
+    pruned_at_gate: usize,
+    visited: Vec<Query>,
+    /// (node, child removal sets) per expansion, for the deferred
+    /// normal-form resolution.
+    expansions: Vec<(Query, Vec<BTreeSet<String>>)>,
+    stop: bool,
+    complete: bool,
+    accepted: bool,
+    budget_expired: bool,
+}
+
+/// The parallel counterpart of [`PlanSearch`](crate::PlanSearch): the
+/// same lattice, the same verification discipline, N workers. See the
+/// module docs for the concurrency protocol.
+pub struct ParallelPlanSearch<'a> {
+    u: &'a Query,
+    threads: usize,
+    max_visited: usize,
+    budget: SearchBudget,
+    collect_visited: bool,
+}
+
+impl<'a> ParallelPlanSearch<'a> {
+    /// A search over the subquery lattice of `u` (which should already be
+    /// chased) with `threads` workers. Unlimited by default.
+    pub fn new(u: &'a Query, threads: usize) -> ParallelPlanSearch<'a> {
+        ParallelPlanSearch {
+            u,
+            threads: threads.max(1),
+            max_visited: 0,
+            budget: SearchBudget::default(),
+            collect_visited: true,
+        }
+    }
+
+    /// Bounds the number of visited nodes (0 = unlimited).
+    pub fn with_max_visited(mut self, max_visited: usize) -> ParallelPlanSearch<'a> {
+        self.max_visited = max_visited;
+        self
+    }
+
+    /// Sets an anytime [`SearchBudget`] (the root is always visited).
+    pub fn with_budget(mut self, budget: SearchBudget) -> ParallelPlanSearch<'a> {
+        self.budget = budget;
+        self
+    }
+
+    /// Disables cloning each visited node into `SearchOutcome::visited`.
+    pub fn with_collect_visited(mut self, collect: bool) -> ParallelPlanSearch<'a> {
+        self.collect_visited = collect;
+        self
+    }
+
+    /// Runs the search. `visited` order is whatever order workers counted
+    /// nodes in — deterministic only at `threads = 1`; the *sets* of
+    /// visited nodes and normal forms are thread-count-independent for an
+    /// exhaustive (non-pruning, non-accepting, unbudgeted) visitor.
+    pub fn run<V: ParallelVisitor>(
+        &self,
+        shared: &SharedChaseContext,
+        visitor: &V,
+    ) -> SearchOutcome {
+        let u = self.u;
+        let start = Instant::now();
+        let identity: Assignment = u
+            .from
+            .iter()
+            .map(|b| (b.var.clone(), Path::Var(b.var.clone())))
+            .collect();
+        let mut seen = BTreeMap::new();
+        seen.insert(BTreeSet::new(), NodeState::Valid);
+        let mut queue = BinaryHeap::new();
+        queue.push(Frontier {
+            prio: visitor.priority(u, &BTreeSet::new()),
+            seq: 0,
+            removed: BTreeSet::new(),
+            query: u.clone(),
+            hom: identity,
+        });
+        let progress = Mutex::new(Progress {
+            queue,
+            seen,
+            seq: 0,
+            active: 0,
+            reserved: 0,
+            visited_count: 0,
+            pruned_at_visit: 0,
+            pruned_at_gate: 0,
+            visited: Vec::new(),
+            expansions: Vec::new(),
+            stop: false,
+            complete: true,
+            accepted: false,
+            budget_expired: false,
+        });
+        let idle = Condvar::new();
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| self.worker(shared, visitor, &progress, &idle, start));
+            }
+        });
+        let p = progress.into_inner().expect("search worker panicked");
+        // Deferred normal-form resolution: a node is minimal iff every
+        // child removal set resolved Invalid. Gated or still-Pending
+        // children (the latter only after an early stop) leave the node's
+        // minimality undetermined — same rule as the sequential walk.
+        let mut normal_forms = Vec::new();
+        for (q, children) in &p.expansions {
+            let mut reduced = false;
+            let mut undetermined = false;
+            for key in children {
+                match p.seen.get(key) {
+                    Some(NodeState::Valid) => reduced = true,
+                    Some(NodeState::Invalid) => {}
+                    _ => undetermined = true,
+                }
+            }
+            if !reduced && !undetermined {
+                normal_forms.push(q.clone());
+            }
+        }
+        SearchOutcome {
+            normal_forms,
+            visited: p.visited,
+            visited_count: p.visited_count,
+            complete: p.complete,
+            pruned_at_visit: p.pruned_at_visit,
+            pruned_at_gate: p.pruned_at_gate,
+            accepted: p.accepted,
+            budget_expired: p.budget_expired,
+        }
+    }
+
+    fn worker<V: ParallelVisitor>(
+        &self,
+        shared: &SharedChaseContext,
+        visitor: &V,
+        progress: &Mutex<Progress>,
+        idle: &Condvar,
+        start: Instant,
+    ) {
+        let u = self.u;
+        let mut prover = shared.prover();
+        // Worker-local graphs, same roles as the sequential walk's pair.
+        let mut graph = QueryGraph::of_query(u);
+        let mut hom_graph = graph.clone();
+        let lock =
+            || -> MutexGuard<'_, Progress> { progress.lock().expect("search lock poisoned") };
+        loop {
+            // Acquire a node (or learn the search is over).
+            let node = {
+                let mut p = lock();
+                loop {
+                    if p.stop {
+                        return;
+                    }
+                    if p.queue.is_empty() {
+                        if p.active == 0 {
+                            p.stop = true;
+                            idle.notify_all();
+                            return;
+                        }
+                        p = idle.wait(p).expect("search lock poisoned");
+                        continue;
+                    }
+                    // Budgets count committed nodes (visited + popped by a
+                    // worker) so they are exact at any thread count; the
+                    // root (committed == 0) is always exempt.
+                    let committed = p.visited_count + p.reserved;
+                    if self.max_visited > 0 && committed >= self.max_visited {
+                        p.complete = false;
+                        p.stop = true;
+                        idle.notify_all();
+                        return;
+                    }
+                    if committed > 0 && self.budget.expired(start, committed) {
+                        p.complete = false;
+                        p.budget_expired = true;
+                        p.stop = true;
+                        idle.notify_all();
+                        return;
+                    }
+                    p.reserved += 1;
+                    p.active += 1;
+                    break p.queue.pop().expect("frontier non-empty");
+                }
+            };
+
+            // The visit verdict (costing, pruning) runs outside the lock.
+            let verdict = visitor.visit(&mut prover, &node.query, &node.removed);
+            let explore = {
+                let mut p = lock();
+                p.reserved -= 1;
+                let explore = match verdict {
+                    Visit::Prune => {
+                        p.pruned_at_visit += 1;
+                        false
+                    }
+                    Visit::Explore => {
+                        p.visited_count += 1;
+                        if self.collect_visited {
+                            p.visited.push(node.query.clone());
+                        }
+                        !p.stop
+                    }
+                    Visit::Accept => {
+                        p.visited_count += 1;
+                        if self.collect_visited {
+                            p.visited.push(node.query.clone());
+                        }
+                        p.accepted = true;
+                        p.stop = true;
+                        false
+                    }
+                };
+                if !explore {
+                    p.active -= 1;
+                    if p.queue.is_empty() && p.active == 0 {
+                        p.stop = true;
+                    }
+                    idle.notify_all();
+                }
+                explore
+            };
+            if !explore {
+                continue;
+            }
+
+            // Expand: claim each child removal set, verify the claimed
+            // ones outside the lock, record the keys for the deferred
+            // normal-form resolution.
+            let mut child_keys: Vec<BTreeSet<String>> = Vec::new();
+            for b in &u.from {
+                if node.removed.contains(&b.var) {
+                    continue;
+                }
+                let mut grown = node.removed.clone();
+                grown.insert(b.var.clone());
+                let grown = dependent_closure(u, &mut graph, grown);
+                let claimed = {
+                    let mut p = lock();
+                    if p.seen.contains_key(&grown) {
+                        false
+                    } else {
+                        p.seen.insert(grown.clone(), NodeState::Pending);
+                        true
+                    }
+                };
+                child_keys.push(grown.clone());
+                if !claimed {
+                    continue;
+                }
+                let mut gated = false;
+                let child = subquery_for(u, &mut graph, &grown)
+                    .and_then(|q2| prune_unsafe_conditions(&mut prover, &q2))
+                    .and_then(|q2| {
+                        if !visitor.admit(&q2, &grown) {
+                            gated = true;
+                            return None;
+                        }
+                        // u ⊑ q2, seeded from the parent's witness; the
+                        // seed travels in the frontier entry, so it is
+                        // available even when the parent's chase memo is
+                        // checked out elsewhere.
+                        let seed: Assignment = node
+                            .hom
+                            .iter()
+                            .filter(|&(v, _)| q2.from.iter().any(|b2| b2.var == *v))
+                            .map(|(v, p)| (v.clone(), p.clone()))
+                            .collect();
+                        let h2 = output_matching_hom(
+                            &mut hom_graph,
+                            &u.output,
+                            &q2,
+                            shared.cfg(),
+                            Some(&seed),
+                        )?;
+                        if h2 == seed {
+                            shared.note_seeded_hom();
+                        }
+                        // …and q2 ⊑ u through the sharded memo.
+                        if shared.contained_in(&q2, u) {
+                            Some((q2, h2))
+                        } else {
+                            None
+                        }
+                    });
+                match child {
+                    Some((q2, h2)) => {
+                        let prio = visitor.priority(&q2, &grown);
+                        let mut p = lock();
+                        p.seen.insert(grown.clone(), NodeState::Valid);
+                        if !p.stop {
+                            p.seq += 1;
+                            let seq = p.seq;
+                            p.queue.push(Frontier {
+                                prio,
+                                seq,
+                                removed: grown,
+                                query: q2,
+                                hom: h2,
+                            });
+                            idle.notify_all();
+                        }
+                    }
+                    None => {
+                        let mut p = lock();
+                        if gated {
+                            p.pruned_at_gate += 1;
+                        }
+                        p.seen.insert(
+                            grown,
+                            if gated {
+                                NodeState::Gated
+                            } else {
+                                NodeState::Invalid
+                            },
+                        );
+                    }
+                }
+            }
+            {
+                let mut p = lock();
+                p.expansions.push((node.query, child_keys));
+                p.active -= 1;
+                if p.queue.is_empty() && p.active == 0 {
+                    p.stop = true;
+                }
+                idle.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backchase::{ExploreAll, PlanSearch};
+    use crate::chase::ChaseConfig;
+    use crate::context::ChaseContext;
+    use pcql::parser::{parse_dependency, parse_query};
+    use pcql::Dependency;
+    use std::time::Duration;
+
+    fn view_scenario() -> (Query, Vec<Dependency>) {
+        let u = parse_query(
+            "select struct(A = r.A) from R r, S s, V v \
+             where r.B = s.B and v.A = r.A",
+        )
+        .unwrap();
+        let deps = vec![
+            parse_dependency(
+                "c_V",
+                "forall (r in R) (s in S) where r.B = s.B -> exists (v in V) where v.A = r.A",
+            )
+            .unwrap(),
+            parse_dependency(
+                "c'_V",
+                "forall (v in V) -> exists (r in R) (s in S) where r.B = s.B and v.A = r.A",
+            )
+            .unwrap(),
+        ];
+        (u, deps)
+    }
+
+    fn norm(qs: &[Query]) -> Vec<Query> {
+        let mut v: Vec<Query> = qs.iter().map(Query::alpha_normalized).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_sequential_at_every_thread_count() {
+        let (u, deps) = view_scenario();
+        let mut ctx = ChaseContext::new(deps.clone(), ChaseConfig::default());
+        let sequential = PlanSearch::new(&u).run(&mut ctx, &mut ExploreAll);
+        for threads in [1, 2, 4] {
+            let shared = SharedChaseContext::new(deps.clone(), ChaseConfig::default());
+            let out = ParallelPlanSearch::new(&u, threads).run(&shared, &ParallelExploreAll);
+            assert!(out.complete, "incomplete @ {threads} threads");
+            assert!(!out.budget_expired);
+            assert_eq!(
+                norm(&out.visited),
+                norm(&sequential.visited),
+                "visited set @ {threads} threads"
+            );
+            assert_eq!(
+                norm(&out.normal_forms),
+                norm(&sequential.normal_forms),
+                "normal forms @ {threads} threads"
+            );
+            assert_eq!(out.visited_count, sequential.visited_count);
+        }
+    }
+
+    #[test]
+    fn parallel_node_budget_is_exact_and_keeps_the_root() {
+        let (u, deps) = view_scenario();
+        for threads in [1, 2, 4] {
+            let shared = SharedChaseContext::new(deps.clone(), ChaseConfig::default());
+            let out = ParallelPlanSearch::new(&u, threads)
+                .with_budget(SearchBudget {
+                    nodes: Some(0),
+                    ..SearchBudget::default()
+                })
+                .run(&shared, &ParallelExploreAll);
+            assert!(out.budget_expired);
+            assert_eq!(out.visited_count, 1, "root only @ {threads} threads");
+            assert_eq!(out.visited[0].alpha_normalized(), u.alpha_normalized());
+        }
+        // A mid-search budget is exact, not approximate, at any width.
+        for threads in [1, 2, 4] {
+            let shared = SharedChaseContext::new(deps.clone(), ChaseConfig::default());
+            let out = ParallelPlanSearch::new(&u, threads)
+                .with_budget(SearchBudget {
+                    nodes: Some(2),
+                    ..SearchBudget::default()
+                })
+                .run(&shared, &ParallelExploreAll);
+            assert!(out.budget_expired);
+            assert_eq!(out.visited_count, 2, "exact budget @ {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_zero_wall_clock_budget_returns_the_root() {
+        let (u, deps) = view_scenario();
+        let shared = SharedChaseContext::new(deps, ChaseConfig::default());
+        let out = ParallelPlanSearch::new(&u, 4)
+            .with_budget(SearchBudget {
+                wall_clock: Some(Duration::ZERO),
+                ..SearchBudget::default()
+            })
+            .run(&shared, &ParallelExploreAll);
+        assert!(out.budget_expired);
+        assert_eq!(out.visited_count, 1);
+    }
+
+    #[test]
+    fn parallel_max_visited_matches_sequential_truncation() {
+        let (u, deps) = view_scenario();
+        for threads in [1, 2, 4] {
+            let shared = SharedChaseContext::new(deps.clone(), ChaseConfig::default());
+            let out = ParallelPlanSearch::new(&u, threads)
+                .with_max_visited(1)
+                .run(&shared, &ParallelExploreAll);
+            assert!(!out.complete);
+            assert!(!out.budget_expired);
+            assert_eq!(out.visited_count, 1);
+        }
+    }
+
+    #[test]
+    fn parallel_accept_stops_every_worker() {
+        struct AcceptSmall;
+        impl ParallelVisitor for AcceptSmall {
+            fn visit(&self, _: &mut SharedProver<'_>, q: &Query, _: &BTreeSet<String>) -> Visit {
+                if q.from.len() <= 2 {
+                    Visit::Accept
+                } else {
+                    Visit::Explore
+                }
+            }
+        }
+        let (u, deps) = view_scenario();
+        for threads in [1, 2, 4] {
+            let shared = SharedChaseContext::new(deps.clone(), ChaseConfig::default());
+            let out = ParallelPlanSearch::new(&u, threads).run(&shared, &AcceptSmall);
+            assert!(out.accepted, "accepted @ {threads} threads");
+            // Whatever worker accepted, its plan is in the visited set.
+            assert!(out.visited.iter().any(|q| q.from.len() <= 2));
+        }
+    }
+}

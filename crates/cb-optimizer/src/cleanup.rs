@@ -50,11 +50,12 @@ pub fn prune_implied_conditions(
     prune_implied_conditions_in(&mut ctx, q)
 }
 
-/// [`prune_implied_conditions`] against a shared [`cb_chase::ChaseContext`]
-/// (the optimizer prunes every candidate plan through the one context of
-/// its optimization run, so proof obligations repeated across plans are
-/// answered from the implication memo).
-pub fn prune_implied_conditions_in(ctx: &mut cb_chase::ChaseContext, q: &Query) -> Query {
+/// [`prune_implied_conditions`] against a shared prover — usually the
+/// one [`cb_chase::ChaseContext`] of an optimization run (so proof
+/// obligations repeated across plans are answered from the implication
+/// memo), or a [`cb_chase::SharedProver`] handle when the parallel
+/// search costs candidates from several workers at once.
+pub fn prune_implied_conditions_in<P: cb_chase::ChaseProver>(ctx: &mut P, q: &Query) -> Query {
     let mut out = q.clone();
     let mut i = 0;
     while i < out.where_.len() {

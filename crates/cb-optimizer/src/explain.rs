@@ -52,6 +52,16 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
     );
     let _ = writeln!(
         s,
+        "  (retained: top-{} plan(s){})",
+        outcome.top_k.len(),
+        if outcome.budget_expired {
+            "; anytime budget expired — best is the verified incumbent"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(
+        s,
         "  (must-remain bindings of the universal plan: {})",
         if outcome.must_remain.is_empty() {
             "none".to_string()
@@ -137,6 +147,7 @@ mod tests {
             "registers:",
             "[minimal]",
             "lattice node(s) visited",
+            "retained: top-",
             "must-remain bindings",
             "constraint-set termination:",
             "== static analysis ==",

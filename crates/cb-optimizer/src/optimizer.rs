@@ -23,13 +23,17 @@
 //! it is not minimal.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use cb_analyze::{Analyzer, Report};
 use cb_catalog::Catalog;
 use cb_chase::{
-    backchase_greedy_in, backchase_in, BackchaseConfig, BackchaseOutcome, CacheStats, ChaseConfig,
-    ChaseContext, ChaseStepTrace, MustRemainAnalysis, PlanSearch, SearchVisitor,
-    TerminationVerdict, Visit,
+    backchase_greedy_in, BackchaseConfig, BackchaseOutcome, CacheStats, ChaseConfig, ChaseContext,
+    ChaseProver, ChaseStepTrace, ExploreAll, MustRemainAnalysis, ParallelExploreAll,
+    ParallelPlanSearch, ParallelVisitor, PlanSearch, SearchBudget, SearchVisitor,
+    SharedChaseContext, SharedProver, TerminationVerdict, Visit,
 };
 use pcql::query::Query;
 use pcql::typecheck::{check_query, TypeError};
@@ -128,6 +132,26 @@ pub struct OptimizerConfig {
     /// What to do with the static analyzer's findings (default: run it,
     /// carry the diagnostics, never fail).
     pub preflight: PreflightMode,
+    /// Phase-2 worker count. `1` (the default) runs the sequential
+    /// search, bit-for-bit today's behavior; `> 1` runs the same lattice
+    /// walk as a work-sharing frontier over a [`SharedChaseContext`]
+    /// (sharded chase/containment/implication memos, incumbent best cost
+    /// published atomically across workers). The best plan and its cost
+    /// are thread-count-independent; per-run counters (`nodes_visited`,
+    /// pruning splits, cache traffic) and the `minimal` flags on
+    /// non-best candidates may differ, since workers race the incumbent
+    /// down in different orders. [`Optimizer::new`] seeds this from the
+    /// `CB_SEARCH_THREADS` environment variable.
+    pub threads: usize,
+    /// Anytime budget for the phase-2 search. On expiry the search stops
+    /// and the incumbent — always a fully equivalence-verified plan — is
+    /// accepted: a latency SLO, not a correctness change. A budget of
+    /// zero nodes (or zero wall clock) still visits the root, so the
+    /// universal plan itself is always available as the fallback.
+    pub search_budget: SearchBudget,
+    /// How many verified plans [`OptimizeOutcome::top_k`] retains
+    /// (mutually distinct, cheapest first) for serving-tier fallback.
+    pub k_best: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -140,6 +164,9 @@ impl Default for OptimizerConfig {
             bound: CostBound::default(),
             bound_scale: 1.0,
             preflight: PreflightMode::default(),
+            threads: 1,
+            search_budget: SearchBudget::default(),
+            k_best: 3,
         }
     }
 }
@@ -170,8 +197,24 @@ pub struct OptimizeOutcome {
     pub candidates: Vec<PlanChoice>,
     /// The winner.
     pub best: PlanChoice,
+    /// The `k_best` cheapest verified plans (mutually distinct,
+    /// cost-ordered; a prefix of `candidates`) — the serving tier's
+    /// fallback ladder when the best plan's physical structures go cold.
+    pub top_k: Vec<PlanChoice>,
     /// Whether both phases ran to completion within budgets.
     pub complete: bool,
+    /// Whether the phase-2 [`SearchBudget`] expired: `best` is then the
+    /// anytime incumbent (still fully equivalence-verified), not
+    /// necessarily the global optimum.
+    pub budget_expired: bool,
+    /// The incumbent's descent over time under `CostGuided`: one
+    /// `(elapsed, cost)` point per improvement, measured from the start
+    /// of phase 2. Empty for the phased strategies.
+    pub incumbent_trace: Vec<(Duration, f64)>,
+    /// Per-shard cache counters of the [`SharedChaseContext`] when the
+    /// search ran parallel (`threads > 1`); empty otherwise. Summed into
+    /// [`OptimizeOutcome::cache`] either way.
+    pub shard_cache: Vec<CacheStats>,
     /// Cache counters of the [`ChaseContext`] that ran this optimization
     /// (chase/containment/implication memo hits and misses).
     pub cache: CacheStats,
@@ -256,6 +299,15 @@ pub struct Optimizer<'a> {
 
 impl<'a> Optimizer<'a> {
     pub fn new(catalog: &'a Catalog) -> Optimizer<'a> {
+        // Only the convenience constructor consults the environment:
+        // `with_config` keeps exact, reproducible settings for tests and
+        // embedders, while `CB_SEARCH_THREADS=N` flips every default
+        // optimizer in a process (the CLI, the experiments) to the
+        // parallel frontier.
+        let threads = std::env::var("CB_SEARCH_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(1, |t| t.max(1));
         Optimizer {
             catalog,
             config: OptimizerConfig {
@@ -264,6 +316,7 @@ impl<'a> Optimizer<'a> {
                     ..Default::default()
                 },
                 cost_visited: true,
+                threads,
                 ..Default::default()
             },
         }
@@ -344,10 +397,36 @@ impl<'a> Optimizer<'a> {
         let nodes_visited;
         let mut nodes_pruned_at_gate = 0usize;
         let mut nodes_pruned_at_visit = 0usize;
+        let mut budget_expired = false;
+        let mut incumbent_trace: Vec<(Duration, f64)> = Vec::new();
+        let mut shard_cache: Vec<CacheStats> = Vec::new();
+        let mut shared_stats: Option<CacheStats> = None;
+        let threads = self.config.threads.max(1);
+        let search_start = Instant::now();
         let search_complete = match self.config.strategy {
             SearchStrategy::Exhaustive => {
-                let bc = backchase_in(ctx, &universal, self.config.backchase.max_visited);
-                nodes_visited = bc.visited.len();
+                let out = if threads > 1 {
+                    let shared = self.shared_context(ctx);
+                    let out = ParallelPlanSearch::new(&universal, threads)
+                        .with_max_visited(self.config.backchase.max_visited)
+                        .with_budget(self.config.search_budget)
+                        .run(&shared, &ParallelExploreAll);
+                    shard_cache = shared.shard_stats();
+                    shared_stats = Some(shared.stats());
+                    out
+                } else {
+                    PlanSearch::new(&universal)
+                        .with_max_visited(self.config.backchase.max_visited)
+                        .with_budget(self.config.search_budget)
+                        .run(ctx, &mut ExploreAll)
+                };
+                nodes_visited = out.visited_count;
+                budget_expired = out.budget_expired;
+                let bc = BackchaseOutcome {
+                    normal_forms: out.normal_forms,
+                    visited: out.visited,
+                    complete: out.complete,
+                };
                 self.cost_phased(ctx, &model, &bc, &mut candidates);
                 bc.complete
             }
@@ -381,24 +460,58 @@ impl<'a> Optimizer<'a> {
                 // a cut can be cheaper) — candidates under a cut are
                 // skipped *before* the equivalence checks, so they are
                 // never verified or costed at all.
-                let mut guide = CostGuide {
-                    catalog: self.catalog,
-                    model: &model,
-                    analysis: &mut analysis,
-                    bound: self.config.bound,
-                    bound_scale: self.config.bound_scale,
-                    candidates: &mut candidates,
-                    incumbent: f64::INFINITY,
+                let out = if threads > 1 {
+                    let shared = self.shared_context(ctx);
+                    let guide = ParallelCostGuide {
+                        catalog: self.catalog,
+                        model: &model,
+                        analysis: Mutex::new(&mut analysis),
+                        bound: self.config.bound,
+                        bound_scale: self.config.bound_scale,
+                        candidates: Mutex::new(Vec::new()),
+                        incumbent: AtomicU64::new(f64::INFINITY.to_bits()),
+                        trace: Mutex::new(Vec::new()),
+                        start: search_start,
+                    };
+                    let out = ParallelPlanSearch::new(&universal, threads)
+                        .with_max_visited(self.config.backchase.max_visited)
+                        .with_budget(self.config.search_budget)
+                        .with_collect_visited(false)
+                        .run(&shared, &guide);
+                    candidates.extend(guide.candidates.into_inner().expect("guide lock"));
+                    incumbent_trace = guide.trace.into_inner().expect("guide lock");
+                    // Improvements raced in from several workers: order
+                    // the curve by time, keep only the monotone descent.
+                    incumbent_trace.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                    incumbent_trace.dedup_by(|next, prev| next.1 >= prev.1);
+                    shard_cache = shared.shard_stats();
+                    shared_stats = Some(shared.stats());
+                    out
+                } else {
+                    let mut guide = CostGuide {
+                        catalog: self.catalog,
+                        model: &model,
+                        analysis: &mut analysis,
+                        bound: self.config.bound,
+                        bound_scale: self.config.bound_scale,
+                        candidates: &mut candidates,
+                        incumbent: f64::INFINITY,
+                        trace: &mut incumbent_trace,
+                        start: search_start,
+                    };
+                    PlanSearch::new(&universal)
+                        .with_max_visited(self.config.backchase.max_visited)
+                        .with_budget(self.config.search_budget)
+                        // The guide accumulates its own candidates as
+                        // nodes stream in; no need to clone each visited
+                        // query.
+                        .with_collect_visited(false)
+                        .run(ctx, &mut guide)
                 };
-                let out = PlanSearch::new(&universal)
-                    .with_max_visited(self.config.backchase.max_visited)
-                    // The guide accumulates its own candidates as nodes
-                    // stream in; no need to clone each visited query.
-                    .with_collect_visited(false)
-                    .run(ctx, &mut guide);
                 nodes_visited = out.visited_count;
                 nodes_pruned_at_gate = out.pruned_at_gate;
                 nodes_pruned_at_visit = out.pruned_at_visit;
+                budget_expired = out.budget_expired;
                 // Flag the minimality the search did determine (anything
                 // touched by pruning leaves it undetermined).
                 let nf_set: BTreeSet<Query> = out
@@ -415,16 +528,36 @@ impl<'a> Optimizer<'a> {
             }
         };
 
-        // Deduplicate by final plan, cheapest first; deterministic ties.
+        // Deduplicate by final plan, cheapest first; ties broken by the
+        // canonical plan key — first of the cleaned plan, then of the raw
+        // subquery it came from — so the ranking (and therefore the best
+        // plan) is a function of the candidate *set*, never of the order
+        // workers happened to verify them in. Deliberately not a key:
+        // the `minimal` flag, which pruning leaves undetermined on
+        // different nodes in different runs.
         candidates.sort_by(|a, b| {
             a.cost
-                .partial_cmp(&b.cost)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.cost)
                 .then_with(|| a.query.from.len().cmp(&b.query.from.len()))
                 .then_with(|| a.query.size().cmp(&b.query.size()))
                 .then_with(|| a.query.alpha_normalized().cmp(&b.query.alpha_normalized()))
+                .then_with(|| a.raw.from.len().cmp(&b.raw.from.len()))
+                .then_with(|| a.raw.size().cmp(&b.raw.size()))
+                .then_with(|| a.raw.alpha_normalized().cmp(&b.raw.alpha_normalized()))
         });
         candidates.dedup_by(|a, b| a.query.alpha_normalized() == b.query.alpha_normalized());
+
+        // An expired budget may stop the search before any *physical*
+        // subquery was reached; the universal plan — equivalent by
+        // construction — is then the anytime incumbent of last resort.
+        if candidates.is_empty() && budget_expired {
+            candidates.push(PlanChoice {
+                query: universal.clone(),
+                raw: universal.clone(),
+                cost: model.plan_cost(&universal),
+                minimal: false,
+            });
+        }
 
         let best = candidates
             .first()
@@ -432,6 +565,11 @@ impl<'a> Optimizer<'a> {
             .ok_or_else(|| OptimizeError::NoPhysicalPlan {
                 universal: universal.to_string(),
             })?;
+        let top_k = candidates
+            .iter()
+            .take(self.config.k_best.max(1))
+            .cloned()
+            .collect();
 
         let must_remain: Vec<String> = analysis.must_remain(&BTreeSet::new()).into_iter().collect();
 
@@ -458,14 +596,22 @@ impl<'a> Optimizer<'a> {
             }
         }
 
+        let mut cache = ctx.stats();
+        if let Some(s) = &shared_stats {
+            cache.absorb(s);
+        }
         Ok(OptimizeOutcome {
             input: q.clone(),
             universal,
             chase_steps: chased.steps,
             candidates,
             best,
+            top_k,
             complete: chased.complete && search_complete,
-            cache: ctx.stats(),
+            budget_expired,
+            incumbent_trace,
+            shard_cache,
+            cache,
             nodes_visited,
             nodes_pruned_by_cost: nodes_pruned_at_gate + nodes_pruned_at_visit,
             nodes_pruned_at_gate,
@@ -474,6 +620,21 @@ impl<'a> Optimizer<'a> {
             termination,
             diagnostics,
         })
+    }
+
+    /// The thread-shareable twin of `ctx` for a parallel phase-2 run:
+    /// same dependency set, same chase budget, same memo cap, memo
+    /// tables sharded behind per-shard locks. Fresh per search — the
+    /// sequential context's memos stay with `ctx` (phase 1 and the
+    /// cleanup phase keep using them); only phase 2's traffic goes
+    /// through the shards.
+    fn shared_context(&self, ctx: &ChaseContext) -> SharedChaseContext {
+        let shared = SharedChaseContext::new(ctx.deps().to_vec(), self.config.chase.clone());
+        if ctx.memo_cap() > 0 {
+            shared.with_memo_cap(ctx.memo_cap())
+        } else {
+            shared
+        }
     }
 
     /// The phased "enumerate, then cost" step 3 shared by `Exhaustive`
@@ -510,11 +671,13 @@ impl<'a> Optimizer<'a> {
 
 /// Step 3 for one plan: conventional optimization (condition pruning,
 /// guard-elimination cleanup, binding reordering) + costing. `None` for
-/// non-physical subqueries, which cannot execute.
-fn cost_one(
+/// non-physical subqueries, which cannot execute. Generic over the
+/// prover so the sequential search costs against its [`ChaseContext`]
+/// and parallel workers against their [`SharedProver`] handles.
+fn cost_one<P: ChaseProver>(
     catalog: &Catalog,
     model: &CostModel<'_>,
-    ctx: &mut ChaseContext,
+    ctx: &mut P,
     raw: &Query,
     minimal: bool,
 ) -> Option<PlanChoice> {
@@ -548,6 +711,8 @@ struct CostGuide<'a, 'b> {
     bound_scale: f64,
     candidates: &'b mut Vec<PlanChoice>,
     incumbent: f64,
+    trace: &'b mut Vec<(Duration, f64)>,
+    start: Instant,
 }
 
 impl CostGuide<'_, '_> {
@@ -570,6 +735,7 @@ impl SearchVisitor for CostGuide<'_, '_> {
         if let Some(choice) = cost_one(self.catalog, self.model, ctx, q, false) {
             if choice.cost < self.incumbent {
                 self.incumbent = choice.cost;
+                self.trace.push((self.start.elapsed(), choice.cost));
             }
             self.candidates.push(choice);
         }
@@ -587,6 +753,83 @@ impl SearchVisitor for CostGuide<'_, '_> {
         // Best-first by the estimated cost of the raw subquery (plans and
         // logical subqueries alike): cheap regions are explored first, so
         // the incumbent drops early and the bound starts biting.
+        self.model.plan_cost(q)
+    }
+}
+
+/// [`CostGuide`] for the parallel frontier: the same branch-and-bound
+/// steering shared by reference across N workers. The incumbent is an
+/// `AtomicU64` over the cost's bit pattern — for non-negative floats the
+/// bit order is the numeric order, so `fetch_min` publishes one worker's
+/// improvement to every other worker's gate without a lock. Candidates
+/// and the incumbent-vs-time trace go behind mutexes (appends, off the
+/// hot path); the must-remain analysis behind its own (its memo is a
+/// shared accelerator, held only inside `bound_of`).
+///
+/// Pruning uses a *strict* comparison against the incumbent, and the
+/// final ranking breaks cost ties on canonical plan keys — so every
+/// candidate that could still be (or tie) the best survives every
+/// schedule, and the best plan is thread-count-independent even though
+/// the visit order and the pruned-node counts are not.
+struct ParallelCostGuide<'a, 'b> {
+    catalog: &'a Catalog,
+    model: &'b CostModel<'a>,
+    analysis: Mutex<&'b mut MustRemainAnalysis>,
+    bound: CostBound,
+    bound_scale: f64,
+    candidates: Mutex<Vec<PlanChoice>>,
+    incumbent: AtomicU64,
+    trace: Mutex<Vec<(Duration, f64)>>,
+    start: Instant,
+}
+
+impl ParallelCostGuide<'_, '_> {
+    fn incumbent(&self) -> f64 {
+        f64::from_bits(self.incumbent.load(Ordering::SeqCst))
+    }
+
+    fn publish(&self, cost: f64) {
+        let prev = self.incumbent.fetch_min(cost.to_bits(), Ordering::SeqCst);
+        if cost.to_bits() < prev {
+            self.trace
+                .lock()
+                .expect("trace lock")
+                .push((self.start.elapsed(), cost));
+        }
+    }
+
+    fn bound_of(&self, q: &Query, removed: &BTreeSet<String>) -> f64 {
+        let b = match self.bound {
+            CostBound::MustRemain => {
+                let mut analysis = self.analysis.lock().expect("analysis lock");
+                self.model.lattice_lower_bound(q, removed, &mut analysis)
+            }
+            CostBound::AccessFloor => self.model.lower_bound(q),
+        };
+        b * self.bound_scale
+    }
+}
+
+impl ParallelVisitor for ParallelCostGuide<'_, '_> {
+    fn visit(&self, prover: &mut SharedProver<'_>, q: &Query, removed: &BTreeSet<String>) -> Visit {
+        if self.bound_of(q, removed) > self.incumbent() {
+            return Visit::Prune;
+        }
+        if let Some(choice) = cost_one(self.catalog, self.model, prover, q, false) {
+            self.publish(choice.cost);
+            self.candidates
+                .lock()
+                .expect("candidates lock")
+                .push(choice);
+        }
+        Visit::Explore
+    }
+
+    fn admit(&self, q: &Query, removed: &BTreeSet<String>) -> bool {
+        self.bound_of(q, removed) <= self.incumbent()
+    }
+
+    fn priority(&self, q: &Query, _removed: &BTreeSet<String>) -> f64 {
         self.model.plan_cost(q)
     }
 }

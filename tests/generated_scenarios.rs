@@ -242,6 +242,44 @@ proptest! {
         }
     }
 
+    /// The parallel frontier on random catalogs: at 2 and 4 workers the
+    /// cost-guided search returns the *same best plan* (not just the
+    /// same cost) as the sequential run — pruning is strict against the
+    /// incumbent and ranking ties break on canonical plan keys, so the
+    /// schedule cannot leak into the answer.
+    #[test]
+    fn parallel_cost_guided_deterministic_on_random_catalogs(s in arb_scenario()) {
+        let guided = |threads: usize| {
+            Optimizer::with_config(
+                &s.catalog,
+                OptimizerConfig {
+                    strategy: SearchStrategy::CostGuided,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .optimize(&s.query)
+            .unwrap()
+        };
+        let full = Optimizer::new(&s.catalog).optimize(&s.query).unwrap();
+        let base = guided(1);
+        for threads in [2usize, 4] {
+            let par = guided(threads);
+            prop_assert!(
+                (par.best.cost - full.best.cost).abs() < 1e-9,
+                "parallel best {} != exhaustive best {} @ {} threads on {}",
+                par.best.cost, full.best.cost, threads, s.desc
+            );
+            prop_assert_eq!(
+                par.best.query.alpha_normalized(),
+                base.best.query.alpha_normalized(),
+                "best plan changed with the thread count ({} threads) on {}",
+                threads, s.desc
+            );
+            prop_assert!(par.complete, "incomplete @ {} threads on {}", threads, s.desc);
+        }
+    }
+
     /// Admissibility and monotonicity of the must-remain bound across
     /// the *actual* removal lattice: for every pair of lattice nodes in
     /// the descent relation, the ancestor's bound under-estimates the

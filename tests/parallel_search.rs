@@ -1,0 +1,287 @@
+//! The parallel, anytime plan search end to end: the work-sharing
+//! frontier over the sharded chase core must be a pure *scheduling*
+//! change — same best plan and cost at every worker count, on every
+//! scenario — and the anytime budget must be a pure *latency* knob: an
+//! expired search still returns a fully verified, executable,
+//! result-correct incumbent (the universal plan itself when the budget
+//! allows nothing else).
+
+use std::time::Duration;
+
+use cb_optimizer::{Optimizer, OptimizerConfig, SearchStrategy};
+use universal_plans::chase::SearchBudget;
+use universal_plans::prelude::*;
+
+/// Scenario catalogs with statistics, plus their logical query — every
+/// built-in scenario, each under `D ∪ D'` and under `D'` alone.
+fn scenarios() -> Vec<(String, Catalog, Query)> {
+    use cb_catalog::scenarios::{projdept, relational_indexes, relational_views};
+    let mut out = Vec::new();
+    let mut c = projdept::catalog();
+    projdept::stats_for(&mut c, 100, 10, 20);
+    out.push(("projdept".to_string(), c, projdept::query()));
+    let mut c = relational_indexes::catalog();
+    relational_indexes::stats_for(&mut c, 10_000, 1000, 1000);
+    out.push(("indexes".to_string(), c, relational_indexes::query()));
+    let mut c = relational_views::catalog();
+    relational_views::stats_for(&mut c, 10_000, 10_000, 10);
+    out.push(("views".to_string(), c, relational_views::query()));
+    let with_bare: Vec<_> = out
+        .iter()
+        .map(|(n, c, q)| {
+            (
+                format!("{n} (mapping-only)"),
+                c.without_semantic_constraints(),
+                q.clone(),
+            )
+        })
+        .collect();
+    out.extend(with_bare);
+    out
+}
+
+fn config(strategy: SearchStrategy, threads: usize) -> OptimizerConfig {
+    OptimizerConfig {
+        strategy,
+        threads,
+        cost_visited: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn parallel_exhaustive_candidates_match_sequential_on_every_scenario() {
+    // Exhaustive has no pruning, so the parallel frontier must produce
+    // the *identical* candidate list — same plans, same costs, same
+    // minimality flags — in the same (deterministically sorted) order.
+    for (name, catalog, q) in scenarios() {
+        let base = Optimizer::with_config(&catalog, config(SearchStrategy::Exhaustive, 1))
+            .optimize(&q)
+            .unwrap();
+        for threads in [2usize, 4] {
+            let par = Optimizer::with_config(&catalog, config(SearchStrategy::Exhaustive, threads))
+                .optimize(&q)
+                .unwrap();
+            assert_eq!(
+                par.candidates.len(),
+                base.candidates.len(),
+                "{name} @ {threads} threads"
+            );
+            for (a, b) in par.candidates.iter().zip(&base.candidates) {
+                assert_eq!(
+                    a.query.alpha_normalized(),
+                    b.query.alpha_normalized(),
+                    "{name} @ {threads} threads"
+                );
+                assert!((a.cost - b.cost).abs() < 1e-9, "{name} @ {threads} threads");
+                assert_eq!(
+                    a.minimal, b.minimal,
+                    "{name} @ {threads} threads: {}",
+                    a.query
+                );
+            }
+            assert_eq!(par.nodes_visited, base.nodes_visited, "{name} @ {threads}");
+            assert!(par.complete, "{name} @ {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn parallel_cost_guided_same_best_plan_at_every_thread_count() {
+    // The determinism bar: branch-and-bound prunes only on a *strict*
+    // incumbent comparison and the final ranking ties on canonical plan
+    // keys, so the best plan — not just its cost — is a function of the
+    // scenario, not of the schedule.
+    for (name, catalog, q) in scenarios() {
+        let full = Optimizer::with_config(&catalog, config(SearchStrategy::Exhaustive, 1))
+            .optimize(&q)
+            .unwrap();
+        let base = Optimizer::with_config(&catalog, config(SearchStrategy::CostGuided, 1))
+            .optimize(&q)
+            .unwrap();
+        for threads in [1usize, 2, 4] {
+            let par = Optimizer::with_config(&catalog, config(SearchStrategy::CostGuided, threads))
+                .optimize(&q)
+                .unwrap();
+            assert!(
+                (par.best.cost - full.best.cost).abs() < 1e-9,
+                "{name} @ {threads} threads: guided best {} != exhaustive best {}",
+                par.best.cost,
+                full.best.cost
+            );
+            assert_eq!(
+                par.best.query.alpha_normalized(),
+                base.best.query.alpha_normalized(),
+                "{name} @ {threads} threads: best plan changed with the thread count"
+            );
+            assert!(par.complete, "{name} @ {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn zero_budget_returns_the_universal_plan() {
+    // A budget of zero nodes still admits the root: the search returns
+    // the universal plan itself — always equivalent by construction —
+    // rather than failing.
+    for (name, catalog, q) in scenarios() {
+        for (strategy, threads) in [
+            (SearchStrategy::Exhaustive, 1usize),
+            (SearchStrategy::Exhaustive, 4),
+            (SearchStrategy::CostGuided, 1),
+            (SearchStrategy::CostGuided, 4),
+        ] {
+            let cfg = OptimizerConfig {
+                search_budget: SearchBudget {
+                    nodes: Some(0),
+                    ..SearchBudget::default()
+                },
+                ..config(strategy, threads)
+            };
+            let out = Optimizer::with_config(&catalog, cfg).optimize(&q).unwrap();
+            assert!(out.budget_expired, "{name} {strategy:?} @ {threads}");
+            assert!(!out.complete, "{name} {strategy:?} @ {threads}");
+            assert_eq!(
+                out.best.raw.alpha_normalized(),
+                out.universal.alpha_normalized(),
+                "{name} {strategy:?} @ {threads}: best is not the universal plan"
+            );
+        }
+    }
+}
+
+#[test]
+fn expired_budget_incumbent_is_executable_and_result_correct() {
+    // Mid-search expiry: whatever the incumbent is when the budget runs
+    // out, it must execute and compute the reference result — anytime is
+    // a latency SLO, never a correctness change.
+    let mut catalog = cb_catalog::scenarios::projdept::catalog();
+    let q = cb_catalog::scenarios::projdept::query();
+    let mut instance = cb_engine::projdept_instance(&cb_engine::ProjDeptParams {
+        n_depts: 12,
+        projs_per_dept: 4,
+        n_customers: 5,
+        seed: 7,
+    });
+    Materializer::new(&catalog)
+        .materialize(&mut instance)
+        .unwrap();
+    *catalog.stats_mut() = cb_engine::collect_stats(&instance);
+    let ev = Evaluator::for_catalog(&catalog, &instance);
+    let reference = ev.eval_query(&q).unwrap();
+    // Sweep node budgets from "root only" past "search finished", and a
+    // zero wall clock, at both worker counts.
+    for threads in [1usize, 2] {
+        let mut expired_at_least_once = false;
+        for nodes in [0usize, 1, 2, 3, 5, 8, 1000] {
+            let cfg = OptimizerConfig {
+                search_budget: SearchBudget {
+                    nodes: Some(nodes),
+                    ..SearchBudget::default()
+                },
+                ..config(SearchStrategy::CostGuided, threads)
+            };
+            let out = Optimizer::with_config(&catalog, cfg).optimize(&q).unwrap();
+            expired_at_least_once |= out.budget_expired;
+            let rows = ev.eval_query(&out.best.query).unwrap_or_else(|e| {
+                panic!(
+                    "budget {nodes} @ {threads} threads: incumbent failed: {e}\nplan: {}",
+                    out.best.query
+                )
+            });
+            assert_eq!(
+                rows, reference,
+                "budget {nodes} @ {threads} threads: incumbent differs: {}",
+                out.best.query
+            );
+        }
+        assert!(expired_at_least_once, "@ {threads} threads");
+        let wall_cfg = OptimizerConfig {
+            search_budget: SearchBudget {
+                wall_clock: Some(Duration::ZERO),
+                ..SearchBudget::default()
+            },
+            ..config(SearchStrategy::CostGuided, threads)
+        };
+        let out = Optimizer::with_config(&catalog, wall_cfg)
+            .optimize(&q)
+            .unwrap();
+        assert!(out.budget_expired, "@ {threads} threads");
+        assert_eq!(ev.eval_query(&out.best.query).unwrap(), reference);
+    }
+}
+
+#[test]
+fn top_k_plans_are_distinct_and_cost_ordered() {
+    for (name, catalog, q) in scenarios() {
+        for threads in [1usize, 2] {
+            let cfg = OptimizerConfig {
+                k_best: 5,
+                ..config(SearchStrategy::CostGuided, threads)
+            };
+            let out = Optimizer::with_config(&catalog, cfg).optimize(&q).unwrap();
+            assert!(!out.top_k.is_empty(), "{name} @ {threads} threads");
+            assert!(out.top_k.len() <= 5, "{name} @ {threads} threads");
+            assert_eq!(
+                out.top_k[0].query.alpha_normalized(),
+                out.best.query.alpha_normalized(),
+                "{name} @ {threads} threads: top-1 is not the best"
+            );
+            for w in out.top_k.windows(2) {
+                assert!(
+                    w[0].cost <= w[1].cost,
+                    "{name} @ {threads} threads: top-k not cost-ordered"
+                );
+                assert_ne!(
+                    w[0].query.alpha_normalized(),
+                    w[1].query.alpha_normalized(),
+                    "{name} @ {threads} threads: duplicate plan in top-k"
+                );
+            }
+            // Mutually distinct, not just adjacent-distinct.
+            let mut keys: Vec<_> = out
+                .top_k
+                .iter()
+                .map(|c| c.query.alpha_normalized())
+                .collect();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), out.top_k.len(), "{name} @ {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn incumbent_trace_descends_and_shard_stats_flow() {
+    let (_, catalog, q) = scenarios().remove(0);
+    for threads in [1usize, 4] {
+        let out = Optimizer::with_config(&catalog, config(SearchStrategy::CostGuided, threads))
+            .optimize(&q)
+            .unwrap();
+        assert!(
+            !out.incumbent_trace.is_empty(),
+            "@ {threads} threads: no incumbent improvements recorded"
+        );
+        for w in out.incumbent_trace.windows(2) {
+            assert!(
+                w[0].0 <= w[1].0,
+                "@ {threads} threads: trace not time-ordered"
+            );
+            assert!(w[0].1 > w[1].1, "@ {threads} threads: trace not descending");
+        }
+        assert!(
+            (out.incumbent_trace.last().unwrap().1 - out.best.cost).abs() < 1e-9,
+            "@ {threads} threads: trace does not end at the best cost"
+        );
+        if threads > 1 {
+            assert!(
+                !out.shard_cache.is_empty(),
+                "no shard stats at {threads} threads"
+            );
+            let total: u64 = out.shard_cache.iter().map(|s| s.hits() + s.misses()).sum();
+            assert!(total > 0, "shards saw no traffic at {threads} threads");
+        } else {
+            assert!(out.shard_cache.is_empty(), "shard stats at 1 thread");
+        }
+    }
+}
