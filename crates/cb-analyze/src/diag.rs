@@ -120,6 +120,13 @@ pub mod codes {
     /// An interned root id is out of range or disagrees with the
     /// operator's root name.
     pub const ROOT_INTERN: &str = "CB036";
+    /// Merge-join discipline broken: the probe key reads the join's own
+    /// register, the build key reads an outer register, or the run
+    /// arena has a duplicate, out-of-range, or unused run index.
+    pub const MERGE_DISCIPLINE: &str = "CB037";
+    /// Batch layout broken: the pipeline carries a zero batch size, so
+    /// the batched driver could never make progress.
+    pub const BATCH_LAYOUT: &str = "CB038";
 }
 
 /// One finding of one pass.

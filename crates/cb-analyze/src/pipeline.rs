@@ -16,7 +16,12 @@
 //!   name;
 //! * **layout** — each register is written exactly once and every slot of
 //!   the register file has a writer; hash-table indices are unique, in
-//!   range, and all used;
+//!   range, and all used; merge-run indices obey the same arena
+//!   discipline (CB037), and merge joins obey the hash join's key
+//!   discipline (probe key outer-only, build key own-slot-only);
+//! * **batch layout** — the pipeline's batch size is nonzero (CB038):
+//!   the batched driver fills fixed-capacity batches, and a zero
+//!   capacity could never make progress;
 //! * **liveness** — registers written but never read (warning: the
 //!   binding only contributes existence), mirroring the query-level
 //!   dead-variable lint;
@@ -67,6 +72,8 @@ struct Verifier<'p> {
     read: BTreeSet<usize>,
     /// table index -> operator that owns it.
     tables_seen: BTreeMap<usize, usize>,
+    /// merge-run index -> operator that owns it.
+    runs_seen: BTreeMap<usize, usize>,
 }
 
 impl Verifier<'_> {
@@ -163,7 +170,19 @@ pub fn check_pipeline(p: &Pipeline) -> Report {
         written: BTreeMap::new(),
         read: BTreeSet::new(),
         tables_seen: BTreeMap::new(),
+        runs_seen: BTreeMap::new(),
     };
+
+    // Batch layout: the batched driver flushes batches at capacity; a
+    // zero capacity could never hold a row.
+    if p.batch_size == 0 {
+        v.report.push(Diagnostic::new(
+            codes::BATCH_LAYOUT,
+            Severity::Error,
+            Anchor::Catalog,
+            "pipeline batch size is 0; the batched driver cannot make progress".to_string(),
+        ));
+    }
 
     // Hoisted ground filters run before any register is written: both
     // sides must be environment-independent.
@@ -270,6 +289,66 @@ pub fn check_pipeline(p: &Pipeline) -> Report {
                 }
                 v.write_slot(*slot, i, row_var);
             }
+            Operator::MergeJoin {
+                row_var,
+                slot,
+                root,
+                root_id,
+                build_key,
+                probe_key,
+                run,
+            } => {
+                v.check_root_op(*root_id, root, i);
+                // The probe key resolves against the outer stream only.
+                v.check_access(probe_key, &readable, Anchor::PipelineOp(i), "probe key");
+                if slots_read(probe_key).contains(slot) {
+                    v.report.push(Diagnostic::new(
+                        codes::MERGE_DISCIPLINE,
+                        Severity::Error,
+                        Anchor::PipelineOp(i),
+                        format!("probe key `{probe_key}` reads the join's own register {slot}"),
+                    ));
+                }
+                // The build key sees only the join's own row: the run is
+                // materialized once and cached across probes, so an
+                // outer register read would freeze a stale key into it.
+                let own: BTreeSet<usize> = [*slot].into();
+                v.check_access(build_key, &own, Anchor::PipelineOp(i), "build key");
+                for s in slots_read(build_key) {
+                    if s != *slot {
+                        v.report.push(Diagnostic::new(
+                            codes::MERGE_DISCIPLINE,
+                            Severity::Error,
+                            Anchor::PipelineOp(i),
+                            format!(
+                                "build key `{build_key}` of a cached merge run reads outer \
+                                 register {s}"
+                            ),
+                        ));
+                    }
+                }
+                if *run >= p.n_runs {
+                    v.report.push(Diagnostic::new(
+                        codes::MERGE_DISCIPLINE,
+                        Severity::Error,
+                        Anchor::PipelineOp(i),
+                        format!(
+                            "merge-run index {run} out of range (arena has {})",
+                            p.n_runs
+                        ),
+                    ));
+                } else if let Some(&prev) = v.runs_seen.get(run) {
+                    v.report.push(Diagnostic::new(
+                        codes::MERGE_DISCIPLINE,
+                        Severity::Error,
+                        Anchor::PipelineOp(i),
+                        format!("merge-run index {run} already owned by op #{prev}"),
+                    ));
+                } else {
+                    v.runs_seen.insert(*run, i);
+                }
+                v.write_slot(*slot, i, row_var);
+            }
         }
     }
 
@@ -304,7 +383,9 @@ pub fn check_pipeline(p: &Pipeline) -> Report {
                 Operator::Scan { var, .. }
                 | Operator::IterDependent { var, .. }
                 | Operator::Bind { var, .. } => var.as_str(),
-                Operator::HashJoin { row_var, .. } => row_var.as_str(),
+                Operator::HashJoin { row_var, .. } | Operator::MergeJoin { row_var, .. } => {
+                    row_var.as_str()
+                }
                 Operator::Filter { .. } => "?",
             };
             v.report.push(Diagnostic::new(
@@ -329,6 +410,17 @@ pub fn check_pipeline(p: &Pipeline) -> Report {
             ));
         }
     }
+    // Run arena: the same discipline for merge runs.
+    for r in 0..p.n_runs {
+        if !v.runs_seen.contains_key(&r) {
+            v.report.push(Diagnostic::new(
+                codes::MERGE_DISCIPLINE,
+                Severity::Error,
+                Anchor::Catalog,
+                format!("merge-run index {r} is allocated but owned by no join"),
+            ));
+        }
+    }
 
     v.report
 }
@@ -342,9 +434,48 @@ mod tests {
     fn compile_both(src: &str) -> Vec<Pipeline> {
         let q = parse_query(src).unwrap();
         vec![
-            compile(&q, CompileOptions { hash_joins: false }),
-            compile(&q, CompileOptions { hash_joins: true }),
+            compile(
+                &q,
+                CompileOptions {
+                    hash_joins: false,
+                    ..Default::default()
+                },
+            ),
+            compile(
+                &q,
+                CompileOptions {
+                    hash_joins: true,
+                    ..Default::default()
+                },
+            ),
+            compile(
+                &q,
+                CompileOptions {
+                    hash_joins: true,
+                    merge_joins: true,
+                    ..Default::default()
+                },
+            ),
         ]
+    }
+
+    fn merge_pipeline() -> Pipeline {
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where s.B = r.B").unwrap();
+        let p = compile(
+            &q,
+            CompileOptions {
+                merge_joins: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            p.ops
+                .iter()
+                .any(|op| matches!(op, Operator::MergeJoin { .. })),
+            "compiler did not choose a merge join: {p}"
+        );
+        p
     }
 
     #[test]
@@ -379,7 +510,13 @@ mod tests {
     fn swapped_slot_write_is_caught() {
         let q =
             parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
-        let mut p = compile(&q, CompileOptions { hash_joins: false });
+        let mut p = compile(
+            &q,
+            CompileOptions {
+                hash_joins: false,
+                ..Default::default()
+            },
+        );
         // Mutation canary: the second scan writes the first scan's slot.
         match &mut p.ops[1] {
             Operator::Scan { slot, .. } => *slot = 0,
@@ -405,7 +542,13 @@ mod tests {
     fn hash_join_key_discipline_is_enforced() {
         let q =
             parse_query("select struct(A = r.A, C = s.C) from R r, S s where s.B = r.B").unwrap();
-        let p = compile(&q, CompileOptions { hash_joins: true });
+        let p = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         // Sanity: the compiler produced a hash join and it verifies.
         assert!(p
             .ops
@@ -434,10 +577,83 @@ mod tests {
     }
 
     #[test]
+    fn merge_join_key_discipline_is_enforced() {
+        let p = merge_pipeline();
+        assert!(!check_pipeline(&p).has_errors());
+
+        // Mutation canary: swap build and probe keys — the probe key now
+        // reads the join's own register and the build key an outer one,
+        // both reported under the merge-discipline code.
+        let mut bad = p.clone();
+        for op in &mut bad.ops {
+            if let Operator::MergeJoin {
+                build_key,
+                probe_key,
+                ..
+            } = op
+            {
+                std::mem::swap(build_key, probe_key);
+            }
+        }
+        let report = check_pipeline(&bad);
+        assert!(report
+            .errors()
+            .any(|d| d.code == codes::MERGE_DISCIPLINE && d.message.contains("own register")));
+        assert!(report
+            .errors()
+            .any(|d| d.code == codes::MERGE_DISCIPLINE && d.message.contains("outer register")));
+    }
+
+    #[test]
+    fn broken_run_arena_is_caught() {
+        // Mutation canary: an allocated run no join owns.
+        let mut p = merge_pipeline();
+        p.n_runs += 1;
+        let report = check_pipeline(&p);
+        assert!(report
+            .errors()
+            .any(|d| d.code == codes::MERGE_DISCIPLINE && d.message.contains("owned by no join")));
+
+        // And a duplicated run index.
+        let mut p = merge_pipeline();
+        p.n_runs = 0;
+        let report = check_pipeline(&p);
+        assert!(report
+            .errors()
+            .any(|d| d.code == codes::MERGE_DISCIPLINE && d.message.contains("out of range")));
+    }
+
+    #[test]
+    fn zero_batch_size_is_caught() {
+        // Mutation canary: compile clamps batch_size to ≥ 1, so a zero
+        // can only appear through corruption — CB038 must fire.
+        let q = parse_query("select struct(A = r.A) from R r").unwrap();
+        let p = compile(
+            &q,
+            CompileOptions {
+                batch_size: 0,
+                ..Default::default()
+            },
+        );
+        assert!(p.batch_size >= 1, "compile must clamp a zero batch size");
+        assert!(!check_pipeline(&p).has_errors());
+        let mut bad = p.clone();
+        bad.batch_size = 0;
+        let report = check_pipeline(&bad);
+        assert!(report.errors().any(|d| d.code == codes::BATCH_LAYOUT));
+    }
+
+    #[test]
     fn broken_table_arena_is_caught() {
         let q =
             parse_query("select struct(A = r.A, C = s.C) from R r, S s where s.B = r.B").unwrap();
-        let mut p = compile(&q, CompileOptions { hash_joins: true });
+        let mut p = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         p.n_tables += 1;
         let report = check_pipeline(&p);
         assert!(report.errors().any(|d| d.code == codes::TABLE_LAYOUT));

@@ -1,5 +1,5 @@
 //! Regenerates every example, figure and claim of the paper's evaluation
-//! (experiment index E1–E18 and the paper-vs-measured record live in
+//! (experiment index E1–E19 and the paper-vs-measured record live in
 //! `crates/cb-bench/EXPERIMENTS.md`).
 //!
 //! ```sh
@@ -93,6 +93,9 @@ fn main() {
     }
     if want("e18") {
         e18_parallel_search();
+    }
+    if want("e19") {
+        e19_batched_execution();
     }
 }
 
@@ -296,8 +299,20 @@ fn run_json(path: &str, selection: &[String]) {
         use cb_engine::exec::{compile, execute, execute_with_stats, CompileOptions};
         let p = prepared_views(1_000, 1_000, 0.05);
         let ev = p.evaluator();
-        let nested = compile(&p.query, CompileOptions { hash_joins: false });
-        let hashed = compile(&p.query, CompileOptions { hash_joins: true });
+        let nested = compile(
+            &p.query,
+            CompileOptions {
+                hash_joins: false,
+                ..Default::default()
+            },
+        );
+        let hashed = compile(
+            &p.query,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         let r_eval = measure("e15_evaluator", ITERS, || {
             ev.eval_query(&p.query).unwrap();
             None
@@ -321,6 +336,107 @@ fn run_json(path: &str, selection: &[String]) {
             ("rows_per_s", rows_per_s as u64),
             ("tables_built", stats.tables_built),
             ("tables_skipped", stats.tables_skipped),
+        ];
+        records.push(rec);
+    }
+
+    if want("e19") {
+        use cb_engine::exec::{
+            compile, execute_rows_with_stats, execute_with_stats, CompileOptions,
+        };
+        let p = prepared_views(1_000, 1_000, 0.05);
+        let ev = p.evaluator();
+        let nested = compile(
+            &p.query,
+            CompileOptions {
+                hash_joins: false,
+                ..Default::default()
+            },
+        );
+        let hashed = compile(
+            &p.query,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
+        let merged = compile(
+            &p.query,
+            CompileOptions {
+                hash_joins: true,
+                merge_joins: true,
+                ..Default::default()
+            },
+        );
+        // The correctness bar first: batched ≡ row-at-a-time on every
+        // pipeline of every builtin scenario at this scale.
+        for prep in [
+            &p,
+            &prepared_projdept(50, 10, 25),
+            &prepared_indexes(5_000, 100, 50),
+        ] {
+            let ev = prep.evaluator();
+            for (hash_joins, merge_joins) in [(false, false), (true, false), (true, true)] {
+                let pipe = compile(
+                    &prep.query,
+                    CompileOptions {
+                        hash_joins,
+                        merge_joins,
+                        ..Default::default()
+                    },
+                );
+                let (batched, _) = execute_with_stats(&ev, &pipe).unwrap();
+                let (rowwise, _) = execute_rows_with_stats(&ev, &pipe).unwrap();
+                assert_eq!(batched, rowwise, "drivers disagree on {pipe}");
+                assert_eq!(batched, ev.eval_query(&prep.query).unwrap());
+            }
+        }
+        let r_rows = measure("e19_rows_nested", ITERS, || {
+            execute_rows_with_stats(&ev, &nested).unwrap();
+            None
+        });
+        let mut rec = measure("e19_batched_execution", ITERS, || {
+            execute_with_stats(&ev, &nested).unwrap();
+            None
+        });
+        let r_hash = measure("e19_batched_hash", ITERS, || {
+            execute_with_stats(&ev, &hashed).unwrap();
+            None
+        });
+        let r_merge = measure("e19_batched_merge", ITERS, || {
+            execute_with_stats(&ev, &merged).unwrap();
+            None
+        });
+        let speedup = r_rows.median_ns as f64 / rec.median_ns.max(1) as f64;
+        // The batched driver's fused scan+filter must clearly beat the
+        // row machine on the nested-loop pipeline — but only assert
+        // where the box is big enough for stable timings (E18's guard).
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        if cores >= 4 {
+            assert!(
+                speedup >= 3.0,
+                "batched nested-loop speedup {speedup:.2}x (expected >= 3x on a >= 4-core box)"
+            );
+        }
+        let (_, stats) = execute_with_stats(&ev, &nested).unwrap();
+        let (_, mstats) = execute_with_stats(&ev, &merged).unwrap();
+        rec.extra = vec![
+            ("rows_driver_median_ns", r_rows.median_ns as u64),
+            ("speedup_x1000", (1000.0 * speedup) as u64),
+            ("hash_batched_median_ns", r_hash.median_ns as u64),
+            ("merge_batched_median_ns", r_merge.median_ns as u64),
+            (
+                "merge_vs_hash_x1000",
+                (1000.0 * r_hash.median_ns as f64 / r_merge.median_ns.max(1) as f64) as u64,
+            ),
+            ("batches", stats.batches),
+            (
+                "sel_fill_rate_x1000",
+                (1000.0 * stats.sel_fill_rate()) as u64,
+            ),
+            ("merge_runs_built", mstats.runs_built),
+            ("merge_runs_sorted", mstats.runs_sorted),
+            ("cores", cores as u64),
         ];
         records.push(rec);
     }
@@ -617,8 +733,20 @@ fn e15_pipeline_execution() {
         let t0 = Instant::now();
         let reference = ev.eval_query(&p.query).unwrap();
         let eval_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let nested = compile(&p.query, CompileOptions { hash_joins: false });
-        let hashed = compile(&p.query, CompileOptions { hash_joins: true });
+        let nested = compile(
+            &p.query,
+            CompileOptions {
+                hash_joins: false,
+                ..Default::default()
+            },
+        );
+        let hashed = compile(
+            &p.query,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         let t1 = Instant::now();
         let (nl_rows, _) = execute_with_stats(&ev, &nested).unwrap();
         let nl_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -673,7 +801,13 @@ fn e15_pipeline_execution() {
         })),
     );
     let q = parse_query("select struct(C = s.C) from R r, S s where r.B = s.B").unwrap();
-    let hashed = compile(&q, CompileOptions { hash_joins: true });
+    let hashed = compile(
+        &q,
+        CompileOptions {
+            hash_joins: true,
+            ..Default::default()
+        },
+    );
     let ev = Evaluator::new(&inst);
     let t = Instant::now();
     let (out, stats) = execute_with_stats(&ev, &hashed).unwrap();
@@ -686,6 +820,102 @@ fn e15_pipeline_execution() {
         stats.tables_skipped
     );
     assert_eq!(stats.tables_built, 0);
+}
+
+/// E19 — the batched push-based driver vs the row-at-a-time machine vs
+/// the interpreter, on every builtin scenario at E13/E15 scales, plus
+/// merge vs hash joins on ordered roots.
+fn e19_batched_execution() {
+    banner(
+        "E19",
+        "batch-vectorized execution: batched vs row-at-a-time vs interpreter",
+    );
+    use cb_engine::exec::{compile, execute_rows_with_stats, execute_with_stats, CompileOptions};
+    let mut rows = Vec::new();
+    for (name, mk) in [("projdept", 0usize), ("§4 indexes", 1), ("§4 views", 2)] {
+        let p = match mk {
+            0 => prepared_projdept(50, 10, 25),
+            1 => prepared_indexes(5_000, 100, 50),
+            _ => prepared_views(1_000, 1_000, 0.05),
+        };
+        let ev = p.evaluator();
+        let t0 = Instant::now();
+        let reference = ev.eval_query(&p.query).unwrap();
+        let eval_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let nested = compile(
+            &p.query,
+            CompileOptions {
+                hash_joins: false,
+                ..Default::default()
+            },
+        );
+        let t1 = Instant::now();
+        let (row_rows, _) = execute_rows_with_stats(&ev, &nested).unwrap();
+        let rows_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let t2 = Instant::now();
+        let (batch_rows, stats) = execute_with_stats(&ev, &nested).unwrap();
+        let batch_ms = t2.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(row_rows, reference);
+        assert_eq!(batch_rows, reference);
+        rows.push(vec![
+            name.to_string(),
+            format!("{eval_ms:.2}"),
+            format!("{rows_ms:.2}"),
+            format!("{batch_ms:.2}"),
+            format!("{:.1}x", rows_ms / batch_ms.max(1e-9)),
+            format!("{}", stats.batches),
+            format!("{:.0}%", 100.0 * stats.sel_fill_rate()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "interp ms",
+                "rows ms",
+                "batched ms",
+                "speedup",
+                "batches",
+                "sel fill"
+            ],
+            &rows
+        )
+    );
+
+    // Merge vs hash joins on ordered roots: the §4 views join key is the
+    // first field of S's records, so the BTreeSet iteration order already
+    // sorts the merge run — no sort is paid.
+    let p = prepared_views(1_000, 1_000, 0.05);
+    let ev = p.evaluator();
+    let hashed = compile(
+        &p.query,
+        CompileOptions {
+            hash_joins: true,
+            ..Default::default()
+        },
+    );
+    let merged = compile(
+        &p.query,
+        CompileOptions {
+            hash_joins: true,
+            merge_joins: true,
+            ..Default::default()
+        },
+    );
+    let t = Instant::now();
+    let (h_rows, _) = execute_with_stats(&ev, &hashed).unwrap();
+    let hash_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let (m_rows, mstats) = execute_with_stats(&ev, &merged).unwrap();
+    let merge_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(h_rows, m_rows);
+    println!(
+        "\nordered-root join, §4 views: hash {hash_ms:.3} ms vs merge {merge_ms:.3} ms \
+         ({} run(s) built, {} needed a sort)",
+        mstats.runs_built, mstats.runs_sorted
+    );
+    println!("\nmerge pipeline:\n{merged}\n{}", mstats.render(&merged));
 }
 
 /// E16 — the must-remain cost bound: summing the access floors of the

@@ -3,7 +3,7 @@
 //! Shared setup code for the criterion benches, the `experiments` binary
 //! that regenerates every example/figure of the paper, and the `lint`
 //! binary that runs cb-analyze over every builtin scenario (CI fails on
-//! error-severity findings). The experiment index E1–E17 and the
+//! error-severity findings). The experiment index E1–E19 and the
 //! paper-vs-measured record live in `crates/cb-bench/EXPERIMENTS.md`;
 //! machine-readable records come from
 //! `experiments --json BENCH_experiments.json`.
@@ -141,13 +141,19 @@ pub fn lint_builtin_scenarios() -> Vec<ScenarioLint> {
                 .optimize(&p.query)
                 .expect("scenario optimizes");
             for (rank, c) in out.candidates.iter().enumerate() {
-                for hash_joins in [false, true] {
-                    let pipeline =
-                        cb_engine::compile(&c.query, cb_engine::CompileOptions { hash_joins });
+                for joins in [false, true] {
+                    let pipeline = cb_engine::compile(
+                        &c.query,
+                        cb_engine::CompileOptions {
+                            hash_joins: joins,
+                            merge_joins: joins,
+                            ..Default::default()
+                        },
+                    );
                     let label = format!(
                         "plan #{}{}",
                         rank + 1,
-                        if hash_joins { ", hash joins" } else { "" }
+                        if joins { ", hash/merge joins" } else { "" }
                     );
                     report.merge_labeled(&label, analyzer.check_pipeline(&pipeline));
                 }

@@ -33,20 +33,68 @@
 //! HashJoin{...}            equi-join through an on-the-fly hash table,
 //!                          realizing §2's "a hash-join algorithm would
 //!                          have to compute [the table] on the fly"
+//! MergeJoin{...}           equi-join through a lazily materialized,
+//!                          key-sorted run — the sort elided when the
+//!                          root's BTreeSet order already sorts the key
 //! ```
 //!
-//! [`execute_with_stats`] additionally returns [`PipelineStats`]: rows
-//! in/out per operator, rows emitted, and hash tables built vs skipped —
-//! the observability layer EXPLAIN and experiment E15 report from.
+//! # Batched, push-based execution
 //!
-//! Without hash joins the pipeline is *fully* identical to the
+//! The default driver ([`execute`]/[`execute_with_stats`]) is **batch
+//! vectorized**: operators consume and emit [`Batch`]es — fixed-capacity
+//! row batches laid out as one `CowValue` column per register slot
+//! ([`CompileOptions::batch_size`] rows, default 1024) with a selection
+//! vector. Execution is **push-based**: each operator processes a whole
+//! batch, then pushes the result at its successor, so the engine recurses
+//! once per *batch* per operator instead of once per *row* — the per-row
+//! call/dispatch overhead of the row-at-a-time driver disappears from
+//! the hot loop.
+//!
+//! * `Scan` fills output batches directly from the root collection,
+//!   replicating the (cheap, usually borrowed) outer registers per row;
+//! * `Filter` marks failing rows dead in the selection vector instead of
+//!   compacting, so upstream columns never shift;
+//! * `HashJoin` probes a whole batch per pass over its lazily built
+//!   table; `MergeJoin` (below) probes a sorted run;
+//! * the final projection drains the survivors of each arriving batch.
+//!
+//! The row-at-a-time recursive driver is retained as
+//! [`execute_rows`]/[`execute_rows_with_stats`] — it is the differential
+//! baseline the proptest corpus and experiment E19 compare against, and
+//! both drivers produce identical results *and byte-identical
+//! `EvalError`s*. The batched driver preserves the row machine's
+//! depth-first error order with a truncate-on-error discipline: when an
+//! operator fails at live row *i*, rows ≥ *i* are killed, the surviving
+//! prefix is flushed downstream (any downstream error necessarily
+//! belongs to an earlier row and wins), and the pending error surfaces
+//! only if the flush returns cleanly.
+//!
+//! # Merge joins over ordered roots
+//!
+//! Roots are `BTreeSet`s, so their iteration order is already sorted —
+//! a struct set orders by its alphabetically-first field. When
+//! [`CompileOptions::merge_joins`] is on, `compile` turns an equi-join
+//! whose two sides are single-field accesses on root-scanned bindings
+//! (the *ordered-root* access shape) into a [`Operator::MergeJoin`]: the
+//! inner side is materialized once as a key-sorted run — the sort is
+//! **skipped** when the keys already arrive non-decreasing from the
+//! `BTreeSet`, which the run build detects in its single pass — and each
+//! probe binary-searches the equal-key range. Runs build lazily on first
+//! probe, exactly like hash tables.
+//!
+//! [`execute_with_stats`] additionally returns [`PipelineStats`]: rows
+//! in/out per operator, rows emitted, batches pushed, selection-vector
+//! fill, hash tables and merge runs built vs skipped — the observability
+//! layer EXPLAIN and experiments E15/E19 report from.
+//!
+//! Without hash or merge joins the pipeline is *fully* identical to the
 //! interpreter — same rows, and the same `EvalError` at the same point
-//! (the proptest corpus asserts `Result` equality). With hash joins on,
-//! results are still identical, but the join applies its equality before
-//! the other same-level conjuncts (that is what a hash join *is*), so on
-//! erroring queries a different conjunct's error — or none, if the join
-//! filters the offending rows away — may surface, exactly as condition
-//! reordering implies.
+//! (the proptest corpus asserts `Result` equality). With hash or merge
+//! joins on, results are still identical, but the join applies its
+//! equality before the other same-level conjuncts (that is what a hash
+//! or merge join *is*), so on erroring queries a different conjunct's
+//! error — or none, if the join filters the offending rows away — may
+//! surface, exactly as condition reordering implies.
 
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
@@ -56,7 +104,7 @@ use pcql::path::Path;
 use pcql::query::{BindKind, Equality, Output, Query};
 
 use crate::eval::{EvalError, Evaluator};
-use crate::value::{CowValue, Value};
+use crate::value::{Batch, CowValue, Value};
 
 /// The base of a pre-resolved accessor: where evaluation starts before
 /// the flattened field chain is applied.
@@ -144,6 +192,19 @@ impl Access {
         &self.fields
     }
 
+    /// Does evaluating this accessor read register `slot` — through its
+    /// base, including the dictionary and key of lookup bases?
+    fn reads_slot(&self, slot: usize) -> bool {
+        match &self.base {
+            AccessBase::Slot(i) => *i == slot,
+            AccessBase::UnknownVar(_) | AccessBase::Root { .. } | AccessBase::Const(_) => false,
+            AccessBase::Dom(inner) => inner.reads_slot(slot),
+            AccessBase::Get(m, k) | AccessBase::GetOrEmpty(m, k) => {
+                m.reads_slot(slot) || k.reads_slot(slot)
+            }
+        }
+    }
+
     /// Display of the path prefix before field step `idx` — the
     /// interpreter reports `NoSuchField` against exactly this prefix.
     fn prefix_display(&self, idx: usize) -> String {
@@ -201,6 +262,20 @@ pub enum Operator {
         /// Index into the executor's table arena.
         table: usize,
     },
+    /// Sort-merge join over an ordered root: lazily materialize `root`
+    /// as a run sorted by `build_key` (the sort elided when the root's
+    /// `BTreeSet` order already sorts the key), then emit one binding
+    /// per row in the equal-key range of `probe_key`.
+    MergeJoin {
+        row_var: String,
+        slot: usize,
+        root: String,
+        root_id: usize,
+        build_key: Access,
+        probe_key: Access,
+        /// Index into the executor's merge-run arena.
+        run: usize,
+    },
 }
 
 impl fmt::Display for Operator {
@@ -224,6 +299,17 @@ impl fmt::Display for Operator {
             } => write!(
                 f,
                 "HashJoin({root} as {row_var}@{slot} on {build_key} = {probe_key})"
+            ),
+            Operator::MergeJoin {
+                row_var,
+                slot,
+                root,
+                build_key,
+                probe_key,
+                ..
+            } => write!(
+                f,
+                "MergeJoin({root} as {row_var}@{slot} on {build_key} = {probe_key})"
             ),
         }
     }
@@ -259,8 +345,12 @@ pub struct Pipeline {
     pub n_slots: usize,
     /// Number of hash-join tables.
     pub n_tables: usize,
+    /// Number of merge-join runs.
+    pub n_runs: usize,
     /// Interned schema roots, resolved once per execution.
     pub roots: Vec<String>,
+    /// Rows per batch for the batched driver (always ≥ 1).
+    pub batch_size: usize,
 }
 
 impl fmt::Display for Pipeline {
@@ -285,10 +375,26 @@ impl fmt::Display for Pipeline {
 }
 
 /// Compilation options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct CompileOptions {
     /// Turn `Scan + Filter(equi-join)` pairs into on-the-fly hash joins.
     pub hash_joins: bool,
+    /// Turn equi-joins whose both sides have the ordered-root access
+    /// shape (a single-field projection off a root-scanned binding) into
+    /// sort-merge joins; preferred over `hash_joins` when both apply.
+    pub merge_joins: bool,
+    /// Rows per batch for the batched driver (clamped to ≥ 1).
+    pub batch_size: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            hash_joins: false,
+            merge_joins: false,
+            batch_size: 1024,
+        }
+    }
 }
 
 /// Per-operator row counters.
@@ -317,6 +423,20 @@ pub struct PipelineStats {
     pub tables_built: u64,
     /// Hash-join tables never built because no probe reached them.
     pub tables_skipped: u64,
+    /// Merge-join runs actually materialized (on first probe).
+    pub runs_built: u64,
+    /// Runs whose keys needed an explicit sort — 0 means every run's
+    /// `BTreeSet` iteration order already sorted the join key.
+    pub runs_sorted: u64,
+    /// Merge-join runs never materialized because no probe reached them.
+    pub runs_skipped: u64,
+    /// Batches pushed between operators (batched driver only; 0 for the
+    /// row-at-a-time driver).
+    pub batches: u64,
+    /// Live rows across all pushed batches (selection-vector numerator).
+    pub sel_rows_live: u64,
+    /// Total rows (dead included) across all pushed batches.
+    pub sel_rows_total: u64,
 }
 
 impl PipelineStats {
@@ -331,6 +451,16 @@ impl PipelineStats {
     /// outputs plus emitted rows) — the throughput numerator E15 uses.
     pub fn rows_processed(&self) -> u64 {
         self.per_op.iter().map(|o| o.output).sum::<u64>() + self.rows_emitted
+    }
+
+    /// Fraction of batch rows still live when pushed (1.0 when nothing
+    /// was batched): the selection-vector fill rate.
+    pub fn sel_fill_rate(&self) -> f64 {
+        if self.sel_rows_total == 0 {
+            1.0
+        } else {
+            self.sel_rows_live as f64 / self.sel_rows_total as f64
+        }
     }
 
     /// Renders the per-operator counters next to the pipeline.
@@ -362,6 +492,33 @@ impl PipelineStats {
         s.push_str(&format!(
             "hash tables: {} built, {} skipped (lazy)\n",
             self.tables_built, self.tables_skipped
+        ));
+        if pipeline.n_runs > 0 {
+            s.push_str(&format!(
+                "merge runs: {} built ({} needed a sort), {} skipped (lazy)\n",
+                self.runs_built, self.runs_sorted, self.runs_skipped
+            ));
+        }
+        let n_hash = pipeline
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Operator::HashJoin { .. }))
+            .count();
+        let n_merge = pipeline
+            .ops
+            .iter()
+            .filter(|op| matches!(op, Operator::MergeJoin { .. }))
+            .count();
+        s.push_str(&format!(
+            "join algorithms: {n_hash} hash, {n_merge} merge\n"
+        ));
+        s.push_str(&format!(
+            "batches: {} pushed ({} rows/batch), selection fill {}/{} rows ({:.0}%)\n",
+            self.batches,
+            pipeline.batch_size,
+            self.sel_rows_live,
+            self.sel_rows_total,
+            self.sel_fill_rate() * 100.0
         ));
         s
     }
@@ -439,6 +596,7 @@ pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
     let mut roots: Vec<String> = Vec::new();
     let mut ops: Vec<Operator> = Vec::new();
     let mut n_tables = 0usize;
+    let mut n_runs = 0usize;
 
     let ground: Vec<GroundFilter> = conds_at[0]
         .iter()
@@ -455,16 +613,34 @@ pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
         let slot = i;
         let mut level_conds: Vec<usize> = conds_at[i + 1].clone();
 
-        // Hash-join candidacy: an Iter over a root, some earlier binding
-        // to probe from, and an equi-join condition at this level linking
+        // Join candidacy: an Iter over a root, some earlier binding to
+        // probe from, and an equi-join condition at this level linking
         // this binding's rows (alone on one side) to earlier registers.
-        let mut hash: Option<Equality> = None;
-        if options.hash_joins
+        // A candidate becomes a MergeJoin when merge joins are on and
+        // both key paths have the ordered-root access shape (at most one
+        // field projected off a root-scanned binding — the shape whose
+        // `BTreeSet` iteration order can already sort the key), a
+        // HashJoin otherwise (when hash joins are on).
+        let mut join: Option<(Equality, bool)> = None;
+        if (options.hash_joins || options.merge_joins)
             && i > 0
             && b.kind == BindKind::Iter
             && matches!(b.src, Path::Root(_))
             && last_level.get(b.var.as_str()) == Some(&i)
         {
+            let ordered_root_shape = |p: &Path| {
+                let (base, fields) = p.split_fields();
+                if fields.len() > 1 {
+                    return false;
+                }
+                match base {
+                    Path::Var(v) => last_level.get(v.as_str()).is_some_and(|&lvl| {
+                        let src = &q.from[lvl];
+                        src.kind == BindKind::Iter && matches!(src.src, Path::Root(_))
+                    }),
+                    _ => false,
+                }
+            };
             let is_candidate = |eq: &Equality| {
                 let lv = eq.0.free_vars();
                 let rv = eq.1.free_vars();
@@ -476,20 +652,26 @@ pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
                 .iter()
                 .position(|&ci| is_candidate(&q.where_[ci]))
             {
-                let ci = level_conds.remove(pos);
-                let eq = &q.where_[ci];
-                hash = Some(if eq.0.mentions_var(&b.var) {
+                let eq = &q.where_[level_conds[pos]];
+                let oriented = if eq.0.mentions_var(&b.var) {
                     eq.clone()
                 } else {
                     Equality(eq.1.clone(), eq.0.clone())
-                });
+                };
+                let merge = options.merge_joins
+                    && ordered_root_shape(&oriented.0)
+                    && ordered_root_shape(&oriented.1);
+                if merge || options.hash_joins {
+                    level_conds.remove(pos);
+                    join = Some((oriented, merge));
+                }
             }
         }
 
-        match hash {
-            Some(Equality(build, probe)) => {
+        match join {
+            Some((Equality(build, probe), merge)) => {
                 let Path::Root(root) = &b.src else {
-                    unreachable!("hash-join candidacy requires a root scan")
+                    unreachable!("join candidacy requires a root scan")
                 };
                 // Probe side resolves against the *outer* registers; the
                 // build side sees this binding's fresh slot.
@@ -497,16 +679,29 @@ pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
                 slots.insert(b.var.clone(), slot);
                 let build_key = compile_access(&build, &slots, &mut roots);
                 let root_id = intern_root(&mut roots, root);
-                ops.push(Operator::HashJoin {
-                    row_var: b.var.clone(),
-                    slot,
-                    root: root.clone(),
-                    root_id,
-                    build_key,
-                    probe_key,
-                    table: n_tables,
-                });
-                n_tables += 1;
+                if merge {
+                    ops.push(Operator::MergeJoin {
+                        row_var: b.var.clone(),
+                        slot,
+                        root: root.clone(),
+                        root_id,
+                        build_key,
+                        probe_key,
+                        run: n_runs,
+                    });
+                    n_runs += 1;
+                } else {
+                    ops.push(Operator::HashJoin {
+                        row_var: b.var.clone(),
+                        slot,
+                        root: root.clone(),
+                        root_id,
+                        build_key,
+                        probe_key,
+                        table: n_tables,
+                    });
+                    n_tables += 1;
+                }
             }
             None => {
                 let op = match (&b.kind, &b.src) {
@@ -557,28 +752,98 @@ pub fn compile(q: &Query, options: CompileOptions) -> Pipeline {
         output,
         n_slots: q.from.len(),
         n_tables,
+        n_runs,
         roots,
+        batch_size: options.batch_size.max(1),
     }
 }
 
 /// A lazily built hash-join table: borrowed keys over borrowed rows.
 type JoinTable<'a> = BTreeMap<CowValue<'a>, Vec<&'a Value>>;
 
-/// The executor state: the register file, lazily resolved roots, lazily
-/// built join tables, counters, and the result accumulator.
-struct Machine<'a, 'p> {
+/// A lazily materialized merge-join run: the inner root's rows paired
+/// with their join keys, sorted by key (stably, so rows with equal keys
+/// keep their `BTreeSet` order — the hash join's emission order).
+type MergeRun<'a> = Vec<(CowValue<'a>, &'a Value)>;
+
+/// A read-only view of a register file: the row machine's `Vec` of
+/// registers or one row of a [`Batch`]. The shared evaluation core is
+/// generic over this, so both drivers run the exact same accessor code.
+trait Regs<'a> {
+    fn reg(&self, slot: usize) -> &CowValue<'a>;
+}
+
+impl<'a> Regs<'a> for Vec<CowValue<'a>> {
+    fn reg(&self, slot: usize) -> &CowValue<'a> {
+        &self[slot]
+    }
+}
+
+/// One row of a batch, viewed as a register file.
+struct BatchRow<'b, 'a> {
+    batch: &'b Batch<'a>,
+    row: usize,
+}
+
+impl<'a> Regs<'a> for BatchRow<'_, 'a> {
+    fn reg(&self, slot: usize) -> &CowValue<'a> {
+        self.batch.reg(slot, self.row)
+    }
+}
+
+/// The single-slot scratch register file join builds evaluate their
+/// build key against: build keys read only the join's own slot (the
+/// compiler guarantees it, cb-analyze verifies it), so neither driver
+/// needs its full register file to materialize a table or run.
+struct OneSlot<'a> {
+    slot: usize,
+    val: CowValue<'a>,
+}
+
+impl<'a> Regs<'a> for OneSlot<'a> {
+    fn reg(&self, slot: usize) -> &CowValue<'a> {
+        debug_assert_eq!(slot, self.slot, "build key read an outer register");
+        &self.val
+    }
+}
+
+/// A batch row with one register overlaid by a not-yet-materialized
+/// value — how the fused scan+filter evaluates filter sides against a
+/// scanned item without writing it into a batch first.
+struct SlotOverlay<'r, 'a> {
+    batch: &'r Batch<'a>,
+    row: usize,
+    slot: usize,
+    val: CowValue<'a>,
+}
+
+impl<'a> Regs<'a> for SlotOverlay<'_, 'a> {
+    fn reg(&self, slot: usize) -> &CowValue<'a> {
+        if slot == self.slot {
+            &self.val
+        } else {
+            self.batch.reg(slot, self.row)
+        }
+    }
+}
+
+/// The shared executor core: lazily resolved roots, lazily built join
+/// tables and merge runs, counters, and the result accumulator. The two
+/// drivers — the recursive row machine and the push-based batch
+/// machine — wrap this with their own control flow.
+struct Exec<'a, 'p> {
     ev: &'p Evaluator<'a>,
     pipeline: &'p Pipeline,
     /// Interned roots resolved once per execution (`None` = absent root;
     /// the error only surfaces if an operator actually reads it).
     root_vals: Vec<Option<&'a Value>>,
-    regs: Vec<CowValue<'a>>,
     tables: Vec<Option<JoinTable<'a>>>,
+    runs: Vec<Option<MergeRun<'a>>>,
     stats: PipelineStats,
     out: BTreeSet<Value>,
 }
 
-impl<'a> Machine<'a, '_> {
+impl<'a> Exec<'a, '_> {
     fn root(&self, id: usize, name: &str) -> Result<&'a Value, EvalError> {
         self.root_vals[id].ok_or_else(|| EvalError::UnknownRoot(name.to_string()))
     }
@@ -589,9 +854,9 @@ impl<'a> Machine<'a, '_> {
     /// the value is not instance-anchored and when resolution would
     /// fail — the caller falls back to [`Self::eval_access`], which
     /// computes the value or produces the canonical error.
-    fn anchored(&self, a: &Access) -> Option<&'a Value> {
+    fn anchored<R: Regs<'a>>(&self, regs: &R, a: &Access) -> Option<&'a Value> {
         let mut cur: &'a Value = match &a.base {
-            AccessBase::Slot(i) => match &self.regs[*i] {
+            AccessBase::Slot(i) => match regs.reg(*i) {
                 Cow::Borrowed(v) => v,
                 Cow::Owned(_) => return None,
             },
@@ -601,8 +866,8 @@ impl<'a> Machine<'a, '_> {
                 // Resolve the dictionary first: if it is not anchored,
                 // the key must not be evaluated here (the fallback would
                 // evaluate it a second time).
-                let map = self.anchored(m)?.as_dict()?;
-                let key = self.eval_access(k).ok()?;
+                let map = self.anchored(regs, m)?.as_dict()?;
+                let key = self.eval_access(regs, k).ok()?;
                 map.get(key.as_ref())?
             }
         };
@@ -620,18 +885,22 @@ impl<'a> Machine<'a, '_> {
     /// lifetime when the accessor is instance-anchored, an owned value
     /// (or the canonical error) otherwise. This is what binds registers
     /// and join keys.
-    fn eval_detached(&self, a: &Access) -> Result<CowValue<'a>, EvalError> {
-        match self.anchored(a) {
+    fn eval_detached<R: Regs<'a>>(&self, regs: &R, a: &Access) -> Result<CowValue<'a>, EvalError> {
+        match self.anchored(regs, a) {
             Some(v) => Ok(Cow::Borrowed(v)),
-            None => Ok(Cow::Owned(self.eval_access(a)?.into_owned())),
+            None => Ok(Cow::Owned(self.eval_access(regs, a)?.into_owned())),
         }
     }
 
     /// Reference-preserving accessor evaluation — the compiled mirror of
     /// the interpreter's `eval_ref`, producing identical values and
     /// identical errors.
-    fn eval_access<'r>(&'r self, a: &'r Access) -> Result<Cow<'r, Value>, EvalError> {
-        let mut cur = self.eval_base(a)?;
+    fn eval_access<'r, R: Regs<'a>>(
+        &'r self,
+        regs: &'r R,
+        a: &'r Access,
+    ) -> Result<Cow<'r, Value>, EvalError> {
+        let mut cur = self.eval_base(regs, a)?;
         for (idx, name) in a.fields.iter().enumerate() {
             cur = match cur {
                 Cow::Borrowed(Value::Struct(fields)) => fields
@@ -655,9 +924,13 @@ impl<'a> Machine<'a, '_> {
         Ok(cur)
     }
 
-    fn eval_base<'r>(&'r self, a: &'r Access) -> Result<Cow<'r, Value>, EvalError> {
+    fn eval_base<'r, R: Regs<'a>>(
+        &'r self,
+        regs: &'r R,
+        a: &'r Access,
+    ) -> Result<Cow<'r, Value>, EvalError> {
         match &a.base {
-            AccessBase::Slot(i) => Ok(Cow::Borrowed(self.regs[*i].as_ref())),
+            AccessBase::Slot(i) => Ok(Cow::Borrowed(regs.reg(*i).as_ref())),
             AccessBase::UnknownVar(v) => Err(EvalError::UnknownVar(v.clone())),
             AccessBase::Root { id, name } => self.root(*id, name).map(Cow::Borrowed),
             AccessBase::Const(v) => Ok(Cow::Borrowed(v)),
@@ -665,17 +938,17 @@ impl<'a> Machine<'a, '_> {
             // `eval_ref` (eval.rs), so results and error text cannot
             // drift apart between the two engines.
             AccessBase::Dom(inner) => {
-                let base = self.eval_access(inner)?;
+                let base = self.eval_access(regs, inner)?;
                 crate::eval::dict_dom(base.as_ref(), || inner.to_string()).map(Cow::Owned)
             }
             AccessBase::Get(m, k) => {
-                let key = self.eval_access(k)?.into_owned();
-                let dict = self.eval_access(m)?;
+                let key = self.eval_access(regs, k)?.into_owned();
+                let dict = self.eval_access(regs, m)?;
                 crate::eval::dict_get(dict, &key, || m.to_string())
             }
             AccessBase::GetOrEmpty(m, k) => {
-                let key = self.eval_access(k)?.into_owned();
-                let dict = self.eval_access(m)?;
+                let key = self.eval_access(regs, k)?.into_owned();
+                let dict = self.eval_access(regs, m)?;
                 crate::eval::dict_get_or_empty(dict, &key, || m.to_string())
             }
         }
@@ -683,8 +956,8 @@ impl<'a> Machine<'a, '_> {
 
     /// Builds the hash table of the `HashJoin` at `op_idx` if this is
     /// its first probe. One pass over the root: rows bind by reference
-    /// into the join's own slot, keys stay borrowed whenever the key
-    /// path is instance-anchored.
+    /// into a single-slot scratch register, keys stay borrowed whenever
+    /// the key path is instance-anchored.
     fn ensure_table(&mut self, op_idx: usize) -> Result<(), EvalError> {
         let pipeline = self.pipeline;
         let Operator::HashJoin {
@@ -706,9 +979,13 @@ impl<'a> Machine<'a, '_> {
             .as_set()
             .ok_or_else(|| EvalError::NotASet(format!("{root} = {set}")))?;
         let mut t: JoinTable<'a> = BTreeMap::new();
+        let mut scratch = OneSlot {
+            slot: *slot,
+            val: Cow::Owned(Value::Bool(false)),
+        };
         for row in rows {
-            self.regs[*slot] = Cow::Borrowed(row);
-            let key = self.eval_detached(build_key)?;
+            scratch.val = Cow::Borrowed(row);
+            let key = self.eval_detached(&scratch, build_key)?;
             t.entry(key).or_default().push(row);
         }
         self.stats.tables_built += 1;
@@ -716,29 +993,114 @@ impl<'a> Machine<'a, '_> {
         Ok(())
     }
 
-    fn emit(&mut self) -> Result<(), EvalError> {
+    /// Materializes the merge run of the `MergeJoin` at `op_idx` if this
+    /// is its first probe: one pass over the root evaluating the build
+    /// key per row, detecting en route whether the keys already arrive
+    /// non-decreasing from the `BTreeSet` — only when they do not is a
+    /// (stable) sort paid.
+    fn ensure_run(&mut self, op_idx: usize) -> Result<(), EvalError> {
+        let pipeline = self.pipeline;
+        let Operator::MergeJoin {
+            slot,
+            root,
+            root_id,
+            build_key,
+            run,
+            ..
+        } = &pipeline.ops[op_idx]
+        else {
+            unreachable!("ensure_run on a non-merge operator")
+        };
+        if self.runs[*run].is_some() {
+            return Ok(());
+        }
+        let set = self.root(*root_id, root)?;
+        let rows = set
+            .as_set()
+            .ok_or_else(|| EvalError::NotASet(format!("{root} = {set}")))?;
+        let mut entries: MergeRun<'a> = Vec::with_capacity(rows.len());
+        let mut sorted = true;
+        let mut scratch = OneSlot {
+            slot: *slot,
+            val: Cow::Owned(Value::Bool(false)),
+        };
+        for row in rows {
+            scratch.val = Cow::Borrowed(row);
+            let key = self.eval_detached(&scratch, build_key)?;
+            if let Some((prev, _)) = entries.last() {
+                sorted &= prev.as_ref() <= key.as_ref();
+            }
+            entries.push((key, row));
+        }
+        if !sorted {
+            entries.sort_by(|x, y| x.0.cmp(&y.0));
+            self.stats.runs_sorted += 1;
+        }
+        self.stats.runs_built += 1;
+        self.runs[*run] = Some(entries);
+        Ok(())
+    }
+
+    fn emit<R: Regs<'a>>(&mut self, regs: &R) -> Result<(), EvalError> {
         let pipeline = self.pipeline;
         let row = match &pipeline.output {
             CompiledOutput::Struct(fields) => {
                 let mut m = BTreeMap::new();
                 for (name, a) in fields {
-                    m.insert(name.clone(), self.eval_access(a)?.into_owned());
+                    m.insert(name.clone(), self.eval_access(regs, a)?.into_owned());
                 }
                 Value::Struct(m)
             }
-            CompiledOutput::Path(a) => self.eval_access(a)?.into_owned(),
+            CompiledOutput::Path(a) => self.eval_access(regs, a)?.into_owned(),
         };
         self.stats.rows_emitted += 1;
         self.out.insert(row);
         Ok(())
     }
 
-    fn run(&mut self, op_idx: usize) -> Result<(), EvalError> {
+    /// Runs the hoisted ground filters once, against an all-placeholder
+    /// register file; `Ok(true)` means one was false and the pipeline
+    /// short-circuits to the empty result.
+    fn ground_short_circuits(&mut self) -> Result<bool, EvalError> {
         let pipeline = self.pipeline;
-        if op_idx == pipeline.ops.len() {
-            return self.emit();
+        let regs: Vec<CowValue<'a>> = vec![Cow::Owned(Value::Bool(false)); pipeline.n_slots];
+        for g in &pipeline.ground {
+            self.stats.ground_filters += 1;
+            let pass = {
+                let l = self.eval_access(&regs, &g.left)?;
+                let r = self.eval_access(&regs, &g.right)?;
+                l.as_ref() == r.as_ref()
+            };
+            if !pass {
+                self.stats.short_circuited = true;
+                return Ok(true);
+            }
         }
-        self.stats.per_op[op_idx].input += 1;
+        Ok(false)
+    }
+
+    /// Final lazy-build accounting, then the result and its counters.
+    fn finish(mut self) -> (BTreeSet<Value>, PipelineStats) {
+        self.stats.tables_skipped = self.pipeline.n_tables as u64 - self.stats.tables_built;
+        self.stats.runs_skipped = self.pipeline.n_runs as u64 - self.stats.runs_built;
+        (self.out, self.stats)
+    }
+}
+
+/// The recursive row-at-a-time driver: one call per row, the
+/// differential baseline the batched driver is proven against.
+struct RowMachine<'a, 'p> {
+    x: Exec<'a, 'p>,
+    regs: Vec<CowValue<'a>>,
+}
+
+impl<'a> RowMachine<'a, '_> {
+    fn run(&mut self, op_idx: usize) -> Result<(), EvalError> {
+        let pipeline = self.x.pipeline;
+        if op_idx == pipeline.ops.len() {
+            return self.x.emit(&self.regs);
+        }
+        self.x.stats.per_op[op_idx].input += 1;
         match &pipeline.ops[op_idx] {
             Operator::Scan {
                 slot,
@@ -746,13 +1108,13 @@ impl<'a> Machine<'a, '_> {
                 root_id,
                 ..
             } => {
-                let set = self.root(*root_id, root)?;
+                let set = self.x.root(*root_id, root)?;
                 let items = set
                     .as_set()
                     .ok_or_else(|| EvalError::NotASet(format!("{root} = {set}")))?;
                 for item in items {
                     self.regs[*slot] = Cow::Borrowed(item);
-                    self.stats.per_op[op_idx].output += 1;
+                    self.x.stats.per_op[op_idx].output += 1;
                     self.run(op_idx + 1)?;
                 }
             }
@@ -762,14 +1124,14 @@ impl<'a> Machine<'a, '_> {
                 // per row. Derived collections (dom sets, collections
                 // reached through owned registers) clone their items,
                 // one at a time, exactly like the interpreter.
-                if let Some(items) = self.anchored(src).and_then(|v| v.as_set()) {
+                if let Some(items) = self.x.anchored(&self.regs, src).and_then(|v| v.as_set()) {
                     for item in items {
                         self.regs[*slot] = Cow::Borrowed(item);
-                        self.stats.per_op[op_idx].output += 1;
+                        self.x.stats.per_op[op_idx].output += 1;
                         self.run(op_idx + 1)?;
                     }
                 } else {
-                    let items: Vec<Value> = match self.eval_access(src)? {
+                    let items: Vec<Value> = match self.x.eval_access(&self.regs, src)? {
                         Cow::Borrowed(Value::Set(items)) => items.iter().cloned().collect(),
                         Cow::Owned(Value::Set(items)) => items.into_iter().collect(),
                         other => {
@@ -778,24 +1140,24 @@ impl<'a> Machine<'a, '_> {
                     };
                     for item in items {
                         self.regs[*slot] = Cow::Owned(item);
-                        self.stats.per_op[op_idx].output += 1;
+                        self.x.stats.per_op[op_idx].output += 1;
                         self.run(op_idx + 1)?;
                     }
                 }
             }
             Operator::Bind { slot, src, .. } => {
-                self.regs[*slot] = self.eval_detached(src)?;
-                self.stats.per_op[op_idx].output += 1;
+                self.regs[*slot] = self.x.eval_detached(&self.regs, src)?;
+                self.x.stats.per_op[op_idx].output += 1;
                 self.run(op_idx + 1)?;
             }
             Operator::Filter { left, right } => {
                 let pass = {
-                    let l = self.eval_access(left)?;
-                    let r = self.eval_access(right)?;
+                    let l = self.x.eval_access(&self.regs, left)?;
+                    let r = self.x.eval_access(&self.regs, right)?;
                     l.as_ref() == r.as_ref()
                 };
                 if pass {
-                    self.stats.per_op[op_idx].output += 1;
+                    self.x.stats.per_op[op_idx].output += 1;
                     self.run(op_idx + 1)?;
                 }
             }
@@ -809,20 +1171,20 @@ impl<'a> Machine<'a, '_> {
                 // is empty the interpreter's inner loop never evaluates
                 // the join condition, so the probe key must not be
                 // evaluated against an empty table either.
-                self.ensure_table(op_idx)?;
+                self.x.ensure_table(op_idx)?;
                 // Move the table out while descending so the registers
                 // stay mutable; each join owns a distinct table index,
                 // so no downstream operator can observe the gap.
-                let t = self.tables[*table].take().expect("table built");
+                let t = self.x.tables[*table].take().expect("table built");
                 let mut result = Ok(());
                 if !t.is_empty() {
-                    match self.eval_detached(probe_key) {
+                    match self.x.eval_detached(&self.regs, probe_key) {
                         Err(e) => result = Err(e),
                         Ok(key) => {
                             if let Some(matches) = t.get(key.as_ref()) {
                                 for &row in matches {
                                     self.regs[*slot] = Cow::Borrowed(row);
-                                    self.stats.per_op[op_idx].output += 1;
+                                    self.x.stats.per_op[op_idx].output += 1;
                                     result = self.run(op_idx + 1);
                                     if result.is_err() {
                                         break;
@@ -832,7 +1194,40 @@ impl<'a> Machine<'a, '_> {
                         }
                     }
                 }
-                self.tables[*table] = Some(t);
+                self.x.tables[*table] = Some(t);
+                result?;
+            }
+            Operator::MergeJoin {
+                slot,
+                probe_key,
+                run,
+                ..
+            } => {
+                // Same lazy discipline as the hash join: an empty run
+                // never evaluates the probe key.
+                self.x.ensure_run(op_idx)?;
+                let r = self.x.runs[*run].take().expect("run built");
+                let mut result = Ok(());
+                if !r.is_empty() {
+                    match self.x.eval_detached(&self.regs, probe_key) {
+                        Err(e) => result = Err(e),
+                        Ok(key) => {
+                            let lo = r.partition_point(|(k, _)| k.as_ref() < key.as_ref());
+                            for (k, m) in &r[lo..] {
+                                if k.as_ref() != key.as_ref() {
+                                    break;
+                                }
+                                self.regs[*slot] = Cow::Borrowed(m);
+                                self.x.stats.per_op[op_idx].output += 1;
+                                result = self.run(op_idx + 1);
+                                if result.is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                self.x.runs[*run] = Some(r);
                 result?;
             }
         }
@@ -840,44 +1235,473 @@ impl<'a> Machine<'a, '_> {
     }
 }
 
-/// Executes a pipeline against the evaluator's instance.
+/// The push-based batch driver: each operator consumes a whole batch
+/// and pushes its output at the next operator, recursing once per
+/// *batch* per operator — never per row. Errors preserve the row
+/// machine's depth-first order by truncation: an error at live row `i`
+/// kills rows ≥ `i`, the surviving prefix is flushed downstream (a
+/// downstream error belongs to an earlier row and wins), and the
+/// pending error surfaces only if the flush returns cleanly.
+struct BatchMachine<'a, 'p> {
+    x: Exec<'a, 'p>,
+    cap: usize,
+}
+
+impl<'a> BatchMachine<'a, '_> {
+    fn push(&mut self, op_idx: usize, batch: &mut Batch<'a>) -> Result<(), EvalError> {
+        // An all-dead (or empty) batch carries no rows: no operator may
+        // observe it — exactly like the row machine never invoking an
+        // operator no row reaches.
+        if batch.live() == 0 {
+            return Ok(());
+        }
+        self.x.stats.batches += 1;
+        self.x.stats.sel_rows_live += batch.live() as u64;
+        self.x.stats.sel_rows_total += batch.rows() as u64;
+        let pipeline = self.x.pipeline;
+        if op_idx == pipeline.ops.len() {
+            return self.project(batch);
+        }
+        self.x.stats.per_op[op_idx].input += batch.live() as u64;
+        match &pipeline.ops[op_idx] {
+            Operator::Scan {
+                slot,
+                root,
+                root_id,
+                ..
+            } => {
+                let set = self.x.root(*root_id, root)?;
+                let items = set
+                    .as_set()
+                    .ok_or_else(|| EvalError::NotASet(format!("{root} = {set}")))?;
+                // A filter directly after the scan is applied while
+                // filling: rows it rejects are never materialized at
+                // all — the batch driver's main win over row-at-a-time.
+                if let Some(Operator::Filter { left, right }) = pipeline.ops.get(op_idx + 1) {
+                    return self.scan_filter(op_idx, batch, *slot, items, left, right);
+                }
+                let mut out = Batch::expanded_from(batch, *slot);
+                for row in 0..batch.rows() {
+                    if !batch.is_live(row) {
+                        continue;
+                    }
+                    for item in items {
+                        out.push_row(batch, row, *slot, Cow::Borrowed(item));
+                        self.x.stats.per_op[op_idx].output += 1;
+                        if out.rows() == self.cap {
+                            self.push(op_idx + 1, &mut out)?;
+                            out.clear_rows();
+                        }
+                    }
+                }
+                self.push(op_idx + 1, &mut out)?;
+            }
+            Operator::IterDependent { slot, src, .. } => {
+                let mut out = Batch::expanded_from(batch, *slot);
+                let mut pending = None;
+                'rows: for row in 0..batch.rows() {
+                    if !batch.is_live(row) {
+                        continue;
+                    }
+                    let rv = BatchRow { batch, row };
+                    if let Some(items) = self.x.anchored(&rv, src).and_then(|v| v.as_set()) {
+                        for item in items {
+                            out.push_row(batch, row, *slot, Cow::Borrowed(item));
+                            self.x.stats.per_op[op_idx].output += 1;
+                            if out.rows() == self.cap {
+                                self.push(op_idx + 1, &mut out)?;
+                                out.clear_rows();
+                            }
+                        }
+                    } else {
+                        let items: Vec<Value> = match self.x.eval_access(&rv, src) {
+                            Ok(Cow::Borrowed(Value::Set(items))) => items.iter().cloned().collect(),
+                            Ok(Cow::Owned(Value::Set(items))) => items.into_iter().collect(),
+                            Ok(other) => {
+                                pending = Some(EvalError::NotASet(format!(
+                                    "{} = {}",
+                                    src,
+                                    other.as_ref()
+                                )));
+                                break 'rows;
+                            }
+                            Err(e) => {
+                                pending = Some(e);
+                                break 'rows;
+                            }
+                        };
+                        for item in items {
+                            out.push_row(batch, row, *slot, Cow::Owned(item));
+                            self.x.stats.per_op[op_idx].output += 1;
+                            if out.rows() == self.cap {
+                                self.push(op_idx + 1, &mut out)?;
+                                out.clear_rows();
+                            }
+                        }
+                    }
+                }
+                self.push(op_idx + 1, &mut out)?;
+                if let Some(e) = pending {
+                    return Err(e);
+                }
+            }
+            Operator::Bind { slot, src, .. } => {
+                batch.bind_col(*slot);
+                let mut pending = None;
+                for row in 0..batch.rows() {
+                    if !batch.is_live(row) {
+                        continue;
+                    }
+                    if pending.is_some() {
+                        batch.kill(row);
+                        continue;
+                    }
+                    let bound = self.x.eval_detached(&BatchRow { batch, row }, src);
+                    match bound {
+                        Ok(v) => {
+                            batch.set(*slot, row, v);
+                            self.x.stats.per_op[op_idx].output += 1;
+                        }
+                        Err(e) => {
+                            pending = Some(e);
+                            batch.kill(row);
+                        }
+                    }
+                }
+                self.push(op_idx + 1, batch)?;
+                if let Some(e) = pending {
+                    return Err(e);
+                }
+            }
+            Operator::Filter { left, right } => {
+                let mut pending = None;
+                for row in 0..batch.rows() {
+                    if !batch.is_live(row) {
+                        continue;
+                    }
+                    if pending.is_some() {
+                        batch.kill(row);
+                        continue;
+                    }
+                    let verdict: Result<bool, EvalError> = (|| {
+                        let rv = BatchRow { batch, row };
+                        let l = self.x.eval_access(&rv, left)?;
+                        let r = self.x.eval_access(&rv, right)?;
+                        Ok(l.as_ref() == r.as_ref())
+                    })();
+                    match verdict {
+                        Ok(true) => self.x.stats.per_op[op_idx].output += 1,
+                        Ok(false) => batch.kill(row),
+                        Err(e) => {
+                            pending = Some(e);
+                            batch.kill(row);
+                        }
+                    }
+                }
+                self.push(op_idx + 1, batch)?;
+                if let Some(e) = pending {
+                    return Err(e);
+                }
+            }
+            Operator::HashJoin {
+                slot,
+                probe_key,
+                table,
+                ..
+            } => {
+                // Build (or reuse) the table on the batch's first live
+                // row; an empty root's table stays unbuilt forever.
+                self.x.ensure_table(op_idx)?;
+                let t = self.x.tables[*table].take().expect("table built");
+                let mut pending = None;
+                let mut down = Ok(());
+                if !t.is_empty() {
+                    let mut out = Batch::expanded_from(batch, *slot);
+                    'rows: for row in 0..batch.rows() {
+                        if !batch.is_live(row) {
+                            continue;
+                        }
+                        match self.x.eval_detached(&BatchRow { batch, row }, probe_key) {
+                            Err(e) => {
+                                pending = Some(e);
+                                break 'rows;
+                            }
+                            Ok(key) => {
+                                if let Some(matches) = t.get(key.as_ref()) {
+                                    for &m in matches {
+                                        out.push_row(batch, row, *slot, Cow::Borrowed(m));
+                                        self.x.stats.per_op[op_idx].output += 1;
+                                        if out.rows() == self.cap {
+                                            down = self.push(op_idx + 1, &mut out);
+                                            if down.is_err() {
+                                                break 'rows;
+                                            }
+                                            out.clear_rows();
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if down.is_ok() {
+                        down = self.push(op_idx + 1, &mut out);
+                    }
+                }
+                self.x.tables[*table] = Some(t);
+                down?;
+                if let Some(e) = pending {
+                    return Err(e);
+                }
+            }
+            Operator::MergeJoin {
+                slot,
+                probe_key,
+                run,
+                ..
+            } => {
+                self.x.ensure_run(op_idx)?;
+                let r = self.x.runs[*run].take().expect("run built");
+                let mut pending = None;
+                let mut down = Ok(());
+                if !r.is_empty() {
+                    let mut out = Batch::expanded_from(batch, *slot);
+                    'rows: for row in 0..batch.rows() {
+                        if !batch.is_live(row) {
+                            continue;
+                        }
+                        match self.x.eval_detached(&BatchRow { batch, row }, probe_key) {
+                            Err(e) => {
+                                pending = Some(e);
+                                break 'rows;
+                            }
+                            Ok(key) => {
+                                let lo = r.partition_point(|(k, _)| k.as_ref() < key.as_ref());
+                                for (k, m) in &r[lo..] {
+                                    if k.as_ref() != key.as_ref() {
+                                        break;
+                                    }
+                                    out.push_row(batch, row, *slot, Cow::Borrowed(m));
+                                    self.x.stats.per_op[op_idx].output += 1;
+                                    if out.rows() == self.cap {
+                                        down = self.push(op_idx + 1, &mut out);
+                                        if down.is_err() {
+                                            break 'rows;
+                                        }
+                                        out.clear_rows();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if down.is_ok() {
+                        down = self.push(op_idx + 1, &mut out);
+                    }
+                }
+                self.x.runs[*run] = Some(r);
+                down?;
+                if let Some(e) = pending {
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The fused scan+filter kernel: scans `items` into register `slot`
+    /// with the following filter applied in place, so rejected rows
+    /// never touch a batch. Filter sides that do not read the scanned
+    /// register are row-constants, evaluated once per input row (at the
+    /// first item, in the row machine's left-then-right order, so the
+    /// first error is the same error); a side that is a single field off
+    /// the scanned item skips the generic evaluator entirely. The
+    /// filter's rows are accounted as if they rode full batches, which
+    /// is exactly what the unfused pipeline would push.
+    fn scan_filter(
+        &mut self,
+        op_idx: usize,
+        batch: &Batch<'a>,
+        slot: usize,
+        items: &'a BTreeSet<Value>,
+        left: &Access,
+        right: &Access,
+    ) -> Result<(), EvalError> {
+        let left_varies = left.reads_slot(slot);
+        let right_varies = right.reads_slot(slot);
+        let lf =
+            (left.slot() == Some(slot) && left.fields.len() == 1).then(|| left.fields[0].as_str());
+        let rf = (right.slot() == Some(slot) && right.fields.len() == 1)
+            .then(|| right.fields[0].as_str());
+        let mut out = Batch::expanded_from(batch, slot);
+        let mut pending = None;
+        let mut down = Ok(());
+        let mut scanned = 0u64;
+        let mut passed = 0u64;
+        'rows: for row in 0..batch.rows() {
+            if !batch.is_live(row) {
+                continue;
+            }
+            let mut inv_left: Option<CowValue<'a>> = None;
+            let mut inv_right: Option<CowValue<'a>> = None;
+            for item in items {
+                scanned += 1;
+                let verdict: Result<bool, EvalError> = (|| {
+                    if !left_varies && inv_left.is_none() {
+                        inv_left = Some(self.x.eval_detached(&BatchRow { batch, row }, left)?);
+                    }
+                    let l: Cow<'_, Value> = match &inv_left {
+                        Some(v) => Cow::Borrowed(v.as_ref()),
+                        None => match (lf, item) {
+                            (Some(f), Value::Struct(m)) => {
+                                Cow::Borrowed(m.get(f).ok_or_else(|| EvalError::NoSuchField {
+                                    value: left.prefix_display(0),
+                                    field: f.to_string(),
+                                })?)
+                            }
+                            _ => {
+                                let rv = SlotOverlay {
+                                    batch,
+                                    row,
+                                    slot,
+                                    val: Cow::Borrowed(item),
+                                };
+                                Cow::Owned(self.x.eval_access(&rv, left)?.into_owned())
+                            }
+                        },
+                    };
+                    if !right_varies && inv_right.is_none() {
+                        inv_right = Some(self.x.eval_detached(&BatchRow { batch, row }, right)?);
+                    }
+                    let r: Cow<'_, Value> = match &inv_right {
+                        Some(v) => Cow::Borrowed(v.as_ref()),
+                        None => match (rf, item) {
+                            (Some(f), Value::Struct(m)) => {
+                                Cow::Borrowed(m.get(f).ok_or_else(|| EvalError::NoSuchField {
+                                    value: right.prefix_display(0),
+                                    field: f.to_string(),
+                                })?)
+                            }
+                            _ => {
+                                let rv = SlotOverlay {
+                                    batch,
+                                    row,
+                                    slot,
+                                    val: Cow::Borrowed(item),
+                                };
+                                Cow::Owned(self.x.eval_access(&rv, right)?.into_owned())
+                            }
+                        },
+                    };
+                    Ok(l.as_ref() == r.as_ref())
+                })();
+                match verdict {
+                    Ok(true) => {
+                        passed += 1;
+                        out.push_row(batch, row, slot, Cow::Borrowed(item));
+                        if out.rows() == self.cap {
+                            down = self.push(op_idx + 2, &mut out);
+                            if down.is_err() {
+                                break 'rows;
+                            }
+                            out.clear_rows();
+                        }
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        pending = Some(e);
+                        break 'rows;
+                    }
+                }
+            }
+        }
+        self.x.stats.per_op[op_idx].output += scanned;
+        self.x.stats.per_op[op_idx + 1].input += scanned;
+        self.x.stats.per_op[op_idx + 1].output += passed;
+        self.x.stats.batches += scanned.div_ceil(self.cap as u64);
+        self.x.stats.sel_rows_live += scanned;
+        self.x.stats.sel_rows_total += scanned;
+        if down.is_ok() {
+            down = self.push(op_idx + 2, &mut out);
+        }
+        down?;
+        if let Some(e) = pending {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Drains a batch's surviving rows through the final projection.
+    fn project(&mut self, batch: &Batch<'a>) -> Result<(), EvalError> {
+        for row in 0..batch.rows() {
+            if !batch.is_live(row) {
+                continue;
+            }
+            self.x.emit(&BatchRow { batch, row })?;
+        }
+        Ok(())
+    }
+}
+
+fn new_exec<'a, 'p>(ev: &'p Evaluator<'a>, pipeline: &'p Pipeline) -> Exec<'a, 'p> {
+    let instance = ev.instance();
+    Exec {
+        ev,
+        pipeline,
+        root_vals: pipeline.roots.iter().map(|r| instance.get(r)).collect(),
+        tables: (0..pipeline.n_tables).map(|_| None).collect(),
+        runs: (0..pipeline.n_runs).map(|_| None).collect(),
+        stats: PipelineStats::for_pipeline(pipeline),
+        out: BTreeSet::new(),
+    }
+}
+
+/// Executes a pipeline against the evaluator's instance with the
+/// batched, push-based driver.
 pub fn execute(ev: &Evaluator<'_>, pipeline: &Pipeline) -> Result<BTreeSet<Value>, EvalError> {
     execute_with_stats(ev, pipeline).map(|(rows, _)| rows)
 }
 
-/// Executes a pipeline and reports per-operator row counters alongside
-/// the result.
+/// Executes a pipeline with the batched driver and reports per-operator
+/// row and batch counters alongside the result.
 pub fn execute_with_stats(
     ev: &Evaluator<'_>,
     pipeline: &Pipeline,
 ) -> Result<(BTreeSet<Value>, PipelineStats), EvalError> {
-    let instance = ev.instance();
-    let mut m = Machine {
-        ev,
-        pipeline,
-        root_vals: pipeline.roots.iter().map(|r| instance.get(r)).collect(),
-        regs: vec![Cow::Owned(Value::Bool(false)); pipeline.n_slots],
-        tables: (0..pipeline.n_tables).map(|_| None).collect(),
-        stats: PipelineStats::for_pipeline(pipeline),
-        out: BTreeSet::new(),
+    let mut m = BatchMachine {
+        x: new_exec(ev, pipeline),
+        cap: pipeline.batch_size.max(1),
     };
     // Hoisted ground filters: once, before any row is touched.
-    for g in &pipeline.ground {
-        m.stats.ground_filters += 1;
-        let pass = {
-            let l = m.eval_access(&g.left)?;
-            let r = m.eval_access(&g.right)?;
-            l.as_ref() == r.as_ref()
-        };
-        if !pass {
-            m.stats.short_circuited = true;
-            m.stats.tables_skipped = pipeline.n_tables as u64;
-            return Ok((m.out, m.stats));
-        }
+    if m.x.ground_short_circuits()? {
+        return Ok(m.x.finish());
+    }
+    // The seed batch: one live row, every register unbound — the batched
+    // counterpart of invoking the row machine once at operator 0.
+    let mut seed = Batch::seed(pipeline.n_slots);
+    m.push(0, &mut seed)?;
+    Ok(m.x.finish())
+}
+
+/// Executes a pipeline with the recursive row-at-a-time driver — the
+/// differential baseline the batched driver is proven identical to
+/// (results and errors).
+pub fn execute_rows(ev: &Evaluator<'_>, pipeline: &Pipeline) -> Result<BTreeSet<Value>, EvalError> {
+    execute_rows_with_stats(ev, pipeline).map(|(rows, _)| rows)
+}
+
+/// Row-at-a-time execution with per-operator row counters.
+pub fn execute_rows_with_stats(
+    ev: &Evaluator<'_>,
+    pipeline: &Pipeline,
+) -> Result<(BTreeSet<Value>, PipelineStats), EvalError> {
+    let mut m = RowMachine {
+        x: new_exec(ev, pipeline),
+        regs: vec![Cow::Owned(Value::Bool(false)); pipeline.n_slots],
+    };
+    if m.x.ground_short_circuits()? {
+        return Ok(m.x.finish());
     }
     m.run(0)?;
-    m.stats.tables_skipped = pipeline.n_tables as u64 - m.stats.tables_built;
-    Ok((m.out, m.stats))
+    Ok(m.x.finish())
 }
 
 #[cfg(test)]
@@ -916,8 +1740,14 @@ mod tests {
             let q = parse_query(src).unwrap();
             let reference = ev.eval_query(&q).unwrap();
             for options in [
-                CompileOptions { hash_joins: false },
-                CompileOptions { hash_joins: true },
+                CompileOptions {
+                    hash_joins: false,
+                    ..Default::default()
+                },
+                CompileOptions {
+                    hash_joins: true,
+                    ..Default::default()
+                },
             ] {
                 let pipeline = compile(&q, options);
                 let rows = execute(&ev, &pipeline).unwrap();
@@ -930,12 +1760,24 @@ mod tests {
     fn hash_join_operator_is_used() {
         let q =
             parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
-        let nl = compile(&q, CompileOptions { hash_joins: false });
+        let nl = compile(
+            &q,
+            CompileOptions {
+                hash_joins: false,
+                ..Default::default()
+            },
+        );
         assert!(nl
             .ops
             .iter()
             .all(|op| !matches!(op, Operator::HashJoin { .. })));
-        let hj = compile(&q, CompileOptions { hash_joins: true });
+        let hj = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         assert!(
             hj.ops
                 .iter()
@@ -1012,7 +1854,13 @@ mod tests {
                 Path::var("s").field("B"),
             )],
         );
-        let p = compile(&q, CompileOptions { hash_joins: true });
+        let p = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(p.n_tables, 1, "pipeline: {p}");
         let (rows, stats) = execute_with_stats(&ev, &p).unwrap();
         assert!(rows.is_empty());
@@ -1022,7 +1870,13 @@ mod tests {
         // With a non-empty outer stream the same pipeline builds once.
         let q2 =
             parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
-        let p2 = compile(&q2, CompileOptions { hash_joins: true });
+        let p2 = compile(
+            &q2,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         let (rows2, stats2) = execute_with_stats(&ev, &p2).unwrap();
         assert_eq!(rows2, ev.eval_query(&q2).unwrap());
         assert_eq!(stats2.tables_built, 1);
@@ -1041,8 +1895,14 @@ mod tests {
         let q = parse_query("select struct(X = r.A) from R r, S s where r.MISSING = s.B").unwrap();
         assert_eq!(ev.eval_query(&q), Ok(BTreeSet::new()));
         for options in [
-            CompileOptions { hash_joins: false },
-            CompileOptions { hash_joins: true },
+            CompileOptions {
+                hash_joins: false,
+                ..Default::default()
+            },
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
         ] {
             let p = compile(&q, options);
             assert_eq!(execute(&ev, &p), Ok(BTreeSet::new()), "pipeline: {p}");
@@ -1127,8 +1987,14 @@ mod tests {
             vec![Equality(Path::var("x").field("B"), Path::int(1))],
         );
         for options in [
-            CompileOptions { hash_joins: false },
-            CompileOptions { hash_joins: true },
+            CompileOptions {
+                hash_joins: false,
+                ..Default::default()
+            },
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
         ] {
             let p = compile(&q, options);
             if let Some(Operator::Filter { left, .. }) = p
@@ -1196,7 +2062,13 @@ mod tests {
              where r.B = s.B and s.C = t.C",
         )
         .unwrap();
-        let p = compile(&q, CompileOptions { hash_joins: true });
+        let p = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         let n_hash = p
             .ops
             .iter()
@@ -1237,10 +2109,248 @@ mod tests {
     fn display_is_readable() {
         let q =
             parse_query("select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B").unwrap();
-        let p = compile(&q, CompileOptions { hash_joins: true });
+        let p = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         let text = p.to_string();
         assert!(text.contains("Scan(R as r@0)"), "{text}");
         assert!(text.contains("HashJoin(S as s@1"), "{text}");
         assert!(text.ends_with("Project"));
+    }
+
+    #[test]
+    fn merge_join_is_chosen_for_ordered_roots() {
+        // Both sides are plain root scans whose BTreeSet iteration sorts
+        // the join key: the compiler must pick MergeJoin over HashJoin
+        // when both algorithms are allowed, and the results must match
+        // both the interpreter and the hash-join pipeline.
+        let inst = rs_instance(40);
+        let ev = Evaluator::new(&inst);
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where s.B = r.B").unwrap();
+        let mj = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                merge_joins: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            mj.ops
+                .iter()
+                .any(|op| matches!(op, Operator::MergeJoin { .. })),
+            "pipeline: {mj}"
+        );
+        assert_eq!(mj.n_runs, 1);
+        assert_eq!(mj.n_tables, 0);
+        let hj = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
+        let reference = ev.eval_query(&q).unwrap();
+        assert_eq!(execute(&ev, &mj).unwrap(), reference);
+        assert_eq!(execute(&ev, &hj).unwrap(), reference);
+        assert_eq!(execute_rows(&ev, &mj).unwrap(), reference);
+    }
+
+    #[test]
+    fn merge_runs_avoid_sorting_on_first_field_keys() {
+        // R's records sort by their alphabetically-first field (A for R,
+        // B for S). Joining on s.B means the S-side run comes out of the
+        // BTreeSet already key-ordered: no sort. Joining on s.C (the
+        // second field) must detect disorder and sort.
+        let inst = rs_instance(40);
+        let ev = Evaluator::new(&inst);
+        let sorted_free =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where s.B = r.B").unwrap();
+        let needs_sort =
+            parse_query("select struct(A = r.A, B = s.B) from R r, S s where s.C = r.A").unwrap();
+        let options = CompileOptions {
+            hash_joins: true,
+            merge_joins: true,
+            ..Default::default()
+        };
+        let p1 = compile(&sorted_free, options);
+        let (rows1, stats1) = execute_with_stats(&ev, &p1).unwrap();
+        assert_eq!(rows1, ev.eval_query(&sorted_free).unwrap());
+        assert_eq!(stats1.runs_built, 1);
+        assert_eq!(stats1.runs_sorted, 0, "B-keys arrive sorted: {p1}");
+
+        let p2 = compile(&needs_sort, options);
+        assert!(p2
+            .ops
+            .iter()
+            .any(|op| matches!(op, Operator::MergeJoin { .. })));
+        let (rows2, stats2) = execute_with_stats(&ev, &p2).unwrap();
+        assert_eq!(rows2, ev.eval_query(&needs_sort).unwrap());
+        assert_eq!(stats2.runs_built, 1);
+        assert_eq!(stats2.runs_sorted, 1, "C-keys need a sort: {p2}");
+    }
+
+    #[test]
+    fn merge_runs_build_lazily() {
+        let mut inst = rs_instance(10);
+        inst.set("Empty", Value::Set(BTreeSet::new()));
+        let ev = Evaluator::new(&inst);
+        let q = Query::new(
+            Output::record([("C", Path::var("s").field("C"))]),
+            vec![
+                Binding::iter("e", Path::root("Empty")),
+                Binding::iter("s", Path::root("S")),
+            ],
+            vec![Equality(
+                Path::var("s").field("B"),
+                Path::var("e").field("B"),
+            )],
+        );
+        let p = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                merge_joins: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(p.n_runs, 1, "pipeline: {p}");
+        let (rows, stats) = execute_with_stats(&ev, &p).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(stats.runs_built, 0);
+        assert_eq!(stats.runs_skipped, 1);
+    }
+
+    #[test]
+    fn batch_sizes_do_not_change_results() {
+        let inst = rs_instance(40);
+        let ev = Evaluator::new(&inst);
+        for src in [
+            "select struct(A = r.A) from R r where r.B = 2",
+            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B",
+            "select struct(A = r.A, C = s.C) from R r, S s where s.B = r.B and s.C = 3",
+        ] {
+            let q = parse_query(src).unwrap();
+            let reference = ev.eval_query(&q).unwrap();
+            for (hash_joins, merge_joins) in [(false, false), (true, false), (true, true)] {
+                for batch_size in [1, 2, 1024] {
+                    let p = compile(
+                        &q,
+                        CompileOptions {
+                            hash_joins,
+                            merge_joins,
+                            batch_size,
+                        },
+                    );
+                    assert_eq!(
+                        execute(&ev, &p).unwrap(),
+                        reference,
+                        "{src} at batch {batch_size} with {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_errors_match_the_row_machine() {
+        // A filter whose path fails on some rows: the batched driver's
+        // truncate-on-error discipline must surface exactly the error the
+        // row-at-a-time machine reports, for every batch size.
+        let mut inst = Instance::new();
+        inst.set(
+            "M",
+            Value::set([
+                Value::record([("A", Value::Int(1)), ("B", Value::Int(1))]),
+                Value::record([("A", Value::Int(2))]),
+                Value::record([("A", Value::Int(3)), ("B", Value::Int(3))]),
+            ]),
+        );
+        let ev = Evaluator::new(&inst);
+        let q = parse_query("select struct(A = m.A) from M m where m.B = 1").unwrap();
+        for batch_size in [1, 2, 1024] {
+            let p = compile(
+                &q,
+                CompileOptions {
+                    batch_size,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                execute(&ev, &p),
+                execute_rows(&ev, &p),
+                "batch {batch_size}: {p}"
+            );
+            assert_eq!(execute(&ev, &p), ev.eval_query(&q), "batch {batch_size}");
+        }
+    }
+
+    #[test]
+    fn batch_stats_reconcile_with_row_counts() {
+        let inst = rs_instance(30);
+        let ev = Evaluator::new(&inst);
+        let q = parse_query(
+            "select struct(A = r.A, C = s.C) from R r, S s where r.B = s.B and s.C = 3",
+        )
+        .unwrap();
+        for (hash_joins, merge_joins) in [(false, false), (true, false), (true, true)] {
+            for batch_size in [1, 7, 1024] {
+                let p = compile(
+                    &q,
+                    CompileOptions {
+                        hash_joins,
+                        merge_joins,
+                        batch_size,
+                    },
+                );
+                let (rows, stats) = execute_with_stats(&ev, &p).unwrap();
+                assert_eq!(rows, ev.eval_query(&q).unwrap());
+                // Every live row in a pushed batch is consumed by exactly
+                // one operator or the final projection.
+                let consumed: u64 =
+                    stats.per_op.iter().map(|o| o.input).sum::<u64>() + stats.rows_emitted;
+                assert_eq!(
+                    stats.sel_rows_live, consumed,
+                    "batch {batch_size}, joins {hash_joins}/{merge_joins}: {p}"
+                );
+                assert!(stats.sel_rows_live <= stats.sel_rows_total);
+                assert!(stats.batches > 0);
+                assert!(stats.sel_fill_rate() > 0.0);
+                // Arena accounting: every table/run is built or skipped.
+                assert_eq!(stats.tables_built + stats.tables_skipped, p.n_tables as u64);
+                assert_eq!(stats.runs_built + stats.runs_skipped, p.n_runs as u64);
+                // The batched per-op counts equal the row machine's.
+                let (_, row_stats) = execute_rows_with_stats(&ev, &p).unwrap();
+                assert_eq!(stats.per_op, row_stats.per_op, "batch {batch_size}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_reports_batches_and_join_algorithms() {
+        let inst = rs_instance(20);
+        let ev = Evaluator::new(&inst);
+        let q =
+            parse_query("select struct(A = r.A, C = s.C) from R r, S s where s.B = r.B").unwrap();
+        let p = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                merge_joins: true,
+                ..Default::default()
+            },
+        );
+        let (_, stats) = execute_with_stats(&ev, &p).unwrap();
+        let rendered = stats.render(&p);
+        assert!(rendered.contains("join algorithms:"), "{rendered}");
+        assert!(rendered.contains("1 merge"), "{rendered}");
+        assert!(rendered.contains("batches:"), "{rendered}");
+        assert!(rendered.contains("merge runs:"), "{rendered}");
+        assert!(rendered.contains("selection fill"), "{rendered}");
     }
 }

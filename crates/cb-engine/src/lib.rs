@@ -28,8 +28,9 @@ pub mod value;
 pub use check::{satisfies, violations};
 pub use eval::{EvalError, Evaluator};
 pub use exec::{
-    compile, execute, execute_with_stats, Access, AccessKind, CompileOptions, CompiledOutput,
-    GroundFilter, OpStats, Operator, Pipeline, PipelineStats,
+    compile, execute, execute_rows, execute_rows_with_stats, execute_with_stats, Access,
+    AccessKind, CompileOptions, CompiledOutput, GroundFilter, OpStats, Operator, Pipeline,
+    PipelineStats,
 };
 pub use generator::{
     join_instance, projdept_instance, rabc_instance, JoinParams, ProjDeptParams, RabcParams,
@@ -37,4 +38,4 @@ pub use generator::{
 pub use instance::Instance;
 pub use materialize::{MaterializeError, Materializer};
 pub use stats::collect_stats;
-pub use value::{CowValue, Value};
+pub use value::{Batch, CowValue, SelVec, Value};

@@ -100,6 +100,163 @@ impl Value {
     }
 }
 
+/// The placeholder occupying never-written registers and dead batch
+/// cells — the same seed value the row-at-a-time register file uses, so
+/// reading an unbound slot behaves identically in both executors.
+static UNBOUND: CowValue<'static> = Cow::Owned(Value::Bool(false));
+
+/// A selection vector: one liveness bit per batch row, with the live
+/// count maintained incrementally. Filters *mark* rows dead here instead
+/// of compacting the batch, so upstream columns never shift.
+#[derive(Debug, Clone, Default)]
+pub struct SelVec {
+    bits: Vec<bool>,
+    live: usize,
+}
+
+impl SelVec {
+    /// Number of rows (live and dead).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of live rows.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_live(&self, row: usize) -> bool {
+        self.bits[row]
+    }
+
+    /// Appends one live row.
+    pub fn push_live(&mut self) {
+        self.bits.push(true);
+        self.live += 1;
+    }
+
+    /// Marks a row dead (idempotent).
+    pub fn kill(&mut self, row: usize) {
+        if self.bits[row] {
+            self.bits[row] = false;
+            self.live -= 1;
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.bits.clear();
+        self.live = 0;
+    }
+}
+
+/// A batch of rows over the pipeline executor's slot layout: one column
+/// of maybe-borrowed values per register plus a [`SelVec`]. Columns for
+/// slots no operator has written yet stay unbound — reading one yields
+/// the same `false` placeholder the row-at-a-time register file is
+/// seeded with.
+#[derive(Debug, Clone)]
+pub struct Batch<'a> {
+    cols: Vec<Vec<CowValue<'a>>>,
+    bound: Vec<bool>,
+    sel: SelVec,
+}
+
+impl<'a> Batch<'a> {
+    /// The pipeline's seed batch: one live row, every slot unbound —
+    /// the batched counterpart of invoking the row machine once.
+    pub fn seed(n_slots: usize) -> Batch<'a> {
+        let mut sel = SelVec::default();
+        sel.push_live();
+        Batch {
+            cols: vec![Vec::new(); n_slots],
+            bound: vec![false; n_slots],
+            sel,
+        }
+    }
+
+    /// An empty output batch for an expanding operator: inherits the
+    /// source batch's bound columns plus the operator's own `slot`.
+    pub fn expanded_from(src: &Batch<'a>, slot: usize) -> Batch<'a> {
+        let mut bound = src.bound.clone();
+        if let Some(b) = bound.get_mut(slot) {
+            *b = true;
+        }
+        Batch {
+            cols: vec![Vec::new(); src.cols.len()],
+            bound,
+            sel: SelVec::default(),
+        }
+    }
+
+    /// Rows in the batch, dead ones included.
+    pub fn rows(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// Live rows in the batch.
+    pub fn live(&self) -> usize {
+        self.sel.live()
+    }
+
+    pub fn is_live(&self, row: usize) -> bool {
+        self.sel.is_live(row)
+    }
+
+    /// Marks a row dead.
+    pub fn kill(&mut self, row: usize) {
+        self.sel.kill(row);
+    }
+
+    /// Reads register `slot` of `row`; unbound slots read the placeholder.
+    pub fn reg(&self, slot: usize, row: usize) -> &CowValue<'a> {
+        if self.bound.get(slot).copied().unwrap_or(false) {
+            &self.cols[slot][row]
+        } else {
+            &UNBOUND
+        }
+    }
+
+    /// Materializes `slot`'s column (placeholder-filled) so a scalar
+    /// binding operator can write it in place, row by row.
+    pub fn bind_col(&mut self, slot: usize) {
+        if !self.bound[slot] {
+            self.bound[slot] = true;
+            self.cols[slot] = vec![UNBOUND.clone(); self.sel.len()];
+        }
+    }
+
+    /// Writes register `slot` of `row` (the column must be bound).
+    pub fn set(&mut self, slot: usize, row: usize, v: CowValue<'a>) {
+        self.cols[slot][row] = v;
+    }
+
+    /// Appends one live row: `src`'s bound registers at `row` are
+    /// replicated and the expanding operator's own `slot` is set to `v`.
+    pub fn push_row(&mut self, src: &Batch<'a>, row: usize, slot: usize, v: CowValue<'a>) {
+        for s in 0..self.cols.len() {
+            if s != slot && src.bound[s] {
+                let cell = src.cols[s][row].clone();
+                self.cols[s].push(cell);
+            }
+        }
+        self.cols[slot].push(v);
+        self.sel.push_live();
+    }
+
+    /// Drops every row (bound columns stay bound) so the batch can be
+    /// refilled without reallocating.
+    pub fn clear_rows(&mut self) {
+        for c in &mut self.cols {
+            c.clear();
+        }
+        self.sel.clear();
+    }
+}
+
 impl From<&Constant> for Value {
     fn from(c: &Constant) -> Value {
         match c {
@@ -185,6 +342,37 @@ mod tests {
             Value::set([Value::Int(2), Value::Int(1)]).to_string(),
             "{1, 2}"
         );
+    }
+
+    #[test]
+    fn batch_selection_and_columns() {
+        let row = Value::record([("A", Value::Int(1))]);
+        let seed: Batch<'_> = Batch::seed(2);
+        assert_eq!((seed.rows(), seed.live()), (1, 1));
+        // Unbound slots read the row machine's seed placeholder.
+        assert_eq!(seed.reg(0, 0).as_ref(), &Value::Bool(false));
+
+        let mut out = Batch::expanded_from(&seed, 0);
+        out.push_row(&seed, 0, 0, Cow::Borrowed(&row));
+        out.push_row(&seed, 0, 0, Cow::Owned(Value::Int(9)));
+        assert_eq!((out.rows(), out.live()), (2, 2));
+        assert_eq!(out.reg(0, 0).as_ref(), &row);
+        assert_eq!(out.reg(1, 1).as_ref(), &Value::Bool(false));
+
+        // Kill marks rows dead without shifting columns; idempotent.
+        out.kill(0);
+        out.kill(0);
+        assert_eq!((out.rows(), out.live()), (2, 1));
+        assert!(!out.is_live(0));
+        assert_eq!(out.reg(0, 0).as_ref(), &row);
+
+        // A bound scalar column writes in place.
+        out.bind_col(1);
+        out.set(1, 1, Cow::Owned(Value::Int(5)));
+        assert_eq!(out.reg(1, 1).as_ref(), &Value::Int(5));
+
+        out.clear_rows();
+        assert_eq!((out.rows(), out.live()), (0, 0));
     }
 
     #[test]

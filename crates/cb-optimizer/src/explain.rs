@@ -82,25 +82,41 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
     let _ = writeln!(s, "\n== chosen plan (cost {:.1}) ==", outcome.best.cost);
     let _ = writeln!(s, "{}", outcome.best.query);
     // The plan as the engine will actually run it: the slot-compiled
-    // pipeline (hash joins on), with its register/table/ground layout.
-    // `execute_with_stats` reports rows per operator against this shape.
+    // pipeline (hash and merge joins on), with its register/table/run/
+    // batch layout. `execute_with_stats` reports rows per operator
+    // against this shape.
     let pipeline = cb_engine::compile(
         &outcome.best.query,
-        cb_engine::CompileOptions { hash_joins: true },
+        cb_engine::CompileOptions {
+            hash_joins: true,
+            merge_joins: true,
+            ..Default::default()
+        },
     );
-    let _ = writeln!(s, "\n== slot-compiled pipeline (hash joins on) ==");
+    let _ = writeln!(s, "\n== slot-compiled pipeline (hash/merge joins on) ==");
     let _ = writeln!(
         s,
-        "  registers: {}   hash tables: {}   hoisted ground filters: {}",
+        "  registers: {}   hash tables: {}   merge runs: {}   hoisted ground filters: {}",
         pipeline.n_slots,
         pipeline.n_tables,
+        pipeline.n_runs,
         pipeline.ground.len()
+    );
+    let _ = writeln!(
+        s,
+        "  batch layout: {} rows/batch over {} column(s), push-based driver",
+        pipeline.batch_size, pipeline.n_slots
     );
     for g in &pipeline.ground {
         let _ = writeln!(s, "  Ground({} = {})", g.left, g.right);
     }
     for op in &pipeline.ops {
-        let _ = writeln!(s, "  {op}");
+        let algo = match op {
+            cb_engine::Operator::HashJoin { .. } => "  [join: hash]",
+            cb_engine::Operator::MergeJoin { .. } => "  [join: merge]",
+            _ => "",
+        };
+        let _ = writeln!(s, "  {op}{algo}");
     }
     let _ = writeln!(s, "  Project");
     let _ = writeln!(s, "\n== static analysis ==");

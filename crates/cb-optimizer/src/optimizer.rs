@@ -578,13 +578,22 @@ impl<'a> Optimizer<'a> {
         // here is a compiler bug surfacing before execution.
         if self.config.preflight != PreflightMode::Off {
             for (rank, c) in candidates.iter().enumerate() {
-                for hash_joins in [false, true] {
-                    let pipeline =
-                        cb_engine::compile(&c.query, cb_engine::CompileOptions { hash_joins });
+                // Both compile modes: plain, and with the physical join
+                // operators (hash + merge) enabled, so every operator
+                // the executor could run is verified.
+                for joins in [false, true] {
+                    let pipeline = cb_engine::compile(
+                        &c.query,
+                        cb_engine::CompileOptions {
+                            hash_joins: joins,
+                            merge_joins: joins,
+                            ..Default::default()
+                        },
+                    );
                     let label = format!(
                         "plan #{}{}",
                         rank + 1,
-                        if hash_joins { ", hash joins" } else { "" }
+                        if joins { ", hash/merge joins" } else { "" }
                     );
                     diagnostics.merge_labeled(&label, analyzer.check_pipeline(&pipeline));
                 }

@@ -65,7 +65,13 @@ fn main() {
         // the hash-join rewrite plus the borrow-only register file turn
         // the interpreter's painful nested loop into one build + |R|
         // probes, without touching the optimizer's choice.
-        let hashed = compile(&q, CompileOptions { hash_joins: true });
+        let hashed = compile(
+            &q,
+            CompileOptions {
+                hash_joins: true,
+                ..Default::default()
+            },
+        );
         let t2 = Instant::now();
         let piped = execute(&ev, &hashed).unwrap();
         let pipe_time = t2.elapsed();

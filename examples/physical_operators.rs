@@ -42,8 +42,20 @@ fn main() {
 
     let ev = Evaluator::for_catalog(&catalog, &instance);
 
-    let nested = compile(&q, CompileOptions { hash_joins: false });
-    let hashed = compile(&q, CompileOptions { hash_joins: true });
+    let nested = compile(
+        &q,
+        CompileOptions {
+            hash_joins: false,
+            ..Default::default()
+        },
+    );
+    let hashed = compile(
+        &q,
+        CompileOptions {
+            hash_joins: true,
+            ..Default::default()
+        },
+    );
     println!("nested-loop pipeline: {nested}");
     println!("hash-join pipeline:   {hashed}");
 
@@ -78,7 +90,13 @@ fn main() {
     let outcome = Optimizer::new(&view_cat)
         .optimize(&cb_catalog::scenarios::relational_views::query())
         .unwrap();
-    let pipeline = compile(&outcome.best.query, CompileOptions { hash_joins: true });
+    let pipeline = compile(
+        &outcome.best.query,
+        CompileOptions {
+            hash_joins: true,
+            ..Default::default()
+        },
+    );
     println!("\nchosen plan:   {}", outcome.best.query);
     println!("as a pipeline: {pipeline}");
     let ev2 = Evaluator::for_catalog(&view_cat, &view_inst);

@@ -442,13 +442,16 @@ proptest! {
         );
 
         for c in &out.candidates {
-            for hash_joins in [false, true] {
-                let p = compile(&c.query, CompileOptions { hash_joins });
+            for (hash_joins, merge_joins) in [(false, false), (true, false), (true, true)] {
+                let p = compile(
+                    &c.query,
+                    CompileOptions { hash_joins, merge_joins, ..Default::default() },
+                );
                 let rep = analyzer.check_pipeline(&p);
                 prop_assert!(
                     !rep.has_errors(),
-                    "pipeline errors (hash_joins={}) for `{}` on {}:\n{}",
-                    hash_joins, c.query, s.desc, rep
+                    "pipeline errors (hash_joins={}, merge_joins={}) for `{}` on {}:\n{}",
+                    hash_joins, merge_joins, c.query, s.desc, rep
                 );
             }
             // Static vs prover, on the raw subquery the backchase judged.
@@ -499,7 +502,13 @@ fn canary_scenario() -> Scenario {
 #[test]
 fn canary_swapped_slot_write_is_caught() {
     let s = canary_scenario();
-    let mut p = compile(&s.query, CompileOptions { hash_joins: false });
+    let mut p = compile(
+        &s.query,
+        CompileOptions {
+            hash_joins: false,
+            ..Default::default()
+        },
+    );
     let clean = Analyzer::new(&s.catalog).check_pipeline(&p);
     assert!(!clean.has_errors(), "canary baseline dirty: {clean}");
     // Redirect the second writing operator onto the first one's register.
@@ -507,7 +516,8 @@ fn canary_swapped_slot_write_is_caught() {
         Operator::Scan { slot, .. }
         | Operator::IterDependent { slot, .. }
         | Operator::Bind { slot, .. }
-        | Operator::HashJoin { slot, .. } => Some(slot),
+        | Operator::HashJoin { slot, .. }
+        | Operator::MergeJoin { slot, .. } => Some(slot),
         Operator::Filter { .. } => None,
     });
     let first = *writes.next().expect("a writing operator");
@@ -537,7 +547,13 @@ fn canary_dropped_binding_is_caught() {
         report.errors().any(|d| d.code == codes::QUERY_SCOPE),
         "no CB001 for the dropped binding: {report}"
     );
-    let p = compile(&q, CompileOptions { hash_joins: false });
+    let p = compile(
+        &q,
+        CompileOptions {
+            hash_joins: false,
+            ..Default::default()
+        },
+    );
     let report = Analyzer::new(&s.catalog).check_pipeline(&p);
     assert!(
         report.errors().any(|d| d.code == codes::UNRESOLVED_VAR),

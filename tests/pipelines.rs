@@ -1,8 +1,12 @@
 //! The physical-operator pipeline must agree with the reference
-//! interpreter on every optimizer-produced plan, with and without hash
-//! joins.
+//! interpreter on every optimizer-produced plan, in every compile mode
+//! (nested loop, hash joins, hash+merge joins), under both drivers
+//! (batched and row-at-a-time) — and the batch counters must reconcile
+//! with the per-operator row counts.
 
-use universal_plans::engine::exec::{compile, execute_with_stats, CompileOptions};
+use universal_plans::engine::exec::{
+    compile, execute_rows_with_stats, execute_with_stats, CompileOptions,
+};
 use universal_plans::prelude::*;
 
 fn check_pipelines(catalog: &Catalog, q: &Query, instance: &Instance) {
@@ -18,10 +22,12 @@ fn check_pipelines(catalog: &Catalog, q: &Query, instance: &Instance) {
     };
     let outcome = Optimizer::with_config(catalog, config).optimize(q).unwrap();
     for c in &outcome.candidates {
-        for options in [
-            CompileOptions { hash_joins: false },
-            CompileOptions { hash_joins: true },
-        ] {
+        for (hash_joins, merge_joins) in [(false, false), (true, false), (true, true)] {
+            let options = CompileOptions {
+                hash_joins,
+                merge_joins,
+                ..Default::default()
+            };
             let pipeline = compile(&c.query, options);
             let (rows, stats) = execute_with_stats(&ev, &pipeline).unwrap_or_else(|e| {
                 panic!(
@@ -41,6 +47,46 @@ fn check_pipelines(catalog: &Catalog, q: &Query, instance: &Instance) {
                 stats.tables_built + stats.tables_skipped,
                 pipeline.n_tables as u64,
                 "table accounting off via {pipeline}"
+            );
+            assert_eq!(
+                stats.runs_built + stats.runs_skipped,
+                pipeline.n_runs as u64,
+                "run accounting off via {pipeline}"
+            );
+            // Batch-counter reconciliation: every live row riding a batch
+            // is consumed by exactly one operator or the final
+            // projection, so the selection-vector numerator must equal
+            // the per-operator inputs plus the emitted rows.
+            let consumed: u64 =
+                stats.per_op.iter().map(|o| o.input).sum::<u64>() + stats.rows_emitted;
+            assert_eq!(
+                stats.sel_rows_live, consumed,
+                "batch rows unaccounted for via {pipeline}: {stats:?}"
+            );
+            assert!(
+                stats.sel_rows_live <= stats.sel_rows_total,
+                "live rows exceed total via {pipeline}"
+            );
+            // The row-at-a-time driver must agree row for row: same
+            // result, same per-operator counts, no batch counters.
+            let (row_rows, row_stats) = execute_rows_with_stats(&ev, &pipeline)
+                .unwrap_or_else(|e| panic!("row driver failed: {e}\npipeline: {pipeline}"));
+            assert_eq!(row_rows, rows, "drivers disagree via {pipeline}");
+            assert_eq!(
+                row_stats.per_op, stats.per_op,
+                "per-op counts drift between drivers via {pipeline}"
+            );
+            assert_eq!(row_stats.batches, 0, "row driver counted batches");
+            // The rendered report carries the batch and join-algorithm
+            // columns.
+            let rendered = stats.render(&pipeline);
+            assert!(
+                rendered.contains("join algorithms:"),
+                "no join-algorithm line in:\n{rendered}"
+            );
+            assert!(
+                rendered.contains("batches:"),
+                "no batch line in:\n{rendered}"
             );
         }
     }

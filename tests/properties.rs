@@ -318,40 +318,69 @@ proptest! {
     /// interpreter on random queries and instances (shadowed variable
     /// names, hoisted ground filters, lazy table builds, and error
     /// paths — absent roots, non-set roots, missing fields — included).
-    /// Without hash joins the whole `Result` must be identical, errors
-    /// and all; with hash joins on, the join applies its equality ahead
-    /// of the other same-level conjuncts, so on erroring queries only
-    /// Ok-results are required to agree (see the exec.rs module doc).
+    /// The three-way differential: interpreter ≡ row-at-a-time ≡ batched.
+    /// The batched driver must return *exactly* the row machine's
+    /// `Result` — rows and errors, at every batch size and join mode.
+    /// Without joins the whole `Result` must also be identical to the
+    /// interpreter's, errors and all; with hash or merge joins on, the
+    /// join applies its equality ahead of the other same-level conjuncts,
+    /// so on erroring queries only Ok-results are required to agree (see
+    /// the exec.rs module doc).
     #[test]
     fn pipeline_executor_matches_evaluator(
         q in arb_pipeline_query(),
         inst in arb_rs_instance(),
     ) {
-        use universal_plans::engine::exec::{compile, execute_with_stats, CompileOptions};
+        use universal_plans::engine::exec::{
+            compile, execute_with_stats, execute_rows_with_stats, CompileOptions,
+        };
         let ev = Evaluator::new(&inst);
         let reference = ev.eval_query(&q);
 
-        let nested = compile(&q, CompileOptions { hash_joins: false });
-        let got = execute_with_stats(&ev, &nested).map(|(rows, _)| rows);
-        prop_assert_eq!(&reference, &got, "q = {} pipeline = {}", q, nested);
-
-        let hashed = compile(&q, CompileOptions { hash_joins: true });
-        match (&reference, execute_with_stats(&ev, &hashed)) {
-            (Ok(want), Ok((got, stats))) => {
+        for (hash_joins, merge_joins) in
+            [(false, false), (true, false), (false, true), (true, true)]
+        {
+            for batch_size in [1usize, 2, 1024] {
+                let options = CompileOptions { hash_joins, merge_joins, batch_size };
+                let p = compile(&q, options);
+                let rowwise = execute_rows_with_stats(&ev, &p).map(|(rows, _)| rows);
+                let batched = execute_with_stats(&ev, &p).map(|(rows, _)| rows);
                 prop_assert_eq!(
-                    want, &got,
-                    "q = {} pipeline = {}", q, hashed
+                    &rowwise, &batched,
+                    "drivers disagree: q = {} batch = {} pipeline = {}",
+                    q, batch_size, p
                 );
-                prop_assert!(
-                    stats.tables_built + stats.tables_skipped
-                        == hashed.n_tables as u64,
-                    "table accounting off: {:?} for {}", stats, hashed
-                );
+                if !hash_joins && !merge_joins {
+                    prop_assert_eq!(
+                        &reference, &batched,
+                        "q = {} batch = {} pipeline = {}", q, batch_size, p
+                    );
+                } else {
+                    match (&reference, execute_with_stats(&ev, &p)) {
+                        (Ok(want), Ok((got, stats))) => {
+                            prop_assert_eq!(
+                                want, &got,
+                                "q = {} pipeline = {}", q, p
+                            );
+                            prop_assert!(
+                                stats.tables_built + stats.tables_skipped
+                                    == p.n_tables as u64,
+                                "table accounting off: {:?} for {}", stats, p
+                            );
+                            prop_assert!(
+                                stats.runs_built + stats.runs_skipped
+                                    == p.n_runs as u64,
+                                "run accounting off: {:?} for {}", stats, p
+                            );
+                        }
+                        // Join condition reordering may change which
+                        // error surfaces, or filter the offending rows
+                        // away entirely — but it must never conjure rows
+                        // the interpreter rejects.
+                        (Err(_), _) | (_, Err(_)) => {}
+                    }
+                }
             }
-            // Hash-join condition reordering may change which error
-            // surfaces, or filter the offending rows away entirely —
-            // but it must never conjure rows the interpreter rejects.
-            (Err(_), _) | (_, Err(_)) => {}
         }
     }
 

@@ -5,9 +5,13 @@
 //!
 //! Iteration counts can be controlled with the `CRITERION_STUB_ITERS`
 //! environment variable (default: up to `sample_size` iterations or 200 ms
-//! per benchmark, whichever comes first).
+//! per benchmark, whichever comes first). When `CRITERION_STUB_JSON` names
+//! a file, `criterion_main!` additionally writes every benchmark's
+//! iteration count and median/mean wall-clock time there as JSON, so bench
+//! runs can land in `BENCH_*.json` records without parsing stdout.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -116,6 +120,7 @@ pub struct Bencher {
     max_iters: u64,
     iters: u64,
     elapsed: Duration,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
@@ -123,10 +128,14 @@ impl Bencher {
         let budget = Duration::from_millis(200);
         let start = Instant::now();
         let mut iters = 0u64;
+        let mut prev = Duration::ZERO;
         while iters < self.max_iters {
             black_box(routine());
             iters += 1;
-            if start.elapsed() > budget {
+            let now = start.elapsed();
+            self.samples.push(now - prev);
+            prev = now;
+            if now > budget {
                 break;
             }
         }
@@ -134,6 +143,17 @@ impl Bencher {
         self.elapsed = start.elapsed();
     }
 }
+
+/// One benchmark's measured result, as recorded for the JSON report.
+struct Record {
+    id: String,
+    iters: u64,
+    median_ns: f64,
+    mean_ns: f64,
+}
+
+/// Results of every benchmark run so far in this process, in run order.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
     let max_iters = std::env::var("CRITERION_STUB_ITERS")
@@ -145,14 +165,77 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
         max_iters,
         iters: 0,
         elapsed: Duration::ZERO,
+        samples: Vec::new(),
     };
     f(&mut b);
-    let mean = if b.iters > 0 {
-        b.elapsed.as_secs_f64() * 1e3 / b.iters as f64
+    let mean_ns = if b.iters > 0 {
+        b.elapsed.as_secs_f64() * 1e9 / b.iters as f64
     } else {
         0.0
     };
-    println!("bench {id:60} {:>6} iters  mean {mean:10.3} ms", b.iters);
+    let median_ns = if b.samples.is_empty() {
+        0.0
+    } else {
+        b.samples.sort_unstable();
+        let n = b.samples.len();
+        if n % 2 == 1 {
+            b.samples[n / 2].as_secs_f64() * 1e9
+        } else {
+            (b.samples[n / 2 - 1] + b.samples[n / 2]).as_secs_f64() * 1e9 / 2.0
+        }
+    };
+    println!(
+        "bench {id:60} {:>6} iters  median {:10.3} ms  mean {:10.3} ms",
+        b.iters,
+        median_ns / 1e6,
+        mean_ns / 1e6
+    );
+    RECORDS.lock().unwrap().push(Record {
+        id: id.to_string(),
+        iters: b.iters,
+        median_ns,
+        mean_ns,
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes every recorded benchmark result to the file named by
+/// `CRITERION_STUB_JSON`, if set. Called by the `criterion_main!`-generated
+/// `main` after all groups have run; a no-op otherwise.
+pub fn write_json_report(suite: &str) {
+    let Ok(path) = std::env::var("CRITERION_STUB_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().unwrap();
+    let mut s = String::new();
+    s.push_str(&format!("{{\"suite\": \"{}\",", json_escape(suite)));
+    s.push_str(" \"results\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"id\": \"{}\", \"iters\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}}}",
+            json_escape(&r.id),
+            r.iters,
+            r.median_ns,
+            r.mean_ns
+        ));
+    }
+    s.push_str("]}\n");
+    if let Err(e) = std::fs::write(&path, s) {
+        eprintln!("criterion stub: cannot write {path}: {e}");
+    }
 }
 
 /// Collects benchmark functions into a single runnable group function.
@@ -166,12 +249,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the given groups.
+/// Generates `main` running the given groups, then writing the JSON
+/// report if `CRITERION_STUB_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -196,6 +281,19 @@ mod tests {
         group.bench_with_input(BenchmarkId::new("f", 7), &7i64, |b, i| b.iter(|| seen = *i));
         group.finish();
         assert_eq!(seen, 7);
+
+        // The JSON report carries every run so far, with medians.
+        let path = std::env::temp_dir().join("criterion_stub_report_test.json");
+        std::env::set_var("CRITERION_STUB_JSON", &path);
+        write_json_report("stub-test");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"suite\": \"stub-test\""), "{text}");
+        assert!(text.contains("\"id\": \"t/count\""), "{text}");
+        assert!(text.contains("\"id\": \"g/f/7\""), "{text}");
+        assert!(text.contains("\"median_ns\""), "{text}");
+        assert!(text.contains("\"iters\": 3"), "{text}");
+        let _ = std::fs::remove_file(&path);
+        std::env::remove_var("CRITERION_STUB_JSON");
         std::env::remove_var("CRITERION_STUB_ITERS");
     }
 }
