@@ -53,6 +53,8 @@ pub enum Anchor {
     GroundFilter(usize),
     /// The catalog (or pipeline layout) as a whole.
     Catalog,
+    /// The process environment (e.g. the `CB_FAULTS` fault schedule).
+    Environment,
 }
 
 impl fmt::Display for Anchor {
@@ -66,6 +68,7 @@ impl fmt::Display for Anchor {
             Anchor::PipelineOp(i) => write!(f, "pipeline op #{i}"),
             Anchor::GroundFilter(i) => write!(f, "ground filter #{i}"),
             Anchor::Catalog => write!(f, "catalog"),
+            Anchor::Environment => write!(f, "environment"),
         }
     }
 }
@@ -127,6 +130,11 @@ pub mod codes {
     /// Batch layout broken: the pipeline carries a zero batch size, so
     /// the batched driver could never make progress.
     pub const BATCH_LAYOUT: &str = "CB038";
+    /// Fault-injection configuration (`CB04x`: runtime environment): a
+    /// malformed `CB_FAULTS` schedule (error — it would arm nothing and
+    /// a chaos sweep would pass vacuously), or a schedule armed while
+    /// optimizing (warning — results may include injected faults).
+    pub const FAULT_SPEC: &str = "CB040";
 }
 
 /// One finding of one pass.

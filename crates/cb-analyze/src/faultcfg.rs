@@ -1,0 +1,124 @@
+//! Pass 5: fault-injection configuration lint (CB040).
+//!
+//! The failpoint registry ([`cb_chase::faults`]) arms itself from the
+//! `CB_FAULTS` environment variable. Two failure modes deserve a static
+//! check rather than a runtime surprise:
+//!
+//! - a **malformed schedule** would arm nothing, so a chaos CI sweep
+//!   would pass vacuously — every spec error is a CB040 *error*, and
+//!   the optimizer's deny-mode pre-flight refuses to optimize under it;
+//! - an **armed schedule** means every result produced by this process
+//!   may include injected faults — worth a CB040 *warning* in the
+//!   diagnostics (and therefore in EXPLAIN), so a chaos run can never
+//!   be mistaken for a clean one.
+
+use crate::diag::{codes, Anchor, Diagnostic, Report, Severity};
+
+/// Validates one fault-schedule spec string (the `CB_FAULTS` syntax:
+/// `seed=N;site=action[trigger];...`). A parseable spec yields one info
+/// finding naming the targeted sites; each parse error yields a CB040
+/// error.
+pub fn check_fault_spec(spec: &str) -> Report {
+    let mut report = Report::new();
+    match cb_chase::faults::parse_spec(spec) {
+        Ok(parsed) => {
+            let sites = parsed.sites();
+            report.push(Diagnostic::new(
+                codes::FAULT_SPEC,
+                Severity::Info,
+                Anchor::Environment,
+                format!(
+                    "fault schedule targets {} site(s): {}",
+                    sites.len(),
+                    sites.join(", ")
+                ),
+            ));
+        }
+        Err(errors) => {
+            for e in errors {
+                report.push(Diagnostic::new(
+                    codes::FAULT_SPEC,
+                    Severity::Error,
+                    Anchor::Environment,
+                    format!("malformed fault schedule: {e}"),
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Lints the process's *effective* fault configuration: the `CB_FAULTS`
+/// environment variable (validated whether or not anything installed it
+/// yet) plus any schedule already armed in the registry — including a
+/// test-scoped one, which still injects into every worker the armed
+/// thread spawns.
+pub fn check_fault_config() -> Report {
+    let mut report = Report::new();
+    if let Ok(spec) = std::env::var("CB_FAULTS") {
+        if !spec.trim().is_empty() {
+            report.merge(check_fault_spec(&spec));
+        }
+    }
+    if let Some(active) = cb_chase::faults::active_spec() {
+        report.push(Diagnostic::new(
+            codes::FAULT_SPEC,
+            Severity::Warning,
+            Anchor::Environment,
+            format!(
+                "fault injection armed in-process (`{active}`): results may include injected faults"
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_spec_names_its_sites() {
+        let r = check_fault_spec("seed=42;parallel::pop=panic@2;exec::op=err");
+        assert!(!r.has_errors(), "{r}");
+        let info = &r.diagnostics[0];
+        assert_eq!(info.code, codes::FAULT_SPEC);
+        assert_eq!(info.severity, Severity::Info);
+        assert!(info.message.contains("parallel::pop"), "{}", info.message);
+        assert!(info.message.contains("exec::op"), "{}", info.message);
+    }
+
+    #[test]
+    fn malformed_specs_are_errors_not_silence() {
+        for bad in [
+            "no_such::site=panic",
+            "parallel::pop=frobnicate",
+            "justtext",
+            "seed=notanumber",
+        ] {
+            let r = check_fault_spec(bad);
+            assert!(r.has_errors(), "`{bad}` should be rejected: {r}");
+            assert!(r.errors().all(|d| d.code == codes::FAULT_SPEC));
+        }
+    }
+
+    #[test]
+    fn armed_schedule_is_surfaced() {
+        // The mutation canary: the lint reads the live registry, so an
+        // armed schedule — even a test-scoped one — must show up. If
+        // this check were a stub, chaos CI would report clean runs
+        // while injecting faults.
+        let _guard = cb_chase::faults::ScopedFaults::install("parallel::pop=delay:1").unwrap();
+        let r = check_fault_config();
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == codes::FAULT_SPEC
+                && d.severity == Severity::Warning
+                && d.message.contains("parallel::pop")),
+            "{r}"
+        );
+        drop(_guard);
+        // Disarmed (and with no CB_FAULTS in the test environment):
+        // nothing to report.
+        assert!(cb_chase::faults::active_spec().is_none());
+    }
+}

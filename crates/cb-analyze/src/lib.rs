@@ -35,12 +35,14 @@
 //! lints every builtin scenario in CI.
 
 pub mod diag;
+pub mod faultcfg;
 pub mod lookups;
 pub mod pipeline;
 pub mod termination;
 pub mod wellformed;
 
 pub use diag::{codes, Anchor, Diagnostic, Report, Severity};
+pub use faultcfg::{check_fault_config, check_fault_spec};
 pub use lookups::{check_lookups, LookupFinding, LookupSummary, LookupVerdict};
 pub use pipeline::check_pipeline;
 pub use termination::check_termination;
@@ -90,6 +92,16 @@ impl<'a> Analyzer<'a> {
     /// here so one `Analyzer` covers the whole stack.
     pub fn check_pipeline(&self, p: &Pipeline) -> Report {
         check_pipeline(p)
+    }
+
+    /// Pass 5 over the process environment: validates the `CB_FAULTS`
+    /// fault schedule (a malformed one is an error — it would arm
+    /// nothing and a chaos sweep would pass vacuously) and surfaces any
+    /// armed schedule as a warning, so no result produced under fault
+    /// injection can be mistaken for a clean one. Catalog-independent;
+    /// the optimizer pre-flight runs it before every optimization.
+    pub fn check_environment(&self) -> Report {
+        check_fault_config()
     }
 
     /// The full lint: catalog and query passes merged, the way the

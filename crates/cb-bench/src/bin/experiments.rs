@@ -1,5 +1,5 @@
 //! Regenerates every example, figure and claim of the paper's evaluation
-//! (experiment index E1–E19 and the paper-vs-measured record live in
+//! (experiment index E1–E20 and the paper-vs-measured record live in
 //! `crates/cb-bench/EXPERIMENTS.md`).
 //!
 //! ```sh
@@ -96,6 +96,9 @@ fn main() {
     }
     if want("e19") {
         e19_batched_execution();
+    }
+    if want("e20") {
+        e20_resilience();
     }
 }
 
@@ -543,6 +546,47 @@ fn run_json(path: &str, selection: &[String]) {
                 "views_incumbent_trace_points",
                 vw_out.incumbent_trace.len() as u64,
             ),
+        ];
+        records.push(rec);
+    }
+
+    if want("e20") {
+        use cb_chase::faults::{self, ScopedFaults};
+        use cb_optimizer::{OptimizerConfig, SearchStrategy};
+        e20_quiet_injected_panics();
+        let ns_per_hit = e20_disarmed_hit_ns();
+        let p = prepared_projdept(50, 10, 25);
+        let config = OptimizerConfig {
+            strategy: SearchStrategy::CostGuided,
+            threads: 4,
+            ..Default::default()
+        };
+        let mut counters = (0u64, 0u64, 0u64);
+        let mut rec = measure("e20_resilience_ladder", ITERS, || {
+            let guard =
+                ScopedFaults::install("seed=3;parallel::spawn=panic;context::contained_in=panic")
+                    .unwrap();
+            let out = Optimizer::with_config(&p.catalog, config.clone())
+                .optimize(&p.query)
+                .unwrap();
+            let fs = faults::stats();
+            drop(guard);
+            assert_eq!(fs.injected, fs.acknowledged(), "{fs:?}");
+            counters = (
+                fs.injected,
+                fs.acknowledged(),
+                out.degradations.len() as u64,
+            );
+            None
+        });
+        rec.extra = vec![
+            (
+                "disarmed_hit_ns_x1000",
+                (1000.0 * ns_per_hit.unwrap_or(0.0)) as u64,
+            ),
+            ("injected", counters.0),
+            ("acknowledged", counters.1),
+            ("degradation_rungs", counters.2),
         ];
         records.push(rec);
     }
@@ -1174,6 +1218,133 @@ fn e18_parallel_search() {
          (SearchBudget) can stop this search at any point and still return a\n\
          fully verified incumbent — see the parallel_search integration tests"
     );
+}
+
+/// E20 — the resilience layer: the disarmed failpoint cost and the
+/// degradation ladder walked rung by rung under representative fault
+/// schedules, with the no-silent-swallowing invariant asserted per run.
+fn e20_resilience() {
+    use cb_chase::faults::{self, ScopedFaults};
+    use cb_optimizer::{Degradation, OptimizerConfig, SearchStrategy};
+    banner("E20", "fault injection: the degradation ladder, end to end");
+    match e20_disarmed_hit_ns() {
+        Some(ns) => println!("disarmed failpoint hit: {ns:.2} ns (one relaxed atomic load)"),
+        None => println!("disarmed failpoint hit: n/a (a fault schedule is armed)"),
+    }
+
+    e20_quiet_injected_panics();
+    let p = prepared_projdept(50, 10, 25);
+    let config = OptimizerConfig {
+        strategy: SearchStrategy::CostGuided,
+        threads: 4,
+        ..Default::default()
+    };
+    let clean = Optimizer::with_config(&p.catalog, config.clone())
+        .optimize(&p.query)
+        .unwrap();
+    let schedules = [
+        ("armed, nothing fires", "seed=1"),
+        ("one worker death", "parallel::pop=panic@4"),
+        ("every spawn dies -> rung 2", "parallel::spawn=panic"),
+        (
+            "full ladder -> rung 3",
+            "seed=3;parallel::spawn=panic;context::contained_in=panic",
+        ),
+        (
+            "transient errors everywhere",
+            "seed=7;chase::step=err%0.3;shared::checkout=err%0.3",
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, spec) in schedules {
+        let guard = ScopedFaults::install(spec).unwrap();
+        let out = Optimizer::with_config(&p.catalog, config.clone())
+            .optimize(&p.query)
+            .unwrap();
+        let fs = faults::stats();
+        drop(guard);
+        assert_eq!(fs.injected, fs.acknowledged(), "{label}: {fs:?}");
+        let fell_back = out
+            .degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::UniversalFallback { .. }));
+        if !fell_back {
+            assert!(
+                (out.best.cost - clean.best.cost).abs() < 1e-9,
+                "{label}: best cost {} != fault-free {}",
+                out.best.cost,
+                clean.best.cost
+            );
+        }
+        rows.push(vec![
+            label.to_string(),
+            spec.to_string(),
+            fs.injected.to_string(),
+            out.workers_died.to_string(),
+            out.degradations.len().to_string(),
+            if fell_back {
+                "universal plan".to_string()
+            } else {
+                "fault-free best".to_string()
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "schedule",
+                "CB_FAULTS",
+                "injected",
+                "workers died",
+                "rungs",
+                "surviving answer"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "every injected fault is acknowledged (recovered or reported); the\n\
+         surviving answer is the fault-free best unless the ladder's last rung\n\
+         was taken, where it is the verified universal plan — the chaos\n\
+         differential harness (tests/chaos.rs) sweeps random schedules"
+    );
+}
+
+/// Silences the default panic hook's backtrace spam for *injected*
+/// panics (they are caught and recovered by design); genuine panics
+/// still print through the previous hook. Process-wide and idempotent
+/// enough for a benchmark binary.
+fn e20_quiet_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("cb-fault:"))
+            || info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.starts_with("cb-fault:"));
+        if !injected {
+            previous(info);
+        }
+    }));
+}
+
+/// The disarmed-failpoint microbenchmark: ns per [`cb_chase::faults::hit`]
+/// with no schedule armed (`None` if one is armed — e.g. `CB_FAULTS` in
+/// the environment — since the measurement would be meaningless).
+fn e20_disarmed_hit_ns() -> Option<f64> {
+    if cb_chase::faults::armed() {
+        return None;
+    }
+    const N: u32 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..N {
+        let _ = std::hint::black_box(cb_chase::faults::hit(std::hint::black_box("parallel::pop")));
+    }
+    Some(t.elapsed().as_nanos() as f64 / f64::from(N))
 }
 
 fn banner(id: &str, title: &str) {

@@ -548,6 +548,11 @@ pub struct SearchOutcome {
     /// True if a [`SearchBudget`] limit expired mid-search (the outcome
     /// still carries every verified plan found up to that point).
     pub budget_expired: bool,
+    /// Workers that died to a panic mid-search and were recovered by
+    /// abandoning their claims (parallel walk only; always 0 here). The
+    /// surviving workers re-claim and finish, so a non-zero count with
+    /// `complete == true` still carries the full search result.
+    pub workers_died: usize,
 }
 
 impl SearchOutcome {
@@ -834,6 +839,7 @@ impl<'a> PlanSearch<'a> {
             pruned_at_gate,
             accepted,
             budget_expired,
+            workers_died: 0,
         }
     }
 }

@@ -119,6 +119,14 @@ impl ChaseState {
         {
             return false;
         }
+        // Failpoint: a spurious Err here models a transient step failure.
+        // Retrying the same step is sound (the chase is deterministic
+        // given the graph), so the site recovers by simply proceeding —
+        // before any mutation, so no torn state can be observed. A panic
+        // configured here unwinds to the worker/ladder catch instead.
+        if crate::faults::hit("chase::step").is_err() {
+            crate::faults::note_recovered();
+        }
         match find_applicable_in(&mut self.graph, deps, cfg) {
             None => {
                 self.fixpoint = true;

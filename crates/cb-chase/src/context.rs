@@ -77,6 +77,17 @@ pub struct CacheStats {
     /// Memo entries dropped by the entry cap (oldest first) — see
     /// [`ChaseContext::with_memo_cap`].
     pub evictions: u64,
+    /// Poisoned shard mutexes recovered by discarding that shard's memo
+    /// entries (a cache, always safe to drop). Only the sharded
+    /// [`SharedChaseContext`](crate::SharedChaseContext) can count these;
+    /// a sequential context has no locks to poison.
+    pub poison_recoveries: u64,
+    /// Checkout attempts retried after transient contention or an
+    /// injected transient failure, before falling back to a fresh chase.
+    pub checkout_retries: u64,
+    /// Shards shed (all memo entries dropped) under memory pressure —
+    /// either the approximate byte limit or an injected pressure signal.
+    pub pressure_sheds: u64,
 }
 
 impl CacheStats {
@@ -94,6 +105,9 @@ impl CacheStats {
         self.seeded_hom_hits += other.seeded_hom_hits;
         self.deps_resets += other.deps_resets;
         self.evictions += other.evictions;
+        self.poison_recoveries += other.poison_recoveries;
+        self.checkout_retries += other.checkout_retries;
+        self.pressure_sheds += other.pressure_sheds;
     }
 
     /// Total memo hits across all three caches.
@@ -277,6 +291,20 @@ impl ChaseContext {
         true
     }
 
+    /// Drops every memo while keeping the theory and counters. Sound at
+    /// any time (memos are caches); the optimizer's degradation ladder
+    /// calls it after catching a panic mid-proof, when a resumable chase
+    /// state may have been left half-stepped — recomputing is always
+    /// safe, serving a possibly-torn state is not.
+    pub fn clear_memos(&mut self) {
+        self.chased.clear();
+        self.chase_order.clear();
+        self.containment.clear();
+        self.containment_order.clear();
+        self.implication.clear();
+        self.implication_order.clear();
+    }
+
     /// The dependency set this context reasons over.
     pub fn deps(&self) -> &[Dependency] {
         &self.deps
@@ -345,6 +373,12 @@ impl ChaseContext {
     /// `q1`. A verdict of `false` still requires the fixpoint (or the
     /// budget), exactly like the eager test.
     pub fn contained_in(&mut self, q1: &Query, q2: &Query) -> bool {
+        // Failpoint: a transient Err is recovered by proceeding (the
+        // proof below is deterministic); a panic unwinds to the caller's
+        // catch. Placed before any lookup so no memo is torn.
+        if crate::faults::hit("context::contained_in").is_err() {
+            crate::faults::note_recovered();
+        }
         let key = (q1.alpha_normalized(), q2.alpha_normalized());
         if self.caching {
             if let Some(&v) = self.containment.get(&key) {
@@ -386,6 +420,10 @@ impl ChaseContext {
     /// can tell)? Memoized on a canonicalized `sigma`; the underlying
     /// prover also early-exits the moment the conclusion is witnessed.
     pub fn implies(&mut self, sigma: &Dependency) -> bool {
+        // Failpoint: same recovery contract as `contained_in`.
+        if crate::faults::hit("context::implies").is_err() {
+            crate::faults::note_recovered();
+        }
         let key = canonical_dependency(sigma);
         if self.caching {
             if let Some(&v) = self.implication.get(&key) {

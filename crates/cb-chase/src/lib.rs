@@ -64,6 +64,7 @@ pub mod canon;
 pub mod chase;
 pub mod context;
 pub mod egraph;
+pub mod faults;
 pub mod hom;
 pub mod implication;
 pub mod must_remain;
@@ -86,6 +87,7 @@ pub use chase::{
 pub use containment::{contained_in, contained_in_pre_chased, equivalent};
 pub use context::{CacheStats, ChaseContext, ChaseProver};
 pub use egraph::EGraph;
+pub use faults::{FaultKind, FaultSpec, FaultStats, InjectedFault, ScopedFaults, SpecError};
 pub use implication::implies;
 pub use must_remain::MustRemainAnalysis;
 pub use parallel::{ParallelExploreAll, ParallelPlanSearch, ParallelVisitor};

@@ -35,9 +35,24 @@
 //! With `threads = 1` the walk degenerates to the sequential one: one
 //! worker, the same (priority, seq) pop order, the same seen-map
 //! transitions, the same counters.
+//!
+//! **Fault tolerance.** Each worker's per-node expansion runs inside
+//! `catch_unwind`; everything the expansion holds mid-flight (its
+//! reservation, its `active` slot, the node it popped, the children it
+//! claimed `Pending`) is tracked in an [`InFlight`] ledger *outside* the
+//! unwind boundary. A panic — injected through the `parallel::*`
+//! failpoints or genuine — rolls the ledger back: claimed children
+//! return to unclaimed so survivors re-claim them, the popped node goes
+//! back on the frontier (its visit count reverted if already recorded),
+//! and the worker dies, counted in [`SearchOutcome::workers_died`]. The
+//! remaining workers finish the identical search; if *every* worker
+//! dies, `run` returns `complete = false` with work still on the
+//! frontier and the optimizer's degradation ladder falls back to the
+//! sequential walk.
 
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use pcql::path::Path;
@@ -49,6 +64,7 @@ use crate::backchase::{
 };
 use crate::canon::QueryGraph;
 use crate::containment::output_matching_hom;
+use crate::faults;
 use crate::hom::Assignment;
 use crate::shared::{SharedChaseContext, SharedProver};
 
@@ -124,6 +140,23 @@ struct Progress {
     complete: bool,
     accepted: bool,
     budget_expired: bool,
+    /// Workers that died to a caught panic (their claims were rolled
+    /// back and re-claimed by the survivors).
+    workers_died: usize,
+}
+
+/// Everything a mid-expansion worker holds, tracked *outside* the
+/// `catch_unwind` boundary so a panic can be rolled back to a
+/// consistent `Progress`: the reservation and `active` slot it counts
+/// for, the frontier node it popped (re-pushed on abandon, its visit
+/// count reverted if already recorded), and the child removal sets it
+/// claimed `Pending` (returned to unclaimed so survivors re-claim).
+struct InFlight {
+    node: Option<Frontier>,
+    reserved: bool,
+    active: bool,
+    counted: bool,
+    claims: Vec<BTreeSet<String>>,
 }
 
 /// The parallel counterpart of [`PlanSearch`](crate::PlanSearch): the
@@ -209,14 +242,28 @@ impl<'a> ParallelPlanSearch<'a> {
             complete: true,
             accepted: false,
             budget_expired: false,
+            workers_died: 0,
         });
         let idle = Condvar::new();
+        // Workers inherit a thread-scoped fault schedule (a no-op token
+        // under global or disarmed faults).
+        let fault_token = faults::inherit_token();
         std::thread::scope(|scope| {
             for _ in 0..self.threads {
-                scope.spawn(|| self.worker(shared, visitor, &progress, &idle, start));
+                scope.spawn(|| {
+                    faults::adopt(fault_token);
+                    self.worker(shared, visitor, &progress, &idle, start);
+                });
             }
         });
-        let p = progress.into_inner().expect("search worker panicked");
+        let mut p = progress
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Every worker died with work still on the frontier: the search
+        // is incomplete (the ladder falls back to the sequential walk).
+        if !p.stop && !p.queue.is_empty() {
+            p.complete = false;
+        }
         // Deferred normal-form resolution: a node is minimal iff every
         // child removal set resolved Invalid. Gated or still-Pending
         // children (the latter only after an early stop) leave the node's
@@ -245,6 +292,7 @@ impl<'a> ParallelPlanSearch<'a> {
             pruned_at_gate: p.pruned_at_gate,
             accepted: p.accepted,
             budget_expired: p.budget_expired,
+            workers_died: p.workers_died,
         }
     }
 
@@ -256,13 +304,36 @@ impl<'a> ParallelPlanSearch<'a> {
         idle: &Condvar,
         start: Instant,
     ) {
+        let lock = || -> MutexGuard<'_, Progress> {
+            progress.lock().unwrap_or_else(PoisonError::into_inner)
+        };
+        // Failpoint: a fault here is a worker that dies on startup — the
+        // survivors absorb its share of the frontier. Caught so the scope
+        // join never observes the payload.
+        let died_at_spawn = match catch_unwind(|| faults::hit("parallel::spawn")) {
+            Ok(Ok(())) => false,
+            Ok(Err(_)) => {
+                faults::note_recovered();
+                true
+            }
+            Err(payload) => {
+                if faults::is_injected_panic(payload.as_ref()) {
+                    faults::note_recovered();
+                }
+                true
+            }
+        };
+        if died_at_spawn {
+            let mut p = lock();
+            p.workers_died += 1;
+            idle.notify_all();
+            return;
+        }
         let u = self.u;
         let mut prover = shared.prover();
         // Worker-local graphs, same roles as the sequential walk's pair.
         let mut graph = QueryGraph::of_query(u);
         let mut hom_graph = graph.clone();
-        let lock =
-            || -> MutexGuard<'_, Progress> { progress.lock().expect("search lock poisoned") };
         loop {
             // Acquire a node (or learn the search is over).
             let node = {
@@ -277,7 +348,7 @@ impl<'a> ParallelPlanSearch<'a> {
                             idle.notify_all();
                             return;
                         }
-                        p = idle.wait(p).expect("search lock poisoned");
+                        p = idle.wait(p).unwrap_or_else(PoisonError::into_inner);
                         continue;
                     }
                     // Budgets count committed nodes (visited + popped by a
@@ -303,149 +374,272 @@ impl<'a> ParallelPlanSearch<'a> {
                 }
             };
 
-            // The visit verdict (costing, pruning) runs outside the lock.
-            let verdict = visitor.visit(&mut prover, &node.query, &node.removed);
-            let explore = {
-                let mut p = lock();
-                p.reserved -= 1;
-                let explore = match verdict {
-                    Visit::Prune => {
-                        p.pruned_at_visit += 1;
-                        false
-                    }
-                    Visit::Explore => {
-                        p.visited_count += 1;
-                        if self.collect_visited {
-                            p.visited.push(node.query.clone());
-                        }
-                        !p.stop
-                    }
-                    Visit::Accept => {
-                        p.visited_count += 1;
-                        if self.collect_visited {
-                            p.visited.push(node.query.clone());
-                        }
-                        p.accepted = true;
-                        p.stop = true;
-                        false
-                    }
-                };
-                if !explore {
-                    p.active -= 1;
-                    if p.queue.is_empty() && p.active == 0 {
-                        p.stop = true;
-                    }
-                    idle.notify_all();
+            // The expansion runs unwind-isolated; `flight` (outside the
+            // boundary) ledgers everything it holds so a panic rolls back
+            // to a consistent frontier.
+            let mut flight = InFlight {
+                node: Some(node),
+                reserved: true,
+                active: true,
+                counted: false,
+                claims: Vec::new(),
+            };
+            let expanded = catch_unwind(AssertUnwindSafe(|| {
+                self.expand(
+                    shared,
+                    visitor,
+                    progress,
+                    idle,
+                    &mut flight,
+                    &mut prover,
+                    &mut graph,
+                    &mut hom_graph,
+                );
+            }));
+            if let Err(payload) = expanded {
+                // The expansion died mid-flight (an injected fault or a
+                // genuine bug): roll its ledger back so the survivors
+                // re-claim everything it held, then let this worker die —
+                // its prover and local graphs may be torn.
+                self.abandon(progress, idle, flight);
+                if faults::is_injected_panic(payload.as_ref()) {
+                    faults::note_recovered();
                 }
-                explore
+                return;
+            }
+        }
+    }
+
+    /// One node's visit verdict + expansion — the unwind-isolated part of
+    /// the worker loop. `flight` is updated under the same lock
+    /// acquisitions that update `Progress`, so the ledger always matches
+    /// what the shared state believes this worker holds.
+    #[allow(clippy::too_many_arguments)]
+    fn expand<V: ParallelVisitor>(
+        &self,
+        shared: &SharedChaseContext,
+        visitor: &V,
+        progress: &Mutex<Progress>,
+        idle: &Condvar,
+        flight: &mut InFlight,
+        prover: &mut SharedProver<'_>,
+        graph: &mut QueryGraph,
+        hom_graph: &mut QueryGraph,
+    ) {
+        let u = self.u;
+        let lock = || -> MutexGuard<'_, Progress> {
+            progress.lock().unwrap_or_else(PoisonError::into_inner)
+        };
+        // Failpoints: the pop just happened (outside the lock), and the
+        // visit verdict is about to run. Both spots are pure control
+        // flow, so a transient error recovers by proceeding; a panic
+        // unwinds to the worker's catch.
+        if faults::hit("parallel::pop").is_err() {
+            faults::note_recovered();
+        }
+        if faults::hit("parallel::visit").is_err() {
+            faults::note_recovered();
+        }
+
+        // The visit verdict (costing, pruning) runs outside the lock.
+        let verdict = {
+            let node = flight.node.as_ref().expect("in-flight node");
+            visitor.visit(prover, &node.query, &node.removed)
+        };
+        let explore = {
+            let mut p = lock();
+            p.reserved -= 1;
+            flight.reserved = false;
+            let node = flight.node.as_ref().expect("in-flight node");
+            let explore = match verdict {
+                Visit::Prune => {
+                    p.pruned_at_visit += 1;
+                    false
+                }
+                Visit::Explore => {
+                    p.visited_count += 1;
+                    flight.counted = true;
+                    if self.collect_visited {
+                        p.visited.push(node.query.clone());
+                    }
+                    !p.stop
+                }
+                Visit::Accept => {
+                    p.visited_count += 1;
+                    if self.collect_visited {
+                        p.visited.push(node.query.clone());
+                    }
+                    p.accepted = true;
+                    p.stop = true;
+                    false
+                }
             };
             if !explore {
-                continue;
-            }
-
-            // Expand: claim each child removal set, verify the claimed
-            // ones outside the lock, record the keys for the deferred
-            // normal-form resolution.
-            let mut child_keys: Vec<BTreeSet<String>> = Vec::new();
-            for b in &u.from {
-                if node.removed.contains(&b.var) {
-                    continue;
-                }
-                let mut grown = node.removed.clone();
-                grown.insert(b.var.clone());
-                let grown = dependent_closure(u, &mut graph, grown);
-                let claimed = {
-                    let mut p = lock();
-                    if p.seen.contains_key(&grown) {
-                        false
-                    } else {
-                        p.seen.insert(grown.clone(), NodeState::Pending);
-                        true
-                    }
-                };
-                child_keys.push(grown.clone());
-                if !claimed {
-                    continue;
-                }
-                let mut gated = false;
-                let child = subquery_for(u, &mut graph, &grown)
-                    .and_then(|q2| prune_unsafe_conditions(&mut prover, &q2))
-                    .and_then(|q2| {
-                        if !visitor.admit(&q2, &grown) {
-                            gated = true;
-                            return None;
-                        }
-                        // u ⊑ q2, seeded from the parent's witness; the
-                        // seed travels in the frontier entry, so it is
-                        // available even when the parent's chase memo is
-                        // checked out elsewhere.
-                        let seed: Assignment = node
-                            .hom
-                            .iter()
-                            .filter(|&(v, _)| q2.from.iter().any(|b2| b2.var == *v))
-                            .map(|(v, p)| (v.clone(), p.clone()))
-                            .collect();
-                        let h2 = output_matching_hom(
-                            &mut hom_graph,
-                            &u.output,
-                            &q2,
-                            shared.cfg(),
-                            Some(&seed),
-                        )?;
-                        if h2 == seed {
-                            shared.note_seeded_hom();
-                        }
-                        // …and q2 ⊑ u through the sharded memo.
-                        if shared.contained_in(&q2, u) {
-                            Some((q2, h2))
-                        } else {
-                            None
-                        }
-                    });
-                match child {
-                    Some((q2, h2)) => {
-                        let prio = visitor.priority(&q2, &grown);
-                        let mut p = lock();
-                        p.seen.insert(grown.clone(), NodeState::Valid);
-                        if !p.stop {
-                            p.seq += 1;
-                            let seq = p.seq;
-                            p.queue.push(Frontier {
-                                prio,
-                                seq,
-                                removed: grown,
-                                query: q2,
-                                hom: h2,
-                            });
-                            idle.notify_all();
-                        }
-                    }
-                    None => {
-                        let mut p = lock();
-                        if gated {
-                            p.pruned_at_gate += 1;
-                        }
-                        p.seen.insert(
-                            grown,
-                            if gated {
-                                NodeState::Gated
-                            } else {
-                                NodeState::Invalid
-                            },
-                        );
-                    }
-                }
-            }
-            {
-                let mut p = lock();
-                p.expansions.push((node.query, child_keys));
+                // Fully handled (pruned, accepted, or racing a stop):
+                // nothing left for a rollback to revert.
+                flight.node = None;
+                flight.counted = false;
+                flight.active = false;
                 p.active -= 1;
                 if p.queue.is_empty() && p.active == 0 {
                     p.stop = true;
                 }
                 idle.notify_all();
             }
+            explore
+        };
+        if !explore {
+            return;
         }
+
+        // Expand: claim each child removal set, verify the claimed
+        // ones outside the lock, record the keys for the deferred
+        // normal-form resolution.
+        let (parent_removed, parent_hom) = {
+            let node = flight.node.as_ref().expect("in-flight node");
+            (node.removed.clone(), node.hom.clone())
+        };
+        let mut child_keys: Vec<BTreeSet<String>> = Vec::new();
+        for b in &u.from {
+            if parent_removed.contains(&b.var) {
+                continue;
+            }
+            let mut grown = parent_removed.clone();
+            grown.insert(b.var.clone());
+            let grown = dependent_closure(u, graph, grown);
+            // Failpoint: a child claim is about to happen (outside the
+            // lock); transient errors recover by proceeding.
+            if faults::hit("parallel::claim").is_err() {
+                faults::note_recovered();
+            }
+            let claimed = {
+                let mut p = lock();
+                if p.seen.contains_key(&grown) {
+                    false
+                } else {
+                    p.seen.insert(grown.clone(), NodeState::Pending);
+                    flight.claims.push(grown.clone());
+                    true
+                }
+            };
+            child_keys.push(grown.clone());
+            if !claimed {
+                continue;
+            }
+            let mut gated = false;
+            let child = subquery_for(u, graph, &grown)
+                .and_then(|q2| prune_unsafe_conditions(prover, &q2))
+                .and_then(|q2| {
+                    if !visitor.admit(&q2, &grown) {
+                        gated = true;
+                        return None;
+                    }
+                    // u ⊑ q2, seeded from the parent's witness; the
+                    // seed travels in the frontier entry, so it is
+                    // available even when the parent's chase memo is
+                    // checked out elsewhere.
+                    let seed: Assignment = parent_hom
+                        .iter()
+                        .filter(|&(v, _)| q2.from.iter().any(|b2| b2.var == *v))
+                        .map(|(v, p)| (v.clone(), p.clone()))
+                        .collect();
+                    let h2 =
+                        output_matching_hom(hom_graph, &u.output, &q2, shared.cfg(), Some(&seed))?;
+                    if h2 == seed {
+                        shared.note_seeded_hom();
+                    }
+                    // …and q2 ⊑ u through the sharded memo.
+                    if shared.contained_in(&q2, u) {
+                        Some((q2, h2))
+                    } else {
+                        None
+                    }
+                });
+            match child {
+                Some((q2, h2)) => {
+                    let prio = visitor.priority(&q2, &grown);
+                    let mut p = lock();
+                    flight.claims.retain(|k| k != &grown);
+                    p.seen.insert(grown.clone(), NodeState::Valid);
+                    if !p.stop {
+                        p.seq += 1;
+                        let seq = p.seq;
+                        p.queue.push(Frontier {
+                            prio,
+                            seq,
+                            removed: grown,
+                            query: q2,
+                            hom: h2,
+                        });
+                        idle.notify_all();
+                    }
+                }
+                None => {
+                    let mut p = lock();
+                    flight.claims.retain(|k| k != &grown);
+                    if gated {
+                        p.pruned_at_gate += 1;
+                    }
+                    p.seen.insert(
+                        grown,
+                        if gated {
+                            NodeState::Gated
+                        } else {
+                            NodeState::Invalid
+                        },
+                    );
+                }
+            }
+        }
+        {
+            let mut p = lock();
+            let node = flight.node.take().expect("in-flight node");
+            p.expansions.push((node.query, child_keys));
+            flight.counted = false;
+            flight.active = false;
+            p.active -= 1;
+            if p.queue.is_empty() && p.active == 0 {
+                p.stop = true;
+            }
+            idle.notify_all();
+        }
+    }
+
+    /// Rolls a panicked expansion's ledger back under the progress lock:
+    /// un-claims its `Pending` children, re-enqueues its popped node
+    /// (reverting the visit count if it was already recorded), releases
+    /// its reservation and `active` slot, and counts the death. Every
+    /// claim the dead worker held becomes claimable again, so the
+    /// surviving workers finish the identical search.
+    fn abandon(&self, progress: &Mutex<Progress>, idle: &Condvar, flight: InFlight) {
+        let mut p = progress.lock().unwrap_or_else(PoisonError::into_inner);
+        if flight.reserved {
+            p.reserved -= 1;
+        }
+        if flight.active {
+            p.active -= 1;
+        }
+        for key in flight.claims {
+            if p.seen.get(&key) == Some(&NodeState::Pending) {
+                p.seen.remove(&key);
+            }
+        }
+        if let Some(node) = flight.node {
+            if flight.counted {
+                p.visited_count -= 1;
+                if let Some(i) = p.visited.iter().rposition(|q| *q == node.query) {
+                    p.visited.swap_remove(i);
+                }
+            }
+            p.seq += 1;
+            let seq = p.seq;
+            p.queue.push(Frontier { seq, ..node });
+        }
+        p.workers_died += 1;
+        if p.queue.is_empty() && p.active == 0 {
+            p.stop = true;
+        }
+        idle.notify_all();
     }
 }
 
@@ -565,6 +759,85 @@ mod tests {
             assert!(!out.budget_expired);
             assert_eq!(out.visited_count, 1);
         }
+    }
+
+    #[test]
+    fn injected_worker_panic_is_recovered_by_the_survivors() {
+        let (u, deps) = view_scenario();
+        let mut ctx = ChaseContext::new(deps.clone(), ChaseConfig::default());
+        let sequential = PlanSearch::new(&u).run(&mut ctx, &mut ExploreAll);
+        for threads in [2, 4] {
+            // The second popped node panics its worker mid-expansion; the
+            // rollback re-enqueues it and the survivors finish the
+            // identical search.
+            let _guard = faults::ScopedFaults::install("parallel::pop=panic@2").unwrap();
+            let shared = SharedChaseContext::new(deps.clone(), ChaseConfig::default());
+            let out = ParallelPlanSearch::new(&u, threads).run(&shared, &ParallelExploreAll);
+            assert!(out.complete, "complete @ {threads} threads");
+            assert_eq!(out.workers_died, 1, "@ {threads} threads");
+            assert_eq!(norm(&out.visited), norm(&sequential.visited));
+            assert_eq!(norm(&out.normal_forms), norm(&sequential.normal_forms));
+            assert_eq!(out.visited_count, sequential.visited_count);
+            let fs = faults::stats();
+            assert_eq!(fs.injected, 1);
+            assert_eq!(fs.injected, fs.acknowledged(), "{fs:?}");
+        }
+    }
+
+    #[test]
+    fn panic_mid_proof_rolls_back_the_visit_count() {
+        let (u, deps) = view_scenario();
+        let mut ctx = ChaseContext::new(deps.clone(), ChaseConfig::default());
+        let sequential = PlanSearch::new(&u).run(&mut ctx, &mut ExploreAll);
+        // A panic deep inside a containment proof (a chase step) fires
+        // *after* the node was counted visited — the rollback must revert
+        // the count so the surviving worker's recount lands exactly once.
+        let _guard = faults::ScopedFaults::install("chase::step=panic@3").unwrap();
+        let shared = SharedChaseContext::new(deps.clone(), ChaseConfig::default());
+        let out = ParallelPlanSearch::new(&u, 2).run(&shared, &ParallelExploreAll);
+        assert!(out.complete);
+        assert_eq!(out.workers_died, 1);
+        assert_eq!(norm(&out.visited), norm(&sequential.visited));
+        assert_eq!(norm(&out.normal_forms), norm(&sequential.normal_forms));
+        assert_eq!(out.visited_count, sequential.visited_count);
+        let fs = faults::stats();
+        assert_eq!(fs.injected, fs.acknowledged(), "{fs:?}");
+    }
+
+    #[test]
+    fn every_worker_dying_leaves_an_incomplete_search_not_a_hang() {
+        let (u, deps) = view_scenario();
+        let _guard = faults::ScopedFaults::install("parallel::spawn=panic").unwrap();
+        let shared = SharedChaseContext::new(deps, ChaseConfig::default());
+        let out = ParallelPlanSearch::new(&u, 4).run(&shared, &ParallelExploreAll);
+        assert!(!out.complete, "work left on the frontier");
+        assert_eq!(out.workers_died, 4);
+        assert_eq!(out.visited_count, 0);
+        let fs = faults::stats();
+        assert_eq!(fs.injected, 4);
+        assert_eq!(fs.injected, fs.acknowledged(), "{fs:?}");
+    }
+
+    #[test]
+    fn transient_errors_at_parallel_sites_recover_by_proceeding() {
+        let (u, deps) = view_scenario();
+        let mut ctx = ChaseContext::new(deps.clone(), ChaseConfig::default());
+        let sequential = PlanSearch::new(&u).run(&mut ctx, &mut ExploreAll);
+        let _guard = faults::ScopedFaults::install(
+            "parallel::pop=err*2;parallel::claim=err*3;parallel::visit=err*2;parallel::spawn=err@2",
+        )
+        .unwrap();
+        let shared = SharedChaseContext::new(deps, ChaseConfig::default());
+        let out = ParallelPlanSearch::new(&u, 4).run(&shared, &ParallelExploreAll);
+        assert!(out.complete);
+        // The spawn error killed one worker before it started; the
+        // transient errors elsewhere were absorbed in place.
+        assert_eq!(out.workers_died, 1);
+        assert_eq!(norm(&out.visited), norm(&sequential.visited));
+        assert_eq!(out.visited_count, sequential.visited_count);
+        let fs = faults::stats();
+        assert!(fs.injected >= 1);
+        assert_eq!(fs.injected, fs.acknowledged(), "{fs:?}");
     }
 
     #[test]

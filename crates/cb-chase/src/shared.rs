@@ -35,6 +35,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use pcql::query::Query;
 use pcql::Dependency;
@@ -44,11 +45,26 @@ use crate::containment::output_matching_hom;
 use crate::context::{
     canonical_dependency, insert_bounded, CacheStats, ChaseContext, ChaseProver, ChasedEntry,
 };
+use crate::faults::{self, FaultKind};
 use crate::implication::implies_uncached;
 
 /// Default shard count: enough that 2–8 workers rarely collide on a
 /// shard, small enough that aggregating stats stays trivial.
 const DEFAULT_SHARDS: usize = 16;
+
+/// Bounded retries on a contended (or transiently failing) checkout
+/// before falling back to a private fresh chase. The backoff per attempt
+/// is tiny — a parked state usually returns within one chase step.
+const CHECKOUT_RETRIES: usize = 3;
+
+/// Bounded backoff between checkout attempts: yield first (the common
+/// case — the owner is one step from parking), then sleep briefly.
+fn backoff(attempt: usize) {
+    match attempt {
+        0 => std::thread::yield_now(),
+        n => std::thread::sleep(Duration::from_micros(20 << n.min(4))),
+    }
+}
 
 /// A parked (or absent-while-borrowed) chase memo entry.
 enum ChaseSlot {
@@ -70,6 +86,41 @@ struct MemoShard {
     implication: HashMap<Dependency, bool>,
     implication_order: VecDeque<Dependency>,
     stats: CacheStats,
+    /// Approximate bytes held by this shard's memos: a per-entry
+    /// estimate added on insert, zeroed on shed/recovery. Deliberately
+    /// never decremented on FIFO eviction — the over-count only makes
+    /// pressure sheds fire *earlier*, and shedding is always sound.
+    bytes: usize,
+}
+
+impl MemoShard {
+    /// Drops every memo entry (a cache — always safe), keeping counters.
+    fn clear_memos(&mut self) {
+        self.chased.clear();
+        self.chase_order.clear();
+        self.containment.clear();
+        self.containment_order.clear();
+        self.implication.clear();
+        self.implication_order.clear();
+        self.bytes = 0;
+    }
+
+    /// Sheds this shard under memory pressure (counted).
+    fn shed(&mut self) {
+        self.clear_memos();
+        self.stats.pressure_sheds += 1;
+    }
+}
+
+/// Rough per-entry footprint of a memoized query (key or resumable
+/// state): a fixed overhead plus a per-AST-node constant. Only relative
+/// accuracy matters — the governor compares sums against a limit.
+fn approx_query_bytes(q: &Query) -> usize {
+    64 + 48 * q.size()
+}
+
+fn approx_dependency_bytes(d: &Dependency) -> usize {
+    64 + 48 * (d.forall.len() + d.exists.len() + d.premise.len() + d.conclusion.len())
 }
 
 /// The sharded, thread-shareable counterpart of [`ChaseContext`]: one
@@ -83,6 +134,10 @@ pub struct SharedChaseContext {
     fingerprint: u64,
     /// Total memo cap across shards (0 = unbounded), split evenly.
     memo_cap: usize,
+    /// Approximate total memo-byte limit across shards (0 = unbounded);
+    /// a shard exceeding its even split sheds itself (see
+    /// [`CacheStats::pressure_sheds`]).
+    byte_limit: usize,
     shards: Vec<Mutex<MemoShard>>,
     /// Seeded-witness counter — the only stat not naturally owned by a
     /// shard (it is incremented by the search loop, not a memo lookup).
@@ -99,6 +154,7 @@ impl SharedChaseContext {
             cfg,
             fingerprint,
             memo_cap: 0,
+            byte_limit: 0,
             shards: (0..DEFAULT_SHARDS)
                 .map(|_| Mutex::new(MemoShard::default()))
                 .collect(),
@@ -122,6 +178,22 @@ impl SharedChaseContext {
     pub fn with_memo_cap(mut self, cap: usize) -> SharedChaseContext {
         self.memo_cap = cap;
         self
+    }
+
+    /// Caps the memos at approximately `bytes` across shards (0 =
+    /// unbounded, the default). A shard whose estimated footprint
+    /// exceeds its even split of the limit *sheds itself* — drops every
+    /// entry and counts a [`CacheStats::pressure_sheds`] — the first
+    /// rung of the optimizer's degradation ladder. Shedding recomputes,
+    /// it never changes a verdict.
+    pub fn with_byte_limit(mut self, bytes: usize) -> SharedChaseContext {
+        self.byte_limit = bytes;
+        self
+    }
+
+    /// The approximate bytes currently held across all shards.
+    pub fn approx_memo_bytes(&self) -> usize {
+        (0..self.shards.len()).map(|i| self.lock(i).bytes).sum()
     }
 
     /// The dependency set this core reasons over.
@@ -165,63 +237,144 @@ impl SharedChaseContext {
         (h.finish() as usize) % self.shards.len()
     }
 
+    /// Acquires a shard, recovering a poisoned mutex by discarding only
+    /// that shard's memo entries: the contents are caches, so dropping
+    /// them is always sound, and a worker that panicked mid-insert may
+    /// have left a torn entry behind. Counted in
+    /// [`CacheStats::poison_recoveries`].
     fn lock(&self, idx: usize) -> std::sync::MutexGuard<'_, MemoShard> {
-        self.shards[idx].lock().expect("chase shard poisoned")
+        let mut guard = match self.shards[idx].lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.shards[idx].clear_poison();
+                let mut g = poisoned.into_inner();
+                g.clear_memos();
+                g.stats.poison_recoveries += 1;
+                g
+            }
+        };
+        // Failpoint *inside* the held lock: an injected panic here
+        // genuinely poisons this shard, exercising the recovery above.
+        // A transient Err is recovered by proceeding with the guard; a
+        // pressure signal sheds the shard on the spot.
+        match faults::hit("shared::shard_lock") {
+            Ok(()) => {}
+            Err(f) if f.kind == FaultKind::MemPressure => {
+                guard.shed();
+                faults::note_recovered();
+            }
+            Err(_) => faults::note_recovered(),
+        }
+        guard
+    }
+
+    /// Enforces the byte limit after an insert grew the shard.
+    fn enforce_byte_limit(&self, shard: &mut MemoShard) {
+        if self.byte_limit > 0 && shard.bytes > self.byte_limit / self.shards.len().max(1) {
+            shard.shed();
+        }
     }
 
     /// Checks the chase entry for `key` out of its shard: a parked state
     /// is taken (hit, `owned = true`), a missing one is created fresh
     /// after leaving a `CheckedOut` marker (miss, `owned = true`), and a
-    /// state another worker holds is substituted by a private fresh one
-    /// (miss, `owned = false`) — the out-of-order fallback.
+    /// state another worker holds is *retried* with a bounded backoff
+    /// ([`CacheStats::checkout_retries`]; the owner usually parks within
+    /// one chase step) before being substituted by a private fresh one
+    /// (miss, `owned = false`) — the out-of-order fallback. An injected
+    /// transient failure at the `shared::checkout` failpoint takes the
+    /// same retry path, so contention and fault recovery share one
+    /// discipline.
     fn checkout(&self, idx: usize, key: &Query, q: &Query) -> (ChasedEntry, bool) {
-        let mut guard = self.lock(idx);
-        let shard = &mut *guard;
-        match shard.chased.get_mut(key) {
-            Some(slot) => match std::mem::replace(slot, ChaseSlot::CheckedOut) {
-                ChaseSlot::Parked(entry) => {
-                    shard.stats.chase_hits += 1;
-                    (*entry, true)
+        for attempt in 0..=CHECKOUT_RETRIES {
+            let last = attempt == CHECKOUT_RETRIES;
+            // Failpoint: Err models a transient acquisition failure
+            // (retried, like contention); a pressure signal sheds the
+            // shard before the lookup.
+            let injected = faults::hit("shared::checkout").err();
+            let mut guard = self.lock(idx);
+            let shard = &mut *guard;
+            if let Some(f) = injected {
+                faults::note_recovered();
+                if f.kind == FaultKind::MemPressure {
+                    shard.shed();
+                } else if !last {
+                    shard.stats.checkout_retries += 1;
+                    drop(guard);
+                    backoff(attempt);
+                    continue;
                 }
-                ChaseSlot::CheckedOut => {
+            }
+            match shard.chased.get_mut(key) {
+                Some(slot) => match std::mem::replace(slot, ChaseSlot::CheckedOut) {
+                    ChaseSlot::Parked(entry) => {
+                        shard.stats.chase_hits += 1;
+                        return (*entry, true);
+                    }
+                    ChaseSlot::CheckedOut => {
+                        if !last {
+                            shard.stats.checkout_retries += 1;
+                            drop(guard);
+                            backoff(attempt);
+                            continue;
+                        }
+                        shard.stats.chase_misses += 1;
+                        return (
+                            ChasedEntry {
+                                state: ChaseState::new(q),
+                                outcome: None,
+                            },
+                            false,
+                        );
+                    }
+                },
+                None => {
                     shard.stats.chase_misses += 1;
-                    (
+                    insert_bounded(
+                        &mut shard.chased,
+                        &mut shard.chase_order,
+                        self.per_shard_cap(),
+                        &mut shard.stats.evictions,
+                        key.clone(),
+                        ChaseSlot::CheckedOut,
+                    );
+                    return (
                         ChasedEntry {
                             state: ChaseState::new(q),
                             outcome: None,
                         },
-                        false,
-                    )
+                        true,
+                    );
                 }
-            },
-            None => {
-                shard.stats.chase_misses += 1;
-                insert_bounded(
-                    &mut shard.chased,
-                    &mut shard.chase_order,
-                    self.per_shard_cap(),
-                    &mut shard.stats.evictions,
-                    key.clone(),
-                    ChaseSlot::CheckedOut,
-                );
-                (
-                    ChasedEntry {
-                        state: ChaseState::new(q),
-                        outcome: None,
-                    },
-                    true,
-                )
             }
         }
+        unreachable!("checkout loop returns on its last attempt")
     }
 
     /// Parks an owned entry back into its slot. If the slot was evicted
-    /// while checked out, the entry is simply dropped (recomputing later
-    /// counts as the miss that eviction always implies).
+    /// (or shed) while checked out, the entry is simply dropped
+    /// (recomputing later counts as the miss that eviction always
+    /// implies). Accounts the entry's approximate footprint and enforces
+    /// the byte limit.
     fn park(&self, idx: usize, key: &Query, entry: ChasedEntry) {
+        // Failpoint (outside the lock — `shared::shard_lock` covers the
+        // poisoning case): a transient Err drops the park, which is a
+        // lost cache write, recovered by recomputation.
+        match faults::hit("shared::park") {
+            Ok(()) => {}
+            Err(f) => {
+                faults::note_recovered();
+                if f.kind == FaultKind::Error {
+                    return;
+                }
+            }
+        }
         let mut guard = self.lock(idx);
-        if let Some(slot) = guard.chased.get_mut(key) {
+        let shard = &mut *guard;
+        if let Some(slot) = shard.chased.get_mut(key) {
+            shard.bytes += approx_query_bytes(key) + approx_query_bytes(&entry.state.query);
             *slot = ChaseSlot::Parked(Box::new(entry));
+            self.enforce_byte_limit(shard);
         }
     }
 
@@ -247,6 +400,10 @@ impl SharedChaseContext {
     /// chase of `q1` is checked out, stepped outside any lock until a
     /// witness appears (or the fixpoint refutes one), and parked resumed.
     pub fn contained_in(&self, q1: &Query, q2: &Query) -> bool {
+        // Same failpoint contract as `ChaseContext::contained_in`.
+        if faults::hit("context::contained_in").is_err() {
+            faults::note_recovered();
+        }
         let ckey = (q1.alpha_normalized(), q2.alpha_normalized());
         let cidx = self.shard_of(&ckey);
         {
@@ -273,8 +430,25 @@ impl SharedChaseContext {
         if owned {
             self.park(idx, &chase_key, entry);
         }
+        // Failpoint on the verdict insert: losing the cache write is
+        // recovered by recomputation; pressure sheds the shard first.
+        let mut pressured = false;
+        match faults::hit("shared::memo") {
+            Ok(()) => {}
+            Err(f) => {
+                faults::note_recovered();
+                if f.kind == FaultKind::Error {
+                    return result;
+                }
+                pressured = true;
+            }
+        }
         let mut guard = self.lock(cidx);
         let shard = &mut *guard;
+        if pressured {
+            shard.shed();
+        }
+        shard.bytes += approx_query_bytes(&ckey.0) + approx_query_bytes(&ckey.1);
         insert_bounded(
             &mut shard.containment,
             &mut shard.containment_order,
@@ -283,6 +457,7 @@ impl SharedChaseContext {
             ckey,
             result,
         );
+        self.enforce_byte_limit(shard);
         result
     }
 
@@ -294,6 +469,10 @@ impl SharedChaseContext {
     /// Does the dependency set imply `sigma`? Memoized on the
     /// canonicalized `sigma`, computed outside any lock.
     pub fn implies(&self, sigma: &Dependency) -> bool {
+        // Same failpoint contract as `ChaseContext::implies`.
+        if faults::hit("context::implies").is_err() {
+            faults::note_recovered();
+        }
         let key = canonical_dependency(sigma);
         let idx = self.shard_of(&key);
         {
@@ -308,6 +487,7 @@ impl SharedChaseContext {
         let v = implies_uncached(&self.deps, sigma, &self.cfg);
         let mut guard = self.lock(idx);
         let shard = &mut *guard;
+        shard.bytes += approx_dependency_bytes(&key);
         insert_bounded(
             &mut shard.implication,
             &mut shard.implication_order,
@@ -316,6 +496,7 @@ impl SharedChaseContext {
             key,
             v,
         );
+        self.enforce_byte_limit(shard);
         v
     }
 
@@ -327,8 +508,8 @@ impl SharedChaseContext {
     /// [`CacheStats`] plus the shared seeded-witness counter.
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
-        for shard in &self.shards {
-            total.absorb(&shard.lock().expect("chase shard poisoned").stats);
+        for idx in 0..self.shards.len() {
+            total.absorb(&self.lock(idx).stats);
         }
         total.seeded_hom_hits += self.seeded_hom_hits.load(Ordering::Relaxed);
         total
@@ -337,10 +518,7 @@ impl SharedChaseContext {
     /// The per-shard counters (for shard-balance diagnostics; the E18
     /// experiment reports their hit rates).
     pub fn shard_stats(&self) -> Vec<CacheStats> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("chase shard poisoned").stats)
-            .collect()
+        (0..self.shards.len()).map(|i| self.lock(i).stats).collect()
     }
 }
 
@@ -517,5 +695,59 @@ mod tests {
         prover.note_seeded_hom();
         prover.note_seeded_hom();
         assert_eq!(shared.stats().seeded_hom_hits, 2);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_by_discarding_only_that_shard() {
+        let shared = SharedChaseContext::new(theory(), ChaseConfig::default()).with_shards(2);
+        let (seq_verdicts, _) = sequential_baseline();
+        let verdicts = run_workload(&mut &shared);
+        assert_eq!(verdicts, seq_verdicts);
+        // Poison shard 0 by panicking while holding its guard.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.lock(0);
+            panic!("poison shard 0");
+        }));
+        // Every verdict is still served, and exactly one recovery is
+        // counted; the other shard's memos survive untouched.
+        let verdicts = run_workload(&mut &shared);
+        assert_eq!(verdicts, seq_verdicts);
+        let stats = shared.stats();
+        assert_eq!(stats.poison_recoveries, 1, "{stats:?}");
+        let per_shard = shared.shard_stats();
+        assert_eq!(per_shard[0].poison_recoveries, 1);
+        assert_eq!(per_shard[1].poison_recoveries, 0);
+    }
+
+    #[test]
+    fn byte_limit_sheds_shards_without_changing_verdicts() {
+        let (seq_verdicts, _) = sequential_baseline();
+        // A limit far below one entry's footprint: every insert sheds.
+        let shared = SharedChaseContext::new(theory(), ChaseConfig::default())
+            .with_shards(1)
+            .with_byte_limit(32);
+        let verdicts = run_workload(&mut &shared);
+        assert_eq!(verdicts, seq_verdicts);
+        let stats = shared.stats();
+        assert!(stats.pressure_sheds > 0, "{stats:?}");
+        assert!(shared.approx_memo_bytes() <= 32 * 2, "sheds keep it tiny");
+        // An unbounded core never sheds.
+        let (_, unbounded) = shared_run(4, 0);
+        assert_eq!(unbounded.pressure_sheds, 0);
+    }
+
+    #[test]
+    fn injected_checkout_failures_are_retried_and_recovered() {
+        use crate::faults;
+        let _guard = faults::ScopedFaults::install("shared::checkout=err@1").unwrap();
+        let shared = SharedChaseContext::new(theory(), ChaseConfig::default());
+        let (seq_verdicts, _) = sequential_baseline();
+        let verdicts = run_workload(&mut &shared);
+        assert_eq!(verdicts, seq_verdicts);
+        let stats = shared.stats();
+        assert!(stats.checkout_retries >= 1, "{stats:?}");
+        let fs = faults::stats();
+        assert_eq!(fs.injected, 1);
+        assert_eq!(fs.injected, fs.acknowledged(), "{fs:?}");
     }
 }

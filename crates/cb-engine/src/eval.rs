@@ -50,6 +50,11 @@ pub enum EvalError {
     NoClassDict(String),
     /// OID not present in its class dictionary.
     DanglingOid(String),
+    /// A fault injected at the named failpoint site (see
+    /// `cb_chase::faults`) surfaced as a typed error instead of
+    /// corrupting the run. Only ever produced while a `CB_FAULTS`
+    /// schedule is armed.
+    Injected(String),
 }
 
 impl fmt::Display for EvalError {
@@ -69,6 +74,7 @@ impl fmt::Display for EvalError {
                 write!(f, "no class dictionary registered for class `{c}`")
             }
             EvalError::DanglingOid(o) => write!(f, "dangling OID {o}"),
+            EvalError::Injected(site) => write!(f, "injected fault at {site}"),
         }
     }
 }

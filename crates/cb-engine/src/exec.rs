@@ -1089,6 +1089,25 @@ impl<'a> Exec<'a, '_> {
 
 /// The recursive row-at-a-time driver: one call per row, the
 /// differential baseline the batched driver is proven against.
+/// Failpoint: the driver is about to execute an operator. An injected
+/// transient error surfaces as a typed [`EvalError::Injected`]
+/// (reported — the caller sees exactly what fired); a memory-pressure
+/// signal is meaningless to the stateless driver and recovers by
+/// proceeding. Disarmed cost: one relaxed atomic load.
+fn op_failpoint() -> Result<(), EvalError> {
+    match cb_chase::faults::hit("exec::op") {
+        Ok(()) => Ok(()),
+        Err(f) if f.kind == cb_chase::faults::FaultKind::Error => {
+            cb_chase::faults::note_reported();
+            Err(EvalError::Injected(f.site.to_string()))
+        }
+        Err(_) => {
+            cb_chase::faults::note_recovered();
+            Ok(())
+        }
+    }
+}
+
 struct RowMachine<'a, 'p> {
     x: Exec<'a, 'p>,
     regs: Vec<CowValue<'a>>,
@@ -1096,6 +1115,7 @@ struct RowMachine<'a, 'p> {
 
 impl<'a> RowMachine<'a, '_> {
     fn run(&mut self, op_idx: usize) -> Result<(), EvalError> {
+        op_failpoint()?;
         let pipeline = self.x.pipeline;
         if op_idx == pipeline.ops.len() {
             return self.x.emit(&self.regs);
@@ -1255,6 +1275,7 @@ impl<'a> BatchMachine<'a, '_> {
         if batch.live() == 0 {
             return Ok(());
         }
+        op_failpoint()?;
         self.x.stats.batches += 1;
         self.x.stats.sel_rows_live += batch.live() as u64;
         self.x.stats.sel_rows_total += batch.rows() as u64;
@@ -1754,6 +1775,28 @@ mod tests {
                 assert_eq!(rows, reference, "{src} with {options:?}");
             }
         }
+    }
+
+    #[test]
+    fn injected_op_faults_surface_as_typed_errors() {
+        use cb_chase::faults;
+        let inst = rs_instance(8);
+        let ev = Evaluator::new(&inst);
+        let q = parse_query("select struct(A = r.A) from R r where r.B = 2").unwrap();
+        let pipeline = compile(&q, CompileOptions::default());
+        {
+            let _guard = faults::ScopedFaults::install("exec::op=err").unwrap();
+            let err = execute(&ev, &pipeline).unwrap_err();
+            assert_eq!(err, EvalError::Injected("exec::op".to_string()));
+            assert!(err.to_string().contains("injected fault at exec::op"));
+            let err = execute_rows(&ev, &pipeline).unwrap_err();
+            assert_eq!(err, EvalError::Injected("exec::op".to_string()));
+            let fs = faults::stats();
+            assert_eq!(fs.injected, 2);
+            assert_eq!(fs.reported, 2, "surfaced errors are reported, {fs:?}");
+        }
+        // Disarmed again: both drivers run clean.
+        assert_eq!(execute(&ev, &pipeline).unwrap(), ev.eval_query(&q).unwrap());
     }
 
     #[test]

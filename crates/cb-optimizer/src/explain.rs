@@ -129,6 +129,34 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
         }
         let _ = writeln!(s, "  {e} error(s), {w} warning(s), {i} info");
     }
+    // The resource governor's story: every degradation rung taken, plus
+    // the fault-recovery counters, so a degraded answer is never silent
+    // — and a clean run says so explicitly.
+    let _ = writeln!(s, "\n== resilience ==");
+    if outcome.degradations.is_empty()
+        && outcome.workers_died == 0
+        && outcome.cache.poison_recoveries == 0
+    {
+        let _ = writeln!(s, "clean run: no degradations, no faults recovered");
+    } else {
+        for d in &outcome.degradations {
+            let _ = writeln!(s, "  degraded: {d}");
+        }
+        if outcome.workers_died > 0 {
+            let _ = writeln!(
+                s,
+                "  {} search worker(s) died and had their claims recovered",
+                outcome.workers_died
+            );
+        }
+        if outcome.cache.poison_recoveries > 0 {
+            let _ = writeln!(
+                s,
+                "  {} poisoned memo shard(s) recovered (entries discarded)",
+                outcome.cache.poison_recoveries
+            );
+        }
+    }
     // An incomplete search is only worth a caveat when the analyzer could
     // not certify termination: with a terminating constraint set the
     // budgets are a formality, not a soundness risk.
@@ -167,6 +195,8 @@ mod tests {
             "must-remain bindings",
             "constraint-set termination:",
             "== static analysis ==",
+            "== resilience ==",
+            "clean run: no degradations",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -1,0 +1,236 @@
+//! The resource governor: graceful degradation for the service path.
+//!
+//! A multi-tenant optimizer cannot let one tenant's pathological query —
+//! or one injected fault — take the process down or starve its
+//! neighbours. When phase 2 runs into trouble, the governor walks a
+//! fixed ladder, always trading *quality of exploration* for
+//! *availability of an answer*, never correctness (every plan the
+//! search streams is equivalence-verified; the universal plan is
+//! equivalent by construction):
+//!
+//! 1. **Shed shard caches.** Under a [`memo byte
+//!    limit`](crate::OptimizerConfig::memo_byte_limit) the shared
+//!    context's shards drop memo entries instead of growing without
+//!    bound; the search proves verdicts again instead of remembering
+//!    them.
+//! 2. **Collapse to the sequential search.** If the parallel frontier
+//!    loses workers to panics and cannot finish, the same lattice walk
+//!    is rerun single-threaded against the caller's [`ChaseContext`]
+//!    (which never touches the `parallel::*` failpoint sites), under
+//!    whatever wall clock the failed attempt left unspent.
+//! 3. **Return the universal plan.** If phase 2 itself dies — a panic
+//!    escaping the sequential walk — the optimizer keeps any verified
+//!    candidates it already streamed and, when there are none, answers
+//!    with the verified universal plan: the anytime incumbent of last
+//!    resort.
+//!
+//! Every rung taken is recorded as a [`Degradation`] and surfaced in
+//! [`OptimizeOutcome::degradations`](crate::OptimizeOutcome::degradations)
+//! and in EXPLAIN's resilience section, so a degraded answer is never
+//! silent.
+//!
+//! [`ChaseContext`]: cb_chase::ChaseContext
+
+use std::fmt;
+use std::time::Instant;
+
+use cb_chase::{SearchBudget, SearchOutcome};
+
+/// One rung of the degradation ladder taken during an optimization, in
+/// the order taken (see the [module docs](self) for the ladder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Degradation {
+    /// Rung 1: the shared context shed shard memo entries to stay under
+    /// the configured memo byte limit. `sheds` counts the shard-level
+    /// shed events ([`cb_chase::CacheStats::pressure_sheds`]).
+    ShardCachesShed { sheds: u64 },
+    /// Rung 2: the parallel phase-2 search lost `workers_died` workers
+    /// to panics and could not finish; the search was rerun
+    /// sequentially under the remaining wall-clock budget.
+    SequentialFallback { workers_died: usize },
+    /// Rung 3: the phase-2 search itself aborted (`reason` carries the
+    /// panic message). Verified candidates streamed before the abort
+    /// are kept; with none, the verified universal plan is the answer.
+    UniversalFallback { reason: String },
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::ShardCachesShed { sheds } => {
+                write!(
+                    f,
+                    "shed shard memo caches under memory pressure ({sheds} shed event(s))"
+                )
+            }
+            Degradation::SequentialFallback { workers_died } => {
+                write!(
+                    f,
+                    "parallel search lost {workers_died} worker(s); reran sequentially"
+                )
+            }
+            Degradation::UniversalFallback { reason } => {
+                write!(
+                    f,
+                    "phase-2 search aborted ({reason}); answered with the verified incumbent"
+                )
+            }
+        }
+    }
+}
+
+/// Walks the degradation ladder for one optimization: owns the memo
+/// byte limit (rung 1), decides when a crippled parallel search is
+/// rerun sequentially (rung 2), integrates the phase-2 [`SearchBudget`]
+/// so the latency SLO covers the *whole* ladder rather than each rung,
+/// and records every step taken.
+#[derive(Debug)]
+pub struct ResourceGovernor {
+    memo_byte_limit: Option<usize>,
+    budget: SearchBudget,
+    start: Instant,
+    degradations: Vec<Degradation>,
+}
+
+impl ResourceGovernor {
+    pub fn new(
+        memo_byte_limit: Option<usize>,
+        budget: SearchBudget,
+        start: Instant,
+    ) -> ResourceGovernor {
+        ResourceGovernor {
+            memo_byte_limit,
+            budget,
+            start,
+            degradations: Vec::new(),
+        }
+    }
+
+    /// The approximate byte cap the shared context's shards must stay
+    /// under (`None`: unbounded).
+    pub fn memo_byte_limit(&self) -> Option<usize> {
+        self.memo_byte_limit
+    }
+
+    /// The phase-2 budget with the wall clock shrunk by what has
+    /// already elapsed since the search started — a retry rung runs
+    /// under the *remaining* SLO, not a fresh one. A fully spent wall
+    /// clock still visits the search root, so even a zero-remaining
+    /// retry yields the universal plan.
+    pub fn remaining_budget(&self) -> SearchBudget {
+        SearchBudget {
+            wall_clock: self
+                .budget
+                .wall_clock
+                .map(|d| d.saturating_sub(self.start.elapsed())),
+            nodes: self.budget.nodes,
+        }
+    }
+
+    /// Should a finished parallel attempt be rerun sequentially? Yes
+    /// exactly when worker deaths (not the budget, not the visit cap)
+    /// left the walk incomplete: every worker died with frontier work
+    /// still queued. Survivor-completed searches — even ones that lost
+    /// workers along the way — already hold the full result.
+    pub fn should_fall_back(&self, out: &SearchOutcome) -> bool {
+        out.workers_died > 0 && !out.complete && !out.budget_expired
+    }
+
+    /// Record rung 1, if any shed events happened.
+    pub fn note_sheds(&mut self, sheds: u64) {
+        if sheds > 0 {
+            self.degradations
+                .push(Degradation::ShardCachesShed { sheds });
+        }
+    }
+
+    /// Record rung 2.
+    pub fn note_sequential_fallback(&mut self, workers_died: usize) {
+        self.degradations
+            .push(Degradation::SequentialFallback { workers_died });
+    }
+
+    /// Record rung 3.
+    pub fn note_universal_fallback(&mut self, reason: impl Into<String>) {
+        self.degradations.push(Degradation::UniversalFallback {
+            reason: reason.into(),
+        });
+    }
+
+    /// The ladder rungs taken, in order.
+    pub fn into_degradations(self) -> Vec<Degradation> {
+        self.degradations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn outcome(complete: bool, budget_expired: bool, workers_died: usize) -> SearchOutcome {
+        SearchOutcome {
+            normal_forms: vec![],
+            visited: vec![],
+            visited_count: 0,
+            complete,
+            budget_expired,
+            pruned_at_gate: 0,
+            pruned_at_visit: 0,
+            accepted: false,
+            workers_died,
+        }
+    }
+
+    #[test]
+    fn fallback_fires_only_on_death_caused_incompleteness() {
+        let g = ResourceGovernor::new(None, SearchBudget::unlimited(), Instant::now());
+        assert!(g.should_fall_back(&outcome(false, false, 4)));
+        // Survivors finished: no rerun.
+        assert!(!g.should_fall_back(&outcome(true, false, 1)));
+        // Budget expiry is an SLO, not a fault: no rerun.
+        assert!(!g.should_fall_back(&outcome(false, true, 2)));
+        // Incomplete for capacity reasons with no deaths: no rerun.
+        assert!(!g.should_fall_back(&outcome(false, false, 0)));
+    }
+
+    #[test]
+    fn remaining_budget_shrinks_the_wall_clock_only() {
+        let budget = SearchBudget {
+            wall_clock: Some(Duration::from_secs(3600)),
+            nodes: Some(17),
+        };
+        let g = ResourceGovernor::new(None, budget, Instant::now());
+        let rest = g.remaining_budget();
+        assert!(rest.wall_clock.unwrap() <= Duration::from_secs(3600));
+        assert!(rest.wall_clock.unwrap() > Duration::from_secs(3590));
+        assert_eq!(rest.nodes, Some(17));
+
+        // An already-expired wall clock saturates to zero, not a panic.
+        let spent = ResourceGovernor::new(
+            None,
+            SearchBudget {
+                wall_clock: Some(Duration::ZERO),
+                nodes: None,
+            },
+            Instant::now(),
+        );
+        assert_eq!(spent.remaining_budget().wall_clock, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn rungs_are_recorded_in_order() {
+        let mut g = ResourceGovernor::new(Some(4096), SearchBudget::unlimited(), Instant::now());
+        g.note_sheds(0); // no-op
+        g.note_sheds(3);
+        g.note_sequential_fallback(2);
+        g.note_universal_fallback("injected panic");
+        let d = g.into_degradations();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0], Degradation::ShardCachesShed { sheds: 3 });
+        assert_eq!(d[1], Degradation::SequentialFallback { workers_died: 2 });
+        assert!(
+            matches!(&d[2], Degradation::UniversalFallback { reason } if reason.contains("injected"))
+        );
+    }
+}

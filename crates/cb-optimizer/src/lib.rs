@@ -14,12 +14,14 @@
 pub mod cleanup;
 pub mod cost;
 pub mod explain;
+pub mod governor;
 pub mod optimizer;
 pub mod reorder;
 
 pub use cleanup::{cleanup_plan, prune_implied_conditions};
 pub use cost::CostModel;
 pub use explain::explain;
+pub use governor::{Degradation, ResourceGovernor};
 pub use optimizer::{
     CostBound, OptimizeError, OptimizeOutcome, Optimizer, OptimizerConfig, PlanChoice,
     PreflightMode, SearchStrategy,

@@ -23,8 +23,9 @@
 //! it is not minimal.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use cb_analyze::{Analyzer, Report};
@@ -41,6 +42,7 @@ use std::collections::BTreeSet;
 
 use crate::cleanup::cleanup_plan;
 use crate::cost::CostModel;
+use crate::governor::{Degradation, ResourceGovernor};
 use crate::reorder::reorder_bindings;
 
 /// How to search the plan space in phase 2.
@@ -152,6 +154,49 @@ pub struct OptimizerConfig {
     /// How many verified plans [`OptimizeOutcome::top_k`] retains
     /// (mutually distinct, cheapest first) for serving-tier fallback.
     pub k_best: usize,
+    /// Approximate cap on the parallel search's shared memo tables, in
+    /// bytes (rung 1 of the resource governor's degradation ladder): a
+    /// shard over its even split of the cap sheds memo entries instead
+    /// of growing, each shed counted in
+    /// [`CacheStats::pressure_sheds`] and surfaced as a
+    /// [`Degradation::ShardCachesShed`]. `None` (the default) leaves
+    /// the memos unbounded. [`Optimizer::new`] seeds this from the
+    /// `CB_MEMO_BYTES` environment variable.
+    pub memo_byte_limit: Option<usize>,
+}
+
+impl OptimizerConfig {
+    /// Ceiling [`OptimizerConfig::validated`] clamps `threads` to.
+    pub const MAX_THREADS: usize = 256;
+
+    /// Deterministic normalization of out-of-range settings, applied by
+    /// both [`Optimizer::new`] and [`Optimizer::with_config`] — the
+    /// same input config always yields the same effective one, so a bad
+    /// knob can change performance but never the answer:
+    ///
+    /// - `threads == 0` (meaningless) becomes 1, the sequential search;
+    ///   values above [`OptimizerConfig::MAX_THREADS`] are clamped down
+    ///   to it.
+    /// - `k_best == 0` becomes 1: the winner always retains itself.
+    /// - A non-finite or non-positive `bound_scale` becomes `1.0`, the
+    ///   real admissible bound; a NaN would otherwise decide every
+    ///   prune comparison vacuously, in a strategy-dependent way.
+    ///
+    /// Deliberately *not* clamped: a zero [`SearchBudget`] (zero nodes
+    /// or a zero wall clock) is legal and still visits the root, so
+    /// the universal plan is always available as the anytime answer;
+    /// `backchase.max_visited == 0` means unlimited by contract; and
+    /// `memo_byte_limit == Some(0)` is the strictest legal cache
+    /// pressure — every shard sheds on every insert.
+    #[must_use]
+    pub fn validated(mut self) -> OptimizerConfig {
+        self.threads = self.threads.clamp(1, Self::MAX_THREADS);
+        self.k_best = self.k_best.max(1);
+        if !self.bound_scale.is_finite() || self.bound_scale <= 0.0 {
+            self.bound_scale = 1.0;
+        }
+        self
+    }
 }
 
 impl Default for OptimizerConfig {
@@ -167,6 +212,7 @@ impl Default for OptimizerConfig {
             threads: 1,
             search_budget: SearchBudget::default(),
             k_best: 3,
+            memo_byte_limit: None,
         }
     }
 }
@@ -251,6 +297,18 @@ pub struct OptimizeOutcome {
     /// for every costed candidate (labeled by plan rank). Empty under
     /// [`PreflightMode::Off`].
     pub diagnostics: Report,
+    /// Rungs of the resource governor's degradation ladder taken during
+    /// this optimization, in the order taken (empty on a clean run):
+    /// shed shard caches, sequential fallback, universal-plan fallback.
+    /// See [`crate::governor`]. EXPLAIN prints them in its resilience
+    /// section.
+    pub degradations: Vec<Degradation>,
+    /// Phase-2 search workers that died to a panic and were recovered —
+    /// their claims abandoned and re-claimed by survivors, or, when all
+    /// of them died, the walk rerun sequentially
+    /// ([`Degradation::SequentialFallback`]). Always 0 when
+    /// `threads == 1`.
+    pub workers_died: usize,
 }
 
 /// Optimization errors.
@@ -308,6 +366,12 @@ impl<'a> Optimizer<'a> {
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .map_or(1, |t| t.max(1));
+        // `CB_MEMO_BYTES=N` arms the governor's cache-pressure rung for
+        // every default optimizer in the process (service deployments
+        // set it once; unset means unbounded memos, today's behavior).
+        let memo_byte_limit = std::env::var("CB_MEMO_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok());
         Optimizer {
             catalog,
             config: OptimizerConfig {
@@ -317,13 +381,21 @@ impl<'a> Optimizer<'a> {
                 },
                 cost_visited: true,
                 threads,
+                memo_byte_limit,
                 ..Default::default()
-            },
+            }
+            .validated(),
         }
     }
 
+    /// Builds an optimizer over an explicit configuration, normalized
+    /// by [`OptimizerConfig::validated`] (out-of-range knobs are
+    /// clamped deterministically, never rejected at runtime).
     pub fn with_config(catalog: &'a Catalog, config: OptimizerConfig) -> Optimizer<'a> {
-        Optimizer { catalog, config }
+        Optimizer {
+            catalog,
+            config: config.validated(),
+        }
     }
 
     /// Runs Algorithm 1 on `q`. One [`ChaseContext`] is allocated per
@@ -365,6 +437,10 @@ impl<'a> Optimizer<'a> {
             let (verdict, catalog_report) = analyzer.check_catalog();
             diagnostics.merge(catalog_report);
             diagnostics.merge(analyzer.check_query(q));
+            // A malformed CB_FAULTS schedule is an error finding (deny
+            // mode refuses to optimize under it); an armed one is a
+            // warning, so chaos-run outcomes are labeled as such.
+            diagnostics.merge(analyzer.check_environment());
             if self.config.preflight == PreflightMode::Deny && diagnostics.has_errors() {
                 return Err(OptimizeError::Rejected {
                     report: diagnostics,
@@ -394,139 +470,228 @@ impl<'a> Optimizer<'a> {
         // universal plan, noise next to the chase that produced it.
         let mut analysis = MustRemainAnalysis::new(&universal);
         let mut candidates: Vec<PlanChoice> = Vec::new();
-        let nodes_visited;
+        let mut nodes_visited = 0usize;
         let mut nodes_pruned_at_gate = 0usize;
         let mut nodes_pruned_at_visit = 0usize;
         let mut budget_expired = false;
         let mut incumbent_trace: Vec<(Duration, f64)> = Vec::new();
         let mut shard_cache: Vec<CacheStats> = Vec::new();
         let mut shared_stats: Option<CacheStats> = None;
+        let mut workers_died = 0usize;
         let threads = self.config.threads.max(1);
         let search_start = Instant::now();
-        let search_complete = match self.config.strategy {
-            SearchStrategy::Exhaustive => {
-                let out = if threads > 1 {
-                    let shared = self.shared_context(ctx);
-                    let out = ParallelPlanSearch::new(&universal, threads)
-                        .with_max_visited(self.config.backchase.max_visited)
-                        .with_budget(self.config.search_budget)
-                        .run(&shared, &ParallelExploreAll);
-                    shard_cache = shared.shard_stats();
-                    shared_stats = Some(shared.stats());
-                    out
-                } else {
-                    PlanSearch::new(&universal)
-                        .with_max_visited(self.config.backchase.max_visited)
-                        .with_budget(self.config.search_budget)
-                        .run(ctx, &mut ExploreAll)
-                };
-                nodes_visited = out.visited_count;
-                budget_expired = out.budget_expired;
-                let bc = BackchaseOutcome {
-                    normal_forms: out.normal_forms,
-                    visited: out.visited,
-                    complete: out.complete,
-                };
-                self.cost_phased(ctx, &model, &bc, &mut candidates);
-                bc.complete
-            }
-            SearchStrategy::Greedy => {
-                // Prefer removing what is logical-only, per the paper's
-                // "obvious strategy".
-                let prefer: BTreeSet<String> = self
-                    .catalog
-                    .logical()
-                    .roots
-                    .keys()
-                    .filter(|r| !self.catalog.is_physical_root(r))
-                    .cloned()
-                    .collect();
-                let plan = backchase_greedy_in(ctx, &universal, &prefer);
-                let bc = BackchaseOutcome {
-                    normal_forms: vec![plan],
-                    visited: vec![universal.clone()],
-                    complete: true,
-                };
-                nodes_visited = bc.visited.len();
-                self.cost_phased(ctx, &model, &bc, &mut candidates);
-                bc.complete
-            }
-            SearchStrategy::CostGuided => {
-                // Branch-and-bound: cost each equivalence-verified node
-                // as it streams in, explore cheap regions first so the
-                // incumbent best drops early, and cut any branch whose
-                // admissible lower bound already exceeds the incumbent
-                // (the bound is monotone along descent, so nothing below
-                // a cut can be cheaper) — candidates under a cut are
-                // skipped *before* the equivalence checks, so they are
-                // never verified or costed at all.
-                let out = if threads > 1 {
-                    let shared = self.shared_context(ctx);
-                    let guide = ParallelCostGuide {
-                        catalog: self.catalog,
-                        model: &model,
-                        analysis: Mutex::new(&mut analysis),
-                        bound: self.config.bound,
-                        bound_scale: self.config.bound_scale,
-                        candidates: Mutex::new(Vec::new()),
-                        incumbent: AtomicU64::new(f64::INFINITY.to_bits()),
-                        trace: Mutex::new(Vec::new()),
-                        start: search_start,
+        let mut governor = ResourceGovernor::new(
+            self.config.memo_byte_limit,
+            self.config.search_budget,
+            search_start,
+        );
+        let mut search_complete = false;
+        // Phase 2 runs inside a panic boundary: a panic escaping the
+        // search machinery (the failpoint sites inject exactly that) is
+        // rung 3 of the governor's ladder, not a crashed tenant thread.
+        // Everything written before the panic stays usable — candidates
+        // hold only fully verified plans and the memo tables insert
+        // only completed verdicts, so partial state is merely *less*,
+        // never wrong.
+        let search_panic = catch_unwind(AssertUnwindSafe(|| {
+            search_complete = match self.config.strategy {
+                SearchStrategy::Exhaustive => {
+                    let out = if threads > 1 {
+                        let shared = self.shared_context(ctx);
+                        let out = ParallelPlanSearch::new(&universal, threads)
+                            .with_max_visited(self.config.backchase.max_visited)
+                            .with_budget(self.config.search_budget)
+                            .run(&shared, &ParallelExploreAll);
+                        shard_cache = shared.shard_stats();
+                        let stats = shared.stats();
+                        governor.note_sheds(stats.pressure_sheds);
+                        shared_stats = Some(stats);
+                        workers_died = out.workers_died;
+                        if governor.should_fall_back(&out) {
+                            // Rung 2: every worker died with frontier work
+                            // still queued. The sequential walk shares no
+                            // state with the dead workers and never touches
+                            // the parallel failpoint sites; it runs under
+                            // whatever wall clock the attempt left unspent.
+                            governor.note_sequential_fallback(out.workers_died);
+                            PlanSearch::new(&universal)
+                                .with_max_visited(self.config.backchase.max_visited)
+                                .with_budget(governor.remaining_budget())
+                                .run(ctx, &mut ExploreAll)
+                        } else {
+                            out
+                        }
+                    } else {
+                        PlanSearch::new(&universal)
+                            .with_max_visited(self.config.backchase.max_visited)
+                            .with_budget(self.config.search_budget)
+                            .run(ctx, &mut ExploreAll)
                     };
-                    let out = ParallelPlanSearch::new(&universal, threads)
-                        .with_max_visited(self.config.backchase.max_visited)
-                        .with_budget(self.config.search_budget)
-                        .with_collect_visited(false)
-                        .run(&shared, &guide);
-                    candidates.extend(guide.candidates.into_inner().expect("guide lock"));
-                    incumbent_trace = guide.trace.into_inner().expect("guide lock");
-                    // Improvements raced in from several workers: order
-                    // the curve by time, keep only the monotone descent.
-                    incumbent_trace.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
-                    incumbent_trace.dedup_by(|next, prev| next.1 >= prev.1);
-                    shard_cache = shared.shard_stats();
-                    shared_stats = Some(shared.stats());
-                    out
-                } else {
-                    let mut guide = CostGuide {
-                        catalog: self.catalog,
-                        model: &model,
-                        analysis: &mut analysis,
-                        bound: self.config.bound,
-                        bound_scale: self.config.bound_scale,
-                        candidates: &mut candidates,
-                        incumbent: f64::INFINITY,
-                        trace: &mut incumbent_trace,
-                        start: search_start,
+                    nodes_visited = out.visited_count;
+                    budget_expired = out.budget_expired;
+                    let bc = BackchaseOutcome {
+                        normal_forms: out.normal_forms,
+                        visited: out.visited,
+                        complete: out.complete,
                     };
-                    PlanSearch::new(&universal)
-                        .with_max_visited(self.config.backchase.max_visited)
-                        .with_budget(self.config.search_budget)
-                        // The guide accumulates its own candidates as
-                        // nodes stream in; no need to clone each visited
-                        // query.
-                        .with_collect_visited(false)
-                        .run(ctx, &mut guide)
-                };
-                nodes_visited = out.visited_count;
-                nodes_pruned_at_gate = out.pruned_at_gate;
-                nodes_pruned_at_visit = out.pruned_at_visit;
-                budget_expired = out.budget_expired;
-                // Flag the minimality the search did determine (anything
-                // touched by pruning leaves it undetermined).
-                let nf_set: BTreeSet<Query> = out
-                    .normal_forms
-                    .iter()
-                    .map(Query::alpha_normalized)
-                    .collect();
-                for c in &mut candidates {
-                    if nf_set.contains(&c.raw.alpha_normalized()) {
-                        c.minimal = true;
-                    }
+                    self.cost_phased(ctx, &model, &bc, &mut candidates);
+                    bc.complete
                 }
-                out.complete
+                SearchStrategy::Greedy => {
+                    // Prefer removing what is logical-only, per the paper's
+                    // "obvious strategy".
+                    let prefer: BTreeSet<String> = self
+                        .catalog
+                        .logical()
+                        .roots
+                        .keys()
+                        .filter(|r| !self.catalog.is_physical_root(r))
+                        .cloned()
+                        .collect();
+                    let plan = backchase_greedy_in(ctx, &universal, &prefer);
+                    let bc = BackchaseOutcome {
+                        normal_forms: vec![plan],
+                        visited: vec![universal.clone()],
+                        complete: true,
+                    };
+                    nodes_visited = bc.visited.len();
+                    self.cost_phased(ctx, &model, &bc, &mut candidates);
+                    bc.complete
+                }
+                SearchStrategy::CostGuided => {
+                    // Branch-and-bound: cost each equivalence-verified node
+                    // as it streams in, explore cheap regions first so the
+                    // incumbent best drops early, and cut any branch whose
+                    // admissible lower bound already exceeds the incumbent
+                    // (the bound is monotone along descent, so nothing below
+                    // a cut can be cheaper) — candidates under a cut are
+                    // skipped *before* the equivalence checks, so they are
+                    // never verified or costed at all.
+                    let out = if threads > 1 {
+                        let shared = self.shared_context(ctx);
+                        let (out, par_candidates, par_trace) = {
+                            let guide = ParallelCostGuide {
+                                catalog: self.catalog,
+                                model: &model,
+                                analysis: Mutex::new(&mut analysis),
+                                bound: self.config.bound,
+                                bound_scale: self.config.bound_scale,
+                                candidates: Mutex::new(Vec::new()),
+                                incumbent: AtomicU64::new(f64::INFINITY.to_bits()),
+                                trace: Mutex::new(Vec::new()),
+                                start: search_start,
+                            };
+                            let out = ParallelPlanSearch::new(&universal, threads)
+                                .with_max_visited(self.config.backchase.max_visited)
+                                .with_budget(self.config.search_budget)
+                                .with_collect_visited(false)
+                                .run(&shared, &guide);
+                            // A worker that panicked while appending has
+                            // poisoned these locks; the data under them is
+                            // append-only and every element is a complete
+                            // verified plan, so take it regardless.
+                            (
+                                out,
+                                guide
+                                    .candidates
+                                    .into_inner()
+                                    .unwrap_or_else(PoisonError::into_inner),
+                                guide
+                                    .trace
+                                    .into_inner()
+                                    .unwrap_or_else(PoisonError::into_inner),
+                            )
+                        };
+                        shard_cache = shared.shard_stats();
+                        let stats = shared.stats();
+                        governor.note_sheds(stats.pressure_sheds);
+                        shared_stats = Some(stats);
+                        workers_died = out.workers_died;
+                        if governor.should_fall_back(&out) {
+                            // Rung 2: discard the crippled attempt's partial
+                            // results and redo the walk sequentially, so the
+                            // outcome is exactly the single-threaded one.
+                            governor.note_sequential_fallback(out.workers_died);
+                            let mut guide = CostGuide {
+                                catalog: self.catalog,
+                                model: &model,
+                                analysis: &mut analysis,
+                                bound: self.config.bound,
+                                bound_scale: self.config.bound_scale,
+                                candidates: &mut candidates,
+                                incumbent: f64::INFINITY,
+                                trace: &mut incumbent_trace,
+                                start: search_start,
+                            };
+                            PlanSearch::new(&universal)
+                                .with_max_visited(self.config.backchase.max_visited)
+                                .with_budget(governor.remaining_budget())
+                                .with_collect_visited(false)
+                                .run(ctx, &mut guide)
+                        } else {
+                            candidates.extend(par_candidates);
+                            incumbent_trace = par_trace;
+                            // Improvements raced in from several workers:
+                            // order the curve by time, keep only the
+                            // monotone descent.
+                            incumbent_trace.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+                            incumbent_trace.dedup_by(|next, prev| next.1 >= prev.1);
+                            out
+                        }
+                    } else {
+                        let mut guide = CostGuide {
+                            catalog: self.catalog,
+                            model: &model,
+                            analysis: &mut analysis,
+                            bound: self.config.bound,
+                            bound_scale: self.config.bound_scale,
+                            candidates: &mut candidates,
+                            incumbent: f64::INFINITY,
+                            trace: &mut incumbent_trace,
+                            start: search_start,
+                        };
+                        PlanSearch::new(&universal)
+                            .with_max_visited(self.config.backchase.max_visited)
+                            .with_budget(self.config.search_budget)
+                            // The guide accumulates its own candidates as
+                            // nodes stream in; no need to clone each visited
+                            // query.
+                            .with_collect_visited(false)
+                            .run(ctx, &mut guide)
+                    };
+                    nodes_visited = out.visited_count;
+                    nodes_pruned_at_gate = out.pruned_at_gate;
+                    nodes_pruned_at_visit = out.pruned_at_visit;
+                    budget_expired = out.budget_expired;
+                    // Flag the minimality the search did determine (anything
+                    // touched by pruning leaves it undetermined).
+                    let nf_set: BTreeSet<Query> = out
+                        .normal_forms
+                        .iter()
+                        .map(Query::alpha_normalized)
+                        .collect();
+                    for c in &mut candidates {
+                        if nf_set.contains(&c.raw.alpha_normalized()) {
+                            c.minimal = true;
+                        }
+                    }
+                    out.complete
+                }
+            };
+        }))
+        .err();
+        if let Some(payload) = search_panic {
+            // Rung 3: the search machinery itself died. Injected panics
+            // (the chaos harness's bread and butter) are acknowledged as
+            // recovered; genuine ones are degraded identically but keep
+            // their message in the trace, so a real bug is never silent.
+            if cb_chase::faults::is_injected_panic(payload.as_ref()) {
+                cb_chase::faults::note_recovered();
             }
-        };
+            governor.note_universal_fallback(panic_message(payload.as_ref()));
+            search_complete = false;
+        }
+        let degradations = governor.into_degradations();
 
         // Deduplicate by final plan, cheapest first; ties broken by the
         // canonical plan key — first of the cleaned plan, then of the raw
@@ -547,10 +712,14 @@ impl<'a> Optimizer<'a> {
         });
         candidates.dedup_by(|a, b| a.query.alpha_normalized() == b.query.alpha_normalized());
 
-        // An expired budget may stop the search before any *physical*
-        // subquery was reached; the universal plan — equivalent by
-        // construction — is then the anytime incumbent of last resort.
-        if candidates.is_empty() && budget_expired {
+        // An expired budget — or a rung-3 abort — may stop the search
+        // before any *physical* subquery was reached; the universal
+        // plan — equivalent by construction — is then the anytime
+        // incumbent of last resort.
+        let aborted = degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::UniversalFallback { .. }));
+        if candidates.is_empty() && (budget_expired || aborted) {
             candidates.push(PlanChoice {
                 query: universal.clone(),
                 raw: universal.clone(),
@@ -628,6 +797,8 @@ impl<'a> Optimizer<'a> {
             must_remain,
             termination,
             diagnostics,
+            degradations,
+            workers_died,
         })
     }
 
@@ -639,10 +810,16 @@ impl<'a> Optimizer<'a> {
     /// through the shards.
     fn shared_context(&self, ctx: &ChaseContext) -> SharedChaseContext {
         let shared = SharedChaseContext::new(ctx.deps().to_vec(), self.config.chase.clone());
-        if ctx.memo_cap() > 0 {
+        let shared = if ctx.memo_cap() > 0 {
             shared.with_memo_cap(ctx.memo_cap())
         } else {
             shared
+        };
+        // Rung 1 of the governor's ladder: under a byte limit the
+        // shards shed memo entries instead of growing without bound.
+        match self.config.memo_byte_limit {
+            Some(bytes) => shared.with_byte_limit(bytes),
+            None => shared,
         }
     }
 
@@ -675,6 +852,19 @@ impl<'a> Optimizer<'a> {
                 }
             }
         }
+    }
+}
+
+/// Best-effort text of a caught panic payload, for the degradation
+/// trace (`panic!` with a literal gives `&str`, with a format string
+/// gives `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
     }
 }
 
@@ -800,9 +990,12 @@ impl ParallelCostGuide<'_, '_> {
     fn publish(&self, cost: f64) {
         let prev = self.incumbent.fetch_min(cost.to_bits(), Ordering::SeqCst);
         if cost.to_bits() < prev {
+            // A sibling worker's panic may have poisoned the lock; the
+            // vec under it is append-only and re-sorted at the end, so
+            // it stays usable — don't let the poison cascade.
             self.trace
                 .lock()
-                .expect("trace lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push((self.start.elapsed(), cost));
         }
     }
@@ -810,7 +1003,10 @@ impl ParallelCostGuide<'_, '_> {
     fn bound_of(&self, q: &Query, removed: &BTreeSet<String>) -> f64 {
         let b = match self.bound {
             CostBound::MustRemain => {
-                let mut analysis = self.analysis.lock().expect("analysis lock");
+                // The analysis is a memo accelerator: entries are only
+                // inserted whole, so a poisoned lock still guards a
+                // consistent table.
+                let mut analysis = self.analysis.lock().unwrap_or_else(PoisonError::into_inner);
                 self.model.lattice_lower_bound(q, removed, &mut analysis)
             }
             CostBound::AccessFloor => self.model.lower_bound(q),
@@ -828,7 +1024,7 @@ impl ParallelVisitor for ParallelCostGuide<'_, '_> {
             self.publish(choice.cost);
             self.candidates
                 .lock()
-                .expect("candidates lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .push(choice);
         }
         Visit::Explore
@@ -1080,6 +1276,176 @@ mod tests {
             // pipeline; no error-severity dataflow finding may survive.
             assert!(!out.diagnostics.has_errors(), "{name}: {}", out.diagnostics);
         }
+    }
+
+    fn exhaustive_config(threads: usize) -> OptimizerConfig {
+        OptimizerConfig {
+            backchase: BackchaseConfig {
+                max_visited: 4096,
+                ..Default::default()
+            },
+            cost_visited: true,
+            threads,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_workers_dying_degrades_to_the_sequential_search() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let q = projdept::query();
+        let faulty = {
+            // Every spawning worker dies instantly: the parallel attempt
+            // cannot finish, and rung 2 reruns the walk sequentially.
+            let _guard = cb_chase::faults::ScopedFaults::install("parallel::spawn=panic").unwrap();
+            let out = Optimizer::with_config(&cat, exhaustive_config(4))
+                .optimize(&q)
+                .unwrap();
+            let fs = cb_chase::faults::stats();
+            assert_eq!(fs.injected, fs.acknowledged(), "{fs:?}");
+            assert!(fs.injected >= 4, "{fs:?}");
+            out
+        };
+        assert_eq!(faulty.workers_died, 4);
+        assert!(
+            faulty
+                .degradations
+                .iter()
+                .any(|d| matches!(d, Degradation::SequentialFallback { workers_died: 4 })),
+            "{:?}",
+            faulty.degradations
+        );
+        // The degraded answer is exactly the sequential one.
+        let clean = Optimizer::with_config(&cat, exhaustive_config(1))
+            .optimize(&q)
+            .unwrap();
+        assert_eq!(faulty.best.query, clean.best.query);
+        assert!((faulty.best.cost - clean.best.cost).abs() < 1e-9);
+        assert_eq!(faulty.candidates.len(), clean.candidates.len());
+        assert!(faulty.complete);
+        // EXPLAIN tells the story.
+        let text = crate::explain::explain(&faulty);
+        assert!(text.contains("reran sequentially"), "{text}");
+        assert!(text.contains("worker(s) died"), "{text}");
+        // The pre-flight flagged the armed schedule (CB040): a chaos
+        // outcome is never mistaken for a clean one.
+        assert!(
+            faulty
+                .diagnostics
+                .diagnostics
+                .iter()
+                .any(|d| d.code == cb_analyze::codes::FAULT_SPEC),
+            "{}",
+            faulty.diagnostics
+        );
+    }
+
+    #[test]
+    fn a_panic_escaping_the_sequential_search_yields_the_universal_plan() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let q = projdept::query();
+        // Every containment proof panics: the sequential phase-2 search
+        // dies on its first verification, and rung 3 answers with the
+        // verified universal plan rather than crashing the tenant.
+        let _guard =
+            cb_chase::faults::ScopedFaults::install("context::contained_in=panic").unwrap();
+        let out = Optimizer::with_config(&cat, exhaustive_config(1))
+            .optimize(&q)
+            .unwrap();
+        let fs = cb_chase::faults::stats();
+        assert_eq!(fs.injected, fs.acknowledged(), "{fs:?}");
+        assert!(!out.complete);
+        assert!(
+            out.degradations.iter().any(|d| matches!(
+                d,
+                Degradation::UniversalFallback { reason }
+                    if reason.contains("cb-fault")
+            )),
+            "{:?}",
+            out.degradations
+        );
+        assert_eq!(out.best.raw, out.universal);
+        let text = crate::explain::explain(&out);
+        assert!(text.contains("phase-2 search aborted"), "{text}");
+    }
+
+    #[test]
+    fn memory_pressure_sheds_are_traced_and_harmless() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let q = projdept::query();
+        let unlimited = Optimizer::with_config(&cat, exhaustive_config(2))
+            .optimize(&q)
+            .unwrap();
+        let squeezed = Optimizer::with_config(
+            &cat,
+            OptimizerConfig {
+                // A cap far below one memo entry: every shard sheds on
+                // every insert (rung 1), and the search just re-proves.
+                memo_byte_limit: Some(64),
+                ..exhaustive_config(2)
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        assert!(squeezed.cache.pressure_sheds > 0, "{:?}", squeezed.cache);
+        assert!(
+            squeezed.degradations.iter().any(|d| matches!(
+                d,
+                Degradation::ShardCachesShed { sheds } if *sheds > 0
+            )),
+            "{:?}",
+            squeezed.degradations
+        );
+        assert_eq!(squeezed.best.query, unlimited.best.query);
+        assert_eq!(squeezed.candidates.len(), unlimited.candidates.len());
+    }
+
+    #[test]
+    fn out_of_range_config_is_clamped_deterministically() {
+        let cfg = OptimizerConfig {
+            threads: 0,
+            k_best: 0,
+            bound_scale: f64::NAN,
+            ..Default::default()
+        }
+        .validated();
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.k_best, 1);
+        assert_eq!(cfg.bound_scale, 1.0);
+        assert_eq!(
+            OptimizerConfig {
+                threads: 100_000,
+                ..Default::default()
+            }
+            .validated()
+            .threads,
+            OptimizerConfig::MAX_THREADS
+        );
+
+        // End to end: `threads: 0` behaves exactly as the sequential
+        // search, and `k_best: 0` still retains the winner.
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 100, 10, 20);
+        let q = projdept::query();
+        let zero = Optimizer::with_config(
+            &cat,
+            OptimizerConfig {
+                threads: 0,
+                k_best: 0,
+                ..exhaustive_config(1)
+            },
+        )
+        .optimize(&q)
+        .unwrap();
+        let one = Optimizer::with_config(&cat, exhaustive_config(1))
+            .optimize(&q)
+            .unwrap();
+        assert_eq!(zero.best.query, one.best.query);
+        assert_eq!(zero.candidates.len(), one.candidates.len());
+        assert_eq!(zero.top_k.len(), 1);
     }
 
     #[test]
