@@ -111,6 +111,31 @@ impl<'a> Analyzer<'a> {
         report.merge(self.check_query(q));
         report
     }
+
+    /// The load-time gate for deserialized plans: a plan coming off disk
+    /// (or a wire) was optimized against *some* catalog at *some* time —
+    /// possibly not this catalog, possibly hand-edited since. Before it
+    /// may execute, its query must pass the well-formedness and
+    /// lookup-safety passes against the *current* catalog, and its
+    /// compiled pipeline the dataflow pass — in both compile modes, so
+    /// every operator the executor could run is verified, mirroring the
+    /// optimizer's own candidate pre-flight.
+    pub fn verify_loaded_plan(&self, q: &Query) -> Report {
+        let mut report = self.check_query(q);
+        for joins in [false, true] {
+            let pipeline = cb_engine::compile(
+                q,
+                cb_engine::CompileOptions {
+                    hash_joins: joins,
+                    merge_joins: joins,
+                    ..Default::default()
+                },
+            );
+            let label = if joins { "loaded+joins" } else { "loaded" };
+            report.merge_labeled(label, self.check_pipeline(&pipeline));
+        }
+        report
+    }
 }
 
 #[cfg(test)]

@@ -100,6 +100,9 @@ fn main() {
     if want("e20") {
         e20_resilience();
     }
+    if want("e21") {
+        e21_plan_service();
+    }
 }
 
 /// One `--json` record: experiment id, median wall time over the runs,
@@ -589,6 +592,60 @@ fn run_json(path: &str, selection: &[String]) {
             ("degradation_rungs", counters.2),
         ];
         records.push(rec);
+    }
+
+    if want("e21") {
+        use cb_optimizer::{OptimizerConfig, PlanService};
+        // Cold vs cached preparation over a replayed workload: every
+        // builtin scenario gets one service; the first preparation pays
+        // the full chase & backchase, every replay must be a cache hit
+        // that skips phase 2 entirely (`nodes_visited == 0` — the
+        // acceptance property, asserted, not just measured).
+        let scenarios = [
+            prepared_projdept(50, 10, 25),
+            prepared_indexes(5_000, 100, 50),
+            prepared_views(1_000, 1_000, 0.05),
+        ];
+        let mut cold_ns: Vec<u128> = Vec::new();
+        let mut warm_ns: Vec<u128> = Vec::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for p in &scenarios {
+            let mut svc = PlanService::new(p.catalog.clone(), OptimizerConfig::default());
+            let t = Instant::now();
+            let cold = svc.prepare(&p.query).expect("cold preparation");
+            cold_ns.push(t.elapsed().as_nanos());
+            assert!(!cold.cache_hit && cold.nodes_visited > 0);
+            for _ in 0..ITERS {
+                let t = Instant::now();
+                let warm = svc.prepare(&p.query).expect("warm preparation");
+                warm_ns.push(t.elapsed().as_nanos());
+                assert!(warm.cache_hit, "replay missed the plan cache");
+                assert_eq!(warm.nodes_visited, 0, "a hit must skip phase-2 search");
+            }
+            let s = svc.stats();
+            hits += s.hits;
+            misses += s.misses;
+        }
+        cold_ns.sort_unstable();
+        warm_ns.sort_unstable();
+        let cold_median = cold_ns[cold_ns.len() / 2];
+        let warm_median = warm_ns[warm_ns.len() / 2];
+        let hit_rate = hits as f64 / (hits + misses) as f64;
+        records.push(JsonRecord {
+            id: "e21_plan_service",
+            median_ns: warm_median,
+            cache_hit_rate: Some(hit_rate),
+            extra: vec![
+                ("cold_median_ns", cold_median as u64),
+                ("warm_median_ns", warm_median as u64),
+                (
+                    "cold_over_warm_x1000",
+                    (1000.0 * cold_median as f64 / (warm_median as f64).max(1.0)) as u64,
+                ),
+                ("hit_rate_x1000", (1000.0 * hit_rate) as u64),
+                ("workload_preparations", hits + misses),
+            ],
+        });
     }
 
     let mut out =
@@ -1345,6 +1402,66 @@ fn e20_disarmed_hit_ns() -> Option<f64> {
         let _ = std::hint::black_box(cb_chase::faults::hit(std::hint::black_box("parallel::pop")));
     }
     Some(t.elapsed().as_nanos() as f64 / f64::from(N))
+}
+
+/// E21 — the prepared-plan service: cold vs cached preparation over a
+/// replayed workload, with the "a hit skips phase 2" property asserted.
+fn e21_plan_service() {
+    use cb_optimizer::{explain_prepared, OptimizerConfig, PlanService};
+    banner("E21", "plan service: cold vs cached preparation");
+    let scenarios = [
+        ("projdept", prepared_projdept(50, 10, 25)),
+        ("relational_indexes", prepared_indexes(5_000, 100, 50)),
+        ("relational_views", prepared_views(1_000, 1_000, 0.05)),
+    ];
+    const REPLAYS: usize = 10;
+    let mut rows = Vec::new();
+    for (name, p) in &scenarios {
+        let mut svc = PlanService::new(p.catalog.clone(), OptimizerConfig::default());
+        let t = Instant::now();
+        let cold = svc.prepare(&p.query).expect("cold preparation");
+        let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        for _ in 0..REPLAYS {
+            let warm = svc.prepare(&p.query).expect("warm preparation");
+            assert!(warm.cache_hit);
+            assert_eq!(warm.nodes_visited, 0, "a hit must skip phase-2 search");
+        }
+        let warm_ms = t.elapsed().as_secs_f64() * 1e3 / REPLAYS as f64;
+        // The serialized plan round-trips and re-verifies against the
+        // service's own catalog.
+        let repr = &cold.plan.repr;
+        let reparsed = cb_optimizer::PlanRepr::parse(&repr.render()).expect("round trip");
+        assert_eq!(&reparsed, repr);
+        reparsed.load_verified(svc.catalog()).expect("load-verify");
+        rows.push(vec![
+            (*name).to_string(),
+            format!("{cold_ms:.2}"),
+            format!("{warm_ms:.4}"),
+            format!("{:.0}x", cold_ms / warm_ms.max(1e-9)),
+            format!("{:.2}", svc.stats().hit_rate()),
+            cold.nodes_visited.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "cold ms",
+                "cached ms",
+                "speedup",
+                "hit rate",
+                "cold nodes visited",
+            ],
+            &rows
+        )
+    );
+    // One EXPLAIN of a serialized plan, for the record.
+    let p = prepared_projdept(20, 5, 5);
+    let mut svc = PlanService::new(p.catalog.clone(), OptimizerConfig::default());
+    let prepared = svc.prepare(&p.query).expect("prepare");
+    println!("{}", explain_prepared(&prepared.plan.repr));
 }
 
 fn banner(id: &str, title: &str) {

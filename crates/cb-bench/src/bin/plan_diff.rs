@@ -1,0 +1,256 @@
+//! plan-diff — structural comparison and CI snapshotting of serialized
+//! plans.
+//!
+//! The versioned plan format ([`cb_optimizer::PlanRepr`]) makes a plan a
+//! diffable artifact. This binary puts that to work as a regression
+//! gate: `plans/<scenario>.v1` snapshots (checked into the repo) pin the
+//! optimizer's chosen plan, pipeline layout and search counters for
+//! every builtin scenario, and CI fails when a change drifts them
+//! without updating the snapshot in the same PR.
+//!
+//! ```sh
+//! cargo run --release -p cb-bench --bin plan-diff -- --snapshot plans
+//! cargo run --release -p cb-bench --bin plan-diff -- --check plans
+//! cargo run --release -p cb-bench --bin plan-diff -- a.v1 b.v1
+//! ```
+//!
+//! Snapshot generation is fully explicit about its configuration
+//! (sequential search, default strategy) so the environment —
+//! `CB_SEARCH_THREADS` in particular — can never make two runs disagree.
+
+use cb_bench::{prepared_indexes, prepared_projdept, prepared_views, Prepared};
+use cb_optimizer::plan_repr::{PlanRepr, PlanV1};
+use cb_optimizer::{Optimizer, OptimizerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = match args.as_slice() {
+        [flag, dir] if flag == "--snapshot" => snapshot(dir),
+        [flag, dir] if flag == "--check" => check(dir),
+        [a, b] => diff_files(a, b),
+        _ => {
+            eprintln!("usage: plan-diff --snapshot <dir> | --check <dir> | <a.v1> <b.v1>");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(outcome);
+}
+
+/// The builtin scenarios the gate covers, at fixed scales, with an
+/// explicitly sequential optimizer — byte-stable across machines.
+fn scenarios() -> Vec<(&'static str, Prepared)> {
+    vec![
+        ("projdept", prepared_projdept(50, 10, 25)),
+        ("relational_indexes", prepared_indexes(5_000, 100, 50)),
+        ("relational_views", prepared_views(1_000, 1_000, 0.05)),
+    ]
+}
+
+fn render_scenario(p: &Prepared) -> String {
+    let config = OptimizerConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let outcome = Optimizer::with_config(&p.catalog, config)
+        .optimize(&p.query)
+        .expect("builtin scenario optimizes");
+    PlanRepr::from_outcome(&outcome).render()
+}
+
+fn snapshot(dir: &str) -> i32 {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+    for (name, p) in scenarios() {
+        let path = format!("{dir}/{name}.v1");
+        std::fs::write(&path, render_scenario(&p))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+    0
+}
+
+fn check(dir: &str) -> i32 {
+    let mut drifted = false;
+    for (name, p) in scenarios() {
+        let path = format!("{dir}/{name}.v1");
+        let recorded = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: unreadable ({e}) — run `plan-diff --snapshot {dir}`");
+                drifted = true;
+                continue;
+            }
+        };
+        let current = render_scenario(&p);
+        if recorded == current {
+            println!("{name}: ok");
+            continue;
+        }
+        drifted = true;
+        eprintln!("{name}: plan drifted from {path}");
+        match (PlanRepr::parse(&recorded), PlanRepr::parse(&current)) {
+            (Ok(PlanRepr::V1(a)), Ok(PlanRepr::V1(b))) => {
+                for line in structural_diff(&a, &b) {
+                    eprintln!("  {line}");
+                }
+            }
+            (Err(e), _) => eprintln!("  recorded snapshot does not parse: {e}"),
+            (_, Err(e)) => eprintln!("  regenerated plan does not parse: {e}"),
+        }
+        eprintln!("  (if intended, refresh with `plan-diff --snapshot {dir}` and commit)");
+    }
+    i32::from(drifted)
+}
+
+fn diff_files(a_path: &str, b_path: &str) -> i32 {
+    let read = |p: &str| {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("reading {p}: {e}"));
+        match PlanRepr::parse(&text) {
+            Ok(PlanRepr::V1(v)) => v,
+            Err(e) => panic!("{p}: {e}"),
+        }
+    };
+    let (a, b) = (read(a_path), read(b_path));
+    let lines = structural_diff(&a, &b);
+    if lines.is_empty() {
+        println!("plans are structurally identical");
+        return 0;
+    }
+    for line in &lines {
+        println!("{line}");
+    }
+    1
+}
+
+/// Field-by-field comparison of two V1 plans, one human-readable line
+/// per difference: plan-text changes, cost deltas, operator-level
+/// pipeline changes, counter drift.
+fn structural_diff(a: &PlanV1, b: &PlanV1) -> Vec<String> {
+    let mut out = Vec::new();
+    if a.input != b.input {
+        out.push(format!("input query: `{}` -> `{}`", a.input, b.input));
+    }
+    if a.universal != b.universal {
+        out.push(format!(
+            "universal plan: `{}` -> `{}`",
+            a.universal, b.universal
+        ));
+    }
+    if a.best.query != b.best.query {
+        out.push(format!(
+            "chosen plan: `{}` -> `{}`",
+            a.best.query, b.best.query
+        ));
+    }
+    if a.best.cost != b.best.cost {
+        out.push(format!(
+            "chosen cost: {} -> {} (delta {:+.3})",
+            a.best.cost,
+            b.best.cost,
+            b.best.cost - a.best.cost
+        ));
+    }
+    if a.top_k.len() != b.top_k.len() {
+        out.push(format!(
+            "plan ladder length: {} -> {}",
+            a.top_k.len(),
+            b.top_k.len()
+        ));
+    }
+    for (i, (ea, eb)) in a.top_k.iter().zip(&b.top_k).enumerate() {
+        if ea.query != eb.query {
+            out.push(format!(
+                "ladder #{}: `{}` -> `{}`",
+                i + 1,
+                ea.query,
+                eb.query
+            ));
+        } else if ea.cost != eb.cost {
+            out.push(format!(
+                "ladder #{} cost: {} -> {} (delta {:+.3})",
+                i + 1,
+                ea.cost,
+                eb.cost,
+                eb.cost - ea.cost
+            ));
+        }
+    }
+    let (pa, pb) = (&a.pipeline, &b.pipeline);
+    for (label, va, vb) in [
+        ("registers", pa.n_slots, pb.n_slots),
+        ("hash tables", pa.n_tables, pb.n_tables),
+        ("merge runs", pa.n_runs, pb.n_runs),
+        ("batch size", pa.batch_size, pb.batch_size),
+    ] {
+        if va != vb {
+            out.push(format!("pipeline {label}: {va} -> {vb}"));
+        }
+    }
+    if pa.roots != pb.roots {
+        out.push(format!(
+            "pipeline roots: [{}] -> [{}]",
+            pa.roots.join(", "),
+            pb.roots.join(", ")
+        ));
+    }
+    seq_diff(&mut out, "ground filter", &pa.ground, &pb.ground);
+    seq_diff(&mut out, "operator", &pa.ops, &pb.ops);
+    let (ca, cb) = (&a.counters, &b.counters);
+    for (label, va, vb) in [
+        ("nodes_visited", ca.nodes_visited, cb.nodes_visited),
+        (
+            "nodes_pruned_at_gate",
+            ca.nodes_pruned_at_gate,
+            cb.nodes_pruned_at_gate,
+        ),
+        (
+            "nodes_pruned_at_visit",
+            ca.nodes_pruned_at_visit,
+            cb.nodes_pruned_at_visit,
+        ),
+        ("workers_died", ca.workers_died, cb.workers_died),
+        ("cache_hits", ca.cache_hits, cb.cache_hits),
+        ("cache_misses", ca.cache_misses, cb.cache_misses),
+        ("deps_resets", ca.deps_resets, cb.deps_resets),
+    ] {
+        if va != vb {
+            out.push(format!("counter {label}: {va} -> {vb}"));
+        }
+    }
+    for (label, va, vb) in [
+        ("complete", ca.complete, cb.complete),
+        ("budget_expired", ca.budget_expired, cb.budget_expired),
+    ] {
+        if va != vb {
+            out.push(format!("counter {label}: {va} -> {vb}"));
+        }
+    }
+    if ca.degradations != cb.degradations {
+        out.push(format!(
+            "degradations: [{}] -> [{}]",
+            ca.degradations.join(", "),
+            cb.degradations.join(", ")
+        ));
+    }
+    out
+}
+
+/// Positional diff of two operator/filter sequences.
+fn seq_diff(out: &mut Vec<String>, what: &str, a: &[String], b: &[String]) {
+    if a == b {
+        return;
+    }
+    if a.len() != b.len() {
+        out.push(format!("{what} count: {} -> {}", a.len(), b.len()));
+    }
+    for (i, (ia, ib)) in a.iter().zip(b).enumerate() {
+        if ia != ib {
+            out.push(format!("{what} #{}: {ia} -> {ib}", i + 1));
+        }
+    }
+    for (i, extra) in a.iter().enumerate().skip(b.len()) {
+        out.push(format!("{what} #{} removed: {extra}", i + 1));
+    }
+    for (i, extra) in b.iter().enumerate().skip(a.len()) {
+        out.push(format!("{what} #{} added: {extra}", i + 1));
+    }
+}

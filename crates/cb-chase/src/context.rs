@@ -74,6 +74,13 @@ pub struct CacheStats {
     /// under other constraints would be unsound, so the caches are
     /// dropped rather than served.
     pub deps_resets: u64,
+    /// Spurious resets *avoided*: [`ChaseContext::ensure_deps`] was
+    /// handed a reordered-but-identical dependency slice (same canonical
+    /// set, different order) and kept every memo instead of resetting.
+    /// Before fingerprinting went order-insensitive each of these was a
+    /// full, pointless cold start — and would have been a plan-cache
+    /// miss in a service keyed on the fingerprint.
+    pub reorder_resets_avoided: u64,
     /// Memo entries dropped by the entry cap (oldest first) — see
     /// [`ChaseContext::with_memo_cap`].
     pub evictions: u64,
@@ -104,6 +111,7 @@ impl CacheStats {
         self.implication_misses += other.implication_misses;
         self.seeded_hom_hits += other.seeded_hom_hits;
         self.deps_resets += other.deps_resets;
+        self.reorder_resets_avoided += other.reorder_resets_avoided;
         self.evictions += other.evictions;
         self.poison_recoveries += other.poison_recoveries;
         self.checkout_retries += other.checkout_retries;
@@ -245,14 +253,20 @@ impl ChaseContext {
 
     /// Fingerprint of a dependency set + chase budget: a cheap first
     /// check on the identity of the theory a context's memos are sound
-    /// under. Order-sensitive on purpose — two orderings of the same set
-    /// fingerprint differently and trigger a spurious but sound reset;
-    /// catalogs emit constraints in a stable order. A fingerprint match
-    /// is only a hint: [`ChaseContext::ensure_deps`] confirms with exact
-    /// comparison, so a hash collision can never keep stale memos alive.
+    /// under. **Order-insensitive**: the hash runs over the sorted
+    /// canonical forms of the dependencies ([`canonical_dep_set`]), so
+    /// two orderings of the same set — a catalog rebuilt with its
+    /// constraints in a different order, the routine plan-cache churn of
+    /// a long-lived service — fingerprint identically and keep their
+    /// memos. (The memos are verdicts about the dependency *set*; the
+    /// chase reaches the same fixpoint under any application order, so
+    /// serving them across a reordering is sound.) A fingerprint match is
+    /// only a hint: [`ChaseContext::ensure_deps`] confirms with exact
+    /// comparison of the canonical forms, so a hash collision can never
+    /// keep stale memos alive.
     pub fn fingerprint_of(deps: &[Dependency], cfg: &ChaseConfig) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        deps.hash(&mut h);
+        canonical_dep_set(deps).hash(&mut h);
         cfg.hash(&mut h);
         h.finish()
     }
@@ -268,15 +282,29 @@ impl ChaseContext {
     /// under other constraints would be silently unsound here. Returns
     /// whether a reset happened (also counted in
     /// [`CacheStats::deps_resets`]); on a match (fingerprint, confirmed
-    /// by exact comparison so collisions cannot smuggle stale memos
-    /// through) this is a cheap no-op and all memos are kept.
-    /// `Optimizer::optimize_in` calls this on every optimization, so
-    /// callers can hold one context across catalogs without tracking
-    /// constraint identity themselves.
+    /// by exact comparison of the canonical forms so collisions cannot
+    /// smuggle stale memos through) this is a cheap no-op and all memos
+    /// are kept. A *reordered-but-identical* dependency slice is a match,
+    /// not a reset: the memos are sound under the set, the original
+    /// ordering is kept, and the avoided reset is counted in
+    /// [`CacheStats::reorder_resets_avoided`] — this is what keeps a
+    /// plan cache keyed on the fingerprint from missing (and a memoized
+    /// context from cold-starting) every time a catalog is rebuilt with
+    /// its constraints permuted. `Optimizer::optimize_in` calls this on
+    /// every optimization, so callers can hold one context across
+    /// catalogs without tracking constraint identity themselves.
     pub fn ensure_deps(&mut self, deps: &[Dependency], cfg: &ChaseConfig) -> bool {
         let fp = ChaseContext::fingerprint_of(deps, cfg);
-        if fp == self.fingerprint && deps == self.deps && cfg == &self.cfg {
-            return false;
+        if fp == self.fingerprint && cfg == &self.cfg {
+            if deps == self.deps {
+                return false;
+            }
+            // The fingerprint already hashes the canonical set; confirm
+            // exactly so a collision cannot keep stale memos alive.
+            if canonical_dep_set(deps) == canonical_dep_set(&self.deps) {
+                self.stats.reorder_resets_avoided += 1;
+                return false;
+            }
         }
         self.deps = deps.to_vec();
         self.cfg = cfg.clone();
@@ -472,6 +500,17 @@ pub(crate) fn insert_bounded<K: Eq + Hash + Clone, V>(
     }
 }
 
+/// The canonical form of a dependency *set*: each dependency
+/// canonicalized ([`canonical_dependency`]) and the whole slice sorted,
+/// so two orderings of the same constraints compare (and hash) equal.
+/// Duplicates are kept — a multiset, not a set — so the comparison in
+/// [`ChaseContext::ensure_deps`] stays an exact confirmation.
+pub(crate) fn canonical_dep_set(deps: &[Dependency]) -> Vec<Dependency> {
+    let mut out: Vec<Dependency> = deps.iter().map(canonical_dependency).collect();
+    out.sort();
+    out
+}
+
 /// Canonical memo key for a dependency: bound variables renamed to
 /// `c0, c1, …` in (forall, exists) order, name cleared, conditions
 /// normalized, sorted and deduplicated. Two dependencies that differ
@@ -538,6 +577,32 @@ mod tests {
         assert!(on.stats().containment_hits > 0);
         assert_eq!(off.stats().containment_hits, 0);
         assert_eq!(off.stats().containment_misses, 6);
+    }
+
+    #[test]
+    fn reordered_deps_keep_memos() {
+        // Same theory, different slice order: the fingerprint is
+        // order-insensitive, so no reset happens and warm memos survive.
+        let ric =
+            parse_dependency("ric", "forall (r in R) -> exists (s in S) where r.A = s.A").unwrap();
+        let other =
+            parse_dependency("tic", "forall (t in T) -> exists (s in S) where t.B = s.B").unwrap();
+        let narrower = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A").unwrap();
+        let wider = parse_query("select struct(A = r.A) from R r").unwrap();
+        let cfg = ChaseConfig::default();
+        let mut ctx = ChaseContext::new(vec![ric.clone(), other.clone()], cfg.clone());
+        assert!(ctx.contained_in(&wider, &narrower));
+        let reordered = [other, ric];
+        assert_eq!(
+            ChaseContext::fingerprint_of(&reordered, &cfg),
+            ctx.fingerprint()
+        );
+        assert!(!ctx.ensure_deps(&reordered, &cfg));
+        assert_eq!(ctx.stats().deps_resets, 0);
+        assert_eq!(ctx.stats().reorder_resets_avoided, 1);
+        // The memo is still warm.
+        assert!(ctx.contained_in(&wider, &narrower));
+        assert!(ctx.stats().containment_hits > 0);
     }
 
     #[test]

@@ -174,7 +174,10 @@ impl SharedChaseContext {
 
     /// Caps the memo tables at `cap` entries *in total*, split evenly
     /// across shards and evicted FIFO per shard, mirroring
-    /// [`ChaseContext::with_memo_cap`].
+    /// [`ChaseContext::with_memo_cap`]. A cap of **0 means unbounded**
+    /// (the default), same as the sequential context and
+    /// `OptimizerConfig` — the per-shard split special-cases it so the
+    /// `div_ceil` never turns "unlimited" into "cache nothing".
     pub fn with_memo_cap(mut self, cap: usize) -> SharedChaseContext {
         self.memo_cap = cap;
         self
@@ -223,6 +226,9 @@ impl SharedChaseContext {
         SharedProver { shared: self }
     }
 
+    /// The even split of `memo_cap` one shard may hold. 0 (unbounded)
+    /// must stay 0 — `insert_bounded` reads `cap == 0` as "no limit",
+    /// so dividing it through would instead evict everything.
     fn per_shard_cap(&self) -> usize {
         if self.memo_cap == 0 {
             0
@@ -653,6 +659,21 @@ mod tests {
         assert!(seq_stats.chase_hits > 0);
         assert!(seq_stats.containment_hits > 0);
         assert_eq!(seq_stats.implication_hits, 1);
+    }
+
+    #[test]
+    fn zero_memo_cap_means_unbounded_not_empty() {
+        // Regression: 0 must survive the per-shard split as "no limit".
+        // If the split divided it through, every insert would evict
+        // immediately and this workload would see zero hits.
+        for shards in [1, 4, 16] {
+            let (_, stats) = shared_run(shards, 0);
+            assert_eq!(stats.evictions, 0, "cap-0 run evicted @ {shards} shards");
+            assert!(
+                stats.chase_hits > 0 && stats.containment_hits > 0,
+                "cap-0 run retained nothing @ {shards} shards: {stats:?}"
+            );
+        }
     }
 
     #[test]

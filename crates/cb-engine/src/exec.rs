@@ -353,6 +353,43 @@ pub struct Pipeline {
     pub batch_size: usize,
 }
 
+/// A structural snapshot of a compiled [`Pipeline`]: the register/
+/// table/root layout plus display-stable renderings of the ground
+/// filters and operators. This is what plan serialization records and
+/// what `plan-diff` compares — two pipelines with equal layouts execute
+/// the same operator sequence over the same registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineLayout {
+    pub n_slots: usize,
+    pub n_tables: usize,
+    pub n_runs: usize,
+    pub batch_size: usize,
+    pub roots: Vec<String>,
+    /// `"left = right"` per hoisted ground filter.
+    pub ground: Vec<String>,
+    /// One [`Operator`] `Display` rendering per pipeline step.
+    pub ops: Vec<String>,
+}
+
+impl Pipeline {
+    /// The serializable [`PipelineLayout`] of this pipeline.
+    pub fn layout(&self) -> PipelineLayout {
+        PipelineLayout {
+            n_slots: self.n_slots,
+            n_tables: self.n_tables,
+            n_runs: self.n_runs,
+            batch_size: self.batch_size,
+            roots: self.roots.clone(),
+            ground: self
+                .ground
+                .iter()
+                .map(|g| format!("{} = {}", g.left, g.right))
+                .collect(),
+            ops: self.ops.iter().map(ToString::to_string).collect(),
+        }
+    }
+}
+
 impl fmt::Display for Pipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, g) in self.ground.iter().enumerate() {

@@ -30,7 +30,7 @@ pub use eval::{EvalError, Evaluator};
 pub use exec::{
     compile, execute, execute_rows, execute_rows_with_stats, execute_with_stats, Access,
     AccessKind, CompileOptions, CompiledOutput, GroundFilter, OpStats, Operator, Pipeline,
-    PipelineStats,
+    PipelineLayout, PipelineStats,
 };
 pub use generator::{
     join_instance, projdept_instance, rabc_instance, JoinParams, ProjDeptParams, RabcParams,

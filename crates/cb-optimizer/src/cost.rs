@@ -30,6 +30,37 @@ use cb_chase::MustRemainAnalysis;
 use pcql::path::Path;
 use pcql::query::{BindKind, Equality, Query};
 
+/// A cost estimate left the domain the optimizer's orderings assume.
+///
+/// Every consumer of [`CostModel::plan_cost`] — the k-best
+/// `sort_by(total_cmp)`, the `fetch_min`-over-`to_bits` atomic incumbent
+/// of the parallel search — is only correct for **finite, nonnegative**
+/// costs: `total_cmp` orders NaN above +∞ (silently burying a poisoned
+/// candidate at the bottom of the ranking instead of rejecting it), and
+/// the IEEE-754 bit pattern of a negative float compares *above* every
+/// positive one as a u64, corrupting the incumbent. The model therefore
+/// polices its own boundary: [`CostModel::checked_plan_cost`] returns
+/// this error instead of letting such a value escape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostError {
+    /// The estimate was NaN, ±∞, or negative (the estimator itself never
+    /// produces negatives, but poisoned statistics — e.g. an infinite
+    /// recorded fanout — propagate through the arithmetic).
+    NonFinite(f64),
+}
+
+impl std::fmt::Display for CostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostError::NonFinite(c) => {
+                write!(f, "plan cost {c} is outside the finite nonnegative domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
 /// Cost estimator over catalog statistics.
 #[derive(Debug, Clone, Copy)]
 pub struct CostModel<'a> {
@@ -54,7 +85,34 @@ impl<'a> CostModel<'a> {
 
     /// Estimated total operations to execute `q` with the engine's
     /// nested-loop discipline.
+    ///
+    /// Debug builds assert the estimate is finite and nonnegative — the
+    /// domain every downstream ordering (k-best sort, atomic incumbent)
+    /// assumes. Release callers that cannot rule out poisoned statistics
+    /// should go through [`CostModel::checked_plan_cost`] instead.
     pub fn plan_cost(&self, q: &Query) -> f64 {
+        let cost = self.raw_plan_cost(q);
+        debug_assert!(
+            cost.is_finite() && cost >= 0.0,
+            "plan_cost({q}) = {cost} escapes the finite nonnegative domain"
+        );
+        cost
+    }
+
+    /// [`CostModel::plan_cost`] with the domain check promoted to a typed
+    /// error: returns [`CostError::NonFinite`] instead of handing a NaN,
+    /// ±∞, or negative estimate to orderings that would silently
+    /// mis-rank it.
+    pub fn checked_plan_cost(&self, q: &Query) -> Result<f64, CostError> {
+        let cost = self.raw_plan_cost(q);
+        if cost.is_finite() && cost >= 0.0 {
+            Ok(cost)
+        } else {
+            Err(CostError::NonFinite(cost))
+        }
+    }
+
+    fn raw_plan_cost(&self, q: &Query) -> f64 {
         let hints = self.var_hints(q);
         // Assign each condition to the earliest level where its variables
         // are all bound (level i means "after binding i-1").
@@ -243,6 +301,30 @@ impl<'a> CostModel<'a> {
     /// to *any* access path (precomputed; see [`global_access_floor_of`]).
     fn global_access_floor(&self) -> f64 {
         self.global_floor
+    }
+
+    /// Fingerprint of everything this model's estimates depend on: the
+    /// full statistics table, in `BTreeMap` (i.e. deterministic) order,
+    /// floats hashed by bit pattern. Two models with equal fingerprints
+    /// produce identical estimates for every query, so a prepared-plan
+    /// cache can key on this to detect stats refreshes that would change
+    /// plan choice.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (root, s) in &self.stats.roots {
+            root.hash(&mut h);
+            s.cardinality.hash(&mut h);
+            for (field, d) in &s.distinct {
+                field.hash(&mut h);
+                d.hash(&mut h);
+            }
+            for (field, f) in &s.avg_fanout {
+                field.hash(&mut h);
+                f.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
     }
 
     /// Estimated result cardinality.
@@ -474,6 +556,44 @@ mod tests {
         assert!(m.lower_bound(&keep_lookup) >= m.lower_bound(&parent));
         // The bound discriminates: a lone scan's floor is the scan.
         assert!(m.lower_bound(&keep_scan) > m.lower_bound(&keep_lookup));
+    }
+
+    #[test]
+    fn poisoned_statistics_yield_a_typed_cost_error() {
+        // An infinite recorded fanout propagates straight through the
+        // nested-loop arithmetic; the boundary check must catch it
+        // before it reaches a sort or the atomic incumbent.
+        let mut stats = Stats::new();
+        let mut r = RootStats::with_cardinality(10);
+        r.avg_fanout.insert("Kids".into(), f64::INFINITY);
+        stats.set("R", r);
+        let m = CostModel::new(&stats);
+        let q = parse_query("select struct(K = k) from R r, r.Kids k").unwrap();
+        assert!(matches!(
+            m.checked_plan_cost(&q),
+            Err(CostError::NonFinite(c)) if c.is_infinite()
+        ));
+        // Healthy statistics pass through unchanged.
+        let c = model_catalog();
+        let healthy = CostModel::for_catalog(&c);
+        for p in projdept::paper_plans() {
+            assert_eq!(healthy.checked_plan_cost(&p), Ok(healthy.plan_cost(&p)));
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_statistics() {
+        let c = model_catalog();
+        let m1 = CostModel::for_catalog(&c);
+        let m2 = CostModel::for_catalog(&c);
+        assert_eq!(m1.fingerprint(), m2.fingerprint());
+        let mut c2 = projdept::catalog();
+        projdept::stats_for(&mut c2, 100, 10, 21);
+        assert_ne!(
+            m1.fingerprint(),
+            CostModel::for_catalog(&c2).fingerprint(),
+            "a stats refresh must change the fingerprint"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use crate::optimizer::OptimizeOutcome;
+use crate::plan_repr::PlanRepr;
 
 /// Renders the full story of one optimization: input, chase steps,
 /// universal plan, candidate plans with costs, and the winner.
@@ -169,6 +170,68 @@ pub fn explain(outcome: &OptimizeOutcome) -> String {
     s
 }
 
+/// EXPLAIN for a *serialized* plan: what can be said from the
+/// [`PlanRepr`] alone, without a catalog or a live outcome — the view a
+/// service front end or `plan-diff` shows for a plan loaded off disk.
+pub fn explain_prepared(repr: &PlanRepr) -> String {
+    let PlanRepr::V1(p) = repr;
+    let mut s = String::new();
+    let _ = writeln!(s, "== prepared plan (format v1) ==");
+    let _ = writeln!(s, "input:     {}", p.input);
+    let _ = writeln!(s, "universal: {}", p.universal);
+    let _ = writeln!(s, "\n== plan ladder ({} entries) ==", p.top_k.len());
+    for (i, e) in p.top_k.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  #{:<2} cost {:>12.1} {} {}",
+            i + 1,
+            e.cost,
+            if e.minimal { "[minimal]" } else { "[interim]" },
+            e.query
+        );
+    }
+    let _ = writeln!(s, "\n== chosen plan (cost {:.1}) ==", p.best.cost);
+    let _ = writeln!(s, "{}", p.best.query);
+    let _ = writeln!(s, "\n== pipeline layout ==");
+    let _ = writeln!(
+        s,
+        "  registers: {}   hash tables: {}   merge runs: {}   batch: {} rows",
+        p.pipeline.n_slots, p.pipeline.n_tables, p.pipeline.n_runs, p.pipeline.batch_size
+    );
+    let _ = writeln!(s, "  roots: {}", p.pipeline.roots.join(", "));
+    for g in &p.pipeline.ground {
+        let _ = writeln!(s, "  Ground({g})");
+    }
+    for op in &p.pipeline.ops {
+        let _ = writeln!(s, "  {op}");
+    }
+    let _ = writeln!(s, "  Project");
+    let c = &p.counters;
+    let _ = writeln!(s, "\n== producing search ==");
+    let _ = writeln!(
+        s,
+        "  {} node(s) visited, {} pruned at the gate, {} at visit; cache {} hit(s) / {} miss(es)",
+        c.nodes_visited,
+        c.nodes_pruned_at_gate,
+        c.nodes_pruned_at_visit,
+        c.cache_hits,
+        c.cache_misses
+    );
+    let _ = writeln!(
+        s,
+        "  complete: {}   budget expired: {}   workers died: {}",
+        c.complete, c.budget_expired, c.workers_died
+    );
+    if c.degradations.is_empty() {
+        let _ = writeln!(s, "  clean run: no degradations");
+    } else {
+        for d in &c.degradations {
+            let _ = writeln!(s, "  degraded: {d}");
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +287,26 @@ mod tests {
         out.termination = cb_chase::TerminationVerdict::Unknown;
         let text = explain(&out);
         assert!(text.contains("search budgets were hit"), "{text}");
+    }
+
+    #[test]
+    fn explain_prepared_covers_the_serialized_sections() {
+        let mut cat = projdept::catalog();
+        projdept::stats_for(&mut cat, 50, 5, 10);
+        let out = Optimizer::new(&cat).optimize(&projdept::query()).unwrap();
+        let repr = PlanRepr::from_outcome(&out);
+        let text = explain_prepared(&repr);
+        for needle in [
+            "== prepared plan (format v1) ==",
+            "== plan ladder",
+            "== chosen plan",
+            "== pipeline layout ==",
+            "== producing search ==",
+            "registers:",
+            "node(s) visited",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
     }
 
     #[test]

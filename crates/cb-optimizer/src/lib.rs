@@ -16,14 +16,18 @@ pub mod cost;
 pub mod explain;
 pub mod governor;
 pub mod optimizer;
+pub mod plan_repr;
 pub mod reorder;
+pub mod service;
 
 pub use cleanup::{cleanup_plan, prune_implied_conditions};
-pub use cost::CostModel;
-pub use explain::explain;
+pub use cost::{CostError, CostModel};
+pub use explain::{explain, explain_prepared};
 pub use governor::{Degradation, ResourceGovernor};
 pub use optimizer::{
     CostBound, OptimizeError, OptimizeOutcome, Optimizer, OptimizerConfig, PlanChoice,
     PreflightMode, SearchStrategy,
 };
+pub use plan_repr::{PlanRepr, PlanV1, ReprError};
 pub use reorder::reorder_bindings;
+pub use service::{PlanService, Prepared, ServiceStats};

@@ -699,7 +699,10 @@ impl<'a> Optimizer<'a> {
         // plan) is a function of the candidate *set*, never of the order
         // workers happened to verify them in. Deliberately not a key:
         // the `minimal` flag, which pruning leaves undetermined on
-        // different nodes in different runs.
+        // different nodes in different runs. Every `cost` here is finite
+        // and nonnegative — `cost_one` enforces that boundary — so
+        // `total_cmp` is a plain numeric order with no NaN placement
+        // surprises.
         candidates.sort_by(|a, b| {
             a.cost
                 .total_cmp(&b.cost)
@@ -723,7 +726,9 @@ impl<'a> Optimizer<'a> {
             candidates.push(PlanChoice {
                 query: universal.clone(),
                 raw: universal.clone(),
-                cost: model.plan_cost(&universal),
+                // Informational only (the plan is the sole candidate);
+                // saturate rather than let a poisoned estimate through.
+                cost: model.checked_plan_cost(&universal).unwrap_or(f64::MAX),
                 minimal: false,
             });
         }
@@ -809,12 +814,10 @@ impl<'a> Optimizer<'a> {
     /// cleanup phase keep using them); only phase 2's traffic goes
     /// through the shards.
     fn shared_context(&self, ctx: &ChaseContext) -> SharedChaseContext {
-        let shared = SharedChaseContext::new(ctx.deps().to_vec(), self.config.chase.clone());
-        let shared = if ctx.memo_cap() > 0 {
-            shared.with_memo_cap(ctx.memo_cap())
-        } else {
-            shared
-        };
+        // 0 means unbounded on both sides, so the cap passes through
+        // unconditionally.
+        let shared = SharedChaseContext::new(ctx.deps().to_vec(), self.config.chase.clone())
+            .with_memo_cap(ctx.memo_cap());
         // Rung 1 of the governor's ladder: under a byte limit the
         // shards shed memo entries instead of growing without bound.
         match self.config.memo_byte_limit {
@@ -886,7 +889,11 @@ fn cost_one<P: ChaseProver>(
     let pruned = crate::cleanup::prune_implied_conditions_in(ctx, raw);
     let cleaned = cleanup_plan(catalog, &pruned);
     let ordered = reorder_bindings(&cleaned, model);
-    let cost = model.plan_cost(&ordered);
+    // The cost-domain boundary: a non-finite estimate (poisoned
+    // statistics) would silently mis-sort in the k-best `total_cmp`
+    // ranking and corrupt the bit-ordered atomic incumbent, so such a
+    // candidate never becomes a choice at all.
+    let cost = model.checked_plan_cost(&ordered).ok()?;
     Some(PlanChoice {
         query: ordered,
         raw: raw.clone(),
@@ -988,6 +995,14 @@ impl ParallelCostGuide<'_, '_> {
     }
 
     fn publish(&self, cost: f64) {
+        // `fetch_min` over bit patterns is only a numeric min for finite
+        // nonnegative floats (NaN/negative bit patterns mis-order).
+        // `cost_one` already refuses such costs, so this is a second
+        // line of defense, not a live path.
+        debug_assert!(cost.is_finite() && cost >= 0.0, "incumbent {cost}");
+        if !(cost.is_finite() && cost >= 0.0) {
+            return;
+        }
         let prev = self.incumbent.fetch_min(cost.to_bits(), Ordering::SeqCst);
         if cost.to_bits() < prev {
             // A sibling worker's panic may have poisoned the lock; the
